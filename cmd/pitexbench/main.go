@@ -1,0 +1,79 @@
+// Command pitexbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	pitexbench -exp fig7                # one experiment, quick config
+//	pitexbench -exp all -full           # everything at paper scale
+//	pitexbench -exp fig9,fig10 -datasets lastfm,diggs -queries 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pitex/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment IDs, comma-separated (table2..4, fig6..14) or 'all'")
+		full    = flag.Bool("full", false, "paper-scale configuration (default: quick)")
+		scale   = flag.Float64("scale", 0, "override dataset scale factor")
+		queries = flag.Int("queries", 0, "override queries per user group")
+		seed    = flag.Uint64("seed", 0, "override seed")
+		names   = flag.String("datasets", "", "comma-separated dataset subset")
+		maxSamp = flag.Int64("max-samples", -1, "override per-estimation sample cap (0 = theoretical)")
+		maxIdx  = flag.Int64("max-index-samples", -1, "override offline sample cap (0 = theoretical)")
+	)
+	flag.Parse()
+	if err := run(*exp, *full, *scale, *queries, *seed, *names, *maxSamp, *maxIdx); err != nil {
+		fmt.Fprintln(os.Stderr, "pitexbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, full bool, scale float64, queries int, seed uint64, names string, maxSamp, maxIdx int64) error {
+	cfg := experiments.Quick()
+	if full {
+		cfg = experiments.Full()
+	}
+	if scale > 0 {
+		cfg.Scale = scale
+	}
+	if queries > 0 {
+		cfg.QueriesPerGroup = queries
+	}
+	if seed > 0 {
+		cfg.Seed = seed
+	}
+	if names != "" {
+		cfg.Datasets = strings.Split(names, ",")
+	}
+	if maxSamp >= 0 {
+		cfg.MaxSamples = maxSamp
+	}
+	if maxIdx >= 0 {
+		cfg.MaxIndexSamples = maxIdx
+	}
+
+	ids := experiments.ExperimentIDs()
+	if exp != "all" {
+		ids = strings.Split(exp, ",")
+	}
+	reg := experiments.Registry()
+	for _, id := range ids {
+		runner, ok := reg[strings.TrimSpace(id)]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (have %v)", id, experiments.ExperimentIDs())
+		}
+		rep, err := runner(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		rep.Print(os.Stdout)
+		fmt.Println()
+	}
+	return nil
+}

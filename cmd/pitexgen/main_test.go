@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunWritesBothFiles(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "tiny")
+	if err := run("lastfm", 1, 0.02, out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, suffix := range []string{".network", ".model"} {
+		st, err := os.Stat(out + suffix)
+		if err != nil {
+			t.Fatalf("missing %s: %v", suffix, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", suffix)
+		}
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	if err := run("bogus", 1, 1, filepath.Join(t.TempDir(), "x")); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestRunDefaultOutPrefix(t *testing.T) {
+	dir := t.TempDir()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if err := run("lastfm", 1, 0.02, ""); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "lastfm.network")); err != nil {
+		t.Fatalf("default prefix not used: %v", err)
+	}
+}

@@ -1,0 +1,35 @@
+// Package pitex answers personalized social influential tag exploration
+// (PITEX) queries: given a social network whose edges carry topic-aware
+// influence probabilities, a tag vocabulary distributed over the topics,
+// a target user u and a size k, it finds the size-k tag set W* maximizing
+// u's expected influence spread E[I(u|W)] under the independent-cascade
+// model.
+//
+// It is a from-scratch Go reproduction of Li, Tan, Fan and Zhang,
+// "Discovering Your Selling Points: Personalized Social Influential Tags
+// Exploration", SIGMOD 2017. The problem is NP-hard to approximate within
+// any constant factor; every strategy here returns a (1-ε)/(1+ε)
+// approximation with probability 1-1/δ (when sample budgets are left at
+// their theoretical values).
+//
+// # Quick start
+//
+//	nb := pitex.NewNetworkBuilder(numUsers, numTopics)
+//	nb.AddEdge(0, 1, pitex.TopicProb{Topic: 0, Prob: 0.4})
+//	net, err := nb.Build()
+//	// ...
+//	model, _ := pitex.NewTagModel(numTags, numTopics)
+//	model.SetTagTopic(0, 0, 0.6)
+//	// ...
+//	engine, err := pitex.NewEngine(net, model, pitex.Options{})
+//	res, err := engine.Query(0, 3) // top-3 tags for user 0
+//
+// # Strategies
+//
+// The engine supports all seven estimation strategies evaluated in the
+// paper: the online samplers MC, RR and Lazy (Sec. 4-5), the tree-based
+// TIM baseline, and the index-based IndexEst, IndexEst+ and DelayMat
+// (Sec. 6). Index strategies pay an offline construction cost inside
+// NewEngine and answer queries orders of magnitude faster. All strategies
+// run under best-effort exploration (Sec. 5.2) unless disabled.
+package pitex

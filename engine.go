@@ -1,0 +1,488 @@
+package pitex
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"pitex/internal/bestfirst"
+	"pitex/internal/enumerate"
+	"pitex/internal/graph"
+	"pitex/internal/rng"
+	"pitex/internal/rrindex"
+	"pitex/internal/sampling"
+	"pitex/internal/tim"
+	"pitex/internal/topics"
+)
+
+// ScoredTagSet is one ranked answer of a top-m query.
+type ScoredTagSet struct {
+	Tags      []int
+	TagNames  []string
+	Influence float64
+}
+
+// Result is the answer to a PITEX query.
+type Result struct {
+	// Tags is the size-k tag set maximizing the estimated influence,
+	// sorted ascending.
+	Tags []int
+	// TagNames are the human-readable names of Tags.
+	TagNames []string
+	// Influence is the estimated expected influence spread E[I(u|W*)].
+	Influence float64
+	// Alternatives holds the m best tag sets of a QueryTop call in
+	// descending influence order (Alternatives[0] repeats Tags); nil for
+	// plain queries.
+	Alternatives []ScoredTagSet
+	// Elapsed is wall-clock query time.
+	Elapsed time.Duration
+	// FullSetsEstimated, PartialBoundsEstimated, PrunedUnsupported and
+	// PrunedByBound report the best-effort exploration work breakdown.
+	FullSetsEstimated      int64
+	PartialBoundsEstimated int64
+	PrunedUnsupported      int64
+	PrunedByBound          int64
+}
+
+// Engine answers PITEX queries over one network and tag model with a fixed
+// strategy. Index strategies build their offline structures inside
+// NewEngine. An Engine is not safe for concurrent use (estimators carry
+// scratch state); use Clone to serve queries from multiple goroutines over
+// the shared index.
+type Engine struct {
+	net   *Network
+	model *TagModel
+	opts  Options
+
+	est      bestfirst.Estimator
+	explorer *bestfirst.Explorer
+
+	// Shared offline structures (nil unless the strategy needs them).
+	index *rrindex.Index
+	delay *rrindex.DelayMat
+
+	// IndexBuildTime records the offline phase duration (Table 3).
+	IndexBuildTime time.Duration
+
+	posterior []float64
+}
+
+// NewEngine validates the inputs, runs any offline construction the
+// strategy needs, and returns a query-ready engine.
+func NewEngine(net *Network, model *TagModel, opts Options) (*Engine, error) {
+	if net == nil || model == nil {
+		return nil, fmt.Errorf("pitex: nil network or model")
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	if net.NumTopics() != model.NumTopics() {
+		return nil, fmt.Errorf("pitex: network has %d topics, model has %d",
+			net.NumTopics(), model.NumTopics())
+	}
+	if err := model.m.Validate(); err != nil {
+		return nil, fmt.Errorf("pitex: %w", err)
+	}
+
+	en := &Engine{
+		net:       net,
+		model:     model,
+		opts:      opts,
+		posterior: make([]float64, model.NumTopics()),
+	}
+
+	if opts.Strategy.NeedsIndex() {
+		build := rrindex.BuildOptions{
+			Accuracy:        en.samplingOptions(enumerate.LogPhiK(model.NumTags(), opts.MaxK)),
+			MaxIndexSamples: opts.MaxIndexSamples,
+			Seed:            opts.Seed,
+		}
+		start := time.Now()
+		var err error
+		if opts.Strategy == StrategyDelay {
+			en.delay, err = rrindex.BuildDelayMat(net.g, build)
+		} else {
+			en.index, err = rrindex.Build(net.g, build)
+		}
+		if err != nil {
+			return nil, err
+		}
+		en.IndexBuildTime = time.Since(start)
+	}
+
+	en.est = en.newEstimator()
+	en.explorer = bestfirst.NewExplorer(net.g, model.m, en.est)
+	en.explorer.CheapBounds = opts.CheapBounds
+	return en, nil
+}
+
+// samplingOptions assembles the shared accuracy parameters with the given
+// log search-space size.
+func (en *Engine) samplingOptions(logSearchSpace float64) sampling.Options {
+	return sampling.Options{
+		Epsilon:          en.opts.Epsilon,
+		Delta:            en.opts.Delta,
+		LogSearchSpace:   logSearchSpace,
+		MaxSamples:       en.opts.MaxSamples,
+		DisableEarlyStop: en.opts.DisableEarlyStop,
+	}
+}
+
+// newEstimator instantiates the per-engine (non-shared) estimator state.
+func (en *Engine) newEstimator() bestfirst.Estimator {
+	// Best-effort exploration examines up to φ_k tag sets; the paper's
+	// Eq. 12 uses ln φ_k in the union bound. We use ln φ_MaxK, valid for
+	// every supported k.
+	logSpace := enumerate.LogPhiK(en.model.NumTags(), en.opts.MaxK)
+	so := en.samplingOptions(logSpace)
+	r := rng.New(en.opts.Seed + 7919)
+	if en.opts.Propagation == PropagationLT {
+		if en.opts.Strategy == StrategyRR {
+			return sampling.NewTriggeringRR(en.net.g, so, sampling.LTTriggering{}, r)
+		}
+		return sampling.NewLT(en.net.g, so, r)
+	}
+	switch en.opts.Strategy {
+	case StrategyMC:
+		return sampling.NewMC(en.net.g, so, r)
+	case StrategyRR:
+		return sampling.NewRR(en.net.g, so, r)
+	case StrategyTIM:
+		return tim.New(en.net.g, 0)
+	case StrategyIndex:
+		return rrindex.NewEstimator(en.index)
+	case StrategyIndexPruned:
+		return rrindex.NewPrunedEstimator(en.index)
+	case StrategyDelay:
+		return rrindex.NewDelayEstimator(en.delay, r)
+	default:
+		return sampling.NewLazy(en.net.g, so, r)
+	}
+}
+
+// Clone returns an engine sharing the receiver's network, model and offline
+// index but owning fresh estimator scratch, so clones can serve queries
+// concurrently.
+func (en *Engine) Clone() *Engine {
+	c := &Engine{
+		net:            en.net,
+		model:          en.model,
+		opts:           en.opts,
+		index:          en.index,
+		delay:          en.delay,
+		IndexBuildTime: en.IndexBuildTime,
+		posterior:      make([]float64, en.model.NumTopics()),
+	}
+	c.est = c.newEstimator()
+	c.explorer = bestfirst.NewExplorer(c.net.g, c.model.m, c.est)
+	c.explorer.CheapBounds = c.opts.CheapBounds
+	return c
+}
+
+// SaveIndex writes the engine's offline structure (RR-Graph index or
+// DelayMat counters) so a later process can skip the offline phase via
+// NewEngineWithIndex. It fails for online strategies, which have nothing
+// to save.
+func (en *Engine) SaveIndex(w io.Writer) error {
+	switch {
+	case en.index != nil:
+		return rrindex.WriteIndex(w, en.index)
+	case en.delay != nil:
+		return rrindex.WriteDelayMat(w, en.delay)
+	default:
+		return fmt.Errorf("pitex: strategy %v has no offline index to save", en.opts.Strategy)
+	}
+}
+
+// NewEngineWithIndex is NewEngine for index strategies, loading the offline
+// structure from r (written by SaveIndex over the same network) instead of
+// re-sampling it.
+func NewEngineWithIndex(net *Network, model *TagModel, opts Options, r io.Reader) (*Engine, error) {
+	if net == nil || model == nil {
+		return nil, fmt.Errorf("pitex: nil network or model")
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	if !opts.Strategy.NeedsIndex() {
+		return nil, fmt.Errorf("pitex: strategy %v does not use an offline index", opts.Strategy)
+	}
+	if net.NumTopics() != model.NumTopics() {
+		return nil, fmt.Errorf("pitex: network has %d topics, model has %d",
+			net.NumTopics(), model.NumTopics())
+	}
+	if err := model.m.Validate(); err != nil {
+		return nil, fmt.Errorf("pitex: %w", err)
+	}
+	en := &Engine{
+		net:       net,
+		model:     model,
+		opts:      opts,
+		posterior: make([]float64, model.NumTopics()),
+	}
+	start := time.Now()
+	var err error
+	if opts.Strategy == StrategyDelay {
+		en.delay, err = rrindex.ReadDelayMat(r, net.g)
+	} else {
+		en.index, err = rrindex.ReadIndex(r, net.g)
+	}
+	if err != nil {
+		return nil, err
+	}
+	en.IndexBuildTime = time.Since(start)
+	en.est = en.newEstimator()
+	en.explorer = bestfirst.NewExplorer(net.g, model.m, en.est)
+	en.explorer.CheapBounds = opts.CheapBounds
+	return en, nil
+}
+
+// IndexMemoryBytes returns the offline index's estimated size (0 for
+// online strategies) — the Table 3 metric.
+func (en *Engine) IndexMemoryBytes() int64 {
+	switch {
+	case en.index != nil:
+		return en.index.MemoryFootprint()
+	case en.delay != nil:
+		return en.delay.MemoryFootprint()
+	default:
+		return 0
+	}
+}
+
+// Query answers the PITEX query (user, k): the size-k tag set maximizing
+// the user's estimated influence spread.
+func (en *Engine) Query(user, k int) (Result, error) {
+	return en.query(user, nil, k, 1)
+}
+
+// QueryTop answers (user, k) and returns the m best tag sets in
+// Result.Alternatives, descending by estimated influence. Larger m loosens
+// best-effort pruning (the bar becomes the m-th best), so it explores more.
+func (en *Engine) QueryTop(user, k, m int) (Result, error) {
+	if m < 1 {
+		return Result{}, fmt.Errorf("pitex: m = %d, want >= 1", m)
+	}
+	return en.query(user, nil, k, m)
+}
+
+// QueryWithPrefix answers the constrained query: the best size-k tag set
+// containing all of prefix. This is the interactive exploration flow —
+// pin the tags the post will certainly carry, ask what to add.
+func (en *Engine) QueryWithPrefix(user int, prefix []int, k int) (Result, error) {
+	for _, w := range prefix {
+		if w < 0 || w >= en.model.NumTags() {
+			return Result{}, fmt.Errorf("pitex: prefix tag %d outside [0,%d)", w, en.model.NumTags())
+		}
+	}
+	return en.query(user, prefix, k, 1)
+}
+
+func (en *Engine) query(user int, prefix []int, k, m int) (Result, error) {
+	if user < 0 || user >= en.net.NumUsers() {
+		return Result{}, fmt.Errorf("pitex: user %d outside [0,%d)", user, en.net.NumUsers())
+	}
+	if k < 1 || k > en.model.NumTags() {
+		return Result{}, fmt.Errorf("pitex: k = %d outside [1,%d]", k, en.model.NumTags())
+	}
+	if k > en.opts.MaxK {
+		return Result{}, fmt.Errorf("pitex: k = %d exceeds MaxK = %d (rebuild the engine with a larger MaxK)", k, en.opts.MaxK)
+	}
+	start := time.Now()
+	var res Result
+	switch {
+	case en.opts.DisableBestEffort:
+		if len(prefix) > 0 || m > 1 {
+			return Result{}, fmt.Errorf("pitex: prefix and top-m queries require best-effort exploration")
+		}
+		tags, influence, stats := en.enumerateAll(graph.VertexID(user), k)
+		res = Result{
+			Tags:              tags,
+			Influence:         influence,
+			FullSetsEstimated: stats,
+		}
+	case len(prefix) > 0:
+		br, err := en.explorer.Complete(graph.VertexID(user), toTagIDs(prefix), k)
+		if err != nil {
+			return Result{}, err
+		}
+		res = fromBestfirst(br, en.model)
+	default:
+		br, err := en.explorer.QueryTop(graph.VertexID(user), k, m)
+		if err != nil {
+			return Result{}, err
+		}
+		res = fromBestfirst(br, en.model)
+		if m == 1 {
+			res.Alternatives = nil
+		}
+	}
+	res.Elapsed = time.Since(start)
+	res.TagNames = make([]string, len(res.Tags))
+	for i, w := range res.Tags {
+		res.TagNames[i] = en.model.TagName(w)
+	}
+	return res, nil
+}
+
+// fromBestfirst converts an explorer result into the public shape.
+func fromBestfirst(br bestfirst.Result, model *TagModel) Result {
+	res := Result{
+		Tags:                   toInts(br.Tags),
+		Influence:              br.Influence,
+		FullSetsEstimated:      br.Stats.FullSetsEstimated,
+		PartialBoundsEstimated: br.Stats.PartialBoundsEstimated,
+		PrunedUnsupported:      br.Stats.PrunedUnsupported,
+		PrunedByBound:          br.Stats.PrunedByBound,
+	}
+	for _, sc := range br.All {
+		ss := ScoredTagSet{Tags: toInts(sc.Tags), Influence: sc.Influence}
+		ss.TagNames = make([]string, len(ss.Tags))
+		for i, w := range ss.Tags {
+			ss.TagNames[i] = model.TagName(w)
+		}
+		res.Alternatives = append(res.Alternatives, ss)
+	}
+	return res
+}
+
+// enumerateAll is the Sec. 4 enumeration framework without best-effort
+// pruning: estimate every size-k tag set.
+func (en *Engine) enumerateAll(u graph.VertexID, k int) ([]int, float64, int64) {
+	bestVal := -1.0
+	var best []int
+	var estimated int64
+	enumerate.Combinations(en.model.NumTags(), k, func(idx []int32) bool {
+		tags := make([]topics.TagID, k)
+		copy(tags, idx)
+		if !en.model.m.PosteriorInto(tags, en.posterior) {
+			if bestVal < 1 {
+				bestVal = 1
+				best = toInts(tags)
+			}
+			return true
+		}
+		estimated++
+		r := en.est.EstimateProber(u, sampling.PosteriorProber{G: en.net.g, Posterior: en.posterior})
+		if r.Influence > bestVal {
+			bestVal = r.Influence
+			best = toInts(tags)
+		}
+		return true
+	})
+	return best, bestVal, estimated
+}
+
+// InfluencedUser is one row of an audience profile.
+type InfluencedUser struct {
+	User        int
+	Probability float64
+}
+
+// Audience estimates which users the given tag set would reach: the top-m
+// users by activation probability when user posts content tagged with tags
+// (u itself excluded). It answers the follow-up question behind a PITEX
+// result — "who exactly do these selling points reach?" — with samples
+// independent cascades per call.
+func (en *Engine) Audience(user int, tags []int, m int, samples int64) ([]InfluencedUser, error) {
+	if user < 0 || user >= en.net.NumUsers() {
+		return nil, fmt.Errorf("pitex: user %d outside [0,%d)", user, en.net.NumUsers())
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("pitex: m = %d, want >= 1", m)
+	}
+	if samples <= 0 {
+		samples = 2000
+	}
+	for _, w := range tags {
+		if w < 0 || w >= en.model.NumTags() {
+			return nil, fmt.Errorf("pitex: tag %d outside [0,%d)", w, en.model.NumTags())
+		}
+	}
+	if !en.model.m.PosteriorInto(toTagIDs(tags), en.posterior) {
+		return nil, nil // nothing propagates
+	}
+	freqs := sampling.ActivationFrequencies(en.net.g, graph.VertexID(user),
+		sampling.PosteriorProber{G: en.net.g, Posterior: en.posterior},
+		samples, rng.New(en.opts.Seed+104729))
+	if len(freqs) > m {
+		freqs = freqs[:m]
+	}
+	out := make([]InfluencedUser, len(freqs))
+	for i, f := range freqs {
+		out[i] = InfluencedUser{User: int(f.Vertex), Probability: f.Probability}
+	}
+	return out, nil
+}
+
+// BatchResult pairs a query user with their result or error.
+type BatchResult struct {
+	User   int
+	Result Result
+	Err    error
+}
+
+// QueryAll answers one PITEX query per user, fanning out over workers
+// engine clones (sharing any offline index). Results are returned in input
+// order. workers <= 0 defaults to 4.
+func (en *Engine) QueryAll(users []int, k, workers int) []BatchResult {
+	if workers <= 0 {
+		workers = 4
+	}
+	if workers > len(users) {
+		workers = len(users)
+	}
+	out := make([]BatchResult, len(users))
+	if len(users) == 0 {
+		return out
+	}
+	type job struct{ pos, user int }
+	jobs := make(chan job)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		clone := en.Clone()
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := range jobs {
+				res, err := clone.Query(j.user, k)
+				out[j.pos] = BatchResult{User: j.user, Result: res, Err: err}
+			}
+		}()
+	}
+	for pos, u := range users {
+		jobs <- job{pos: pos, user: u}
+	}
+	close(jobs)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	return out
+}
+
+// EstimateInfluence estimates E[I(user|tags)] with the engine's strategy.
+func (en *Engine) EstimateInfluence(user int, tags []int) (float64, error) {
+	if user < 0 || user >= en.net.NumUsers() {
+		return 0, fmt.Errorf("pitex: user %d outside [0,%d)", user, en.net.NumUsers())
+	}
+	for _, w := range tags {
+		if w < 0 || w >= en.model.NumTags() {
+			return 0, fmt.Errorf("pitex: tag %d outside [0,%d)", w, en.model.NumTags())
+		}
+	}
+	if !en.model.m.PosteriorInto(toTagIDs(tags), en.posterior) {
+		return 1, nil // no topic generates this tag set: nothing propagates
+	}
+	r := en.est.EstimateProber(graph.VertexID(user), sampling.PosteriorProber{G: en.net.g, Posterior: en.posterior})
+	return r.Influence, nil
+}
+
+func toInts(tags []topics.TagID) []int {
+	out := make([]int, len(tags))
+	for i, t := range tags {
+		out[i] = int(t)
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package pitex_test
+
+// End-to-end smoke test at the Table 2 dataset sizes: builds every
+// synthetic dataset at full scale and answers one index-backed query on
+// each. Guarded by -short because full twitter generation takes seconds.
+
+import (
+	"testing"
+
+	"pitex"
+)
+
+func TestFullScaleDatasetsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale datasets skipped in -short mode")
+	}
+	wantUsers := map[string]int{
+		"lastfm": 1300, "diggs": 15000, "dblp": 50000, "twitter": 200000,
+	}
+	for _, name := range pitex.DatasetNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			net, model, err := pitex.GenerateDataset(name, 1)
+			if err != nil {
+				t.Fatalf("GenerateDataset: %v", err)
+			}
+			if net.NumUsers() != wantUsers[name] {
+				t.Fatalf("users = %d, want %d", net.NumUsers(), wantUsers[name])
+			}
+			en, err := pitex.NewEngine(net, model, pitex.Options{
+				Strategy:        pitex.StrategyIndexPruned,
+				Seed:            1,
+				MaxSamples:      1000,
+				MaxIndexSamples: 30000,
+				CheapBounds:     true,
+			})
+			if err != nil {
+				t.Fatalf("NewEngine: %v", err)
+			}
+			u := net.UsersByGroup()["high"][0]
+			// k=2 keeps the dblp tag space (C(276,2) = 38k pairs) tractable.
+			res, err := en.Query(u, 2)
+			if err != nil {
+				t.Fatalf("Query: %v", err)
+			}
+			if len(res.Tags) != 2 || res.Influence < 1 {
+				t.Fatalf("degenerate result: %+v", res)
+			}
+			t.Logf("%s: user %d -> %v (influence %.1f, %v, index %.1f MB in %v)",
+				name, u, res.TagNames, res.Influence, res.Elapsed,
+				float64(en.IndexMemoryBytes())/(1<<20), en.IndexBuildTime)
+		})
+	}
+}

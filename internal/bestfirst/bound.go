@@ -1,0 +1,204 @@
+// Package bestfirst implements the paper's best-effort exploration
+// (Sec. 5.2, Appendix C): a best-first search over partial tag sets that
+// prunes every size-k completion of a partial set whose influence upper
+// bound cannot beat the best solution found so far. The per-edge upper
+// bound p+(e|W) is Lemma 8's, combining a sparse branch (the maximum
+// topic-wise probability among topics still supported by W) and a dense
+// branch (a Jensen-inequality bound on the best achievable posterior mass
+// of each topic over all k-completions of W).
+package bestfirst
+
+import (
+	"math"
+	"sort"
+
+	"pitex/internal/graph"
+	"pitex/internal/topics"
+)
+
+// Bounder precomputes, per tag w and topic z, the Lemma 8 quantity
+//
+//	f(w,z) = p(w|z)·p(z) / Π_{z'} p(w|z')^{p(z')}
+//
+// (in log space) and, per topic, the tags sorted by f(w,z) descending, so
+// that the best k-completion of any partial set is a top-m scan.
+type Bounder struct {
+	g *graph.Graph
+	m *topics.Model
+	k int
+
+	// logF[z][w] = ln f(w,z); -Inf when p(w|z) = 0, +Inf when the
+	// denominator vanishes (some p(w|z')=0 with p(z')>0), in which case
+	// the dense branch degenerates and the sparse branch caps the bound.
+	logF [][]float64
+	// order[z] lists tags by logF[z][w] descending.
+	order [][]topics.TagID
+
+	// Per-Prepare state.
+	supported []bool    // topics with p(z|W) > 0
+	pzBound   []float64 // min(1, best completion posterior mass) per topic
+	scratch   []float64
+}
+
+// NewBounder builds a Bounder for queries of size k.
+func NewBounder(g *graph.Graph, m *topics.Model, k int) *Bounder {
+	Z := m.NumTopics()
+	T := m.NumTags()
+	b := &Bounder{
+		g:         g,
+		m:         m,
+		k:         k,
+		logF:      make([][]float64, Z),
+		order:     make([][]topics.TagID, Z),
+		supported: make([]bool, Z),
+		pzBound:   make([]float64, Z),
+		scratch:   make([]float64, Z),
+	}
+	prior := m.Prior()
+	for z := 0; z < Z; z++ {
+		b.logF[z] = make([]float64, T)
+		for w := 0; w < T; w++ {
+			pwz := m.TagTopic(topics.TagID(w), int32(z))
+			if pwz == 0 {
+				b.logF[z][w] = math.Inf(-1)
+				continue
+			}
+			num := math.Log(pwz * prior[z])
+			den := 0.0
+			degenerate := false
+			for z2 := 0; z2 < Z; z2++ {
+				if prior[z2] == 0 {
+					continue
+				}
+				p2 := m.TagTopic(topics.TagID(w), int32(z2))
+				if p2 == 0 {
+					degenerate = true
+					break
+				}
+				den += prior[z2] * math.Log(p2)
+			}
+			if degenerate {
+				b.logF[z][w] = math.Inf(1)
+			} else {
+				b.logF[z][w] = num - den
+			}
+		}
+		ord := make([]topics.TagID, T)
+		for w := range ord {
+			ord[w] = topics.TagID(w)
+		}
+		lf := b.logF[z]
+		sort.Slice(ord, func(i, j int) bool {
+			if lf[ord[i]] != lf[ord[j]] {
+				return lf[ord[i]] > lf[ord[j]]
+			}
+			return ord[i] < ord[j]
+		})
+		b.order[z] = ord
+	}
+	return b
+}
+
+// Prepare computes the per-topic bound state for a partial tag set W with
+// |W| < k and returns an EdgeProber for p+(e|W). The prober is valid until
+// the next Prepare call. It reports ok=false when no k-completion of W has
+// a defined posterior, in which case every completion has influence exactly
+// 1 and the branch can be pruned outright.
+func (b *Bounder) Prepare(w []topics.TagID) (Prober, bool) {
+	Z := b.m.NumTopics()
+	inW := make(map[topics.TagID]bool, len(w))
+	for _, t := range w {
+		inW[t] = true
+	}
+	// Partial posterior support: p(z|W) > 0.
+	if !b.m.PosteriorInto(w, b.scratch) {
+		return Prober{}, false
+	}
+	anySupported := false
+	for z := 0; z < Z; z++ {
+		b.supported[z] = b.scratch[z] > 0
+		b.pzBound[z] = 0
+	}
+	need := b.k - len(w)
+	for z := 0; z < Z; z++ {
+		if !b.supported[z] {
+			continue
+		}
+		// Σ_{w∈W} ln f(w,z): finite because p(z|W) > 0 implies every tag
+		// of W has p(w|z) > 0; may still be +Inf via degenerate tags.
+		sum := 0.0
+		inf := false
+		for _, t := range w {
+			lf := b.logF[z][t]
+			if math.IsInf(lf, 1) {
+				inf = true
+				continue
+			}
+			sum += lf
+		}
+		// Best completion: the `need` largest ln f values among remaining
+		// tags with f > 0 (a completion tag with p(w|z)=0 kills topic z,
+		// so if we cannot find `need` positive-f tags, z dies in every
+		// completion and contributes nothing).
+		taken := 0
+		for _, cand := range b.order[z] {
+			if taken == need {
+				break
+			}
+			if inW[cand] {
+				continue
+			}
+			lf := b.logF[z][cand]
+			if math.IsInf(lf, -1) {
+				taken = -1 // sorted descending: no more positive-f tags
+				break
+			}
+			if math.IsInf(lf, 1) {
+				inf = true
+			} else {
+				sum += lf
+			}
+			taken++
+		}
+		if taken != need {
+			continue // topic unreachable by any k-completion
+		}
+		anySupported = true
+		if inf {
+			b.pzBound[z] = 1
+		} else {
+			b.pzBound[z] = math.Min(1, math.Exp(sum))
+		}
+	}
+	if !anySupported {
+		return Prober{}, false
+	}
+	return Prober{b: b}, true
+}
+
+// Prober is the Lemma 8 upper-bound edge prober produced by Prepare.
+type Prober struct {
+	b *Bounder
+}
+
+// Prob returns p+(e|W) = min( max_{z∈supp(W)} p(e|z),
+// Σ_{z∈supp(W)} p(e|z)·pzBound(z) ), clamped to [0,1].
+func (p Prober) Prob(e graph.EdgeID) float64 {
+	ids, probs := p.b.g.EdgeTopics(e)
+	maxTerm, sumTerm := 0.0, 0.0
+	for i, z := range ids {
+		if !p.b.supported[z] {
+			continue
+		}
+		pez := probs[i]
+		if pez > maxTerm {
+			maxTerm = pez
+		}
+		sumTerm += pez * p.b.pzBound[z]
+	}
+	bound := math.Min(maxTerm, sumTerm)
+	if bound > 1 {
+		bound = 1
+	}
+	return bound
+}

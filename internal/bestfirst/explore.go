@@ -1,0 +1,293 @@
+package bestfirst
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"pitex/internal/graph"
+	"pitex/internal/sampling"
+	"pitex/internal/topics"
+)
+
+// Estimator is the influence-estimation dependency of the explorer; the
+// online samplers (Lazy by default) and the index-based estimators all
+// satisfy it.
+type Estimator interface {
+	// EstimateProber estimates E[I(u|·)] under an arbitrary
+	// edge-probability source.
+	EstimateProber(u graph.VertexID, prober sampling.EdgeProber) sampling.Result
+}
+
+// Stats reports how much work a query performed; the Fig. 11/12 discussion
+// is about these numbers (pruning driven by tag-topic density).
+type Stats struct {
+	// FullSetsEstimated is the number of size-k tag sets whose influence
+	// was actually estimated.
+	FullSetsEstimated int64
+	// PartialBoundsEstimated is the number of partial sets whose Lemma 8
+	// upper bound was estimated.
+	PartialBoundsEstimated int64
+	// PrunedUnsupported counts branches discarded because no completion
+	// had a defined posterior.
+	PrunedUnsupported int64
+	// PrunedByBound counts branches discarded by the upper-bound test.
+	PrunedByBound int64
+}
+
+// Scored is one candidate answer: a size-k tag set with its estimated
+// influence.
+type Scored struct {
+	Tags      []topics.TagID
+	Influence float64
+}
+
+// Result is a PITEX answer: the best tag set plus, for top-m queries, the
+// runners-up.
+type Result struct {
+	Tags      []topics.TagID
+	Influence float64
+	// All holds the m best tag sets in descending influence order
+	// (All[0] repeats Tags/Influence).
+	All   []Scored
+	Stats Stats
+}
+
+// Explorer answers PITEX queries with Algo 5: a max-heap over partial tag
+// sets ordered by upper-bound influence, expanding in canonical
+// (increasing-tag) order so every set is generated exactly once.
+type Explorer struct {
+	g *graph.Graph
+	m *topics.Model
+	// est estimates real tag sets; boundEst estimates upper-bound graphs.
+	// They may be the same estimator.
+	est      Estimator
+	boundEst Estimator
+	// CheapBounds replaces the sampled upper-bound estimate with
+	// |R_{p+}(u)| (the reachable-set size under p+(e|W)), which upper
+	// bounds the influence at one BFS instead of a sampling run. Looser
+	// but far cheaper; the ablation benchmark compares both.
+	CheapBounds bool
+
+	posterior []float64
+	reachMark []bool
+}
+
+// NewExplorer builds an explorer using est for full tag sets and for
+// Lemma 8 upper-bound graphs.
+func NewExplorer(g *graph.Graph, m *topics.Model, est Estimator) *Explorer {
+	return &Explorer{
+		g:         g,
+		m:         m,
+		est:       est,
+		boundEst:  est,
+		posterior: make([]float64, m.NumTopics()),
+		reachMark: make([]bool, g.NumVertices()),
+	}
+}
+
+// heapEntry orders partial solutions by their (parent's) bound, descending.
+// lastAdded is the largest tag appended after the fixed prefix (-1 when
+// only the prefix is present); children only append larger tags so each
+// completion is generated exactly once.
+type heapEntry struct {
+	tags      []topics.TagID
+	lastAdded topics.TagID
+	bound     float64
+}
+
+type maxHeap []heapEntry
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i].bound > h[j].bound }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(heapEntry)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Query answers the PITEX query (u, k): the size-k tag set maximizing the
+// estimated E[I(u|W)], with Lemma 8 pruning of partial branches.
+func (ex *Explorer) Query(u graph.VertexID, k int) (Result, error) {
+	return ex.QueryTop(u, k, 1)
+}
+
+// QueryTop returns the m best size-k tag sets in descending estimated
+// influence (fewer if fewer exist). m > 1 widens the pruning threshold to
+// the m-th best value, so larger m explores more.
+func (ex *Explorer) QueryTop(u graph.VertexID, k, m int) (Result, error) {
+	return ex.run(u, nil, k, m)
+}
+
+// Complete answers a constrained query: the best size-k tag set that
+// CONTAINS the given prefix. This is the interactive exploration flow the
+// paper motivates — a user pins the tags they will certainly post about
+// and asks what to add.
+func (ex *Explorer) Complete(u graph.VertexID, prefix []topics.TagID, k int) (Result, error) {
+	seen := map[topics.TagID]bool{}
+	for _, w := range prefix {
+		if int(w) < 0 || int(w) >= ex.m.NumTags() {
+			return Result{}, fmt.Errorf("bestfirst: prefix tag %d outside [0,%d)", w, ex.m.NumTags())
+		}
+		if seen[w] {
+			return Result{}, fmt.Errorf("bestfirst: duplicate prefix tag %d", w)
+		}
+		seen[w] = true
+	}
+	if len(prefix) > k {
+		return Result{}, fmt.Errorf("bestfirst: prefix size %d exceeds k = %d", len(prefix), k)
+	}
+	return ex.run(u, prefix, k, 1)
+}
+
+// run is the shared Algo 5 engine.
+func (ex *Explorer) run(u graph.VertexID, prefix []topics.TagID, k, m int) (Result, error) {
+	if int(u) < 0 || int(u) >= ex.g.NumVertices() {
+		return Result{}, fmt.Errorf("bestfirst: user %d outside [0,%d)", u, ex.g.NumVertices())
+	}
+	if k <= 0 || k > ex.m.NumTags() {
+		return Result{}, fmt.Errorf("bestfirst: k = %d outside [1,%d]", k, ex.m.NumTags())
+	}
+	if m <= 0 {
+		return Result{}, fmt.Errorf("bestfirst: m = %d, want >= 1", m)
+	}
+
+	bounder := NewBounder(ex.g, ex.m, k)
+	var res Result
+	// best holds up to m results, sorted descending by influence.
+	best := make([]Scored, 0, m)
+	// threshold is the pruning bar: the m-th best influence, or -1 until m
+	// results exist.
+	threshold := func() float64 {
+		if len(best) < m {
+			return -1
+		}
+		return best[len(best)-1].Influence
+	}
+	record := func(tags []topics.TagID, inf float64) {
+		i := sort.Search(len(best), func(i int) bool { return best[i].Influence < inf })
+		if i >= m {
+			return
+		}
+		cp := append([]topics.TagID(nil), tags...)
+		sort.Slice(cp, func(a, b int) bool { return cp[a] < cp[b] })
+		best = append(best, Scored{})
+		copy(best[i+1:], best[i:])
+		best[i] = Scored{Tags: cp, Influence: inf}
+		if len(best) > m {
+			best = best[:m]
+		}
+	}
+
+	inPrefix := make(map[topics.TagID]bool, len(prefix))
+	for _, w := range prefix {
+		inPrefix[w] = true
+	}
+
+	h := &maxHeap{}
+	root := heapEntry{
+		tags:      append([]topics.TagID(nil), prefix...),
+		lastAdded: -1,
+		bound:     float64(ex.g.NumVertices()),
+	}
+	heap.Push(h, root)
+
+	for h.Len() > 0 {
+		ent := heap.Pop(h).(heapEntry)
+		if len(ent.tags) == k {
+			if !ex.m.PosteriorInto(ent.tags, ex.posterior) {
+				// Undefined posterior: influence is exactly 1.
+				record(ent.tags, 1)
+				continue
+			}
+			res.Stats.FullSetsEstimated++
+			est := ex.est.EstimateProber(u, sampling.PosteriorProber{G: ex.g, Posterior: ex.posterior})
+			record(ent.tags, est.Influence)
+			continue
+		}
+
+		// Partial set: bound, prune, or expand.
+		if len(ent.tags) > 0 {
+			prober, ok := bounder.Prepare(ent.tags)
+			if !ok {
+				res.Stats.PrunedUnsupported++
+				continue
+			}
+			var ub float64
+			if ex.CheapBounds {
+				ub = float64(ex.reachableUnder(u, prober))
+			} else {
+				res.Stats.PartialBoundsEstimated++
+				ub = ex.boundEst.EstimateProber(u, prober).Influence
+			}
+			if ub <= threshold() {
+				res.Stats.PrunedByBound++
+				continue
+			}
+			ent.bound = ub
+		}
+
+		// Expand with every non-prefix tag above the last appended tag
+		// (canonical order: each completion generated exactly once).
+		for w := ent.lastAdded + 1; int(w) < ex.m.NumTags(); w++ {
+			if inPrefix[w] {
+				continue
+			}
+			child := make([]topics.TagID, len(ent.tags)+1)
+			copy(child, ent.tags)
+			child[len(ent.tags)] = w
+			heap.Push(h, heapEntry{tags: child, lastAdded: w, bound: ent.bound})
+		}
+	}
+
+	if len(best) == 0 {
+		// Every tag set was undefined; return the lexicographically first
+		// completion with its exact trivial influence.
+		tags := append([]topics.TagID(nil), prefix...)
+		for w := topics.TagID(0); len(tags) < k; w++ {
+			if !inPrefix[w] {
+				tags = append(tags, w)
+			}
+		}
+		sort.Slice(tags, func(a, b int) bool { return tags[a] < tags[b] })
+		best = append(best, Scored{Tags: tags, Influence: 1})
+	}
+	res.All = best
+	res.Tags = best[0].Tags
+	res.Influence = best[0].Influence
+	return res, nil
+}
+
+// reachableUnder counts vertices reachable from u across edges with
+// positive probability under prober — a one-BFS influence upper bound.
+func (ex *Explorer) reachableUnder(u graph.VertexID, prober sampling.EdgeProber) int {
+	g := ex.g
+	mark := ex.reachMark
+	stack := []graph.VertexID{u}
+	mark[u] = true
+	reached := []graph.VertexID{u}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		edges := g.OutEdges(v)
+		nbrs := g.OutNeighbors(v)
+		for i, e := range edges {
+			if prober.Prob(e) <= 0 {
+				continue
+			}
+			if t := nbrs[i]; !mark[t] {
+				mark[t] = true
+				reached = append(reached, t)
+				stack = append(stack, t)
+			}
+		}
+	}
+	for _, v := range reached {
+		mark[v] = false
+	}
+	return len(reached)
+}

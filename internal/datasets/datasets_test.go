@@ -1,0 +1,164 @@
+package datasets
+
+import (
+	"testing"
+
+	"pitex/internal/graph"
+	"pitex/internal/topics"
+)
+
+func TestUnknownDataset(t *testing.T) {
+	if _, err := Build("nope", 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestLastfmShapeAndPipeline(t *testing.T) {
+	d, err := Build("lastfm", 1)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if d.Graph.NumVertices() != 1300 {
+		t.Fatalf("V = %d, want 1300", d.Graph.NumVertices())
+	}
+	if e := d.Graph.NumEdges(); e < 9000 || e > 13000 {
+		t.Fatalf("E = %d, want ~12000", e)
+	}
+	if d.Model.NumTags() != 50 || d.Model.NumTopics() != 20 {
+		t.Fatalf("model dims %d/%d", d.Model.NumTags(), d.Model.NumTopics())
+	}
+	if err := d.Model.Validate(); err != nil {
+		t.Fatalf("learned model invalid: %v", err)
+	}
+	// The learn-from-log path must produce a sparse influence graph with
+	// at least some live edges.
+	live := 0
+	for e := 0; e < d.Graph.NumEdges(); e++ {
+		if d.Graph.EdgeMaxProb(graph.EdgeID(e)) > 0 {
+			live++
+		}
+	}
+	if live == 0 {
+		t.Fatal("no live edges after learning")
+	}
+	if live == d.Graph.NumEdges() {
+		t.Fatal("learned graph not sparse; expected some never-credited edges")
+	}
+}
+
+func TestDiggsShape(t *testing.T) {
+	d, err := Load("diggs", 1)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if d.Graph.NumVertices() != 15000 {
+		t.Fatalf("V = %d", d.Graph.NumVertices())
+	}
+	if e := d.Graph.NumEdges(); e < 150000 {
+		t.Fatalf("E = %d, want ~200000", e)
+	}
+	// Density must be low like the paper's measurements (0.08-0.32).
+	den := d.Model.Density()
+	if den < 0.02 || den > 0.5 {
+		t.Fatalf("tag-topic density = %v, outside plausible range", den)
+	}
+}
+
+func TestLoadCaches(t *testing.T) {
+	a, err := Load("lastfm", 7)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	b, err := Load("lastfm", 7)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if a != b {
+		t.Fatal("Load did not cache")
+	}
+	c, err := Load("lastfm", 8)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if a == c {
+		t.Fatal("different seeds shared an instance")
+	}
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	a, err := Build("lastfm", 3)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	b, err := Build("lastfm", 3)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for e := 0; e < a.Graph.NumEdges(); e++ {
+		if a.Graph.EdgeFrom(graph.EdgeID(e)) != b.Graph.EdgeFrom(graph.EdgeID(e)) ||
+			a.Graph.EdgeMaxProb(graph.EdgeID(e)) != b.Graph.EdgeMaxProb(graph.EdgeID(e)) {
+			t.Fatalf("edge %d differs across identical builds", e)
+		}
+	}
+}
+
+func TestBuildSpecVariants(t *testing.T) {
+	// The Fig. 12 scalability experiment varies |Ω| and |Z| on twitter.
+	spec := Specs()["twitter"]
+	spec.V, spec.E = 2000, 2400 // shrink for the test
+	spec.Tags, spec.Topics = 30, 10
+	d, err := BuildSpec(spec, 2)
+	if err != nil {
+		t.Fatalf("BuildSpec: %v", err)
+	}
+	if d.Model.NumTags() != 30 || d.Model.NumTopics() != 10 {
+		t.Fatalf("spec dims ignored: %d/%d", d.Model.NumTags(), d.Model.NumTopics())
+	}
+}
+
+func TestCaseStudyShape(t *testing.T) {
+	cs, err := BuildCaseStudy(1)
+	if err != nil {
+		t.Fatalf("BuildCaseStudy: %v", err)
+	}
+	if len(cs.Researchers) != 8 {
+		t.Fatalf("%d researchers, want 8", len(cs.Researchers))
+	}
+	g := cs.Dataset.Graph
+	for _, rsr := range cs.Researchers {
+		if g.OutDegree(rsr.User) < 50 {
+			t.Fatalf("researcher %s is not a hub: out-degree %d", rsr.Name, g.OutDegree(rsr.User))
+		}
+	}
+	if err := cs.Dataset.Model.Validate(); err != nil {
+		t.Fatalf("case-study model invalid: %v", err)
+	}
+	// Every tag has a name.
+	for w := 0; w < cs.Dataset.Model.NumTags(); w++ {
+		if cs.Dataset.Model.TagName(topics.TagID(w)) == "" {
+			t.Fatalf("tag %d unnamed", w)
+		}
+	}
+}
+
+func TestCaseStudyAccuracy(t *testing.T) {
+	cs, err := BuildCaseStudy(1)
+	if err != nil {
+		t.Fatalf("BuildCaseStudy: %v", err)
+	}
+	ml := cs.Researchers[0] // home topic 0
+	// All five ML tags: accuracy 1.
+	if acc := cs.Accuracy(ml, []topics.TagID{0, 1, 2, 3, 4}); acc != 1 {
+		t.Fatalf("all-home accuracy = %v", acc)
+	}
+	// All five theory tags: accuracy 0.
+	if acc := cs.Accuracy(ml, []topics.TagID{15, 16, 17, 18, 19}); acc != 0 {
+		t.Fatalf("all-foreign accuracy = %v", acc)
+	}
+	if acc := cs.Accuracy(ml, nil); acc != 0 {
+		t.Fatalf("empty accuracy = %v", acc)
+	}
+}

@@ -1,0 +1,108 @@
+// Package enumerate provides k-subset enumeration over the tag vocabulary
+// and the combinatorial quantities the paper's sample-size bounds need:
+// log C(|Ω|,k) for Eq. 2 and log φ_K = log Σ_{i≤K} C(|Ω|,i) for Eq. 7.
+// All binomials are kept in log space; the paper's vocabularies (|Ω| up to
+// 276, K = 10) overflow int64 otherwise.
+package enumerate
+
+import (
+	"fmt"
+	"math"
+)
+
+// LogChoose returns ln C(n, k), or -Inf when the coefficient is zero.
+func LogChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	if k == 0 || k == n {
+		return 0
+	}
+	lg := func(x float64) float64 {
+		v, _ := math.Lgamma(x)
+		return v
+	}
+	return lg(float64(n)+1) - lg(float64(k)+1) - lg(float64(n-k)+1)
+}
+
+// LogPhiK returns ln Σ_{i=1..K} C(n, i), the log of the paper's φ_K
+// (Sec. 6.1). K is clamped to n.
+func LogPhiK(n, K int) float64 {
+	if K > n {
+		K = n
+	}
+	if K < 1 || n < 1 {
+		return math.Inf(-1)
+	}
+	// log-sum-exp over the K terms.
+	maxTerm := math.Inf(-1)
+	terms := make([]float64, 0, K)
+	for i := 1; i <= K; i++ {
+		t := LogChoose(n, i)
+		terms = append(terms, t)
+		if t > maxTerm {
+			maxTerm = t
+		}
+	}
+	sum := 0.0
+	for _, t := range terms {
+		sum += math.Exp(t - maxTerm)
+	}
+	return maxTerm + math.Log(sum)
+}
+
+// Choose returns C(n, k) as an int64, or an error on overflow.
+func Choose(n, k int) (int64, error) {
+	if k < 0 || k > n {
+		return 0, nil
+	}
+	if k > n-k {
+		k = n - k
+	}
+	res := int64(1)
+	for i := 1; i <= k; i++ {
+		num := int64(n - k + i)
+		if res > math.MaxInt64/num {
+			return 0, fmt.Errorf("enumerate: C(%d,%d) overflows int64", n, k)
+		}
+		res = res * num / int64(i)
+	}
+	return res, nil
+}
+
+// Combinations invokes fn for every k-subset of [0, n) in lexicographic
+// order, reusing one index buffer across calls (callers must copy if they
+// retain it). Enumeration stops early when fn returns false. It returns the
+// number of subsets visited.
+func Combinations(n, k int, fn func(idx []int32) bool) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	visited := int64(0)
+	if k == 0 {
+		fn(nil)
+		return 1
+	}
+	idx := make([]int32, k)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	for {
+		visited++
+		if !fn(idx) {
+			return visited
+		}
+		// Advance to the next combination.
+		i := k - 1
+		for i >= 0 && idx[i] == int32(n-k+i) {
+			i--
+		}
+		if i < 0 {
+			return visited
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package enumerate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestChooseSmall(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120},
+		{50, 3, 19600}, {4, 7, 0}, {4, -1, 0},
+	}
+	for _, tc := range cases {
+		got, err := Choose(tc.n, tc.k)
+		if err != nil {
+			t.Fatalf("Choose(%d,%d): %v", tc.n, tc.k, err)
+		}
+		if got != tc.want {
+			t.Fatalf("Choose(%d,%d) = %d, want %d", tc.n, tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestChooseOverflow(t *testing.T) {
+	if _, err := Choose(300, 150); err == nil {
+		t.Fatal("Choose(300,150) did not overflow")
+	}
+}
+
+func TestLogChooseMatchesChoose(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		for k := 0; k <= n; k++ {
+			exact, err := Choose(n, k)
+			if err != nil {
+				continue
+			}
+			got := LogChoose(n, k)
+			want := math.Log(float64(exact))
+			if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+				t.Fatalf("LogChoose(%d,%d) = %v, want %v", n, k, got, want)
+			}
+		}
+	}
+}
+
+func TestLogChooseOutOfRange(t *testing.T) {
+	if !math.IsInf(LogChoose(3, 5), -1) || !math.IsInf(LogChoose(3, -1), -1) {
+		t.Fatal("out-of-range LogChoose not -Inf")
+	}
+}
+
+func TestLogPhiK(t *testing.T) {
+	// φ_2(4) = C(4,1)+C(4,2) = 10.
+	got := LogPhiK(4, 2)
+	if math.Abs(got-math.Log(10)) > 1e-12 {
+		t.Fatalf("LogPhiK(4,2) = %v, want ln 10", got)
+	}
+	// K clamped to n: φ_10(3) = 4+... = C(3,1)+C(3,2)+C(3,3) = 7.
+	got = LogPhiK(3, 10)
+	if math.Abs(got-math.Log(7)) > 1e-12 {
+		t.Fatalf("LogPhiK(3,10) = %v, want ln 7", got)
+	}
+	if !math.IsInf(LogPhiK(0, 3), -1) {
+		t.Fatal("LogPhiK(0,3) not -Inf")
+	}
+	// The paper's setting: |Ω|=50, K=10 must be finite and large.
+	v := LogPhiK(50, 10)
+	if math.IsInf(v, 0) || v < 20 {
+		t.Fatalf("LogPhiK(50,10) = %v, implausible", v)
+	}
+}
+
+func TestCombinationsCountProperty(t *testing.T) {
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%12) + 1
+		k := int(kRaw % 6)
+		count := Combinations(n, k, func([]int32) bool { return true })
+		want, _ := Choose(n, k)
+		if k == 0 {
+			want = 1
+		}
+		return count == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCombinationsLexOrderAndValidity(t *testing.T) {
+	var all [][]int32
+	Combinations(5, 3, func(idx []int32) bool {
+		cp := make([]int32, len(idx))
+		copy(cp, idx)
+		all = append(all, cp)
+		return true
+	})
+	if len(all) != 10 {
+		t.Fatalf("got %d subsets, want 10", len(all))
+	}
+	if all[0][0] != 0 || all[0][1] != 1 || all[0][2] != 2 {
+		t.Fatalf("first subset = %v", all[0])
+	}
+	last := all[len(all)-1]
+	if last[0] != 2 || last[1] != 3 || last[2] != 4 {
+		t.Fatalf("last subset = %v", last)
+	}
+	for i := 1; i < len(all); i++ {
+		if !lexLess(all[i-1], all[i]) {
+			t.Fatalf("not lexicographic at %d: %v then %v", i, all[i-1], all[i])
+		}
+	}
+	for _, s := range all {
+		for j := 1; j < len(s); j++ {
+			if s[j] <= s[j-1] {
+				t.Fatalf("not strictly increasing: %v", s)
+			}
+		}
+	}
+}
+
+func lexLess(a, b []int32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func TestCombinationsEarlyStop(t *testing.T) {
+	n := 0
+	visited := Combinations(10, 2, func([]int32) bool {
+		n++
+		return n < 5
+	})
+	if visited != 5 || n != 5 {
+		t.Fatalf("early stop visited %d (callback %d), want 5", visited, n)
+	}
+}
+
+func TestCombinationsDegenerate(t *testing.T) {
+	if got := Combinations(3, 5, func([]int32) bool { return true }); got != 0 {
+		t.Fatalf("k>n visited %d", got)
+	}
+	calls := 0
+	if got := Combinations(3, 0, func(idx []int32) bool {
+		calls++
+		return len(idx) == 0
+	}); got != 1 || calls != 1 {
+		t.Fatalf("k=0 visited %d calls %d", got, calls)
+	}
+}

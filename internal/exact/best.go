@@ -1,0 +1,40 @@
+package exact
+
+import (
+	"fmt"
+
+	"pitex/internal/enumerate"
+	"pitex/internal/graph"
+	"pitex/internal/topics"
+)
+
+// BestTagSet exhaustively answers a PITEX query exactly: it enumerates every
+// size-k tag set, computes the exact influence of each, and returns the
+// maximizer (ties broken by lexicographically smaller tag set). It is the
+// ground-truth query oracle used by tests on small inputs.
+func BestTagSet(g *graph.Graph, m *topics.Model, u graph.VertexID, k int) ([]topics.TagID, float64, error) {
+	if k <= 0 || k > m.NumTags() {
+		return nil, 0, fmt.Errorf("exact: k = %d out of [1,%d]", k, m.NumTags())
+	}
+	var best []topics.TagID
+	bestVal := -1.0
+	var firstErr error
+	enumerate.Combinations(m.NumTags(), k, func(idx []int32) bool {
+		w := make([]topics.TagID, k)
+		copy(w, idx)
+		val, err := InfluenceTagSet(g, m, u, w)
+		if err != nil {
+			firstErr = err
+			return false
+		}
+		if val > bestVal {
+			bestVal = val
+			best = w
+		}
+		return true
+	})
+	if firstErr != nil {
+		return nil, 0, firstErr
+	}
+	return best, bestVal, nil
+}

@@ -1,0 +1,162 @@
+// Package exact computes expected influence spread by exhaustive
+// possible-world enumeration. Computing E[I(u|W)] is #P-hard (paper Sec. 4),
+// so this only works on small graphs; it exists as the ground-truth oracle
+// that validates every sampler and the index in tests, and to verify the
+// Fig. 2 running example's numbers.
+package exact
+
+import (
+	"fmt"
+
+	"pitex/internal/graph"
+	"pitex/internal/topics"
+)
+
+// MaxFreeEdges bounds the number of edges with probability strictly between
+// 0 and 1 that Influence will enumerate (2^MaxFreeEdges worlds).
+const MaxFreeEdges = 24
+
+// Influence returns the exact expected influence spread of u when edge e is
+// live independently with probability probs[e]. Only the subgraph reachable
+// from u through positive-probability edges participates; if it contains
+// more than MaxFreeEdges free edges an error is returned.
+func Influence(g *graph.Graph, u graph.VertexID, probs []float64) (float64, error) {
+	if int(u) < 0 || int(u) >= g.NumVertices() {
+		return 0, fmt.Errorf("exact: vertex %d out of range", u)
+	}
+	if len(probs) != g.NumEdges() {
+		return 0, fmt.Errorf("exact: got %d edge probabilities, want %d", len(probs), g.NumEdges())
+	}
+
+	// Restrict to the positive-probability reachable subgraph.
+	inSub := make([]bool, g.NumVertices())
+	stack := []graph.VertexID{u}
+	inSub[u] = true
+	var freeEdges []graph.EdgeID
+	var sureEdges []graph.EdgeID
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		edges := g.OutEdges(v)
+		nbrs := g.OutNeighbors(v)
+		for i, e := range edges {
+			p := probs[e]
+			if p <= 0 {
+				continue
+			}
+			if p >= 1 {
+				sureEdges = append(sureEdges, e)
+			} else {
+				freeEdges = append(freeEdges, e)
+			}
+			if t := nbrs[i]; !inSub[t] {
+				inSub[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	if len(freeEdges) > MaxFreeEdges {
+		return 0, fmt.Errorf("exact: %d free edges exceed limit %d", len(freeEdges), MaxFreeEdges)
+	}
+
+	live := make(map[graph.EdgeID]bool, len(freeEdges)+len(sureEdges))
+	for _, e := range sureEdges {
+		live[e] = true
+	}
+	visited := make([]bool, g.NumVertices())
+	var bfs []graph.VertexID
+
+	countReached := func() int {
+		bfs = bfs[:0]
+		bfs = append(bfs, u)
+		visited[u] = true
+		count := 1
+		for len(bfs) > 0 {
+			v := bfs[len(bfs)-1]
+			bfs = bfs[:len(bfs)-1]
+			edges := g.OutEdges(v)
+			nbrs := g.OutNeighbors(v)
+			for i, e := range edges {
+				if !live[e] {
+					continue
+				}
+				if t := nbrs[i]; !visited[t] {
+					visited[t] = true
+					count++
+					bfs = append(bfs, t)
+				}
+			}
+		}
+		// Reset only touched vertices.
+		resetVisited(g, u, visited, live)
+		return count
+	}
+
+	total := 0.0
+	worlds := 1 << len(freeEdges)
+	for w := 0; w < worlds; w++ {
+		prob := 1.0
+		for i, e := range freeEdges {
+			if w&(1<<i) != 0 {
+				live[e] = true
+				prob *= probs[e]
+			} else {
+				live[e] = false
+				prob *= 1 - probs[e]
+			}
+		}
+		total += prob * float64(countReached())
+	}
+	return total, nil
+}
+
+// resetVisited clears the visited marks reachable from u under the current
+// live set (exactly the marks countReached set).
+func resetVisited(g *graph.Graph, u graph.VertexID, visited []bool, live map[graph.EdgeID]bool) {
+	stack := []graph.VertexID{u}
+	visited[u] = false
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		edges := g.OutEdges(v)
+		nbrs := g.OutNeighbors(v)
+		for i, e := range edges {
+			if !live[e] {
+				continue
+			}
+			if t := nbrs[i]; visited[t] {
+				visited[t] = false
+				stack = append(stack, t)
+			}
+		}
+	}
+}
+
+// EdgeProbs materializes p(e|W) for every edge under tag set w.
+func EdgeProbs(g *graph.Graph, m *topics.Model, w []topics.TagID) []float64 {
+	post := make([]float64, m.NumTopics())
+	probs := make([]float64, g.NumEdges())
+	if !m.PosteriorInto(w, post) {
+		return probs
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		probs[e] = g.EdgeProb(graph.EdgeID(e), post)
+	}
+	return probs
+}
+
+// InfluenceTagSet returns the exact E[I(u|W)].
+func InfluenceTagSet(g *graph.Graph, m *topics.Model, u graph.VertexID, w []topics.TagID) (float64, error) {
+	return Influence(g, u, EdgeProbs(g, m, w))
+}
+
+// MaxProbInfluence returns the exact E[I(u|*)] on the loosest graph where
+// every edge uses p(e) = max_z p(e|z) (used to validate RR-Graph index
+// coverage claims in tests).
+func MaxProbInfluence(g *graph.Graph, u graph.VertexID) (float64, error) {
+	probs := make([]float64, g.NumEdges())
+	for e := 0; e < g.NumEdges(); e++ {
+		probs[e] = g.EdgeMaxProb(graph.EdgeID(e))
+	}
+	return Influence(g, u, probs)
+}

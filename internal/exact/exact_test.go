@@ -1,0 +1,285 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"pitex/internal/fixture"
+	"pitex/internal/graph"
+	"pitex/internal/rng"
+	"pitex/internal/topics"
+)
+
+// rngNew keeps the property tests below concise.
+func rngNew(seed uint64) *rng.Source { return rng.New(seed) }
+
+func TestChainInfluence(t *testing.T) {
+	// E[I(v0)] on a p-chain of n vertices is 1 + p + p^2 + ... + p^(n-1).
+	g := graph.Chain(5, 0.5)
+	probs := make([]float64, g.NumEdges())
+	for e := range probs {
+		probs[e] = 0.5
+	}
+	got, err := Influence(g, 0, probs)
+	if err != nil {
+		t.Fatalf("Influence: %v", err)
+	}
+	want := 1 + 0.5 + 0.25 + 0.125 + 0.0625
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("chain influence = %v, want %v", got, want)
+	}
+}
+
+func TestDiamondInfluence(t *testing.T) {
+	// u -> a, u -> b, a -> t, b -> t with probability p everywhere.
+	// P(a)=P(b)=p, P(t)=1-(1-p^2)^2.
+	b := graph.NewBuilder(4, 1)
+	tp := []graph.TopicProb{{Topic: 0, Prob: 0.3}}
+	b.AddEdge(0, 1, tp)
+	b.AddEdge(0, 2, tp)
+	b.AddEdge(1, 3, tp)
+	b.AddEdge(2, 3, tp)
+	g := b.MustBuild()
+	probs := []float64{0.3, 0.3, 0.3, 0.3}
+	got, err := Influence(g, 0, probs)
+	if err != nil {
+		t.Fatalf("Influence: %v", err)
+	}
+	p := 0.3
+	want := 1 + 2*p + (1 - (1-p*p)*(1-p*p))
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("diamond influence = %v, want %v", got, want)
+	}
+}
+
+func TestSureAndDeadEdges(t *testing.T) {
+	b := graph.NewBuilder(3, 1)
+	b.AddEdge(0, 1, []graph.TopicProb{{Topic: 0, Prob: 1}})
+	b.AddEdge(1, 2, []graph.TopicProb{{Topic: 0, Prob: 1}})
+	g := b.MustBuild()
+	got, err := Influence(g, 0, []float64{1, 0})
+	if err != nil {
+		t.Fatalf("Influence: %v", err)
+	}
+	if got != 2 {
+		t.Fatalf("influence = %v, want 2 (sure edge + dead edge)", got)
+	}
+}
+
+func TestInfluenceValidation(t *testing.T) {
+	g := graph.Chain(3, 0.5)
+	if _, err := Influence(g, 99, make([]float64, g.NumEdges())); err == nil {
+		t.Fatal("out-of-range vertex accepted")
+	}
+	if _, err := Influence(g, 0, make([]float64, 1)); err == nil {
+		t.Fatal("short probs accepted")
+	}
+}
+
+func TestFreeEdgeLimit(t *testing.T) {
+	g := graph.StarOut(MaxFreeEdges + 1)
+	probs := make([]float64, g.NumEdges())
+	for e := range probs {
+		probs[e] = 0.5
+	}
+	if _, err := Influence(g, 0, probs); err == nil {
+		t.Fatal("free-edge limit not enforced")
+	}
+}
+
+func TestStarInfluence(t *testing.T) {
+	// Fig. 3(a): root with n leaves at probability 1/n has expected
+	// influence 1 + n·(1/n) = 2.
+	g := graph.StarOut(10)
+	probs := make([]float64, g.NumEdges())
+	for e := range probs {
+		probs[e] = 0.1
+	}
+	got, err := Influence(g, 0, probs)
+	if err != nil {
+		t.Fatalf("Influence: %v", err)
+	}
+	if math.Abs(got-2) > 1e-12 {
+		t.Fatalf("star influence = %v, want 2", got)
+	}
+}
+
+// TestFig2Example1 verifies the paper's Example 1 numbers end to end.
+func TestFig2Example1(t *testing.T) {
+	g := fixture.Graph()
+	m := fixture.Model()
+
+	post, ok := m.Posterior([]topics.TagID{fixture.W1, fixture.W2})
+	if !ok {
+		t.Fatal("posterior undefined")
+	}
+	// Edge (u1,u2) is edge 0 in the fixture.
+	if p := g.EdgeProb(0, post); math.Abs(p-0.2) > 1e-12 {
+		t.Fatalf("p((u1,u2)|{w1,w2}) = %v, want 0.2", p)
+	}
+
+	got, err := InfluenceTagSet(g, m, fixture.U1, []topics.TagID{fixture.W1, fixture.W2})
+	if err != nil {
+		t.Fatalf("InfluenceTagSet: %v", err)
+	}
+	if math.Abs(got-fixture.ExactInfluenceU1W12) > 1e-12 {
+		t.Fatalf("E[I(u1|{w1,w2})] = %v, want %v", got, fixture.ExactInfluenceU1W12)
+	}
+}
+
+// TestFig2OptimalTagSet verifies W* = {w3, w4} for the query (u1, k=2).
+func TestFig2OptimalTagSet(t *testing.T) {
+	g := fixture.Graph()
+	m := fixture.Model()
+	best, val, err := BestTagSet(g, m, fixture.U1, 2)
+	if err != nil {
+		t.Fatalf("BestTagSet: %v", err)
+	}
+	if len(best) != 2 || best[0] != fixture.W3 || best[1] != fixture.W4 {
+		t.Fatalf("W* = %v, want {w3,w4}", best)
+	}
+	if val <= fixture.ExactInfluenceU1W12 {
+		t.Fatalf("optimal value %v not above {w1,w2}'s %v", val, fixture.ExactInfluenceU1W12)
+	}
+}
+
+// TestFig2Example5Path verifies the path u1 -> u3 -> u4 -> u6 has positive
+// probability on every edge under {w3, w4} (Example 5's live path).
+func TestFig2Example5Path(t *testing.T) {
+	g := fixture.Graph()
+	m := fixture.Model()
+	probs := EdgeProbs(g, m, []topics.TagID{fixture.W3, fixture.W4})
+	// Edge indices per fixture construction: 1 = u1->u3, 3 = u3->u4, 4 = u4->u6.
+	for _, e := range []int{1, 3, 4} {
+		if probs[e] <= 0 {
+			t.Fatalf("edge %d dead under {w3,w4}; path of Example 5 broken", e)
+		}
+	}
+}
+
+func TestBestTagSetValidation(t *testing.T) {
+	g := fixture.Graph()
+	m := fixture.Model()
+	if _, _, err := BestTagSet(g, m, fixture.U1, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, _, err := BestTagSet(g, m, fixture.U1, 99); err == nil {
+		t.Fatal("k>|Ω| accepted")
+	}
+}
+
+func TestMaxProbInfluence(t *testing.T) {
+	g := graph.Chain(3, 0.5)
+	got, err := MaxProbInfluence(g, 0)
+	if err != nil {
+		t.Fatalf("MaxProbInfluence: %v", err)
+	}
+	want := 1 + 0.5 + 0.25
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MaxProbInfluence = %v, want %v", got, want)
+	}
+}
+
+func TestIsolatedVertexInfluence(t *testing.T) {
+	g := fixture.Graph()
+	m := fixture.Model()
+	got, err := InfluenceTagSet(g, m, fixture.U5, []topics.TagID{fixture.W1, fixture.W2})
+	if err != nil {
+		t.Fatalf("InfluenceTagSet: %v", err)
+	}
+	if got != 1 {
+		t.Fatalf("isolated vertex influence = %v, want 1", got)
+	}
+}
+
+func TestUndefinedPosteriorInfluence(t *testing.T) {
+	// Disjoint tag supports: posterior undefined, influence must be 1 (just u).
+	g := graph.Chain(3, 0.5)
+	m := topics.MustNewModel(2, 2)
+	m.SetTagTopic(0, 0, 0.5)
+	m.SetTagTopic(1, 1, 0.5)
+	// Chain has 1 topic; rebuild model with matching topic count anyway:
+	// EdgeProbs only uses posterior length = model topics. Build a graph
+	// with 2 topics to match.
+	b := graph.NewBuilder(3, 2)
+	b.AddEdge(0, 1, []graph.TopicProb{{Topic: 0, Prob: 0.9}})
+	b.AddEdge(1, 2, []graph.TopicProb{{Topic: 1, Prob: 0.9}})
+	g = b.MustBuild()
+	got, err := InfluenceTagSet(g, m, 0, []topics.TagID{0, 1})
+	if err != nil {
+		t.Fatalf("InfluenceTagSet: %v", err)
+	}
+	if got != 1 {
+		t.Fatalf("undefined-posterior influence = %v, want 1", got)
+	}
+}
+
+// TestInfluenceMonotoneInProbability: raising any edge probability must
+// never decrease exact influence.
+func TestInfluenceMonotoneInProbability(t *testing.T) {
+	r := rngNew(51)
+	for trial := 0; trial < 30; trial++ {
+		g, err := graph.ErdosRenyi(r, 8, 12, graph.TopicAssignment{
+			NumTopics: 1, TopicsPerEdge: 1, MaxProb: 0.6,
+		})
+		if err != nil {
+			t.Fatalf("generate: %v", err)
+		}
+		probs := make([]float64, g.NumEdges())
+		for e := range probs {
+			probs[e] = 0.3 * r.Float64()
+		}
+		u := graph.VertexID(r.Intn(8))
+		base, err := Influence(g, u, probs)
+		if err != nil {
+			t.Fatalf("Influence: %v", err)
+		}
+		bumped := append([]float64(nil), probs...)
+		e := r.Intn(g.NumEdges())
+		bumped[e] = math.Min(1, bumped[e]+0.3)
+		after, err := Influence(g, u, bumped)
+		if err != nil {
+			t.Fatalf("Influence: %v", err)
+		}
+		if after < base-1e-12 {
+			t.Fatalf("trial %d: influence decreased %v -> %v after raising edge %d", trial, base, after, e)
+		}
+	}
+}
+
+// TestInfluenceBounds: exact influence is always within [1, |V|].
+func TestInfluenceBounds(t *testing.T) {
+	r := rngNew(53)
+	for trial := 0; trial < 30; trial++ {
+		g, err := graph.ErdosRenyi(r, 7, 10, graph.TopicAssignment{
+			NumTopics: 1, TopicsPerEdge: 1, MaxProb: 1,
+		})
+		if err != nil {
+			t.Fatalf("generate: %v", err)
+		}
+		probs := make([]float64, g.NumEdges())
+		for e := range probs {
+			probs[e] = r.Float64()
+		}
+		u := graph.VertexID(r.Intn(7))
+		v, err := Influence(g, u, probs)
+		if err != nil {
+			t.Fatalf("Influence: %v", err)
+		}
+		if v < 1 || v > 7 {
+			t.Fatalf("influence %v outside [1,7]", v)
+		}
+		lt, err := InfluenceLT(g, u, probs)
+		if err != nil {
+			t.Fatalf("InfluenceLT: %v", err)
+		}
+		if lt < 1 || lt > 7 {
+			t.Fatalf("LT influence %v outside [1,7]", lt)
+		}
+		// LT can never exceed IC: in the live-edge view LT selects a
+		// subset (at most one in-edge per vertex) of the IC live edges
+		// coupled appropriately... actually LT and IC are not comparable
+		// pointwise in general; only check both are valid expectations.
+		_ = lt
+	}
+}

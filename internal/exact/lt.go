@@ -1,0 +1,159 @@
+package exact
+
+import (
+	"fmt"
+
+	"pitex/internal/graph"
+	"pitex/internal/topics"
+)
+
+// MaxLTWorlds bounds the live-edge combinations InfluenceLT enumerates.
+const MaxLTWorlds = 1 << 22
+
+// InfluenceLT returns the exact expected influence spread of u under the
+// linear threshold model with tag-aware weights b(e|W) = probs[e] /
+// max(1, Σ_in probs), via the live-edge (triggering-set) equivalence: each
+// vertex independently selects at most one in-edge, edge e with probability
+// b(e|W) and no edge with the remaining mass; the spread is the expected
+// number of vertices reachable from u over selected edges.
+//
+// In-edges from vertices that u can never reach are folded into the
+// "no edge" option: selecting one can never contribute to u's spread.
+func InfluenceLT(g *graph.Graph, u graph.VertexID, probs []float64) (float64, error) {
+	if int(u) < 0 || int(u) >= g.NumVertices() {
+		return 0, fmt.Errorf("exact: vertex %d out of range", u)
+	}
+	if len(probs) != g.NumEdges() {
+		return 0, fmt.Errorf("exact: got %d edge probabilities, want %d", len(probs), g.NumEdges())
+	}
+
+	// Restrict to the positive-probability reachable subgraph from u.
+	inSub := make([]bool, g.NumVertices())
+	stack := []graph.VertexID{u}
+	inSub[u] = true
+	var members []graph.VertexID
+	members = append(members, u)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nbrs := g.OutNeighbors(v)
+		for i, e := range g.OutEdges(v) {
+			if probs[e] <= 0 {
+				continue
+			}
+			if t := nbrs[i]; !inSub[t] {
+				inSub[t] = true
+				members = append(members, t)
+				stack = append(stack, t)
+			}
+		}
+	}
+
+	// choosers: per subgraph vertex (other than u... including u is
+	// harmless but useless), the relevant in-edge options.
+	type chooser struct {
+		head    graph.VertexID
+		edges   []graph.EdgeID
+		weights []float64 // b(e|W)
+		nonep   float64   // probability of selecting no relevant edge
+	}
+	var choosers []chooser
+	worlds := 1
+	for _, v := range members {
+		if v == u {
+			continue
+		}
+		// Normalization over ALL in-edges (matching the LT sampler).
+		sum := 0.0
+		for _, e := range g.InEdges(v) {
+			sum += probs[e]
+		}
+		norm := sum
+		if norm < 1 {
+			norm = 1
+		}
+		ch := chooser{head: v}
+		relevant := 0.0
+		nbrs := g.InNeighbors(v)
+		for i, e := range g.InEdges(v) {
+			if probs[e] <= 0 || !inSub[nbrs[i]] {
+				continue
+			}
+			b := probs[e] / norm
+			ch.edges = append(ch.edges, e)
+			ch.weights = append(ch.weights, b)
+			relevant += b
+		}
+		if len(ch.edges) == 0 {
+			continue // v can never be activated from inside the subgraph
+		}
+		ch.nonep = 1 - relevant
+		if ch.nonep < 0 {
+			ch.nonep = 0
+		}
+		choosers = append(choosers, ch)
+		worlds *= len(ch.edges) + 1
+		if worlds > MaxLTWorlds {
+			return 0, fmt.Errorf("exact: LT live-edge worlds exceed limit %d", MaxLTWorlds)
+		}
+	}
+
+	// Enumerate all choice combinations.
+	live := map[graph.EdgeID]bool{}
+	visited := make([]bool, g.NumVertices())
+	countReached := func() int {
+		var bfs []graph.VertexID
+		bfs = append(bfs, u)
+		visited[u] = true
+		var seen []graph.VertexID
+		seen = append(seen, u)
+		for len(bfs) > 0 {
+			v := bfs[len(bfs)-1]
+			bfs = bfs[:len(bfs)-1]
+			nbrs := g.OutNeighbors(v)
+			for i, e := range g.OutEdges(v) {
+				if !live[e] {
+					continue
+				}
+				if t := nbrs[i]; !visited[t] {
+					visited[t] = true
+					seen = append(seen, t)
+					bfs = append(bfs, t)
+				}
+			}
+		}
+		for _, v := range seen {
+			visited[v] = false
+		}
+		return len(seen)
+	}
+
+	total := 0.0
+	choice := make([]int, len(choosers)) // index into edges, or len(edges) = none
+	var recurse func(i int, p float64)
+	recurse = func(i int, p float64) {
+		if p == 0 {
+			return
+		}
+		if i == len(choosers) {
+			total += p * float64(countReached())
+			return
+		}
+		ch := choosers[i]
+		for j, e := range ch.edges {
+			live[e] = true
+			choice[i] = j
+			recurse(i+1, p*ch.weights[j])
+			live[e] = false
+		}
+		choice[i] = len(ch.edges)
+		recurse(i+1, p*ch.nonep)
+	}
+	recurse(0, 1)
+	return total, nil
+}
+
+// InfluenceLTTagSet returns the exact LT-model E[I(u|W)].
+func InfluenceLTTagSet(g *graph.Graph, m *topics.Model, u graph.VertexID, w []topics.TagID) (float64, error) {
+	return InfluenceLT(g, u, EdgeProbs(g, m, w))
+}

@@ -1,0 +1,115 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"pitex/internal/fixture"
+	"pitex/internal/graph"
+	"pitex/internal/topics"
+)
+
+func TestLTChainEqualsIC(t *testing.T) {
+	// On a chain every vertex has exactly one in-edge, so LT live-edge
+	// selection coincides with independent edge liveness: LT == IC.
+	g := graph.Chain(5, 0.5)
+	probs := []float64{0.5, 0.5, 0.5, 0.5}
+	ic, err := Influence(g, 0, probs)
+	if err != nil {
+		t.Fatalf("IC: %v", err)
+	}
+	lt, err := InfluenceLT(g, 0, probs)
+	if err != nil {
+		t.Fatalf("LT: %v", err)
+	}
+	if math.Abs(ic-lt) > 1e-12 {
+		t.Fatalf("chain LT %v != IC %v", lt, ic)
+	}
+}
+
+func TestLTDiamondDiffersFromIC(t *testing.T) {
+	// Diamond u->a, u->b, a->t, b->t with p=0.3 everywhere:
+	// LT activates t with probability 0.3·0.3 + 0.3·0.3 = 0.18 (t picks
+	// exactly one in-edge), while IC gives 1-(1-0.09)² = 0.1719.
+	b := graph.NewBuilder(4, 1)
+	tp := []graph.TopicProb{{Topic: 0, Prob: 0.3}}
+	b.AddEdge(0, 1, tp)
+	b.AddEdge(0, 2, tp)
+	b.AddEdge(1, 3, tp)
+	b.AddEdge(2, 3, tp)
+	g := b.MustBuild()
+	probs := []float64{0.3, 0.3, 0.3, 0.3}
+
+	lt, err := InfluenceLT(g, 0, probs)
+	if err != nil {
+		t.Fatalf("LT: %v", err)
+	}
+	wantLT := 1 + 0.3 + 0.3 + 0.18
+	if math.Abs(lt-wantLT) > 1e-12 {
+		t.Fatalf("LT diamond = %v, want %v", lt, wantLT)
+	}
+	ic, err := Influence(g, 0, probs)
+	if err != nil {
+		t.Fatalf("IC: %v", err)
+	}
+	if math.Abs(lt-ic) < 1e-6 {
+		t.Fatalf("LT %v should differ from IC %v on the diamond", lt, ic)
+	}
+}
+
+func TestLTNormalization(t *testing.T) {
+	// When in-weights sum above 1 they are normalized: t with two in-edges
+	// of 0.8 gets b = 0.5 each, so t always activates once a parent does.
+	b := graph.NewBuilder(4, 1)
+	one := []graph.TopicProb{{Topic: 0, Prob: 1}}
+	heavy := []graph.TopicProb{{Topic: 0, Prob: 0.8}}
+	b.AddEdge(0, 1, one)
+	b.AddEdge(0, 2, one)
+	b.AddEdge(1, 3, heavy)
+	b.AddEdge(2, 3, heavy)
+	g := b.MustBuild()
+	lt, err := InfluenceLT(g, 0, []float64{1, 1, 0.8, 0.8})
+	if err != nil {
+		t.Fatalf("LT: %v", err)
+	}
+	// a, b surely active; t picks either in-edge (0.5 + 0.5 = 1): E = 4.
+	if math.Abs(lt-4) > 1e-12 {
+		t.Fatalf("normalized LT = %v, want 4", lt)
+	}
+}
+
+func TestLTValidation(t *testing.T) {
+	g := graph.Chain(3, 0.5)
+	if _, err := InfluenceLT(g, 99, make([]float64, g.NumEdges())); err == nil {
+		t.Fatal("bad vertex accepted")
+	}
+	if _, err := InfluenceLT(g, 0, make([]float64, 1)); err == nil {
+		t.Fatal("short probs accepted")
+	}
+}
+
+func TestLTTagSetOnFixture(t *testing.T) {
+	g := fixture.Graph()
+	m := fixture.Model()
+	lt, err := InfluenceLTTagSet(g, m, fixture.U1, []topics.TagID{fixture.W1, fixture.W2})
+	if err != nil {
+		t.Fatalf("LT: %v", err)
+	}
+	// Under {w1,w2} the live subgraph is the tree u1->u2, u1->u3, u3->u6;
+	// every vertex has in-degree 1 there, so LT equals the IC value.
+	if math.Abs(lt-fixture.ExactInfluenceU1W12) > 1e-12 {
+		t.Fatalf("LT fixture = %v, want %v", lt, fixture.ExactInfluenceU1W12)
+	}
+}
+
+func TestLTIsolatedVertex(t *testing.T) {
+	g := fixture.Graph()
+	probs := make([]float64, g.NumEdges())
+	lt, err := InfluenceLT(g, fixture.U5, probs)
+	if err != nil {
+		t.Fatalf("LT: %v", err)
+	}
+	if lt != 1 {
+		t.Fatalf("isolated LT = %v, want 1", lt)
+	}
+}

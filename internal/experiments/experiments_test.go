@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tiny returns a configuration small enough for unit tests.
+func tiny() Config {
+	c := Quick()
+	c.Scale = 0.02
+	c.Datasets = []string{"lastfm", "diggs"}
+	c.QueriesPerGroup = 1
+	c.MaxSamples = 500
+	c.MaxIndexSamples = 4000
+	return c
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	for _, id := range ExperimentIDs() {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	if len(reg) != len(ExperimentIDs()) {
+		t.Errorf("registry has %d entries, ids list %d", len(reg), len(ExperimentIDs()))
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rep, err := Table2(tiny())
+	if err != nil {
+		t.Fatalf("Table2: %v", err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rep.Rows))
+	}
+	if v, ok := rep.Cell("paperV", "lastfm"); !ok || v != "1300" {
+		t.Fatalf("lastfm paperV = %q", v)
+	}
+}
+
+func TestTable3DelaySmaller(t *testing.T) {
+	rep, err := Table3(tiny())
+	if err != nil {
+		t.Fatalf("Table3: %v", err)
+	}
+	for _, name := range []string{"lastfm", "diggs"} {
+		rr := cellFloat(t, rep, "rrIndexMB", name)
+		dm := cellFloat(t, rep, "delayMB", name)
+		if dm >= rr {
+			t.Errorf("%s: DelayMat %vMB not smaller than RR index %vMB", name, dm, rr)
+		}
+	}
+}
+
+func TestTable4Accuracy(t *testing.T) {
+	cfg := tiny()
+	rep, err := Table4(cfg)
+	if err != nil {
+		t.Fatalf("Table4: %v", err)
+	}
+	if len(rep.Rows) != 9 { // 8 researchers + average
+		t.Fatalf("rows = %d, want 9", len(rep.Rows))
+	}
+	avg := cellFloat(t, rep, "accuracy", "average")
+	if avg < 0.5 {
+		t.Errorf("average planted accuracy %v below 0.5", avg)
+	}
+}
+
+func TestFig6RowsAndConvergence(t *testing.T) {
+	cfg := tiny()
+	rep, err := Fig6(cfg)
+	if err != nil {
+		t.Fatalf("Fig6: %v", err)
+	}
+	// 2 datasets x 3 budgets.
+	if len(rep.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rep.Rows))
+	}
+	// All estimates positive.
+	for _, row := range rep.Rows {
+		for _, col := range []int{2, 3, 4} {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil || v < 1 {
+				t.Fatalf("bad estimate %q in row %v", row[col], row)
+			}
+		}
+	}
+}
+
+func TestFig7IndexBeatsOnline(t *testing.T) {
+	cfg := tiny()
+	cfg.Datasets = []string{"diggs"}
+	cfg.MaxSamples = 3000 // make online sampling meaningfully expensive
+	rep, err := Fig7(cfg)
+	if err != nil {
+		t.Fatalf("Fig7: %v", err)
+	}
+	// At tiny scale per-query overheads compress the paper's 500-1500×
+	// gap; assert the robust direction with margin: the heaviest online
+	// sampler on the heaviest group is clearly slower than IndexEst+.
+	mc := cellFloat(t, rep, "avgQueryS", "diggs", "high", "MC")
+	idx := cellFloat(t, rep, "avgQueryS", "diggs", "high", "INDEXEST+")
+	if idx*1.2 >= mc {
+		t.Errorf("IndexEst+ (%vs) not clearly faster than MC (%vs)", idx, mc)
+	}
+}
+
+func TestFig8SpreadsComparable(t *testing.T) {
+	cfg := tiny()
+	cfg.Datasets = []string{"lastfm"}
+	rep, err := Fig8(cfg)
+	if err != nil {
+		t.Fatalf("Fig8: %v", err)
+	}
+	lazy := cellFloat(t, rep, "avgInfluence", "lastfm", "mid", "LAZY")
+	idx := cellFloat(t, rep, "avgInfluence", "lastfm", "mid", "INDEXEST")
+	if lazy < 1 || idx < 1 {
+		t.Fatalf("influences below 1: lazy %v idx %v", lazy, idx)
+	}
+}
+
+func TestFig9And10(t *testing.T) {
+	cfg := tiny()
+	cfg.Datasets = []string{"lastfm"}
+	rep, err := Fig9(cfg)
+	if err != nil {
+		t.Fatalf("Fig9: %v", err)
+	}
+	// 4 epsilon values x 4 methods.
+	if len(rep.Rows) != 16 {
+		t.Fatalf("fig9 rows = %d, want 16", len(rep.Rows))
+	}
+	rep10, err := Fig10(cfg)
+	if err != nil {
+		t.Fatalf("Fig10: %v", err)
+	}
+	if len(rep10.Rows) != 16 {
+		t.Fatalf("fig10 rows = %d, want 16", len(rep10.Rows))
+	}
+}
+
+func TestFig11(t *testing.T) {
+	cfg := tiny()
+	cfg.Datasets = []string{"lastfm"}
+	rep, err := Fig11(cfg)
+	if err != nil {
+		t.Fatalf("Fig11: %v", err)
+	}
+	if len(rep.Rows) != 12 { // 3 k-values x 4 methods
+		t.Fatalf("rows = %d, want 12", len(rep.Rows))
+	}
+}
+
+func TestFig12(t *testing.T) {
+	cfg := tiny()
+	rep, err := Fig12(cfg)
+	if err != nil {
+		t.Fatalf("Fig12: %v", err)
+	}
+	if len(rep.Rows) != 24 { // (3 tag values + 3 topic values) x 4 methods
+		t.Fatalf("rows = %d, want 24", len(rep.Rows))
+	}
+}
+
+func TestFig13LazyVisitsFewest(t *testing.T) {
+	cfg := tiny()
+	cfg.Datasets = []string{"diggs"}
+	rep, err := Fig13(cfg)
+	if err != nil {
+		t.Fatalf("Fig13: %v", err)
+	}
+	for _, row := range rep.Rows {
+		mc, _ := strconv.ParseFloat(row[2], 64)
+		rr, _ := strconv.ParseFloat(row[3], 64)
+		lz, _ := strconv.ParseFloat(row[4], 64)
+		if lz > mc || lz > rr {
+			t.Errorf("group %s: lazy visits %v not fewest (mc %v rr %v)", row[1], lz, mc, rr)
+		}
+	}
+}
+
+func TestFig14(t *testing.T) {
+	cfg := tiny()
+	cfg.Datasets = []string{"lastfm"}
+	rep, err := Fig14(cfg)
+	if err != nil {
+		t.Fatalf("Fig14: %v", err)
+	}
+	if len(rep.Rows) != 16 { // 4 delta values x 4 methods
+		t.Fatalf("rows = %d, want 16", len(rep.Rows))
+	}
+}
+
+func TestReportPrintAndCell(t *testing.T) {
+	rep := &Report{
+		ID: "x", Title: "test", Columns: []string{"a", "b"},
+	}
+	rep.AddRow("k1", 3.14159)
+	rep.AddRow("k2", "raw")
+	var buf bytes.Buffer
+	rep.Print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "3.142") || !strings.Contains(out, "k2") {
+		t.Fatalf("Print output missing cells:\n%s", out)
+	}
+	if v, ok := rep.Cell("b", "k1"); !ok || v != "3.142" {
+		t.Fatalf("Cell = %q, %v", v, ok)
+	}
+	if _, ok := rep.Cell("nope", "k1"); ok {
+		t.Fatal("missing column reported ok")
+	}
+	if _, ok := rep.Cell("b", "k9"); ok {
+		t.Fatal("missing key reported ok")
+	}
+}
+
+func TestUnknownDatasetFails(t *testing.T) {
+	cfg := tiny()
+	cfg.Datasets = []string{"bogus"}
+	if _, err := Table2(cfg); err == nil {
+		t.Fatal("bogus dataset accepted")
+	}
+}
+
+func cellFloat(t *testing.T, rep *Report, column string, key ...string) float64 {
+	t.Helper()
+	v, ok := rep.Cell(column, key...)
+	if !ok {
+		t.Fatalf("cell %s/%v missing", column, key)
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		t.Fatalf("cell %s/%v = %q not a float", column, key, v)
+	}
+	return f
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Report is a printable experiment result: the rows/series the paper's
+// corresponding table or figure shows.
+type Report struct {
+	// ID is the registry key ("fig7").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Columns are header labels.
+	Columns []string
+	// Rows are stringified cells, parallel to Columns.
+	Rows [][]string
+}
+
+// AddRow appends a row, stringifying each cell with %v (floats get %.4g).
+func (r *Report) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+// Print writes the report as an aligned ASCII table.
+func (r *Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(widths) && len(cell) < widths[i] {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	printRow(r.Columns)
+	sep := make([]string, len(r.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range r.Rows {
+		printRow(row)
+	}
+}
+
+// Cell returns the value of the given column in the first row whose key
+// columns match the provided prefix values; ok is false when absent. Tests
+// use it to assert orderings.
+func (r *Report) Cell(column string, keyPrefix ...string) (string, bool) {
+	ci := -1
+	for i, c := range r.Columns {
+		if c == column {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		return "", false
+	}
+	for _, row := range r.Rows {
+		match := true
+		for i, k := range keyPrefix {
+			if i >= len(row) || row[i] != k {
+				match = false
+				break
+			}
+		}
+		if match && ci < len(row) {
+			return row[ci], true
+		}
+	}
+	return "", false
+}

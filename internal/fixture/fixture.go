@@ -1,0 +1,84 @@
+// Package fixture encodes the paper's running example (Fig. 2): a 7-user
+// social graph with 3 topics and 4 tags, reconstructed from Examples 1, 5,
+// 6 and 7 so that every number the paper states holds exactly:
+//
+//   - p((u1,u2) | {w1,w2}) = 0.2            (Example 1)
+//   - E[I(u1 | {w1,w2})]   = 1.5125          (Example 1)
+//   - W* = {w3, w4} for the query (u1, k=2)  (Example 1)
+//   - the posterior table of Fig. 2(b)
+//   - the path u1 -> u3 -> u4 -> u6 is live under {w3,w4} (Example 5)
+//
+// See DESIGN.md "Fixture reconstruction note" for how the edge -> topic
+// vector assignment was recovered.
+package fixture
+
+import (
+	"pitex/internal/graph"
+	"pitex/internal/topics"
+)
+
+// Vertex indices for readability: U1..U7 map to 0..6.
+const (
+	U1 = iota
+	U2
+	U3
+	U4
+	U5
+	U6
+	U7
+)
+
+// Tag indices: W1..W4 map to 0..3.
+const (
+	W1 topics.TagID = iota
+	W2
+	W3
+	W4
+)
+
+// ExactInfluenceU1W12 is E[I(u1|{w1,w2})] from Example 1.
+const ExactInfluenceU1W12 = 1.5125
+
+// Graph builds the Fig. 2(a) social graph.
+func Graph() *graph.Graph {
+	b := graph.NewBuilder(7, 3)
+	tp := func(z int32, p float64) []graph.TopicProb {
+		return []graph.TopicProb{{Topic: z, Prob: p}}
+	}
+	// u1 -> u2: z1:0.4 (Example 1's edge).
+	b.AddEdge(U1, U2, tp(0, 0.4))
+	// u1 -> u3: z2:0.5, z3:0.5.
+	b.AddEdge(U1, U3, []graph.TopicProb{{Topic: 1, Prob: 0.5}, {Topic: 2, Prob: 0.5}})
+	// u3 -> u6: z1:0.5 (contributes the 0.0625 term of Example 1).
+	b.AddEdge(U3, U6, tp(0, 0.5))
+	// u3 -> u4: z3:0.8.
+	b.AddEdge(U3, U4, tp(2, 0.8))
+	// u4 -> u6: z3:0.5.
+	b.AddEdge(U4, U6, tp(2, 0.5))
+	// u4 -> u7: z3:0.4.
+	b.AddEdge(U4, U7, tp(2, 0.4))
+	// u6 -> u7: z3:0.5.
+	b.AddEdge(U6, U7, tp(2, 0.5))
+	// u5 participates in no propagation.
+	return b.MustBuild()
+}
+
+// Model builds the Fig. 2(b) tag-topic table with the uniform prior
+// p(z) = 1/3 used by Example 1.
+func Model() *topics.Model {
+	m := topics.MustNewModel(4, 3)
+	set := func(w topics.TagID, z1, z2, z3 float64) {
+		m.SetTagTopic(w, 0, z1)
+		m.SetTagTopic(w, 1, z2)
+		m.SetTagTopic(w, 2, z3)
+	}
+	set(W1, 0.6, 0.4, 0.0)
+	set(W2, 0.4, 0.6, 0.0)
+	set(W3, 0.0, 0.4, 0.6)
+	set(W4, 0.0, 0.4, 0.6)
+	m.SetTagName(W1, "w1")
+	m.SetTagName(W2, "w2")
+	m.SetTagName(W3, "w3")
+	m.SetTagName(W4, "w4")
+	return m
+}

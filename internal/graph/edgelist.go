@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses the common whitespace-separated edge-list format used
+// by SNAP-style graph distributions:
+//
+//	# comment lines start with '#'
+//	<from> <to> [<topic>:<prob> ...]
+//
+// Vertices are arbitrary non-negative integers; they are compacted to the
+// dense ID space [0, V) in first-appearance order, and the mapping from
+// original to dense IDs is returned. Edges without topic annotations get a
+// single entry (topic 0, defaultProb). numTopics must cover every annotated
+// topic; pass 1 for plain edge lists.
+func ReadEdgeList(r io.Reader, numTopics int, defaultProb float64) (*Graph, map[int64]VertexID, error) {
+	if numTopics <= 0 {
+		return nil, nil, fmt.Errorf("graph: numTopics = %d, want > 0", numTopics)
+	}
+	if defaultProb <= 0 || defaultProb > 1 {
+		defaultProb = 0.1
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+
+	ids := map[int64]VertexID{}
+	intern := func(raw int64) VertexID {
+		if v, ok := ids[raw]; ok {
+			return v
+		}
+		v := VertexID(len(ids))
+		ids[raw] = v
+		return v
+	}
+
+	type rawEdge struct {
+		from, to VertexID
+		topics   []TopicProb
+	}
+	var edges []rawEdge
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("graph: line %d: want at least 2 fields", lineNo)
+		}
+		from, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil || from < 0 {
+			return nil, nil, fmt.Errorf("graph: line %d: bad source %q", lineNo, fields[0])
+		}
+		to, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil || to < 0 {
+			return nil, nil, fmt.Errorf("graph: line %d: bad target %q", lineNo, fields[1])
+		}
+		if from == to {
+			continue // edge lists commonly contain self-loops; the IC model ignores them
+		}
+		var tps []TopicProb
+		for _, f := range fields[2:] {
+			parts := strings.SplitN(f, ":", 2)
+			if len(parts) != 2 {
+				return nil, nil, fmt.Errorf("graph: line %d: bad annotation %q (want topic:prob)", lineNo, f)
+			}
+			z, err := strconv.Atoi(parts[0])
+			if err != nil || z < 0 || z >= numTopics {
+				return nil, nil, fmt.Errorf("graph: line %d: bad topic %q", lineNo, parts[0])
+			}
+			p, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, nil, fmt.Errorf("graph: line %d: bad probability %q", lineNo, parts[1])
+			}
+			tps = append(tps, TopicProb{Topic: int32(z), Prob: p})
+		}
+		if len(tps) == 0 {
+			tps = []TopicProb{{Topic: 0, Prob: defaultProb}}
+		}
+		edges = append(edges, rawEdge{from: intern(from), to: intern(to), topics: tps})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("graph: scan: %w", err)
+	}
+	if len(ids) == 0 {
+		return nil, nil, fmt.Errorf("graph: empty edge list")
+	}
+
+	b := NewBuilder(len(ids), numTopics)
+	for _, e := range edges {
+		b.AddEdge(e.from, e.to, e.topics)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, ids, nil
+}

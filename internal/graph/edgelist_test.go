@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	in := `# a comment
+10 20
+20 30 0:0.5 1:0.25
+
+30 10
+`
+	g, ids, err := ReadEdgeList(strings.NewReader(in), 2, 0.1)
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("shape = %d/%d, want 3/3", g.NumVertices(), g.NumEdges())
+	}
+	// First-appearance order: 10 -> 0, 20 -> 1, 30 -> 2.
+	if ids[10] != 0 || ids[20] != 1 || ids[30] != 2 {
+		t.Fatalf("id mapping = %v", ids)
+	}
+	// Edge 0 (10->20) got the default probability on topic 0.
+	if got := g.EdgeTopicProb(0, 0); got != 0.1 {
+		t.Fatalf("default prob = %v", got)
+	}
+	// Edge 1 (20->30) carries both annotations.
+	if g.EdgeTopicProb(1, 0) != 0.5 || g.EdgeTopicProb(1, 1) != 0.25 {
+		t.Fatalf("annotated probs wrong")
+	}
+}
+
+func TestReadEdgeListSkipsSelfLoops(t *testing.T) {
+	g, _, err := ReadEdgeList(strings.NewReader("5 5\n5 6\n"), 1, 0.2)
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("self-loop not skipped: %d edges", g.NumEdges())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"comments only":  "# nothing\n",
+		"short line":     "7\n",
+		"bad source":     "x 2\n",
+		"bad target":     "1 y\n",
+		"negative":       "-1 2\n",
+		"bad annotation": "1 2 zzz\n",
+		"bad topic":      "1 2 9:0.5\n",
+		"bad prob":       "1 2 0:nope\n",
+		"prob range":     "1 2 0:1.5\n",
+	}
+	for name, in := range cases {
+		if _, _, err := ReadEdgeList(strings.NewReader(in), 2, 0.1); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, _, err := ReadEdgeList(strings.NewReader("1 2\n"), 0, 0.1); err == nil {
+		t.Error("numTopics=0 accepted")
+	}
+}
+
+func TestReadEdgeListDefaultProbClamped(t *testing.T) {
+	g, _, err := ReadEdgeList(strings.NewReader("1 2\n"), 1, -5)
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if p := g.EdgeTopicProb(0, 0); p != 0.1 {
+		t.Fatalf("fallback default prob = %v, want 0.1", p)
+	}
+}

@@ -1,0 +1,60 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead exercises the graph parser against arbitrary input: it must
+// never panic, and anything it accepts must round-trip.
+func FuzzRead(f *testing.F) {
+	f.Add("pitex-graph 1\n2 1 1\n0 1 1 0 0.5\n")
+	f.Add("pitex-graph 1\n3 2 2\n0 1 2 0 0.5 1 0.25\n1 2 0\n")
+	f.Add("")
+	f.Add("pitex-graph 1\n-1 -1 -1\n")
+	f.Add("pitex-graph 1\n2 1 1\n0 1 999999999999 0 0.5\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("accepted graph failed to serialize: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip of accepted graph failed: %v", err)
+		}
+		if back.NumVertices() != g.NumVertices() || back.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}
+
+// FuzzReadEdgeList: the edge-list importer must never panic and always
+// produce a valid graph when it succeeds.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("1 2\n2 3 0:0.5\n", 2)
+	f.Add("# c\n\n5 5\n", 1)
+	f.Add("9999999999999999999 1\n", 1)
+	f.Fuzz(func(t *testing.T, input string, topicsRaw int) {
+		numTopics := topicsRaw%8 + 1
+		if numTopics <= 0 {
+			numTopics = 1
+		}
+		g, ids, err := ReadEdgeList(strings.NewReader(input), numTopics, 0.1)
+		if err != nil {
+			return
+		}
+		if g.NumVertices() != len(ids) {
+			t.Fatalf("vertex count %d != id map size %d", g.NumVertices(), len(ids))
+		}
+		for _, v := range ids {
+			if int(v) < 0 || int(v) >= g.NumVertices() {
+				t.Fatalf("dense id %d out of range", v)
+			}
+		}
+	})
+}

@@ -1,0 +1,274 @@
+package graph
+
+import (
+	"fmt"
+
+	"pitex/internal/rng"
+)
+
+// TopicAssignment controls how synthetic generators attach sparse topic
+// vectors to edges.
+type TopicAssignment struct {
+	// NumTopics is |Z|.
+	NumTopics int
+	// TopicsPerEdge is the number of non-zero p(e|z) entries per edge
+	// (clamped to NumTopics). Learned TIC graphs are sparse, so small
+	// values (1-3) match the paper's observation in Sec. 5.1.
+	TopicsPerEdge int
+	// MaxProb bounds each p(e|z); draws are uniform in (0, MaxProb].
+	MaxProb float64
+	// InDegreeDamping, when true, divides probabilities by the head's
+	// in-degree, the weighted-cascade convention the paper's Lemma 7
+	// proof assumes ("influence probability through any edge (x→y) is
+	// inverse proportional to the in-degree of y").
+	InDegreeDamping bool
+}
+
+// DefaultTopicAssignment returns the assignment used by the synthetic
+// datasets: 2 topics per edge, probabilities up to 0.4, damped by in-degree.
+func DefaultTopicAssignment(numTopics int) TopicAssignment {
+	return TopicAssignment{
+		NumTopics:       numTopics,
+		TopicsPerEdge:   2,
+		MaxProb:         0.4,
+		InDegreeDamping: true,
+	}
+}
+
+// edgePair is an endpoint pair used during generation, before topics exist.
+type edgePair struct{ from, to VertexID }
+
+// assignTopics converts endpoint pairs into a built Graph, drawing sparse
+// topic vectors per edge. Vertices are given a "home" mixture of topics so
+// that edges around the same user correlate, mimicking learned TIC models:
+// an edge (u,v) draws its topics from u's home topics with probability 0.8
+// and uniformly otherwise.
+func assignTopics(r *rng.Source, n int, pairs []edgePair, ta TopicAssignment) (*Graph, error) {
+	if ta.NumTopics <= 0 {
+		return nil, fmt.Errorf("graph: TopicAssignment.NumTopics = %d, want > 0", ta.NumTopics)
+	}
+	k := ta.TopicsPerEdge
+	if k <= 0 {
+		k = 1
+	}
+	if k > ta.NumTopics {
+		k = ta.NumTopics
+	}
+	maxP := ta.MaxProb
+	if maxP <= 0 || maxP > 1 {
+		maxP = 0.4
+	}
+
+	inDeg := make([]int, n)
+	for _, p := range pairs {
+		inDeg[p.to]++
+	}
+
+	// Home topics: each vertex gets 1-3 preferred topics. Built with a
+	// slice, not a map, so generation stays deterministic per seed.
+	home := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		cnt := 1 + r.Intn(3)
+		if cnt > ta.NumTopics {
+			cnt = ta.NumTopics
+		}
+		for len(home[v]) < cnt {
+			z := int32(r.Intn(ta.NumTopics))
+			if !containsTopic(home[v], z) {
+				home[v] = append(home[v], z)
+			}
+		}
+	}
+
+	b := NewBuilder(n, ta.NumTopics)
+	tps := make([]TopicProb, 0, k)
+	for _, p := range pairs {
+		tps = tps[:0]
+		used := make(map[int32]bool, k)
+		for len(tps) < k {
+			var z int32
+			if hp := home[p.from]; len(hp) > 0 && r.Float64() < 0.8 {
+				z = hp[r.Intn(len(hp))]
+			} else {
+				z = int32(r.Intn(ta.NumTopics))
+			}
+			if used[z] {
+				// Fall back to a uniform retry; with tiny topic counts
+				// the home list may be exhausted.
+				z = int32(r.Intn(ta.NumTopics))
+				if used[z] {
+					continue
+				}
+			}
+			used[z] = true
+			prob := r.Float64() * maxP
+			if prob == 0 {
+				prob = maxP / 2
+			}
+			if ta.InDegreeDamping && inDeg[p.to] > 1 {
+				prob /= float64(inDeg[p.to])
+			}
+			tps = append(tps, TopicProb{Topic: z, Prob: prob})
+		}
+		b.AddEdge(p.from, p.to, tps)
+	}
+	return b.Build()
+}
+
+func containsTopic(zs []int32, z int32) bool {
+	for _, x := range zs {
+		if x == z {
+			return true
+		}
+	}
+	return false
+}
+
+// PreferentialAttachment generates a directed scale-free graph with n
+// vertices and approximately m edges (including reciprocated ones) by
+// preferential attachment: each new vertex links to existing vertices
+// chosen proportionally to in-degree+1, and a fraction of edges are
+// reciprocated to create the cycles real social graphs have. Topic vectors
+// follow ta.
+func PreferentialAttachment(r *rng.Source, n, m int, reciprocity float64, ta TopicAssignment) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: PreferentialAttachment needs n >= 2, got %d", n)
+	}
+	if reciprocity > 0 {
+		// Reciprocation tops the count back up to ~m; generate the base
+		// graph smaller so the final edge count lands near the target.
+		m = int(float64(m) / (1 + reciprocity))
+	}
+	if m < n-1 {
+		m = n - 1
+	}
+	outPerNode := m / n
+	if outPerNode < 1 {
+		outPerNode = 1
+	}
+
+	// targets is a repeated-vertex urn implementing preferential attachment.
+	targets := make([]VertexID, 0, 2*m)
+	pairs := make([]edgePair, 0, m+int(float64(m)*reciprocity))
+	seen := make(map[int64]bool, m)
+	key := func(f, t VertexID) int64 { return int64(f)*int64(n) + int64(t) }
+
+	addEdge := func(f, t VertexID) bool {
+		if f == t || seen[key(f, t)] {
+			return false
+		}
+		seen[key(f, t)] = true
+		pairs = append(pairs, edgePair{f, t})
+		targets = append(targets, t)
+		return true
+	}
+
+	addEdge(0, 1)
+	for v := 2; v < n; v++ {
+		want := outPerNode
+		if len(pairs)+want > m {
+			want = m - len(pairs)
+			if want < 1 {
+				want = 1
+			}
+		}
+		for tries, added := 0, 0; added < want && tries < 20*want; tries++ {
+			var t VertexID
+			if r.Float64() < 0.15 {
+				t = VertexID(r.Intn(v))
+			} else {
+				t = targets[r.Intn(len(targets))]
+			}
+			if addEdge(VertexID(v), t) {
+				added++
+			}
+		}
+	}
+	// Top up to m with random preferential edges.
+	for tries := 0; len(pairs) < m && tries < 50*m; tries++ {
+		f := VertexID(r.Intn(n))
+		t := targets[r.Intn(len(targets))]
+		addEdge(f, t)
+	}
+	// Reciprocate a fraction of edges.
+	if reciprocity > 0 {
+		base := len(pairs)
+		for i := 0; i < base; i++ {
+			if r.Float64() < reciprocity {
+				addEdge(pairs[i].to, pairs[i].from)
+			}
+		}
+	}
+	return assignTopics(r, n, pairs, ta)
+}
+
+// ErdosRenyi generates a uniform random digraph with n vertices and m
+// distinct edges.
+func ErdosRenyi(r *rng.Source, n, m int, ta TopicAssignment) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("graph: ErdosRenyi needs n >= 2, got %d", n)
+	}
+	maxM := n * (n - 1)
+	if m > maxM {
+		return nil, fmt.Errorf("graph: ErdosRenyi m=%d exceeds n(n-1)=%d", m, maxM)
+	}
+	seen := make(map[int64]bool, m)
+	pairs := make([]edgePair, 0, m)
+	for len(pairs) < m {
+		f := VertexID(r.Intn(n))
+		t := VertexID(r.Intn(n))
+		if f == t {
+			continue
+		}
+		k := int64(f)*int64(n) + int64(t)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		pairs = append(pairs, edgePair{f, t})
+	}
+	return assignTopics(r, n, pairs, ta)
+}
+
+// StarOut builds the Fig. 3(a) counterexample: vertex 0 has an edge to each
+// of the other n vertices with probability 1/n on a single topic. MC
+// sampling probes all n edges per sample here, while lazy propagation
+// probes O(1) in expectation.
+func StarOut(n int) *Graph {
+	b := NewBuilder(n+1, 1)
+	p := 1 / float64(n)
+	for v := 1; v <= n; v++ {
+		b.AddEdge(0, VertexID(v), []TopicProb{{Topic: 0, Prob: p}})
+	}
+	return b.MustBuild()
+}
+
+// Celebrity builds the Fig. 3(b) counterexample: a central vertex c has an
+// edge with probability 1 to each of n "followers" v1..vn, and each of n
+// other users u1..un has an edge to c with probability 1/n. RR sampling
+// probes all of c's in-edges per reverse sample here.
+//
+// Layout: vertex 0 is the celebrity c, 1..n are followers v_i,
+// n+1..2n are users u_j. Query vertices for the counterexample are the u_j.
+func Celebrity(n int) *Graph {
+	b := NewBuilder(2*n+1, 1)
+	for i := 1; i <= n; i++ {
+		b.AddEdge(0, VertexID(i), []TopicProb{{Topic: 0, Prob: 1}})
+	}
+	p := 1 / float64(n)
+	for j := n + 1; j <= 2*n; j++ {
+		b.AddEdge(VertexID(j), 0, []TopicProb{{Topic: 0, Prob: p}})
+	}
+	return b.MustBuild()
+}
+
+// Chain builds a simple path v0 -> v1 -> ... -> v_{n-1} with probability p
+// on topic 0 for every edge; exact influence of v0 is the geometric series
+// 1 + p + p^2 + ..., handy for estimator tests.
+func Chain(n int, p float64) *Graph {
+	b := NewBuilder(n, 1)
+	for v := 0; v+1 < n; v++ {
+		b.AddEdge(VertexID(v), VertexID(v+1), []TopicProb{{Topic: 0, Prob: p}})
+	}
+	return b.MustBuild()
+}

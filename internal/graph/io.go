@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text serialization format (one graph per stream):
+//
+//	pitex-graph 1
+//	<numVertices> <numEdges> <numTopics>
+//	<from> <to> <nTopics> <topic> <prob> <topic> <prob> ...
+//	... one line per edge ...
+//
+// The format is line-oriented, diff-able, and loads in a single pass.
+
+const formatHeader = "pitex-graph 1"
+
+// Write serializes g to w in the text format above.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	fmt.Fprintln(bw, formatHeader)
+	fmt.Fprintln(bw, g.numVertices, g.NumEdges(), g.numTopics)
+	for e := 0; e < g.NumEdges(); e++ {
+		ids, probs := g.EdgeTopics(EdgeID(e))
+		fmt.Fprint(bw, g.edgeFrom[e], " ", g.edgeTo[e], " ", len(ids))
+		for i := range ids {
+			fmt.Fprint(bw, " ", ids[i], " ", strconv.FormatFloat(probs[i], 'g', -1, 64))
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// Read parses a graph from r in the format produced by Write.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("graph: empty input: %w", sc.Err())
+	}
+	if strings.TrimSpace(sc.Text()) != formatHeader {
+		return nil, fmt.Errorf("graph: bad header %q, want %q", sc.Text(), formatHeader)
+	}
+	if !sc.Scan() {
+		return nil, fmt.Errorf("graph: missing size line")
+	}
+	var n, m, z int
+	if _, err := fmt.Sscan(sc.Text(), &n, &m, &z); err != nil {
+		return nil, fmt.Errorf("graph: bad size line %q: %w", sc.Text(), err)
+	}
+	if n <= 0 || m < 0 || z <= 0 {
+		return nil, fmt.Errorf("graph: invalid sizes V=%d E=%d Z=%d", n, m, z)
+	}
+
+	b := NewBuilder(n, z)
+	topics := make([]TopicProb, 0, 8)
+	for e := 0; e < m; e++ {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("graph: expected %d edges, got %d", m, e)
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("graph: edge line %d too short: %q", e, sc.Text())
+		}
+		from, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge line %d: bad from: %w", e, err)
+		}
+		to, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge line %d: bad to: %w", e, err)
+		}
+		nt, err := strconv.Atoi(fields[2])
+		if err != nil || nt < 0 {
+			return nil, fmt.Errorf("graph: edge line %d: bad topic count %q", e, fields[2])
+		}
+		if len(fields) != 3+2*nt {
+			return nil, fmt.Errorf("graph: edge line %d: want %d fields, got %d", e, 3+2*nt, len(fields))
+		}
+		topics = topics[:0]
+		for i := 0; i < nt; i++ {
+			tid, err := strconv.Atoi(fields[3+2*i])
+			if err != nil {
+				return nil, fmt.Errorf("graph: edge line %d: bad topic id: %w", e, err)
+			}
+			p, err := strconv.ParseFloat(fields[4+2*i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: edge line %d: bad probability: %w", e, err)
+			}
+			topics = append(topics, TopicProb{Topic: int32(tid), Prob: p})
+		}
+		b.AddEdge(VertexID(from), VertexID(to), topics)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: scan: %w", err)
+	}
+	return b.Build()
+}

@@ -1,0 +1,146 @@
+package graph
+
+import "sort"
+
+// Group labels the query-user populations of the paper's experiments
+// (Sec. 7.1): users are split by out-degree into the top 1% (high), top
+// 1-10% (mid), and the rest (low); users without out-edges are excluded.
+type Group int
+
+const (
+	GroupHigh Group = iota
+	GroupMid
+	GroupLow
+)
+
+// String returns the paper's name for the group.
+func (g Group) String() string {
+	switch g {
+	case GroupHigh:
+		return "high"
+	case GroupMid:
+		return "mid"
+	default:
+		return "low"
+	}
+}
+
+// UserGroups partitions vertices with at least one out-edge into the
+// high/mid/low populations.
+func UserGroups(g *Graph) map[Group][]VertexID {
+	type dv struct {
+		v   VertexID
+		deg int
+	}
+	var users []dv
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.OutDegree(VertexID(v)); d > 0 {
+			users = append(users, dv{VertexID(v), d})
+		}
+	}
+	sort.Slice(users, func(i, j int) bool {
+		if users[i].deg != users[j].deg {
+			return users[i].deg > users[j].deg
+		}
+		return users[i].v < users[j].v
+	})
+	out := map[Group][]VertexID{}
+	n := len(users)
+	hi := n / 100
+	if hi < 1 && n > 0 {
+		hi = 1
+	}
+	mid := n / 10
+	if mid <= hi {
+		mid = hi + 1
+	}
+	for i, u := range users {
+		switch {
+		case i < hi:
+			out[GroupHigh] = append(out[GroupHigh], u.v)
+		case i < mid:
+			out[GroupMid] = append(out[GroupMid], u.v)
+		default:
+			out[GroupLow] = append(out[GroupLow], u.v)
+		}
+	}
+	return out
+}
+
+// MaxOutDegreeVertex returns the vertex with the largest out-degree
+// (ties broken by smaller ID), used by the Fig. 6 convergence experiment.
+func MaxOutDegreeVertex(g *Graph) VertexID {
+	best := VertexID(0)
+	bestDeg := -1
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.OutDegree(VertexID(v)); d > bestDeg {
+			best, bestDeg = VertexID(v), d
+		}
+	}
+	return best
+}
+
+// Stats summarizes a graph for the Table 2 report.
+type Stats struct {
+	NumVertices  int
+	NumEdges     int
+	AvgOutDegree float64
+	MaxOutDegree int
+	NumTopics    int
+	// TopicEntries is the total number of non-zero p(e|z) entries.
+	TopicEntries int
+}
+
+// Summarize computes Stats for g.
+func Summarize(g *Graph) Stats {
+	s := Stats{
+		NumVertices:  g.NumVertices(),
+		NumEdges:     g.NumEdges(),
+		NumTopics:    g.NumTopics(),
+		TopicEntries: len(g.topicID),
+	}
+	if s.NumVertices > 0 {
+		s.AvgOutDegree = float64(s.NumEdges) / float64(s.NumVertices)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.OutDegree(VertexID(v)); d > s.MaxOutDegree {
+			s.MaxOutDegree = d
+		}
+	}
+	return s
+}
+
+// ReachableMask marks, in the provided scratch slice, every vertex reachable
+// from u along edges whose maximum probability is positive; it returns the
+// reached vertices. This is R_W(u) for the loosest W (every edge with
+// p(e) > 0 kept), and an upper bound of R_W(u) for any W. The scratch mask
+// must have length NumVertices and be all-false; it is reset before return
+// if resetMask is true.
+func ReachableMask(g *Graph, u VertexID, mask []bool, resetMask bool) []VertexID {
+	stack := []VertexID{u}
+	mask[u] = true
+	reached := []VertexID{u}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		edges := g.OutEdges(v)
+		nbrs := g.OutNeighbors(v)
+		for i, e := range edges {
+			if g.maxProb[e] <= 0 {
+				continue
+			}
+			t := nbrs[i]
+			if !mask[t] {
+				mask[t] = true
+				reached = append(reached, t)
+				stack = append(stack, t)
+			}
+		}
+	}
+	if resetMask {
+		for _, v := range reached {
+			mask[v] = false
+		}
+	}
+	return reached
+}

@@ -1,0 +1,256 @@
+package rrindex
+
+import (
+	"fmt"
+
+	"pitex/internal/graph"
+	"pitex/internal/rng"
+	"pitex/internal/sampling"
+)
+
+// DelayMat is the delay-materialization index of Sec. 6.3: the offline
+// phase stores only θ(u) — how many of the θ RR-Graphs contain each user —
+// and the query phase "recovers" θ(u) RR-Graphs that (a) all contain the
+// query user and (b) follow exactly the distribution of offline RR-Graphs
+// conditioned on containing the user (Theorem 3, Algo 4):
+//
+//  1. forward-sample a cascade subgraph G' from u under p(e) = max_z p(e|z);
+//  2. pick a uniform vertex v' among the activated set V';
+//  3. the recovered RR-Graph is the part of G' that reaches v', with fresh
+//     draws c(e) ~ U[0, p(e)) on its edges.
+type DelayMat struct {
+	g     *graph.Graph
+	theta int64
+	// counts[u] = θ(u).
+	counts []int64
+}
+
+// BuildDelayMat runs the offline counting phase: it samples the same θ
+// RR-Graphs as Build would, but only increments per-user counters instead
+// of materializing anything.
+func BuildDelayMat(g *graph.Graph, opts BuildOptions) (*DelayMat, error) {
+	if err := opts.Accuracy.Validate(); err != nil {
+		return nil, fmt.Errorf("rrindex: %w", err)
+	}
+	theta := opts.Theta(g.NumVertices())
+	r := rng.New(opts.Seed)
+	dm := &DelayMat{g: g, theta: theta, counts: make([]int64, g.NumVertices())}
+	mark := make([]bool, g.NumVertices())
+	members := make([]graph.VertexID, 0, 64)
+	stack := make([]graph.VertexID, 0, 64)
+	for i := int64(0); i < theta; i++ {
+		target := graph.VertexID(r.Intn(g.NumVertices()))
+		// Reverse BFS over live edges, counting members only.
+		members = members[:0]
+		stack = stack[:0]
+		stack = append(stack, target)
+		mark[target] = true
+		members = append(members, target)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			ins := g.InEdges(v)
+			nbrs := g.InNeighbors(v)
+			for j, e := range ins {
+				p := g.EdgeMaxProb(e)
+				if p <= 0 || r.Float64() >= p {
+					continue
+				}
+				if f := nbrs[j]; !mark[f] {
+					mark[f] = true
+					members = append(members, f)
+					stack = append(stack, f)
+				}
+			}
+		}
+		for _, m := range members {
+			mark[m] = false
+			dm.counts[m]++
+		}
+	}
+	return dm, nil
+}
+
+// Theta returns θ, the offline sample count.
+func (dm *DelayMat) Theta() int64 { return dm.theta }
+
+// Count returns θ(u).
+func (dm *DelayMat) Count(u graph.VertexID) int64 { return dm.counts[u] }
+
+// MemoryFootprint is the index size: one counter per user (Table 3's
+// "DelayMat size" column).
+func (dm *DelayMat) MemoryFootprint() int64 { return int64(len(dm.counts)) * 8 }
+
+// DelayEstimator answers queries against a DelayMat index. Recovered
+// RR-Graphs are cached per user so repeated estimations for the same query
+// user (one PITEX query estimates many tag sets) pay recovery once, exactly
+// like the materialized index amortizes construction. Not safe for
+// concurrent use.
+type DelayEstimator struct {
+	dm  *DelayMat
+	rng *rng.Source
+
+	cachedUser   graph.VertexID
+	cachedValid  bool
+	cachedGraphs []*RRGraph
+
+	visited []int64
+	stamp   int64
+
+	mark  []bool
+	stack []graph.VertexID
+}
+
+// NewDelayEstimator creates a query evaluator over dm.
+func NewDelayEstimator(dm *DelayMat, r *rng.Source) *DelayEstimator {
+	return &DelayEstimator{dm: dm, rng: r, mark: make([]bool, dm.g.NumVertices())}
+}
+
+// EstimateProber estimates E[I(u|W)] over recovered RR-Graphs.
+func (de *DelayEstimator) EstimateProber(u graph.VertexID, prober sampling.EdgeProber) sampling.Result {
+	dm := de.dm
+	if !de.cachedValid || de.cachedUser != u {
+		de.recover(u)
+	}
+	var hits int64
+	maxSize := 0
+	for _, rr := range de.cachedGraphs {
+		if rr.NumVertices() > maxSize {
+			maxSize = rr.NumVertices()
+		}
+	}
+	if len(de.visited) < maxSize {
+		de.visited = make([]int64, maxSize)
+		de.stamp = 0
+	}
+	for _, rr := range de.cachedGraphs {
+		de.stamp++
+		if rr.Reaches(u, prober, de.visited, de.stamp) {
+			hits++
+		}
+	}
+	inf := float64(hits) / float64(dm.theta) * float64(dm.g.NumVertices())
+	if inf < 1 {
+		inf = 1
+	}
+	return sampling.Result{
+		Influence: inf,
+		Samples:   int64(len(de.cachedGraphs)),
+		Theta:     dm.theta,
+		Reachable: len(de.cachedGraphs),
+	}
+}
+
+// Estimate is EstimateProber under the Eq. 1 posterior prober.
+func (de *DelayEstimator) Estimate(u graph.VertexID, posterior []float64) sampling.Result {
+	return de.EstimateProber(u, sampling.PosteriorProber{G: de.dm.g, Posterior: posterior})
+}
+
+// recover materializes θ(u) RR-Graphs containing u per Algo 4.
+//
+// Distribution note: an offline RR-Graph containing u corresponds to the
+// pair (possible world g, target v) with v uniform over all of V and
+// v ∈ R_g(u); conditioning on containment therefore size-biases worlds by
+// |R_g(u)|. Sampling the target uniformly from the activated set alone
+// would over-weight small cascades and bias the estimate upward, so each
+// forward cascade is accepted only with probability |V'|/|V| before a
+// target is drawn from V' — exactly the offline joint distribution.
+func (de *DelayEstimator) recover(u graph.VertexID) {
+	dm := de.dm
+	n := dm.counts[u]
+	de.cachedGraphs = de.cachedGraphs[:0]
+	// Safety valve against pathological acceptance rates; recovery beyond
+	// it degrades the sample count (and the guarantee) rather than hanging.
+	maxAttempts := 8*dm.theta + 1024
+	for attempts := int64(0); int64(len(de.cachedGraphs)) < n && attempts < maxAttempts; attempts++ {
+		if rr := de.recoverOne(u); rr != nil {
+			de.cachedGraphs = append(de.cachedGraphs, rr)
+		}
+	}
+	de.cachedUser = u
+	de.cachedValid = true
+}
+
+// recoverOne implements Algo 4 (RetainRRGraphs) with the acceptance step;
+// it returns nil when the cascade is rejected.
+func (de *DelayEstimator) recoverOne(u graph.VertexID) *RRGraph {
+	g := de.dm.g
+	r := de.rng
+
+	// Step 1: forward cascade from u under p(e); collect activated
+	// vertices V' and live edges E'.
+	type liveEdge struct {
+		from, to graph.VertexID
+		id       graph.EdgeID
+	}
+	var live []liveEdge
+	de.stack = de.stack[:0]
+	var activated []graph.VertexID
+	de.stack = append(de.stack, u)
+	de.mark[u] = true
+	activated = append(activated, u)
+	for len(de.stack) > 0 {
+		v := de.stack[len(de.stack)-1]
+		de.stack = de.stack[:len(de.stack)-1]
+		edges := g.OutEdges(v)
+		nbrs := g.OutNeighbors(v)
+		for i, e := range edges {
+			p := g.EdgeMaxProb(e)
+			if p <= 0 || r.Float64() >= p {
+				continue
+			}
+			t := nbrs[i]
+			live = append(live, liveEdge{from: v, to: t, id: e})
+			if !de.mark[t] {
+				de.mark[t] = true
+				activated = append(activated, t)
+				de.stack = append(de.stack, t)
+			}
+		}
+	}
+	for _, v := range activated {
+		de.mark[v] = false
+	}
+
+	// Step 2: accept the cascade with probability |V'|/|V| (size-biased
+	// world selection), then draw the target uniformly from V'.
+	if !r.Bernoulli(float64(len(activated)) / float64(g.NumVertices())) {
+		return nil
+	}
+	target := activated[r.Intn(len(activated))]
+
+	// Step 3: restrict to the part of G' that reaches target, then draw
+	// fresh c(e) ~ U[0, p(e)) per surviving edge (Theorem 3's conditional
+	// distribution of offline draws given the edge was live).
+	reach := map[graph.VertexID]bool{target: true}
+	// Reverse adjacency of the live subgraph.
+	radj := map[graph.VertexID][]liveEdge{}
+	for _, le := range live {
+		radj[le.to] = append(radj[le.to], le)
+	}
+	queue := []graph.VertexID{target}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, le := range radj[v] {
+			if !reach[le.from] {
+				reach[le.from] = true
+				queue = append(queue, le.from)
+			}
+		}
+	}
+	members := make([]graph.VertexID, 0, len(reach))
+	for v := range reach {
+		members = append(members, v)
+	}
+	var edges []rrEdge
+	for _, le := range live {
+		if reach[le.from] && reach[le.to] {
+			edges = append(edges, rrEdge{
+				from: le.from, to: le.to, id: le.id,
+				c: r.UniformIn(g.EdgeMaxProb(le.id)),
+			})
+		}
+	}
+	return assemble(target, members, edges)
+}

@@ -1,0 +1,189 @@
+package rrindex
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"pitex/internal/graph"
+	"pitex/internal/rng"
+	"pitex/internal/sampling"
+)
+
+// BuildOptions controls offline index construction.
+type BuildOptions struct {
+	// Accuracy carries ε, δ and LogSearchSpace = ln φ_K (Eq. 7), where K
+	// is the largest supported query size (the paper uses K = 10).
+	Accuracy sampling.Options
+	// MaxIndexSamples caps θ. The theoretical θ of Eq. 7 scales with |V|
+	// and is enormous for large graphs; experiments cap it (documented
+	// deviation knob, DESIGN.md Sec. 6). 0 means no cap.
+	MaxIndexSamples int64
+	// Seed seeds the offline sampler.
+	Seed uint64
+	// Workers parallelizes offline sampling across goroutines. Results
+	// are deterministic per (Seed, Workers); 0 or 1 means sequential.
+	Workers int
+}
+
+// Theta returns the offline sample count of Eq. 7:
+// θ = (2+ε)/ε² · |V| · (ln δ + ln φ_K + ln 2), capped by MaxIndexSamples.
+func (o BuildOptions) Theta(numVertices int) int64 {
+	t := o.Accuracy.Lambda() * float64(numVertices)
+	if t < 1 {
+		t = 1
+	}
+	th := int64(math.Ceil(t))
+	if o.MaxIndexSamples > 0 && th > o.MaxIndexSamples {
+		th = o.MaxIndexSamples
+	}
+	return th
+}
+
+// Index is the offline RR-Graph index of Algo 3 ("IndexEst"): θ RR-Graphs
+// of uniformly sampled targets, plus a per-user postings list of the
+// RR-Graphs containing that user. Safe for concurrent readers; the
+// estimator wrappers carry per-goroutine scratch.
+type Index struct {
+	g      *graph.Graph
+	theta  int64
+	graphs []*RRGraph
+	// containing[u] lists indices into graphs of RR-Graphs containing u.
+	containing [][]int32
+	maxSize    int // largest RR-Graph vertex count, for scratch sizing
+}
+
+// Build constructs the index. It is the paper's offline phase.
+func Build(g *graph.Graph, opts BuildOptions) (*Index, error) {
+	if err := opts.Accuracy.Validate(); err != nil {
+		return nil, fmt.Errorf("rrindex: %w", err)
+	}
+	theta := opts.Theta(g.NumVertices())
+	idx := &Index{
+		g:          g,
+		theta:      theta,
+		graphs:     make([]*RRGraph, 0, theta),
+		containing: make([][]int32, g.NumVertices()),
+	}
+
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if int64(workers) > theta {
+		workers = int(theta)
+	}
+	if workers == 1 {
+		r := rng.New(opts.Seed)
+		mark := make([]bool, g.NumVertices())
+		for i := int64(0); i < theta; i++ {
+			target := graph.VertexID(r.Intn(g.NumVertices()))
+			idx.graphs = append(idx.graphs, generate(g, target, r, mark))
+		}
+	} else {
+		// Deterministic parallel sampling: worker w owns the w-th chunk
+		// of θ with its own derived stream; chunks are concatenated in
+		// worker order, so the graph list depends only on (Seed, Workers).
+		chunks := make([][]*RRGraph, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := theta * int64(w) / int64(workers)
+			hi := theta * int64(w+1) / int64(workers)
+			wg.Add(1)
+			go func(w int, n int64) {
+				defer wg.Done()
+				r := rng.New(opts.Seed + uint64(w)*0x9e3779b97f4a7c15)
+				mark := make([]bool, g.NumVertices())
+				out := make([]*RRGraph, 0, n)
+				for i := int64(0); i < n; i++ {
+					target := graph.VertexID(r.Intn(g.NumVertices()))
+					out = append(out, generate(g, target, r, mark))
+				}
+				chunks[w] = out
+			}(w, hi-lo)
+		}
+		wg.Wait()
+		for _, chunk := range chunks {
+			idx.graphs = append(idx.graphs, chunk...)
+		}
+	}
+
+	for gi, rr := range idx.graphs {
+		for _, v := range rr.verts {
+			idx.containing[v] = append(idx.containing[v], int32(gi))
+		}
+		if rr.NumVertices() > idx.maxSize {
+			idx.maxSize = rr.NumVertices()
+		}
+	}
+	return idx, nil
+}
+
+// Theta returns the number of offline RR-Graphs.
+func (idx *Index) Theta() int64 { return idx.theta }
+
+// NumContaining returns θ(u), the number of RR-Graphs containing u.
+func (idx *Index) NumContaining(u graph.VertexID) int { return len(idx.containing[u]) }
+
+// MemoryFootprint estimates the index's in-memory size in bytes
+// (Table 3's "RR-Graphs size" column).
+func (idx *Index) MemoryFootprint() int64 {
+	var b int64
+	for _, rr := range idx.graphs {
+		b += rr.memoryFootprint()
+	}
+	for _, list := range idx.containing {
+		b += int64(len(list)) * 4
+	}
+	return b
+}
+
+// Estimator evaluates queries against the index with per-call scratch
+// (Algo 3's online phase). Not safe for concurrent use; create one per
+// goroutine over the shared Index.
+type Estimator struct {
+	idx     *Index
+	visited []int64
+	stamp   int64
+	// graphsChecked counts RR-Graphs whose reachability was verified, the
+	// work metric that the cut-pruning layer reduces.
+	graphsChecked int64
+}
+
+// NewEstimator creates an estimator over idx.
+func NewEstimator(idx *Index) *Estimator {
+	return &Estimator{idx: idx, visited: make([]int64, idx.maxSize)}
+}
+
+// GraphsChecked returns the cumulative number of RR-Graphs verified.
+func (est *Estimator) GraphsChecked() int64 { return est.graphsChecked }
+
+// EstimateProber estimates E[I(u|W)] as (hits/θ)·|V| over the RR-Graphs
+// containing u (graphs not containing u can never witness u's influence).
+func (est *Estimator) EstimateProber(u graph.VertexID, prober sampling.EdgeProber) sampling.Result {
+	idx := est.idx
+	var hits int64
+	for _, gi := range idx.containing[u] {
+		rr := idx.graphs[gi]
+		est.stamp++
+		est.graphsChecked++
+		if rr.Reaches(u, prober, est.visited, est.stamp) {
+			hits++
+		}
+	}
+	inf := float64(hits) / float64(idx.theta) * float64(idx.g.NumVertices())
+	if inf < 1 {
+		inf = 1 // the query user is always active
+	}
+	return sampling.Result{
+		Influence: inf,
+		Samples:   int64(len(idx.containing[u])),
+		Theta:     idx.theta,
+		Reachable: len(idx.containing[u]),
+	}
+}
+
+// Estimate is EstimateProber under the Eq. 1 posterior prober.
+func (est *Estimator) Estimate(u graph.VertexID, posterior []float64) sampling.Result {
+	return est.EstimateProber(u, sampling.PosteriorProber{G: est.idx.g, Posterior: posterior})
+}

@@ -1,0 +1,177 @@
+// Package rrindex implements the paper's index-based influence estimation
+// (Sec. 6): the RR-Graph structure (Def. 2), tag-aware reachability
+// (Def. 3), the offline index with online matching (Algo 3, "IndexEst"),
+// the edge-cut filter-and-verify pruning layer (Sec. 6.2, "IndexEst+"),
+// and delay materialization (Sec. 6.3, Algo 4, "DelayMat").
+package rrindex
+
+import (
+	"sort"
+
+	"pitex/internal/graph"
+	"pitex/internal/rng"
+	"pitex/internal/sampling"
+)
+
+// RRGraph is one sampled reverse-reachable graph (Def. 2): the vertices
+// that reach Target after removing every edge whose uniform draw c(e)
+// exceeds p(e) = max_z p(e|z), the surviving edges, and their draws.
+// Because p(e) ≥ p(e|W) for every tag set W, an RRGraph is a valid RR
+// sample for any query: an edge is live under W exactly when
+// p(e|W) ≥ c(e) (Def. 3).
+type RRGraph struct {
+	target graph.VertexID
+
+	// verts lists member vertices sorted ascending (local ID = index).
+	verts []graph.VertexID
+	// Local CSR over surviving edges, in original (forward) orientation.
+	outStart []int32
+	outTo    []int32 // local head IDs
+	edgeID   []graph.EdgeID
+	c        []float64
+}
+
+// Target returns the vertex this RR-Graph was sampled for.
+func (r *RRGraph) Target() graph.VertexID { return r.target }
+
+// NumVertices returns |V(v)|.
+func (r *RRGraph) NumVertices() int { return len(r.verts) }
+
+// NumEdges returns |E(v)|.
+func (r *RRGraph) NumEdges() int { return len(r.edgeID) }
+
+// localID returns the local index of global vertex v, or -1.
+func (r *RRGraph) localID(v graph.VertexID) int32 {
+	i := sort.Search(len(r.verts), func(i int) bool { return r.verts[i] >= v })
+	if i < len(r.verts) && r.verts[i] == v {
+		return int32(i)
+	}
+	return -1
+}
+
+// Contains reports whether v is a member of the RR-Graph.
+func (r *RRGraph) Contains(v graph.VertexID) bool { return r.localID(v) >= 0 }
+
+// rrEdge is a surviving edge during generation, before CSR assembly.
+type rrEdge struct {
+	from, to graph.VertexID
+	id       graph.EdgeID
+	c        float64
+}
+
+// generate samples the RR-Graph of target on g: a reverse BFS from target
+// that draws c(e) ~ U[0,1) per probed in-edge and keeps edges with
+// c(e) < p(e). Dead edges are discarded — they can never be live under any
+// tag set, so storing them would not change any Def. 3 reachability test.
+// mark is caller-provided scratch of length |V|, all false on entry and
+// reset before return.
+func generate(g *graph.Graph, target graph.VertexID, r *rng.Source, mark []bool) *RRGraph {
+	var members []graph.VertexID
+	var edges []rrEdge
+	stack := []graph.VertexID{target}
+	mark[target] = true
+	members = append(members, target)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		ins := g.InEdges(v)
+		nbrs := g.InNeighbors(v)
+		for i, e := range ins {
+			p := g.EdgeMaxProb(e)
+			if p <= 0 {
+				continue
+			}
+			c := r.Float64()
+			if c >= p {
+				continue // dead under every tag set
+			}
+			from := nbrs[i]
+			edges = append(edges, rrEdge{from: from, to: v, id: e, c: c})
+			if !mark[from] {
+				mark[from] = true
+				members = append(members, from)
+				stack = append(stack, from)
+			}
+		}
+	}
+	for _, m := range members {
+		mark[m] = false
+	}
+	return assemble(target, members, edges)
+}
+
+// assemble builds the local CSR from members and surviving edges.
+func assemble(target graph.VertexID, members []graph.VertexID, edges []rrEdge) *RRGraph {
+	rr := &RRGraph{target: target}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	rr.verts = members
+
+	n := len(members)
+	rr.outStart = make([]int32, n+1)
+	rr.outTo = make([]int32, len(edges))
+	rr.edgeID = make([]graph.EdgeID, len(edges))
+	rr.c = make([]float64, len(edges))
+
+	for _, e := range edges {
+		rr.outStart[rr.localID(e.from)+1]++
+	}
+	for v := 0; v < n; v++ {
+		rr.outStart[v+1] += rr.outStart[v]
+	}
+	pos := make([]int32, n)
+	for _, e := range edges {
+		lf := rr.localID(e.from)
+		p := rr.outStart[lf] + pos[lf]
+		rr.outTo[p] = rr.localID(e.to)
+		rr.edgeID[p] = e.id
+		rr.c[p] = e.c
+		pos[lf]++
+	}
+	return rr
+}
+
+// Reaches is the tag-aware reachability test of Def. 3: whether u reaches
+// the target through a path whose every edge satisfies p(e|W) ≥ c(e),
+// where p(e|W) comes from prober. visited is caller scratch with length at
+// least NumVertices(), reset by the caller between uses via the stamp.
+func (r *RRGraph) Reaches(u graph.VertexID, prober sampling.EdgeProber, visited []int64, stamp int64) bool {
+	lu := r.localID(u)
+	if lu < 0 {
+		return false
+	}
+	lt := r.localID(r.target)
+	if lu == lt {
+		return true
+	}
+	stack := make([]int32, 0, 16)
+	stack = append(stack, lu)
+	visited[lu] = stamp
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for i := r.outStart[v]; i < r.outStart[v+1]; i++ {
+			if prober.Prob(r.edgeID[i]) < r.c[i] {
+				continue
+			}
+			t := r.outTo[i]
+			if t == lt {
+				return true
+			}
+			if visited[t] != stamp {
+				visited[t] = stamp
+				stack = append(stack, t)
+			}
+		}
+	}
+	return false
+}
+
+// memoryFootprint estimates the in-memory bytes of this RR-Graph
+// (Table 3 accounting).
+func (r *RRGraph) memoryFootprint() int64 {
+	return int64(len(r.verts))*4 +
+		int64(len(r.outStart))*4 +
+		int64(len(r.outTo))*4 +
+		int64(len(r.edgeID))*4 +
+		int64(len(r.c))*8
+}

@@ -1,0 +1,250 @@
+package rrindex
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"pitex/internal/graph"
+)
+
+// Binary index format (little-endian):
+//
+//	magic "PITEXIDX" | version u32 | numVertices u64 | theta u64 |
+//	numGraphs u64 | per graph: target u32, nV u64, verts u32...,
+//	nE u64, per edge: fromLocal u32, toLocal u32, edgeID u32, c f64
+//
+// The per-user postings lists are rebuilt on load (they are derivable).
+// DelayMat uses the same header with numGraphs = 0 followed by one u64
+// counter per vertex.
+
+var indexMagic = [8]byte{'P', 'I', 'T', 'E', 'X', 'I', 'D', 'X'}
+
+const (
+	indexVersion    = 1
+	kindIndex       = 1
+	kindDelayMat    = 2
+	maxSaneVertices = 1 << 31
+)
+
+type countingWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (cw *countingWriter) write(v interface{}) {
+	if cw.err != nil {
+		return
+	}
+	cw.err = binary.Write(cw.w, binary.LittleEndian, v)
+}
+
+// WriteIndex serializes the index so that a query server can load it
+// instead of re-running the offline phase.
+func WriteIndex(w io.Writer, idx *Index) error {
+	cw := &countingWriter{w: bufio.NewWriterSize(w, 1<<16)}
+	cw.write(indexMagic)
+	cw.write(uint32(indexVersion))
+	cw.write(uint32(kindIndex))
+	cw.write(uint64(idx.g.NumVertices()))
+	cw.write(uint64(idx.theta))
+	cw.write(uint64(len(idx.graphs)))
+	for _, rr := range idx.graphs {
+		cw.write(uint32(rr.target))
+		cw.write(uint64(len(rr.verts)))
+		for _, v := range rr.verts {
+			cw.write(uint32(v))
+		}
+		cw.write(uint64(len(rr.edgeID)))
+		for v := int32(0); v < int32(len(rr.verts)); v++ {
+			for i := rr.outStart[v]; i < rr.outStart[v+1]; i++ {
+				cw.write(uint32(v))
+				cw.write(uint32(rr.outTo[i]))
+				cw.write(uint32(rr.edgeID[i]))
+				cw.write(rr.c[i])
+			}
+		}
+	}
+	if cw.err != nil {
+		return fmt.Errorf("rrindex: write: %w", cw.err)
+	}
+	return cw.w.Flush()
+}
+
+type reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (rd *reader) read(v interface{}) {
+	if rd.err != nil {
+		return
+	}
+	rd.err = binary.Read(rd.r, binary.LittleEndian, v)
+}
+
+// readHeader validates the magic/version and returns the kind.
+func readHeader(rd *reader) (kind uint32, numVertices, theta uint64, err error) {
+	var magic [8]byte
+	rd.read(&magic)
+	if rd.err == nil && magic != indexMagic {
+		return 0, 0, 0, fmt.Errorf("rrindex: bad magic %q", magic[:])
+	}
+	var version uint32
+	rd.read(&version)
+	if rd.err == nil && version != indexVersion {
+		return 0, 0, 0, fmt.Errorf("rrindex: unsupported version %d", version)
+	}
+	rd.read(&kind)
+	rd.read(&numVertices)
+	rd.read(&theta)
+	if rd.err != nil {
+		return 0, 0, 0, fmt.Errorf("rrindex: header: %w", rd.err)
+	}
+	if numVertices == 0 || numVertices > maxSaneVertices || theta == 0 {
+		return 0, 0, 0, fmt.Errorf("rrindex: implausible header (V=%d θ=%d)", numVertices, theta)
+	}
+	return kind, numVertices, theta, nil
+}
+
+// ReadIndex loads an index previously written with WriteIndex. The graph
+// must be the one the index was built over; structural mismatches are
+// detected where cheap (vertex count, edge-ID range).
+func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
+	rd := &reader{r: bufio.NewReaderSize(r, 1<<16)}
+	kind, nV, theta, err := readHeader(rd)
+	if err != nil {
+		return nil, err
+	}
+	if kind != kindIndex {
+		return nil, fmt.Errorf("rrindex: file is not an RR-Graph index (kind %d)", kind)
+	}
+	if int(nV) != g.NumVertices() {
+		return nil, fmt.Errorf("rrindex: index built over %d vertices, graph has %d", nV, g.NumVertices())
+	}
+	var nGraphs uint64
+	rd.read(&nGraphs)
+	if rd.err != nil {
+		return nil, fmt.Errorf("rrindex: %w", rd.err)
+	}
+	if nGraphs > uint64(theta) {
+		return nil, fmt.Errorf("rrindex: %d graphs exceed θ=%d", nGraphs, theta)
+	}
+	idx := &Index{
+		g:          g,
+		theta:      int64(theta),
+		graphs:     make([]*RRGraph, 0, nGraphs),
+		containing: make([][]int32, g.NumVertices()),
+	}
+	for gi := uint64(0); gi < nGraphs; gi++ {
+		var target uint32
+		var nVerts uint64
+		rd.read(&target)
+		rd.read(&nVerts)
+		if rd.err != nil {
+			return nil, fmt.Errorf("rrindex: graph %d: %w", gi, rd.err)
+		}
+		if uint64(target) >= nV || nVerts == 0 || nVerts > nV {
+			return nil, fmt.Errorf("rrindex: graph %d: implausible shape", gi)
+		}
+		verts := make([]graph.VertexID, nVerts)
+		for i := range verts {
+			var v uint32
+			rd.read(&v)
+			if rd.err == nil && uint64(v) >= nV {
+				return nil, fmt.Errorf("rrindex: graph %d: vertex %d out of range", gi, v)
+			}
+			verts[i] = graph.VertexID(v)
+		}
+		var nEdges uint64
+		rd.read(&nEdges)
+		if rd.err != nil {
+			return nil, fmt.Errorf("rrindex: graph %d: %w", gi, rd.err)
+		}
+		if nEdges > uint64(g.NumEdges()) {
+			return nil, fmt.Errorf("rrindex: graph %d: %d edges exceed graph size", gi, nEdges)
+		}
+		edges := make([]rrEdge, 0, nEdges)
+		for i := uint64(0); i < nEdges; i++ {
+			var fromLocal, toLocal, edgeID uint32
+			var c float64
+			rd.read(&fromLocal)
+			rd.read(&toLocal)
+			rd.read(&edgeID)
+			rd.read(&c)
+			if rd.err != nil {
+				return nil, fmt.Errorf("rrindex: graph %d edge %d: %w", gi, i, rd.err)
+			}
+			if uint64(fromLocal) >= nVerts || uint64(toLocal) >= nVerts ||
+				int(edgeID) >= g.NumEdges() || math.IsNaN(c) || c < 0 || c >= 1 {
+				return nil, fmt.Errorf("rrindex: graph %d edge %d: invalid fields", gi, i)
+			}
+			edges = append(edges, rrEdge{
+				from: verts[fromLocal],
+				to:   verts[toLocal],
+				id:   graph.EdgeID(edgeID),
+				c:    c,
+			})
+		}
+		rr := assemble(graph.VertexID(target), verts, edges)
+		if !rr.Contains(graph.VertexID(target)) {
+			return nil, fmt.Errorf("rrindex: graph %d: target not a member", gi)
+		}
+		pos := int32(len(idx.graphs))
+		idx.graphs = append(idx.graphs, rr)
+		for _, v := range rr.verts {
+			idx.containing[v] = append(idx.containing[v], pos)
+		}
+		if rr.NumVertices() > idx.maxSize {
+			idx.maxSize = rr.NumVertices()
+		}
+	}
+	return idx, nil
+}
+
+// WriteDelayMat serializes a DelayMat index.
+func WriteDelayMat(w io.Writer, dm *DelayMat) error {
+	cw := &countingWriter{w: bufio.NewWriterSize(w, 1<<16)}
+	cw.write(indexMagic)
+	cw.write(uint32(indexVersion))
+	cw.write(uint32(kindDelayMat))
+	cw.write(uint64(dm.g.NumVertices()))
+	cw.write(uint64(dm.theta))
+	for _, c := range dm.counts {
+		cw.write(uint64(c))
+	}
+	if cw.err != nil {
+		return fmt.Errorf("rrindex: write: %w", cw.err)
+	}
+	return cw.w.Flush()
+}
+
+// ReadDelayMat loads a DelayMat index written with WriteDelayMat.
+func ReadDelayMat(r io.Reader, g *graph.Graph) (*DelayMat, error) {
+	rd := &reader{r: bufio.NewReaderSize(r, 1<<16)}
+	kind, nV, theta, err := readHeader(rd)
+	if err != nil {
+		return nil, err
+	}
+	if kind != kindDelayMat {
+		return nil, fmt.Errorf("rrindex: file is not a DelayMat index (kind %d)", kind)
+	}
+	if int(nV) != g.NumVertices() {
+		return nil, fmt.Errorf("rrindex: index built over %d vertices, graph has %d", nV, g.NumVertices())
+	}
+	dm := &DelayMat{g: g, theta: int64(theta), counts: make([]int64, nV)}
+	for i := range dm.counts {
+		var c uint64
+		rd.read(&c)
+		if rd.err != nil {
+			return nil, fmt.Errorf("rrindex: counts: %w", rd.err)
+		}
+		if c > theta {
+			return nil, fmt.Errorf("rrindex: θ(%d)=%d exceeds θ=%d", i, c, theta)
+		}
+		dm.counts[i] = int64(c)
+	}
+	return dm, nil
+}

@@ -1,0 +1,66 @@
+package sampling
+
+import (
+	"sort"
+
+	"pitex/internal/graph"
+	"pitex/internal/rng"
+)
+
+// VertexFrequency is one row of an activation-frequency profile: how often
+// a vertex was activated across forward cascades.
+type VertexFrequency struct {
+	Vertex graph.VertexID
+	// Probability is the activation frequency, an estimate of the
+	// probability that the query user activates Vertex under W.
+	Probability float64
+}
+
+// ActivationFrequencies runs n independent IC cascades from u under prober
+// and returns per-vertex activation frequencies, sorted by probability
+// descending (u itself, always active, is excluded). It answers the
+// application question behind PITEX ("who exactly would these tags
+// reach?") and is used by the engine's audience profiling.
+func ActivationFrequencies(g *graph.Graph, u graph.VertexID, prober EdgeProber, n int64, r *rng.Source) []VertexFrequency {
+	if n <= 0 {
+		return nil
+	}
+	counts := make(map[graph.VertexID]int64)
+	visited := make([]int64, g.NumVertices())
+	var stamp int64
+	var stack []graph.VertexID
+	for i := int64(0); i < n; i++ {
+		stamp++
+		stack = stack[:0]
+		stack = append(stack, u)
+		visited[u] = stamp
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			edges := g.OutEdges(v)
+			nbrs := g.OutNeighbors(v)
+			for j, e := range edges {
+				p := prober.Prob(e)
+				if p <= 0 || !r.Bernoulli(p) {
+					continue
+				}
+				if t := nbrs[j]; visited[t] != stamp {
+					visited[t] = stamp
+					counts[t]++
+					stack = append(stack, t)
+				}
+			}
+		}
+	}
+	out := make([]VertexFrequency, 0, len(counts))
+	for v, c := range counts {
+		out = append(out, VertexFrequency{Vertex: v, Probability: float64(c) / float64(n)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Probability != out[j].Probability {
+			return out[i].Probability > out[j].Probability
+		}
+		return out[i].Vertex < out[j].Vertex
+	})
+	return out
+}

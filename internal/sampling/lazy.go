@@ -1,0 +1,200 @@
+package sampling
+
+import (
+	"pitex/internal/graph"
+	"pitex/internal/rng"
+)
+
+// Lazy is the lazy propagation sampler of Sec. 5.1 (Algo 2). Instead of
+// tossing a coin on every out-edge of every visited vertex in every sample
+// instance, each vertex keeps a min-heap of its out-neighbours keyed by the
+// visit number at which the edge next fires; the keys are geometric random
+// variables with parameter p(e|W). By Lemma 6 the sequence of firings is
+// statistically identical to per-instance Bernoulli coins, but an edge with
+// probability p is only probed about p·θ_W times instead of θ_W times.
+type Lazy struct {
+	g     *graph.Graph
+	opts  Options
+	rng   *rng.Source
+	reach *reachScratch
+
+	// Per-vertex lazy state, re-initialized per Estimate call via initStamp.
+	counter   []int64
+	heaps     [][]lazyEntry
+	initStamp []int64
+	callStamp int64
+
+	visited   []int64 // per-iteration stamp
+	iterStamp int64
+	frontier  []graph.VertexID
+
+	edgeVisits int64
+}
+
+// lazyEntry schedules the next firing of one out-edge: when the owning
+// vertex's visit counter reaches due, the edge fires and a new geometric
+// gap is drawn.
+type lazyEntry struct {
+	due  int64
+	to   graph.VertexID
+	prob float64
+}
+
+// NewLazy builds a lazy propagation estimator over g.
+func NewLazy(g *graph.Graph, opts Options, r *rng.Source) *Lazy {
+	n := g.NumVertices()
+	return &Lazy{
+		g:         g,
+		opts:      opts,
+		rng:       r,
+		reach:     newReachScratch(g),
+		counter:   make([]int64, n),
+		heaps:     make([][]lazyEntry, n),
+		initStamp: make([]int64, n),
+		visited:   make([]int64, n),
+	}
+}
+
+// EdgeVisits returns the cumulative number of edge probes (heap firings),
+// the Fig. 13 metric. Initial geometric draws per discovered vertex are
+// counted once per out-edge, matching the paper's accounting in which
+// initialization touches each neighbour once.
+func (lz *Lazy) EdgeVisits() int64 { return lz.edgeVisits }
+
+// Estimate estimates E[I(u|W)] with the Eq. 2 sample size and the Algo-2
+// early-stopping rule.
+func (lz *Lazy) Estimate(u graph.VertexID, posterior []float64) Result {
+	return lz.EstimateProber(u, PosteriorProber{G: lz.g, Posterior: posterior})
+}
+
+// EstimateProber is Estimate for an arbitrary edge-probability source.
+func (lz *Lazy) EstimateProber(u graph.VertexID, prober EdgeProber) Result {
+	reachable := len(lz.reach.compute(u, prober))
+	if reachable <= 1 {
+		return Result{Influence: 1, Reachable: reachable}
+	}
+	return lz.run(u, prober, reachable, lz.opts.SampleSize(reachable), !lz.opts.DisableEarlyStop)
+}
+
+// EstimateWithBudget runs exactly maxSamples iterations with no early stop.
+func (lz *Lazy) EstimateWithBudget(u graph.VertexID, posterior []float64, maxSamples int64) Result {
+	prober := PosteriorProber{G: lz.g, Posterior: posterior}
+	reachable := len(lz.reach.compute(u, prober))
+	if reachable <= 1 {
+		return Result{Influence: 1, Reachable: reachable, Samples: maxSamples, Theta: maxSamples}
+	}
+	return lz.run(u, prober, reachable, maxSamples, false)
+}
+
+func (lz *Lazy) run(u graph.VertexID, prober EdgeProber, reachable int, theta int64, earlyStop bool) Result {
+	lz.callStamp++
+	stop := lz.opts.StopThreshold()
+	var s int64
+	var iters int64
+	for iters = 0; iters < theta; {
+		lz.iterStamp++
+		lz.frontier = lz.frontier[:0]
+		lz.frontier = append(lz.frontier, u)
+		lz.visited[u] = lz.iterStamp
+		for len(lz.frontier) > 0 {
+			v := lz.frontier[len(lz.frontier)-1]
+			lz.frontier = lz.frontier[:len(lz.frontier)-1]
+			s++
+			lz.visit(v, prober)
+		}
+		iters++
+		if earlyStop && float64(s)/float64(reachable) >= stop {
+			break
+		}
+	}
+	return Result{
+		Influence: float64(s) / float64(iters),
+		Samples:   iters,
+		Theta:     theta,
+		Reachable: reachable,
+	}
+}
+
+// visit processes one visit of v inside the current sample instance:
+// lazily initializes v's schedule, advances its counter, and fires every
+// edge whose due time has arrived.
+func (lz *Lazy) visit(v graph.VertexID, prober EdgeProber) {
+	g := lz.g
+	if lz.initStamp[v] != lz.callStamp {
+		lz.initStamp[v] = lz.callStamp
+		lz.counter[v] = 0
+		h := lz.heaps[v][:0]
+		edges := g.OutEdges(v)
+		nbrs := g.OutNeighbors(v)
+		for i, e := range edges {
+			p := prober.Prob(e)
+			if p <= 0 {
+				continue
+			}
+			lz.edgeVisits++
+			x := lz.rng.Geometric(p)
+			if x >= rng.Never {
+				continue // effectively never fires within any finite run
+			}
+			h = heapPush(h, lazyEntry{due: x, to: nbrs[i], prob: p})
+		}
+		lz.heaps[v] = h
+	}
+	lz.counter[v]++
+	c := lz.counter[v]
+	h := lz.heaps[v]
+	for len(h) > 0 && h[0].due == c {
+		ent := h[0]
+		h = heapPop(h)
+		lz.edgeVisits++
+		if lz.visited[ent.to] != lz.iterStamp {
+			lz.visited[ent.to] = lz.iterStamp
+			lz.frontier = append(lz.frontier, ent.to)
+		}
+		x := lz.rng.Geometric(ent.prob)
+		if x < rng.Never-c { // also guards int64 overflow of c+x
+			ent.due = c + x
+			h = heapPush(h, ent)
+		}
+	}
+	lz.heaps[v] = h
+}
+
+// heapPush inserts ent into the min-heap (keyed by due) and returns it.
+func heapPush(h []lazyEntry, ent lazyEntry) []lazyEntry {
+	h = append(h, ent)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].due <= h[i].due {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	return h
+}
+
+// heapPop removes the minimum element and returns the shrunken heap.
+func heapPop(h []lazyEntry) []lazyEntry {
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h[l].due < h[smallest].due {
+			smallest = l
+		}
+		if r < n && h[r].due < h[smallest].due {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return h
+}

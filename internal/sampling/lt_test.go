@@ -1,0 +1,105 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"pitex/internal/exact"
+	"pitex/internal/fixture"
+	"pitex/internal/graph"
+	"pitex/internal/rng"
+	"pitex/internal/topics"
+)
+
+func TestLTSamplerMatchesExactOnDiamond(t *testing.T) {
+	b := graph.NewBuilder(4, 1)
+	tp := []graph.TopicProb{{Topic: 0, Prob: 0.3}}
+	b.AddEdge(0, 1, tp)
+	b.AddEdge(0, 2, tp)
+	b.AddEdge(1, 3, tp)
+	b.AddEdge(2, 3, tp)
+	g := b.MustBuild()
+	want, err := exact.InfluenceLT(g, 0, []float64{0.3, 0.3, 0.3, 0.3})
+	if err != nil {
+		t.Fatalf("exact: %v", err)
+	}
+	lt := NewLT(g, testOptions(), rng.New(5))
+	got := lt.EstimateWithBudget(0, []float64{1}, 60000).Influence
+	if math.Abs(got-want) > 0.03*want {
+		t.Fatalf("LT estimate %v, want %v", got, want)
+	}
+}
+
+func TestLTSamplerMatchesExactOnFixture(t *testing.T) {
+	g := fixture.Graph()
+	m := fixture.Model()
+	for _, w := range [][]topics.TagID{{0, 1}, {2, 3}, {1, 2}} {
+		want, err := exact.InfluenceLTTagSet(g, m, fixture.U1, w)
+		if err != nil {
+			t.Fatalf("exact: %v", err)
+		}
+		post, ok := m.Posterior(w)
+		if !ok {
+			continue
+		}
+		lt := NewLT(g, testOptions(), rng.New(7))
+		got := lt.EstimateWithBudget(fixture.U1, post, 60000).Influence
+		if math.Abs(got-want) > 0.04*want+0.02 {
+			t.Errorf("LT E[I(u1|%v)] = %v, want %v", w, got, want)
+		}
+	}
+}
+
+func TestLTSamplerMatchesExactOnRandomGraphs(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		r := rng.New(seed)
+		g, err := graph.ErdosRenyi(r, 9, 12, graph.TopicAssignment{
+			NumTopics: 3, TopicsPerEdge: 2, MaxProb: 0.6,
+		})
+		if err != nil {
+			t.Fatalf("generate: %v", err)
+		}
+		m := topics.GenerateRandom(r, 6, 3, 2)
+		w := []topics.TagID{topics.TagID(r.Intn(6))}
+		u := graph.VertexID(r.Intn(9))
+		want, err := exact.InfluenceLTTagSet(g, m, u, w)
+		if err != nil {
+			t.Fatalf("exact: %v", err)
+		}
+		post, ok := m.Posterior(w)
+		if !ok {
+			continue
+		}
+		got := NewLT(g, testOptions(), rng.New(seed*77)).
+			EstimateWithBudget(u, post, 50000).Influence
+		if math.Abs(got-want) > 0.05*want+0.03 {
+			t.Errorf("seed %d: LT estimate %v, want %v", seed, got, want)
+		}
+	}
+}
+
+func TestLTEarlyStopAndGuaranteePath(t *testing.T) {
+	g := graph.Chain(20, 0.9)
+	lt := NewLT(g, Options{Epsilon: 0.2, Delta: 100, LogSearchSpace: 1}, rng.New(9))
+	res := lt.Estimate(0, []float64{1})
+	if res.Samples >= res.Theta {
+		t.Fatalf("early stop never fired: %d of %d", res.Samples, res.Theta)
+	}
+	// On a chain LT == IC: 1 + 0.9 + ... + 0.9^19.
+	want, sum := 0.0, 1.0
+	for i := 0; i < 20; i++ {
+		want += sum
+		sum *= 0.9
+	}
+	if math.Abs(res.Influence-want) > 0.2*want {
+		t.Fatalf("LT chain estimate %v, want %v", res.Influence, want)
+	}
+}
+
+func TestLTIsolatedUser(t *testing.T) {
+	g := fixture.Graph()
+	lt := NewLT(g, testOptions(), rng.New(11))
+	if got := lt.Estimate(fixture.U5, []float64{1, 0, 0}).Influence; got != 1 {
+		t.Fatalf("isolated LT = %v, want 1", got)
+	}
+}

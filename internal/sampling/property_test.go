@@ -1,0 +1,140 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pitex/internal/graph"
+	"pitex/internal/rng"
+	"pitex/internal/topics"
+)
+
+// TestLazyAgreesWithMCProperty is the system-level Lemma 6 check: lazy
+// propagation and Bernoulli MC must estimate the same quantity on random
+// graphs (they share the distribution, not the randomness).
+func TestLazyAgreesWithMCProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		g, err := graph.ErdosRenyi(r, 12, 24, graph.TopicAssignment{
+			NumTopics: 2, TopicsPerEdge: 1, MaxProb: 0.7,
+		})
+		if err != nil {
+			return false
+		}
+		m := topics.GenerateRandom(r, 4, 2, 1)
+		post, ok := m.Posterior([]topics.TagID{topics.TagID(r.Intn(4))})
+		if !ok {
+			return true
+		}
+		u := graph.VertexID(r.Intn(12))
+		opts := Options{Epsilon: 0.2, Delta: 100, LogSearchSpace: 1}
+		mc := NewMC(g, opts, rng.New(seed+1)).EstimateWithBudget(u, post, 15000).Influence
+		lz := NewLazy(g, opts, rng.New(seed+2)).EstimateWithBudget(u, post, 15000).Influence
+		return math.Abs(mc-lz) <= 0.08*math.Max(mc, lz)+0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEstimateIsAtLeastOne: every estimator's estimate is >= 1 (the query
+// user is always active) and <= |V|.
+func TestEstimateBoundsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		g, err := graph.ErdosRenyi(r, 10, 20, graph.TopicAssignment{
+			NumTopics: 2, TopicsPerEdge: 1, MaxProb: 0.9,
+		})
+		if err != nil {
+			return false
+		}
+		m := topics.GenerateRandom(r, 4, 2, 1)
+		post, ok := m.Posterior([]topics.TagID{0})
+		if !ok {
+			return true
+		}
+		u := graph.VertexID(r.Intn(10))
+		opts := Options{Epsilon: 0.5, Delta: 50, LogSearchSpace: 1, MaxSamples: 500}
+		for _, est := range []interface {
+			Estimate(graph.VertexID, []float64) Result
+		}{
+			NewMC(g, opts, rng.New(seed+1)),
+			NewRR(g, opts, rng.New(seed+2)),
+			NewLazy(g, opts, rng.New(seed+3)),
+			NewLT(g, opts, rng.New(seed+4)),
+		} {
+			v := est.Estimate(u, post).Influence
+			if v < 1 || v > float64(g.NumVertices())+1e-9 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSampleSizeMonotonicInEpsilon: smaller ε must never need fewer
+// samples.
+func TestSampleSizeMonotonicInEpsilon(t *testing.T) {
+	f := func(reachRaw uint16) bool {
+		reach := int(reachRaw)%1000 + 1
+		prev := int64(-1)
+		for _, eps := range []float64{0.9, 0.7, 0.5, 0.3, 0.1} {
+			o := Options{Epsilon: eps, Delta: 1000, LogSearchSpace: 10}
+			s := o.SampleSize(reach)
+			if prev >= 0 && s < prev {
+				return false
+			}
+			prev = s
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestActivationFrequencies checks the audience-profiling primitive against
+// analytic single-edge probabilities.
+func TestActivationFrequencies(t *testing.T) {
+	g := graph.Chain(3, 0.4)
+	freqs := ActivationFrequencies(g, 0, PosteriorProber{G: g, Posterior: []float64{1}}, 40000, rng.New(3))
+	if len(freqs) != 2 {
+		t.Fatalf("got %d entries, want 2", len(freqs))
+	}
+	if freqs[0].Vertex != 1 || math.Abs(freqs[0].Probability-0.4) > 0.02 {
+		t.Fatalf("first hop = %+v, want vertex 1 at ~0.4", freqs[0])
+	}
+	if freqs[1].Vertex != 2 || math.Abs(freqs[1].Probability-0.16) > 0.02 {
+		t.Fatalf("second hop = %+v, want vertex 2 at ~0.16", freqs[1])
+	}
+	if ActivationFrequencies(g, 0, PosteriorProber{G: g, Posterior: []float64{1}}, 0, rng.New(3)) != nil {
+		t.Fatal("n=0 returned entries")
+	}
+}
+
+// TestZeroProbabilityEdgesNeverFire: no sampler may activate across an edge
+// whose probability is zero under the posterior.
+func TestZeroProbabilityEdgesNeverFire(t *testing.T) {
+	// Two-topic chain: edge 0 on topic 0, edge 1 on topic 1. Under a
+	// posterior concentrated on topic 0, vertex 2 is unreachable.
+	b := graph.NewBuilder(3, 2)
+	b.AddEdge(0, 1, []graph.TopicProb{{Topic: 0, Prob: 0.9}})
+	b.AddEdge(1, 2, []graph.TopicProb{{Topic: 1, Prob: 0.9}})
+	g := b.MustBuild()
+	post := []float64{1, 0}
+	opts := Options{Epsilon: 0.3, Delta: 100, LogSearchSpace: 1, MaxSamples: 3000}
+	for name, inf := range map[string]float64{
+		"mc":   NewMC(g, opts, rng.New(1)).Estimate(0, post).Influence,
+		"rr":   NewRR(g, opts, rng.New(2)).Estimate(0, post).Influence,
+		"lazy": NewLazy(g, opts, rng.New(3)).Estimate(0, post).Influence,
+		"lt":   NewLT(g, opts, rng.New(4)).Estimate(0, post).Influence,
+	} {
+		if inf > 2+1e-9 {
+			t.Errorf("%s: influence %v exceeds the reachable 2 vertices", name, inf)
+		}
+	}
+}

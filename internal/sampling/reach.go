@@ -1,0 +1,55 @@
+package sampling
+
+import "pitex/internal/graph"
+
+// reachScratch computes R_W(u) — the vertices reachable from u after
+// removing every edge with p(e|W) = 0 (paper Table 1) — reusing buffers
+// across calls. All estimators need |R_W(u)| for their sample sizes, and RR
+// needs the member list to sample target vertices uniformly.
+type reachScratch struct {
+	g     *graph.Graph
+	mark  []bool
+	stack []graph.VertexID
+	// members holds the reached vertices of the latest call.
+	members []graph.VertexID
+}
+
+func newReachScratch(g *graph.Graph) *reachScratch {
+	return &reachScratch{
+		g:    g,
+		mark: make([]bool, g.NumVertices()),
+	}
+}
+
+// compute fills members with R_W(u) under the given prober and returns it:
+// the vertices reachable from u across edges with positive activation
+// probability. The slice is reused across calls.
+func (rs *reachScratch) compute(u graph.VertexID, prober EdgeProber) []graph.VertexID {
+	g := rs.g
+	rs.stack = rs.stack[:0]
+	rs.members = rs.members[:0]
+	rs.stack = append(rs.stack, u)
+	rs.mark[u] = true
+	rs.members = append(rs.members, u)
+	for len(rs.stack) > 0 {
+		v := rs.stack[len(rs.stack)-1]
+		rs.stack = rs.stack[:len(rs.stack)-1]
+		edges := g.OutEdges(v)
+		nbrs := g.OutNeighbors(v)
+		for i, e := range edges {
+			if prober.Prob(e) <= 0 {
+				continue
+			}
+			if t := nbrs[i]; !rs.mark[t] {
+				rs.mark[t] = true
+				rs.members = append(rs.members, t)
+				rs.stack = append(rs.stack, t)
+			}
+		}
+	}
+	// Reset marks for the next call.
+	for _, v := range rs.members {
+		rs.mark[v] = false
+	}
+	return rs.members
+}

@@ -1,0 +1,190 @@
+package sampling
+
+import (
+	"pitex/internal/graph"
+	"pitex/internal/rng"
+)
+
+// TriggeringModel is the paper's footnote-1 "more general form" (Kempe et
+// al.'s triggering model): each vertex v independently draws a triggering
+// set — a subset of its in-edges — and activates when the tail of any
+// drawn edge activates. The independent cascade and linear threshold
+// models are both instances:
+//
+//   - IC: every in-edge joins the set independently with p(e|W);
+//   - LT: at most one in-edge joins, edge e with weight b(e|W).
+//
+// Implementations draw the set for one vertex at a time, which is exactly
+// what reverse sampling needs: a reverse walk expands each vertex's
+// triggering set lazily on first visit.
+type TriggeringModel interface {
+	// SampleTriggering appends to dst the positions (indices into
+	// g.InEdges(v)) of the in-edges in v's triggering set and returns it.
+	SampleTriggering(g *graph.Graph, v graph.VertexID, prober EdgeProber, r *rng.Source, dst []int32) []int32
+}
+
+// ICTriggering realizes the independent cascade model.
+type ICTriggering struct{}
+
+// SampleTriggering includes each in-edge independently with p(e|W).
+func (ICTriggering) SampleTriggering(g *graph.Graph, v graph.VertexID, prober EdgeProber, r *rng.Source, dst []int32) []int32 {
+	for i, e := range g.InEdges(v) {
+		p := prober.Prob(e)
+		if p > 0 && r.Bernoulli(p) {
+			dst = append(dst, int32(i))
+		}
+	}
+	return dst
+}
+
+// LTTriggering realizes the linear threshold model with the same weights
+// as the forward LT sampler: b(e|W) = p(e|W) / max(1, Σ_in p(e'|W)).
+type LTTriggering struct{}
+
+// SampleTriggering includes at most one in-edge, edge e with probability
+// b(e|W), via a single uniform draw over the cumulative weights.
+func (LTTriggering) SampleTriggering(g *graph.Graph, v graph.VertexID, prober EdgeProber, r *rng.Source, dst []int32) []int32 {
+	edges := g.InEdges(v)
+	if len(edges) == 0 {
+		return dst
+	}
+	sum := 0.0
+	for _, e := range edges {
+		sum += prober.Prob(e)
+	}
+	norm := sum
+	if norm < 1 {
+		norm = 1
+	}
+	u := r.Float64() * norm
+	acc := 0.0
+	for i, e := range edges {
+		acc += prober.Prob(e)
+		if u < acc {
+			dst = append(dst, int32(i))
+			return dst
+		}
+	}
+	return dst // the residual mass: empty triggering set
+}
+
+// TriggeringRR estimates E[I(u|W)] under an arbitrary triggering model by
+// reverse sampling: pick a target uniformly from R_W(u), grow the reverse
+// live-edge walk by expanding each visited vertex's triggering set, and
+// test whether u is reached. With ICTriggering it estimates the same
+// quantity as RR; with LTTriggering the same as the forward LT sampler.
+// Not safe for concurrent use.
+type TriggeringRR struct {
+	g     *graph.Graph
+	opts  Options
+	model TriggeringModel
+	rng   *rng.Source
+	reach *reachScratch
+
+	visited []int64
+	stamp   int64
+	stack   []graph.VertexID
+	setBuf  []int32
+
+	edgeVisits int64
+}
+
+// NewTriggeringRR builds a reverse sampler for the given triggering model.
+func NewTriggeringRR(g *graph.Graph, opts Options, model TriggeringModel, r *rng.Source) *TriggeringRR {
+	return &TriggeringRR{
+		g:       g,
+		opts:    opts,
+		model:   model,
+		rng:     r,
+		reach:   newReachScratch(g),
+		visited: make([]int64, g.NumVertices()),
+	}
+}
+
+// EdgeVisits returns the cumulative number of triggering-set edges
+// traversed.
+func (tr *TriggeringRR) EdgeVisits() int64 { return tr.edgeVisits }
+
+// Estimate estimates E[I(u|W)] with the Eq. 2 sample size and early stop.
+func (tr *TriggeringRR) Estimate(u graph.VertexID, posterior []float64) Result {
+	return tr.EstimateProber(u, PosteriorProber{G: tr.g, Posterior: posterior})
+}
+
+// EstimateProber is Estimate for an arbitrary edge-probability source.
+func (tr *TriggeringRR) EstimateProber(u graph.VertexID, prober EdgeProber) Result {
+	members := tr.reach.compute(u, prober)
+	reachable := len(members)
+	if reachable <= 1 {
+		return Result{Influence: 1, Reachable: reachable}
+	}
+	theta := tr.opts.SampleSize(reachable)
+	stop := tr.opts.StopThreshold()
+	var hits, iters int64
+	for iters = 0; iters < theta; {
+		target := members[tr.rng.Intn(reachable)]
+		if tr.reverseHits(u, target, prober) {
+			hits++
+		}
+		iters++
+		if !tr.opts.DisableEarlyStop && float64(hits) >= stop {
+			break
+		}
+	}
+	inf := float64(hits) / float64(iters) * float64(reachable)
+	if inf < 1 {
+		inf = 1
+	}
+	return Result{Influence: inf, Samples: iters, Theta: theta, Reachable: reachable}
+}
+
+// EstimateWithBudget runs exactly n reverse samples with no early stop.
+func (tr *TriggeringRR) EstimateWithBudget(u graph.VertexID, posterior []float64, n int64) Result {
+	prober := PosteriorProber{G: tr.g, Posterior: posterior}
+	members := tr.reach.compute(u, prober)
+	reachable := len(members)
+	if reachable <= 1 {
+		return Result{Influence: 1, Reachable: reachable, Samples: n, Theta: n}
+	}
+	var hits int64
+	for i := int64(0); i < n; i++ {
+		target := members[tr.rng.Intn(reachable)]
+		if tr.reverseHits(u, target, prober) {
+			hits++
+		}
+	}
+	inf := float64(hits) / float64(n) * float64(reachable)
+	if inf < 1 {
+		inf = 1
+	}
+	return Result{Influence: inf, Samples: n, Theta: n, Reachable: reachable}
+}
+
+// reverseHits grows the reverse live-edge walk from target, expanding each
+// vertex's triggering set on first visit, and reports whether u is reached.
+func (tr *TriggeringRR) reverseHits(u, target graph.VertexID, prober EdgeProber) bool {
+	if target == u {
+		return true
+	}
+	tr.stamp++
+	tr.stack = tr.stack[:0]
+	tr.stack = append(tr.stack, target)
+	tr.visited[target] = tr.stamp
+	for len(tr.stack) > 0 {
+		v := tr.stack[len(tr.stack)-1]
+		tr.stack = tr.stack[:len(tr.stack)-1]
+		tr.setBuf = tr.model.SampleTriggering(tr.g, v, prober, tr.rng, tr.setBuf[:0])
+		nbrs := tr.g.InNeighbors(v)
+		for _, pos := range tr.setBuf {
+			tr.edgeVisits++
+			t := nbrs[pos]
+			if t == u {
+				return true
+			}
+			if tr.visited[t] != tr.stamp {
+				tr.visited[t] = tr.stamp
+				tr.stack = append(tr.stack, t)
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,94 @@
+package tic
+
+import (
+	"fmt"
+	"math"
+
+	"pitex/internal/graph"
+	"pitex/internal/topics"
+)
+
+// EvalStats summarizes how well a learned (graph, model) pair predicts
+// held-out propagation: for every activation attempt in the held-out log —
+// an active user u with an out-neighbour v that either activated at the
+// next step (outcome 1) or did not (outcome 0) — we score the predicted
+// probability p(e|W_item) under the learned parameters.
+type EvalStats struct {
+	// Attempts is the number of scored (edge, episode) attempts.
+	Attempts int64
+	// LogLoss is the mean negative log-likelihood (lower is better);
+	// probabilities are clamped to [eps, 1-eps] to keep it finite.
+	LogLoss float64
+	// Brier is the mean squared error of the predicted probabilities
+	// (lower is better).
+	Brier float64
+	// BaseRate is the empirical activation rate, the Brier floor of a
+	// constant predictor.
+	BaseRate float64
+}
+
+// Evaluate scores a learned graph+model against a held-out log. The log's
+// item tags must be within the model's vocabulary.
+func Evaluate(g *graph.Graph, m *topics.Model, log *Log) (EvalStats, error) {
+	if err := log.Validate(g, m.NumTags()); err != nil {
+		return EvalStats{}, err
+	}
+	const eps = 1e-4
+
+	var stats EvalStats
+	var successes int64
+	posterior := make([]float64, m.NumTopics())
+	activeAt := make([]int32, g.NumVertices())
+	inEpisode := make([]int64, g.NumVertices())
+	var stamp int64
+
+	for _, ep := range log.Episodes {
+		stamp++
+		hasPosterior := m.PosteriorInto(log.ItemTags[ep.Item], posterior)
+		for _, a := range ep.Activations {
+			inEpisode[a.User] = stamp
+			activeAt[a.User] = a.Time
+		}
+		for _, a := range ep.Activations {
+			edges := g.OutEdges(a.User)
+			nbrs := g.OutNeighbors(a.User)
+			for i, e := range edges {
+				v := nbrs[i]
+				vActive := inEpisode[v] == stamp
+				// Only genuine attempts: v inactive when u activated.
+				if vActive && activeAt[v] <= a.Time {
+					continue
+				}
+				outcome := 0.0
+				if vActive && activeAt[v] == a.Time+1 {
+					outcome = 1
+					successes++
+				}
+				p := 0.0
+				if hasPosterior {
+					p = g.EdgeProb(e, posterior)
+				}
+				if p < eps {
+					p = eps
+				}
+				if p > 1-eps {
+					p = 1 - eps
+				}
+				stats.Attempts++
+				if outcome == 1 {
+					stats.LogLoss += -math.Log(p)
+				} else {
+					stats.LogLoss += -math.Log(1 - p)
+				}
+				stats.Brier += (p - outcome) * (p - outcome)
+			}
+		}
+	}
+	if stats.Attempts == 0 {
+		return EvalStats{}, fmt.Errorf("tic: held-out log contains no activation attempts")
+	}
+	stats.LogLoss /= float64(stats.Attempts)
+	stats.Brier /= float64(stats.Attempts)
+	stats.BaseRate = float64(successes) / float64(stats.Attempts)
+	return stats, nil
+}

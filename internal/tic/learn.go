@@ -1,0 +1,284 @@
+package tic
+
+import (
+	"fmt"
+	"math"
+
+	"pitex/internal/graph"
+	"pitex/internal/rng"
+	"pitex/internal/topics"
+)
+
+// LearnOptions controls the EM learner.
+type LearnOptions struct {
+	// NumTopics is |Z| for the learned model.
+	NumTopics int
+	// NumTags is |Ω| for the learned model.
+	NumTags int
+	// MaxIterations bounds EM rounds (default 30).
+	MaxIterations int
+	// Tolerance stops EM when the item-topic responsibilities move less
+	// than this in L1 per item (default 1e-4).
+	Tolerance float64
+	// Seed seeds the responsibility initialization.
+	Seed uint64
+	// Smoothing is the additive smoothing mass for p(w|z) (default 0.01).
+	Smoothing float64
+	// SplitCredit divides the credit for an activation among all parents
+	// active at the previous step (the credit-distribution scheme of
+	// Goyal et al., the paper's reference [13]) instead of giving every
+	// parent full credit. Full credit overcounts when cascades are dense;
+	// splitting is the better-calibrated default for evaluation, but the
+	// paper's TIC reference uses full attribution, which remains the
+	// default here.
+	SplitCredit bool
+}
+
+func (o *LearnOptions) defaults() error {
+	if o.NumTopics <= 0 {
+		return fmt.Errorf("tic: NumTopics = %d, want > 0", o.NumTopics)
+	}
+	if o.NumTags <= 0 {
+		return fmt.Errorf("tic: NumTags = %d, want > 0", o.NumTags)
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 30
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-4
+	}
+	if o.Smoothing <= 0 {
+		o.Smoothing = 0.01
+	}
+	return nil
+}
+
+// Learn fits a TIC model to a propagation log: it returns a tag-topic model
+// (p(w|z), p(z)) and a re-weighted copy of the social graph carrying the
+// learned p(e|z) vectors.
+//
+// The procedure is EM over item-topic responsibilities, as in the TIC
+// learner of [2], with one simplification documented in DESIGN.md: the
+// E-step responsibilities use the items' tag likelihoods (a mixture of
+// unigrams over tag sets) rather than the joint tag+propagation likelihood.
+// The M-step for p(e|z) is the standard credit attribution: for each
+// episode, a successful activation of v at time t credits every in-neighbor
+// of v active at time t-1, and every episode in which u is active but v is
+// not (or activates out of window) counts as a failed attempt on (u,v).
+func Learn(g *graph.Graph, log *Log, opts LearnOptions) (*topics.Model, *graph.Graph, error) {
+	if err := opts.defaults(); err != nil {
+		return nil, nil, err
+	}
+	if err := log.Validate(g, opts.NumTags); err != nil {
+		return nil, nil, err
+	}
+	nItems := log.NumItems
+	if nItems == 0 || len(log.Episodes) == 0 {
+		return nil, nil, fmt.Errorf("tic: empty propagation log")
+	}
+	Z := opts.NumTopics
+	r := rng.New(opts.Seed)
+
+	// gamma[i][z]: responsibility of topic z for item i.
+	gamma := make([][]float64, nItems)
+	for i := range gamma {
+		gamma[i] = make([]float64, Z)
+		sum := 0.0
+		for z := range gamma[i] {
+			gamma[i][z] = 0.5 + r.Float64()
+			sum += gamma[i][z]
+		}
+		for z := range gamma[i] {
+			gamma[i][z] /= sum
+		}
+	}
+
+	tagProb := make([][]float64, Z) // p(w|z)
+	prior := make([]float64, Z)
+	for z := range tagProb {
+		tagProb[z] = make([]float64, opts.NumTags)
+	}
+
+	mstepTags := func() {
+		for z := 0; z < Z; z++ {
+			row := tagProb[z]
+			for w := range row {
+				row[w] = opts.Smoothing
+			}
+			total := opts.Smoothing * float64(opts.NumTags)
+			pz := 0.0
+			for i := 0; i < nItems; i++ {
+				gz := gamma[i][z]
+				pz += gz
+				for _, w := range log.ItemTags[i] {
+					row[w] += gz
+				}
+				total += gz * float64(len(log.ItemTags[i]))
+			}
+			if total > 0 {
+				for w := range row {
+					row[w] /= total
+				}
+			}
+			prior[z] = pz / float64(nItems)
+		}
+	}
+
+	estep := func() float64 {
+		moved := 0.0
+		for i := 0; i < nItems; i++ {
+			sum := 0.0
+			newG := make([]float64, Z)
+			for z := 0; z < Z; z++ {
+				v := prior[z]
+				for _, w := range log.ItemTags[i] {
+					v *= tagProb[z][w]
+				}
+				newG[z] = v
+				sum += v
+			}
+			if sum <= 0 {
+				for z := range newG {
+					newG[z] = 1 / float64(Z)
+				}
+				sum = 1
+			} else {
+				for z := range newG {
+					newG[z] /= sum
+				}
+			}
+			for z := 0; z < Z; z++ {
+				moved += math.Abs(newG[z] - gamma[i][z])
+			}
+			gamma[i] = newG
+		}
+		return moved / float64(nItems)
+	}
+
+	mstepTags()
+	for it := 0; it < opts.MaxIterations; it++ {
+		moved := estep()
+		mstepTags()
+		if moved < opts.Tolerance {
+			break
+		}
+	}
+
+	// Build the learned tag-topic model.
+	model := topics.MustNewModel(opts.NumTags, Z)
+	for z := 0; z < Z; z++ {
+		// Scale each topic's tag row so its maximum is the observed
+		// maximum responsibility share, keeping values in (0,1].
+		maxP := 0.0
+		for _, p := range tagProb[z] {
+			if p > maxP {
+				maxP = p
+			}
+		}
+		for w := 0; w < opts.NumTags; w++ {
+			p := tagProb[z][w]
+			// Drop near-noise entries to keep the model sparse like the
+			// paper's learned models.
+			if maxP > 0 && p < 0.05*maxP {
+				continue
+			}
+			model.SetTagTopic(topics.TagID(w), int32(z), p/maxP)
+		}
+	}
+	if err := model.SetPrior(prior); err != nil {
+		return nil, nil, fmt.Errorf("tic: learned prior invalid: %w", err)
+	}
+
+	learned, err := learnEdgeProbs(g, log, gamma, Z, opts.SplitCredit)
+	if err != nil {
+		return nil, nil, err
+	}
+	return model, learned, nil
+}
+
+// learnEdgeProbs computes p(e|z) by topic-weighted credit attribution and
+// returns a graph with the same structure and learned probabilities. With
+// splitCredit, a success shares its credit equally among all parents active
+// at the previous step.
+func learnEdgeProbs(g *graph.Graph, log *Log, gamma [][]float64, Z int, splitCredit bool) (*graph.Graph, error) {
+	m := g.NumEdges()
+	succ := make([][]float64, Z) // successful activations credited to e under z
+	att := make([][]float64, Z)  // attempts of e under z
+	for z := 0; z < Z; z++ {
+		succ[z] = make([]float64, m)
+		att[z] = make([]float64, m)
+	}
+
+	activeAt := make([]int32, g.NumVertices()) // activation time per episode
+	inEpisode := make([]int64, g.NumVertices())
+	var stamp int64
+
+	for _, ep := range log.Episodes {
+		stamp++
+		gz := gamma[ep.Item]
+		for _, a := range ep.Activations {
+			inEpisode[a.User] = stamp
+			activeAt[a.User] = a.Time
+		}
+		for _, a := range ep.Activations {
+			u := a.User
+			edges := g.OutEdges(u)
+			nbrs := g.OutNeighbors(u)
+			for i, e := range edges {
+				v := nbrs[i]
+				// u attempted v if v was inactive when u activated.
+				vActive := inEpisode[v] == stamp
+				switch {
+				case vActive && activeAt[v] == a.Time+1:
+					share := 1.0
+					if splitCredit {
+						share = 1 / float64(activeParents(g, v, a.Time, inEpisode, activeAt, stamp))
+					}
+					for z := 0; z < Z; z++ {
+						succ[z][e] += gz[z] * share
+						att[z][e] += gz[z]
+					}
+				case !vActive || activeAt[v] > a.Time:
+					for z := 0; z < Z; z++ {
+						att[z][e] += gz[z]
+					}
+				}
+			}
+		}
+	}
+
+	b := graph.NewBuilder(g.NumVertices(), Z)
+	var tps []graph.TopicProb
+	for e := 0; e < m; e++ {
+		tps = tps[:0]
+		for z := 0; z < Z; z++ {
+			if att[z][graph.EdgeID(e)] < 1e-9 {
+				continue
+			}
+			p := succ[z][e] / att[z][e]
+			if p > 0 {
+				if p > 1 {
+					p = 1
+				}
+				tps = append(tps, graph.TopicProb{Topic: int32(z), Prob: p})
+			}
+		}
+		b.AddEdge(g.EdgeFrom(graph.EdgeID(e)), g.EdgeTo(graph.EdgeID(e)), tps)
+	}
+	return b.Build()
+}
+
+// activeParents counts v's in-neighbours that were active exactly at step
+// t within the current episode (always >= 1 when v activated at t+1).
+func activeParents(g *graph.Graph, v graph.VertexID, t int32, inEpisode []int64, activeAt []int32, stamp int64) int {
+	count := 0
+	for _, p := range g.InNeighbors(v) {
+		if inEpisode[p] == stamp && activeAt[p] == t {
+			count++
+		}
+	}
+	if count < 1 {
+		count = 1
+	}
+	return count
+}

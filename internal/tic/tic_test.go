@@ -1,0 +1,317 @@
+package tic
+
+import (
+	"testing"
+
+	"pitex/internal/graph"
+	"pitex/internal/rng"
+	"pitex/internal/topics"
+)
+
+func hiddenWorld(t *testing.T, seed uint64) (*graph.Graph, *topics.Model) {
+	t.Helper()
+	r := rng.New(seed)
+	g, err := graph.PreferentialAttachment(r, 300, 1500, 0.2, graph.TopicAssignment{
+		NumTopics: 4, TopicsPerEdge: 2, MaxProb: 0.5,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	m := topics.GenerateRandom(r, 20, 4, 1)
+	return g, m
+}
+
+func TestSimulateProducesValidLog(t *testing.T) {
+	g, m := hiddenWorld(t, 1)
+	r := rng.New(2)
+	log, err := Simulate(g, m, r, SimulateOptions{NumItems: 50, EpisodesPerItem: 4, TagsPerItem: 3})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if err := log.Validate(g, m.NumTags()); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if log.NumItems != 50 || len(log.Episodes) != 200 {
+		t.Fatalf("log sizes: %d items, %d episodes", log.NumItems, len(log.Episodes))
+	}
+	// Every episode starts with a seed at time 0.
+	propagated := 0
+	for _, ep := range log.Episodes {
+		if len(ep.Activations) == 0 || ep.Activations[0].Time != 0 {
+			t.Fatalf("episode missing seed activation: %+v", ep)
+		}
+		if len(ep.Activations) > 1 {
+			propagated++
+		}
+	}
+	if propagated == 0 {
+		t.Fatal("no episode propagated beyond the seed; cascades degenerate")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	g, m := hiddenWorld(t, 3)
+	r := rng.New(4)
+	if _, err := Simulate(g, m, r, SimulateOptions{NumItems: 0, EpisodesPerItem: 1}); err == nil {
+		t.Fatal("NumItems=0 accepted")
+	}
+	if _, err := Simulate(g, m, r, SimulateOptions{NumItems: 1, EpisodesPerItem: 0}); err == nil {
+		t.Fatal("EpisodesPerItem=0 accepted")
+	}
+}
+
+func TestLogValidateCatchesCorruption(t *testing.T) {
+	g, m := hiddenWorld(t, 5)
+	r := rng.New(6)
+	log, err := Simulate(g, m, r, SimulateOptions{NumItems: 5, EpisodesPerItem: 2})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	bad := *log
+	bad.NumItems = 99
+	if err := bad.Validate(g, m.NumTags()); err == nil {
+		t.Fatal("item-count mismatch accepted")
+	}
+	log.Episodes[0].Item = 100
+	if err := log.Validate(g, m.NumTags()); err == nil {
+		t.Fatal("bad episode item accepted")
+	}
+}
+
+func TestLearnRoundTrip(t *testing.T) {
+	g, m := hiddenWorld(t, 7)
+	r := rng.New(8)
+	log, err := Simulate(g, m, r, SimulateOptions{NumItems: 400, EpisodesPerItem: 5, TagsPerItem: 3})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	learnedModel, learnedGraph, err := Learn(g, log, LearnOptions{
+		NumTopics: 4, NumTags: m.NumTags(), Seed: 9,
+	})
+	if err != nil {
+		t.Fatalf("Learn: %v", err)
+	}
+	if err := learnedModel.Validate(); err != nil {
+		t.Fatalf("learned model invalid: %v", err)
+	}
+	if learnedGraph.NumVertices() != g.NumVertices() || learnedGraph.NumEdges() != g.NumEdges() {
+		t.Fatalf("learned graph reshaped: %d/%d vs %d/%d",
+			learnedGraph.NumVertices(), learnedGraph.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	// Structure preserved edge by edge.
+	for e := 0; e < g.NumEdges(); e++ {
+		if g.EdgeFrom(graph.EdgeID(e)) != learnedGraph.EdgeFrom(graph.EdgeID(e)) ||
+			g.EdgeTo(graph.EdgeID(e)) != learnedGraph.EdgeTo(graph.EdgeID(e)) {
+			t.Fatalf("edge %d endpoints changed", e)
+		}
+	}
+	// Learned edge probabilities must be sparse like the paper observes.
+	withProb := 0
+	for e := 0; e < learnedGraph.NumEdges(); e++ {
+		if learnedGraph.EdgeMaxProb(graph.EdgeID(e)) > 0 {
+			withProb++
+		}
+	}
+	if withProb == 0 {
+		t.Fatal("no edge received any learned probability")
+	}
+
+	// Discrimination check: edges with high ground-truth max probability
+	// should receive higher learned max probability on average than edges
+	// with low ground-truth probability.
+	var hiSum, loSum float64
+	var hiN, loN int
+	for e := 0; e < g.NumEdges(); e++ {
+		truth := g.EdgeMaxProb(graph.EdgeID(e))
+		learned := learnedGraph.EdgeMaxProb(graph.EdgeID(e))
+		if truth > 0.25 {
+			hiSum += learned
+			hiN++
+		} else if truth < 0.05 {
+			loSum += learned
+			loN++
+		}
+	}
+	if hiN == 0 || loN == 0 {
+		t.Skip("degenerate truth distribution for this seed")
+	}
+	if hiSum/float64(hiN) <= loSum/float64(loN) {
+		t.Fatalf("learner does not separate hot (%v) from cold (%v) edges",
+			hiSum/float64(hiN), loSum/float64(loN))
+	}
+}
+
+func TestLearnRecoversTagClusters(t *testing.T) {
+	// Hidden model with single-topic tags: tags 0..4 -> topic w mod 2.
+	r := rng.New(11)
+	g, err := graph.PreferentialAttachment(r, 200, 1000, 0.2, graph.TopicAssignment{
+		NumTopics: 2, TopicsPerEdge: 1, MaxProb: 0.5,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	m := topics.GenerateRandom(r, 10, 2, 1)
+	log, err := Simulate(g, m, r, SimulateOptions{NumItems: 600, EpisodesPerItem: 2, TagsPerItem: 3})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	learned, _, err := Learn(g, log, LearnOptions{NumTopics: 2, NumTags: 10, Seed: 12})
+	if err != nil {
+		t.Fatalf("Learn: %v", err)
+	}
+	// Topics are identifiable only up to permutation: check that tags
+	// sharing a hidden topic land on the same learned dominant topic more
+	// often than tags from different hidden topics.
+	same, cross := 0, 0
+	sameAgree, crossAgree := 0, 0
+	for a := 0; a < 10; a++ {
+		for b := a + 1; b < 10; b++ {
+			agree := learned.DominantTopic(topics.TagID(a)) == learned.DominantTopic(topics.TagID(b))
+			if m.DominantTopic(topics.TagID(a)) == m.DominantTopic(topics.TagID(b)) {
+				same++
+				if agree {
+					sameAgree++
+				}
+			} else {
+				cross++
+				if agree {
+					crossAgree++
+				}
+			}
+		}
+	}
+	if same == 0 || cross == 0 {
+		t.Skip("degenerate hidden clustering")
+	}
+	sameRate := float64(sameAgree) / float64(same)
+	crossRate := float64(crossAgree) / float64(cross)
+	if sameRate <= crossRate {
+		t.Fatalf("learned topics do not cluster tags: same-topic agreement %.2f vs cross %.2f", sameRate, crossRate)
+	}
+}
+
+func TestLearnValidation(t *testing.T) {
+	g, m := hiddenWorld(t, 13)
+	r := rng.New(14)
+	log, err := Simulate(g, m, r, SimulateOptions{NumItems: 5, EpisodesPerItem: 1})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if _, _, err := Learn(g, log, LearnOptions{NumTopics: 0, NumTags: 20}); err == nil {
+		t.Fatal("NumTopics=0 accepted")
+	}
+	if _, _, err := Learn(g, log, LearnOptions{NumTopics: 2, NumTags: 0}); err == nil {
+		t.Fatal("NumTags=0 accepted")
+	}
+	empty := &Log{}
+	if _, _, err := Learn(g, empty, LearnOptions{NumTopics: 2, NumTags: 20}); err == nil {
+		t.Fatal("empty log accepted")
+	}
+}
+
+// TestEvaluateLearnedBeatsNaive: on held-out cascades, the learned model
+// must predict activations better (lower log loss) than a constant-rate
+// naive model with the same graph structure.
+func TestEvaluateLearnedBeatsNaive(t *testing.T) {
+	g, m := hiddenWorld(t, 19)
+	r := rng.New(20)
+	train, err := Simulate(g, m, r, SimulateOptions{NumItems: 400, EpisodesPerItem: 4, TagsPerItem: 3})
+	if err != nil {
+		t.Fatalf("Simulate train: %v", err)
+	}
+	holdout, err := Simulate(g, m, r, SimulateOptions{NumItems: 120, EpisodesPerItem: 3, TagsPerItem: 3})
+	if err != nil {
+		t.Fatalf("Simulate holdout: %v", err)
+	}
+	learnedModel, learnedGraph, err := Learn(g, train, LearnOptions{
+		NumTopics: 4, NumTags: m.NumTags(), Seed: 21,
+	})
+	if err != nil {
+		t.Fatalf("Learn: %v", err)
+	}
+	learned, err := Evaluate(learnedGraph, learnedModel, holdout)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if learned.Attempts == 0 || learned.BaseRate <= 0 {
+		t.Fatalf("degenerate evaluation: %+v", learned)
+	}
+
+	// Naive comparator: same structure, every edge fires with the
+	// training base rate on a single flat topic.
+	trainEval, err := Evaluate(learnedGraph, learnedModel, train)
+	if err != nil {
+		t.Fatalf("Evaluate train: %v", err)
+	}
+	naiveB := graph.NewBuilder(g.NumVertices(), 1)
+	for e := 0; e < g.NumEdges(); e++ {
+		naiveB.AddEdge(g.EdgeFrom(graph.EdgeID(e)), g.EdgeTo(graph.EdgeID(e)),
+			[]graph.TopicProb{{Topic: 0, Prob: trainEval.BaseRate}})
+	}
+	naiveGraph, err := naiveB.Build()
+	if err != nil {
+		t.Fatalf("naive build: %v", err)
+	}
+	naiveModel := topics.MustNewModel(m.NumTags(), 1)
+	for w := 0; w < m.NumTags(); w++ {
+		naiveModel.SetTagTopic(topics.TagID(w), 0, 0.5)
+	}
+	naive, err := Evaluate(naiveGraph, naiveModel, holdout)
+	if err != nil {
+		t.Fatalf("Evaluate naive: %v", err)
+	}
+	if learned.LogLoss >= naive.LogLoss {
+		t.Fatalf("learned log loss %.4f not better than naive %.4f", learned.LogLoss, naive.LogLoss)
+	}
+	if learned.Brier >= naive.Brier {
+		t.Fatalf("learned Brier %.4f not better than naive %.4f", learned.Brier, naive.Brier)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	g, m := hiddenWorld(t, 23)
+	empty := &Log{}
+	if _, err := Evaluate(g, m, empty); err == nil {
+		t.Fatal("empty log accepted")
+	}
+	bad := &Log{NumItems: 1, ItemTags: [][]topics.TagID{{99}}}
+	if _, err := Evaluate(g, m, bad); err == nil {
+		t.Fatal("out-of-vocabulary log accepted")
+	}
+}
+
+// TestSplitCreditReducesOvercounting: with shared credit, learned edge
+// probabilities must be no larger on average than with full attribution,
+// and the learned graph must remain valid.
+func TestSplitCreditReducesOvercounting(t *testing.T) {
+	g, m := hiddenWorld(t, 29)
+	r := rng.New(30)
+	log, err := Simulate(g, m, r, SimulateOptions{NumItems: 300, EpisodesPerItem: 4, TagsPerItem: 3})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	_, full, err := Learn(g, log, LearnOptions{NumTopics: 4, NumTags: m.NumTags(), Seed: 31})
+	if err != nil {
+		t.Fatalf("Learn full: %v", err)
+	}
+	_, split, err := Learn(g, log, LearnOptions{NumTopics: 4, NumTags: m.NumTags(), Seed: 31, SplitCredit: true})
+	if err != nil {
+		t.Fatalf("Learn split: %v", err)
+	}
+	var fullSum, splitSum float64
+	for e := 0; e < g.NumEdges(); e++ {
+		f := full.EdgeMaxProb(graph.EdgeID(e))
+		s := split.EdgeMaxProb(graph.EdgeID(e))
+		fullSum += f
+		splitSum += s
+		if s > f+1e-12 {
+			t.Fatalf("edge %d: split credit %v exceeds full credit %v", e, s, f)
+		}
+	}
+	if splitSum >= fullSum {
+		t.Fatalf("split credit (%v) did not reduce total mass vs full (%v)", splitSum, fullSum)
+	}
+	if splitSum == 0 {
+		t.Fatal("split credit learned nothing")
+	}
+}

@@ -1,0 +1,111 @@
+package tim
+
+import (
+	"math"
+	"testing"
+
+	"pitex/internal/exact"
+	"pitex/internal/fixture"
+	"pitex/internal/graph"
+	"pitex/internal/topics"
+)
+
+func TestChainIsExactForTrees(t *testing.T) {
+	// On a path there is exactly one path to every vertex, so MIA is exact
+	// (up to the pruning threshold).
+	g := graph.Chain(6, 0.5)
+	est := New(g, 1e-9)
+	got := est.Estimate(0, []float64{1})
+	want := 1 + 0.5 + 0.25 + 0.125 + 0.0625 + 0.03125
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("chain estimate = %v, want %v", got, want)
+	}
+}
+
+func TestPruningThreshold(t *testing.T) {
+	g := graph.Chain(20, 0.5)
+	est := New(g, 0.1)
+	got := est.Estimate(0, []float64{1})
+	// Paths with probability < 0.1 pruned: keep 1, 0.5, 0.25, 0.125.
+	want := 1 + 0.5 + 0.25 + 0.125
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("pruned estimate = %v, want %v", got, want)
+	}
+}
+
+func TestUnderestimatesOnDiamond(t *testing.T) {
+	// Two disjoint u->t paths: MIA keeps only one, so it must come in
+	// below the exact value.
+	b := graph.NewBuilder(4, 1)
+	tp := []graph.TopicProb{{Topic: 0, Prob: 0.5}}
+	b.AddEdge(0, 1, tp)
+	b.AddEdge(0, 2, tp)
+	b.AddEdge(1, 3, tp)
+	b.AddEdge(2, 3, tp)
+	g := b.MustBuild()
+	ex, err := exact.Influence(g, 0, []float64{0.5, 0.5, 0.5, 0.5})
+	if err != nil {
+		t.Fatalf("exact: %v", err)
+	}
+	got := New(g, 1e-9).Estimate(0, []float64{1})
+	if got >= ex {
+		t.Fatalf("MIA estimate %v not below exact %v on multi-path graph", got, ex)
+	}
+	// It must still credit the best single path: 1 + 2*0.5 + 0.25.
+	want := 1 + 0.5 + 0.5 + 0.25
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MIA estimate %v, want %v", got, want)
+	}
+}
+
+func TestPicksMostLikelyPath(t *testing.T) {
+	// u -> a -> t with 0.9*0.9 = 0.81 vs direct u -> t with 0.3:
+	// MIA must take the two-hop path.
+	b := graph.NewBuilder(3, 1)
+	b.AddEdge(0, 1, []graph.TopicProb{{Topic: 0, Prob: 0.9}})
+	b.AddEdge(1, 2, []graph.TopicProb{{Topic: 0, Prob: 0.9}})
+	b.AddEdge(0, 2, []graph.TopicProb{{Topic: 0, Prob: 0.3}})
+	g := b.MustBuild()
+	got := New(g, 1e-9).Estimate(0, []float64{1})
+	want := 1 + 0.9 + 0.81
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("estimate %v, want %v (best path not chosen)", got, want)
+	}
+}
+
+func TestRespectsPosterior(t *testing.T) {
+	g := fixture.Graph()
+	m := fixture.Model()
+	est := New(g, 1e-9)
+	postW12, _ := m.Posterior([]topics.TagID{fixture.W1, fixture.W2})
+	got := est.Estimate(fixture.U1, postW12)
+	// The fixture's {w1,w2} graph is a tree (u1->u2, u1->u3, u3->u6),
+	// so MIA is exact here: 1.5125.
+	if math.Abs(got-fixture.ExactInfluenceU1W12) > 1e-12 {
+		t.Fatalf("fixture estimate = %v, want %v", got, fixture.ExactInfluenceU1W12)
+	}
+}
+
+func TestCostCounter(t *testing.T) {
+	g := graph.Chain(10, 0.9)
+	est := New(g, 1e-9)
+	est.Estimate(0, []float64{1})
+	if est.VerticesExpanded() != 10 {
+		t.Fatalf("VerticesExpanded = %d, want 10", est.VerticesExpanded())
+	}
+}
+
+func TestDefaultTheta(t *testing.T) {
+	g := graph.Chain(3, 0.5)
+	est := New(g, 0)
+	if est.theta != DefaultTheta {
+		t.Fatalf("default theta = %v", est.theta)
+	}
+}
+
+func TestIsolatedVertex(t *testing.T) {
+	g := fixture.Graph()
+	if got := New(g, 0).Estimate(fixture.U5, []float64{1, 0, 0}); got != 1 {
+		t.Fatalf("isolated estimate = %v, want 1", got)
+	}
+}

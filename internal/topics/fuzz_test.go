@@ -1,0 +1,36 @@
+package topics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead: the model parser must never panic; accepted models must be
+// valid and round-trip.
+func FuzzRead(f *testing.F) {
+	f.Add("pitex-tagmodel 1\n1 2\nprior 0.5 0.5\n0 \"a\" 1 0 0.5\n")
+	f.Add("pitex-tagmodel 1\n2 1\nprior 1\n0 \"x y\" 0\n1 \"\" 1 0 1\n")
+	f.Add("")
+	f.Add("pitex-tagmodel 1\n0 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted model invalid: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			t.Fatalf("accepted model failed to serialize: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.NumTags() != m.NumTags() || back.NumTopics() != m.NumTopics() {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}

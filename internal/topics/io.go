@@ -1,0 +1,153 @@
+package topics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text serialization format:
+//
+//	pitex-tagmodel 1
+//	<numTags> <numTopics>
+//	prior <p0> <p1> ...
+//	<tagID> <quotedName> <n> <topic> <prob> ...   (one line per tag)
+//
+// Zero entries are omitted; tags with no entries still get a line.
+
+const modelHeader = "pitex-tagmodel 1"
+
+// Write serializes m to w.
+func Write(w io.Writer, m *Model) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, modelHeader)
+	fmt.Fprintln(bw, m.numTags, m.numTopics)
+	fmt.Fprint(bw, "prior")
+	for _, p := range m.prior {
+		fmt.Fprint(bw, " ", strconv.FormatFloat(p, 'g', -1, 64))
+	}
+	fmt.Fprintln(bw)
+	for wID := 0; wID < m.numTags; wID++ {
+		entries := make([]string, 0, 4)
+		for z := 0; z < m.numTopics; z++ {
+			if p := m.TagTopic(TagID(wID), int32(z)); p > 0 {
+				entries = append(entries, strconv.Itoa(z), strconv.FormatFloat(p, 'g', -1, 64))
+			}
+		}
+		fmt.Fprintf(bw, "%d %s %d", wID, strconv.Quote(m.names[wID]), len(entries)/2)
+		for _, e := range entries {
+			fmt.Fprint(bw, " ", e)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// Read parses a model written by Write.
+func Read(r io.Reader) (*Model, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	if !sc.Scan() || strings.TrimSpace(sc.Text()) != modelHeader {
+		return nil, fmt.Errorf("topics: bad header %q", sc.Text())
+	}
+	if !sc.Scan() {
+		return nil, fmt.Errorf("topics: missing size line")
+	}
+	var nTags, nTopics int
+	if _, err := fmt.Sscan(sc.Text(), &nTags, &nTopics); err != nil {
+		return nil, fmt.Errorf("topics: bad size line: %w", err)
+	}
+	m, err := NewModel(nTags, nTopics)
+	if err != nil {
+		return nil, err
+	}
+	if !sc.Scan() {
+		return nil, fmt.Errorf("topics: missing prior line")
+	}
+	pf := strings.Fields(sc.Text())
+	if len(pf) != nTopics+1 || pf[0] != "prior" {
+		return nil, fmt.Errorf("topics: bad prior line %q", sc.Text())
+	}
+	prior := make([]float64, nTopics)
+	for z := 0; z < nTopics; z++ {
+		p, err := strconv.ParseFloat(pf[z+1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("topics: bad prior entry: %w", err)
+		}
+		prior[z] = p
+	}
+	if err := m.SetPrior(prior); err != nil {
+		return nil, err
+	}
+	for i := 0; i < nTags; i++ {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("topics: expected %d tag lines, got %d", nTags, i)
+		}
+		line := sc.Text()
+		// Parse: id, quoted name, count, pairs. The quoted name may
+		// contain spaces, so split carefully.
+		sp1 := strings.IndexByte(line, ' ')
+		if sp1 < 0 {
+			return nil, fmt.Errorf("topics: tag line %d too short", i)
+		}
+		id, err := strconv.Atoi(line[:sp1])
+		if err != nil || id < 0 || id >= nTags {
+			return nil, fmt.Errorf("topics: tag line %d: bad id %q", i, line[:sp1])
+		}
+		rest := line[sp1+1:]
+		if !strings.HasPrefix(rest, "\"") {
+			return nil, fmt.Errorf("topics: tag line %d: missing quoted name", i)
+		}
+		name, tail, err := unquotePrefix(rest)
+		if err != nil {
+			return nil, fmt.Errorf("topics: tag line %d: %w", i, err)
+		}
+		fields := strings.Fields(tail)
+		if len(fields) < 1 {
+			return nil, fmt.Errorf("topics: tag line %d: missing entry count", i)
+		}
+		n, err := strconv.Atoi(fields[0])
+		if err != nil || len(fields) != 1+2*n {
+			return nil, fmt.Errorf("topics: tag line %d: bad entry count", i)
+		}
+		if name != "" {
+			m.SetTagName(TagID(id), name)
+		}
+		for j := 0; j < n; j++ {
+			z, err := strconv.Atoi(fields[1+2*j])
+			if err != nil || z < 0 || z >= nTopics {
+				return nil, fmt.Errorf("topics: tag line %d: bad topic", i)
+			}
+			p, err := strconv.ParseFloat(fields[2+2*j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("topics: tag line %d: bad probability", i)
+			}
+			m.SetTagTopic(TagID(id), int32(z), p)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, sc.Err()
+}
+
+// unquotePrefix parses a Go-quoted string at the start of s and returns the
+// unquoted value plus the remainder.
+func unquotePrefix(s string) (value, rest string, err error) {
+	// Find the closing quote, honoring escapes.
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			v, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", err
+			}
+			return v, s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted string")
+}

@@ -1,0 +1,95 @@
+package pitex
+
+import (
+	"fmt"
+	"io"
+
+	"pitex/internal/topics"
+)
+
+// TagModel holds the tag-topic side of the PITEX model: p(w|z) for every
+// tag and topic plus the topic prior p(z). Values are free parameters in
+// [0,1]; only their relative sizes across topics (for a fixed tag) shape
+// the posterior of Eq. 1.
+type TagModel struct {
+	m *topics.Model
+}
+
+// NewTagModel allocates a model with all-zero p(w|z) and a uniform prior.
+func NewTagModel(numTags, numTopics int) (*TagModel, error) {
+	m, err := topics.NewModel(numTags, numTopics)
+	if err != nil {
+		return nil, fmt.Errorf("pitex: %w", err)
+	}
+	return &TagModel{m: m}, nil
+}
+
+// NumTags returns the vocabulary size |Ω|.
+func (tm *TagModel) NumTags() int { return tm.m.NumTags() }
+
+// NumTopics returns |Z|.
+func (tm *TagModel) NumTopics() int { return tm.m.NumTopics() }
+
+// SetTagTopic sets p(w|z) = p. It returns an error on out-of-range
+// arguments so model-loading code can surface bad input cleanly.
+func (tm *TagModel) SetTagTopic(tag, topic int, p float64) error {
+	if tag < 0 || tag >= tm.m.NumTags() {
+		return fmt.Errorf("pitex: tag %d outside [0,%d)", tag, tm.m.NumTags())
+	}
+	if topic < 0 || topic >= tm.m.NumTopics() {
+		return fmt.Errorf("pitex: topic %d outside [0,%d)", topic, tm.m.NumTopics())
+	}
+	if p < 0 || p > 1 {
+		return fmt.Errorf("pitex: p(w|z) = %v outside [0,1]", p)
+	}
+	tm.m.SetTagTopic(topics.TagID(tag), int32(topic), p)
+	return nil
+}
+
+// TagTopic returns p(w|z).
+func (tm *TagModel) TagTopic(tag, topic int) float64 {
+	return tm.m.TagTopic(topics.TagID(tag), int32(topic))
+}
+
+// SetPrior replaces the topic prior p(z); it is normalized in place.
+func (tm *TagModel) SetPrior(prior []float64) error { return tm.m.SetPrior(prior) }
+
+// SetTagName attaches a human-readable name to a tag.
+func (tm *TagModel) SetTagName(tag int, name string) {
+	tm.m.SetTagName(topics.TagID(tag), name)
+}
+
+// TagName returns the tag's name, or "tag<id>" if unnamed.
+func (tm *TagModel) TagName(tag int) string { return tm.m.TagName(topics.TagID(tag)) }
+
+// Density returns the fraction of non-zero p(w|z) entries — the "tag-topic
+// probability density" that governs best-effort pruning power (paper
+// Sec. 7.3).
+func (tm *TagModel) Density() float64 { return tm.m.Density() }
+
+// Write serializes the model in pitex's line-oriented text format.
+func (tm *TagModel) Write(w io.Writer) error { return topics.Write(w, tm.m) }
+
+// ReadTagModel parses a model previously written with Write.
+func ReadTagModel(r io.Reader) (*TagModel, error) {
+	m, err := topics.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &TagModel{m: m}, nil
+}
+
+// Posterior returns p(z|W) for a tag set, and whether it is defined (false
+// when no topic generates every tag in W, in which case the tag set cannot
+// propagate at all).
+func (tm *TagModel) Posterior(tags []int) ([]float64, bool) {
+	return tm.m.Posterior(toTagIDs(tags))
+}
+
+func toTagIDs(tags []int) []topics.TagID {
+	out := make([]topics.TagID, len(tags))
+	for i, t := range tags {
+		out[i] = topics.TagID(t)
+	}
+	return out
+}

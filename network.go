@@ -1,0 +1,113 @@
+package pitex
+
+import (
+	"fmt"
+	"io"
+
+	"pitex/internal/graph"
+)
+
+// TopicProb is one entry of an edge's topic-wise influence vector: the
+// probability p(e|z) that the edge activates when topic z carries the
+// content.
+type TopicProb struct {
+	Topic int
+	Prob  float64
+}
+
+// Network is an immutable directed social network with topic-aware edge
+// probabilities. Build one with NetworkBuilder, load one with ReadNetwork,
+// or generate one with GenerateDataset. Safe for concurrent readers.
+type Network struct {
+	g *graph.Graph
+}
+
+// NumUsers returns the number of users (vertices).
+func (n *Network) NumUsers() int { return n.g.NumVertices() }
+
+// NumEdges returns the number of follow/influence edges.
+func (n *Network) NumEdges() int { return n.g.NumEdges() }
+
+// NumTopics returns the number of latent topics the edge probabilities
+// refer to.
+func (n *Network) NumTopics() int { return n.g.NumTopics() }
+
+// OutDegree returns the number of users directly influenced by user u.
+func (n *Network) OutDegree(u int) int {
+	return n.g.OutDegree(graph.VertexID(u))
+}
+
+// Write serializes the network in pitex's line-oriented text format.
+func (n *Network) Write(w io.Writer) error { return graph.Write(w, n.g) }
+
+// ReadNetwork parses a network previously written with Write.
+func ReadNetwork(r io.Reader) (*Network, error) {
+	g, err := graph.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{g: g}, nil
+}
+
+// ReadNetworkEdgeList imports a whitespace-separated edge list
+// ("from to [topic:prob ...]" per line, '#' comments), the common format
+// of public graph distributions. Unannotated edges get defaultProb on
+// topic 0. Vertex IDs are compacted to [0, NumUsers) in first-appearance
+// order; the returned map translates original IDs to engine user IDs.
+func ReadNetworkEdgeList(r io.Reader, numTopics int, defaultProb float64) (*Network, map[int64]int, error) {
+	g, raw, err := graph.ReadEdgeList(r, numTopics, defaultProb)
+	if err != nil {
+		return nil, nil, err
+	}
+	ids := make(map[int64]int, len(raw))
+	for orig, v := range raw {
+		ids[orig] = int(v)
+	}
+	return &Network{g: g}, ids, nil
+}
+
+// UsersByGroup partitions users with out-edges by out-degree into the
+// paper's query populations: "high" (top 1%), "mid" (top 1-10%) and "low"
+// (the rest).
+func (n *Network) UsersByGroup() map[string][]int {
+	out := map[string][]int{}
+	for grp, vs := range graph.UserGroups(n.g) {
+		users := make([]int, len(vs))
+		for i, v := range vs {
+			users[i] = int(v)
+		}
+		out[grp.String()] = users
+	}
+	return out
+}
+
+// NetworkBuilder accumulates edges and produces a Network.
+type NetworkBuilder struct {
+	b        *graph.Builder
+	numUsers int
+}
+
+// NewNetworkBuilder creates a builder for a network with numUsers users and
+// numTopics topics.
+func NewNetworkBuilder(numUsers, numTopics int) *NetworkBuilder {
+	return &NetworkBuilder{b: graph.NewBuilder(numUsers, numTopics), numUsers: numUsers}
+}
+
+// AddEdge appends a directed influence edge from -> to with the given
+// topic-wise probabilities. Validation happens at Build.
+func (nb *NetworkBuilder) AddEdge(from, to int, probs ...TopicProb) {
+	tps := make([]graph.TopicProb, len(probs))
+	for i, p := range probs {
+		tps[i] = graph.TopicProb{Topic: int32(p.Topic), Prob: p.Prob}
+	}
+	nb.b.AddEdge(graph.VertexID(from), graph.VertexID(to), tps)
+}
+
+// Build validates the accumulated edges and returns the Network.
+func (nb *NetworkBuilder) Build() (*Network, error) {
+	g, err := nb.b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("pitex: %w", err)
+	}
+	return &Network{g: g}, nil
+}

@@ -1,0 +1,164 @@
+package pitex
+
+import "fmt"
+
+// Strategy selects which influence estimator the engine uses. The paper
+// evaluates all seven (Fig. 7-8).
+type Strategy int
+
+const (
+	// StrategyLazy is lazy propagation sampling (paper Sec. 5.1), the
+	// fastest online sampler; the default because it needs no offline
+	// construction.
+	StrategyLazy Strategy = iota
+	// StrategyMC is Monte-Carlo forward sampling (Sec. 4).
+	StrategyMC
+	// StrategyRR is reverse-reachable-set sampling (Sec. 4).
+	StrategyRR
+	// StrategyTIM is the tree-based maximum-influence-path baseline; fast
+	// but without an approximation guarantee.
+	StrategyTIM
+	// StrategyIndex is the offline RR-Graph index (Sec. 6.1, "IndexEst").
+	StrategyIndex
+	// StrategyIndexPruned adds the edge-cut filter-and-verify layer
+	// (Sec. 6.2, "IndexEst+").
+	StrategyIndexPruned
+	// StrategyDelay is delay materialization (Sec. 6.3, "DelayMat"):
+	// index-speed queries from a per-user-counter index that is orders of
+	// magnitude smaller.
+	StrategyDelay
+)
+
+// String returns the paper's name for the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyLazy:
+		return "LAZY"
+	case StrategyMC:
+		return "MC"
+	case StrategyRR:
+		return "RR"
+	case StrategyTIM:
+		return "TIM"
+	case StrategyIndex:
+		return "INDEXEST"
+	case StrategyIndexPruned:
+		return "INDEXEST+"
+	case StrategyDelay:
+		return "DELAYMAT"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// NeedsIndex reports whether the strategy requires offline RR-Graph
+// construction inside NewEngine.
+func (s Strategy) NeedsIndex() bool {
+	return s == StrategyIndex || s == StrategyIndexPruned || s == StrategyDelay
+}
+
+// Propagation selects the cascade model. The paper's main body uses the
+// independent cascade (IC) model; footnote 1 notes the approaches extend to
+// the linear threshold (LT) model, implemented here for the online
+// strategies.
+type Propagation int
+
+const (
+	// PropagationIC is the independent cascade model (default).
+	PropagationIC Propagation = iota
+	// PropagationLT is the linear threshold model with tag-aware weights
+	// b(e|W) = p(e|W) / max(1, Σ_in p(e'|W)). Supported by the online
+	// strategies: MC and Lazy dispatch to the threshold-based forward
+	// sampler, RR to the reverse triggering-set sampler. The RR-Graph
+	// index encodes IC possible worlds and rejects LT.
+	PropagationLT
+)
+
+// String names the model.
+func (p Propagation) String() string {
+	if p == PropagationLT {
+		return "LT"
+	}
+	return "IC"
+}
+
+// Options configures an Engine. The zero value gives the paper's default
+// parameters with the Lazy strategy.
+type Options struct {
+	// Strategy selects the estimator (default StrategyLazy).
+	Strategy Strategy
+	// Propagation selects the cascade model (default PropagationIC).
+	Propagation Propagation
+	// Epsilon is the relative error ε of the (1-ε)/(1+ε) approximation.
+	// Default 0.7, the paper's default.
+	Epsilon float64
+	// Delta controls the failure probability 1/δ. Default 1000.
+	Delta float64
+	// MaxK is the largest query size k the engine must support; it enters
+	// the union bound (φ_K) of the sample sizes. Default 10, the paper's
+	// K. Queries with k > MaxK are rejected.
+	MaxK int
+	// Seed makes every randomized component deterministic. Default 1.
+	Seed uint64
+	// MaxSamples caps θ_W per online estimation; 0 keeps the theoretical
+	// Eq. 2 value. A cap trades the formal guarantee for bounded latency
+	// (DESIGN.md Sec. 6).
+	MaxSamples int64
+	// MaxIndexSamples caps the offline θ of Eq. 7 for index strategies;
+	// 0 keeps the theoretical value.
+	MaxIndexSamples int64
+	// DisableBestEffort switches the query loop from best-effort
+	// exploration (Sec. 5.2) to plain enumeration of all C(|Ω|,k) sets.
+	DisableBestEffort bool
+	// CheapBounds replaces sampled Lemma 8 upper bounds with one-BFS
+	// reachability bounds: looser pruning, much cheaper per partial set.
+	CheapBounds bool
+	// DisableEarlyStop turns off the Algo-2 martingale stopping rule in
+	// online samplers (ablation knob).
+	DisableEarlyStop bool
+}
+
+// withDefaults fills unset fields with the paper's defaults.
+func (o Options) withDefaults() Options {
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.7
+	}
+	if o.Delta == 0 {
+		o.Delta = 1000
+	}
+	if o.MaxK == 0 {
+		o.MaxK = 10
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	o = o.withDefaults()
+	if o.Epsilon <= 0 || o.Epsilon >= 1 {
+		return fmt.Errorf("pitex: Epsilon = %v, want (0,1)", o.Epsilon)
+	}
+	if o.Delta <= 1 {
+		return fmt.Errorf("pitex: Delta = %v, want > 1", o.Delta)
+	}
+	if o.MaxK < 1 {
+		return fmt.Errorf("pitex: MaxK = %d, want >= 1", o.MaxK)
+	}
+	if o.Strategy < StrategyLazy || o.Strategy > StrategyDelay {
+		return fmt.Errorf("pitex: unknown strategy %d", int(o.Strategy))
+	}
+	if o.MaxSamples < 0 || o.MaxIndexSamples < 0 {
+		return fmt.Errorf("pitex: negative sample caps")
+	}
+	if o.Propagation != PropagationIC && o.Propagation != PropagationLT {
+		return fmt.Errorf("pitex: unknown propagation model %d", int(o.Propagation))
+	}
+	if o.Propagation == PropagationLT &&
+		o.Strategy != StrategyMC && o.Strategy != StrategyLazy && o.Strategy != StrategyRR {
+		return fmt.Errorf("pitex: the LT model requires an online strategy (MC, Lazy or RR; got %v)", o.Strategy)
+	}
+	return nil
+}
