@@ -44,29 +44,8 @@ func main() {
 	}
 }
 
-func parseStrategy(s string) (pitex.Strategy, error) {
-	switch strings.ToLower(s) {
-	case "lazy":
-		return pitex.StrategyLazy, nil
-	case "mc":
-		return pitex.StrategyMC, nil
-	case "rr":
-		return pitex.StrategyRR, nil
-	case "tim":
-		return pitex.StrategyTIM, nil
-	case "indexest", "index":
-		return pitex.StrategyIndex, nil
-	case "indexest+", "index+":
-		return pitex.StrategyIndexPruned, nil
-	case "delaymat", "delay":
-		return pitex.StrategyDelay, nil
-	default:
-		return 0, fmt.Errorf("unknown strategy %q", s)
-	}
-}
-
 func run(dataset, networkPath, modelPath string, seed uint64, scale float64, user, k int, strategyName string, epsilon, delta float64, maxSamp, maxIdx int64, cheap bool, top int, prefixArg string, audienceN int) error {
-	strategy, err := parseStrategy(strategyName)
+	strategy, err := pitex.ParseStrategy(strategyName)
 	if err != nil {
 		return err
 	}

@@ -17,12 +17,12 @@ func TestParseStrategy(t *testing.T) {
 		"delaymat": pitex.StrategyDelay, "delay": pitex.StrategyDelay,
 	}
 	for in, want := range cases {
-		got, err := parseStrategy(in)
+		got, err := pitex.ParseStrategy(in)
 		if err != nil || got != want {
-			t.Errorf("parseStrategy(%q) = %v, %v; want %v", in, got, err, want)
+			t.Errorf("ParseStrategy(%q) = %v, %v; want %v", in, got, err, want)
 		}
 	}
-	if _, err := parseStrategy("bogus"); err == nil {
+	if _, err := pitex.ParseStrategy("bogus"); err == nil {
 		t.Fatal("bogus strategy accepted")
 	}
 }

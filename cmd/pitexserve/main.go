@@ -1,0 +1,193 @@
+// Command pitexserve runs the production PITEX query-serving subsystem
+// (package pitex/serve): an engine-clone pool with admission control, a
+// sharded result cache with in-flight deduplication, and an HTTP/JSON
+// surface with latency histograms on /statsz.
+//
+// Usage:
+//
+//	pitexserve -dataset lastfm -strategy indexest+ -addr :8437
+//	curl 'localhost:8437/selling-points?user=12&k=3'
+//	curl 'localhost:8437/audience?user=12&tags=1,4&m=5'
+//	curl 'localhost:8437/statsz'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pitex"
+	"pitex/serve"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "", "generate this dataset (lastfm, diggs, dblp, twitter)")
+		network  = flag.String("network", "", "network file (alternative to -dataset)")
+		model    = flag.String("model", "", "tag model file (required with -network)")
+		index    = flag.String("index", "", "offline index file written by SaveIndex (skips construction)")
+		seed     = flag.Uint64("seed", 1, "generation / sampling seed")
+		scale    = flag.Float64("scale", 1.0, "dataset scale factor (with -dataset)")
+		strategy = flag.String("strategy", "indexest+", "lazy, mc, rr, tim, indexest, indexest+, delaymat")
+		epsilon  = flag.Float64("epsilon", 0.7, "relative error bound")
+		delta    = flag.Float64("delta", 1000, "failure probability control (1/delta)")
+		maxSamp  = flag.Int64("max-samples", 5000, "per-estimation sample cap (0 = theoretical)")
+		maxIdx   = flag.Int64("max-index-samples", 200000, "offline sample cap (0 = theoretical)")
+		cheap    = flag.Bool("cheap-bounds", true, "use one-BFS upper bounds in best-effort exploration")
+		maxK     = flag.Int("max-k", 10, "largest supported query size k")
+
+		addr     = flag.String("addr", "localhost:8437", "listen address")
+		pool     = flag.Int("pool", 0, "engine pool size (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 0, "admission queue depth beyond the pool (0 = 4x pool, negative = no queue)")
+		queueTO  = flag.Duration("queue-timeout", 5*time.Second, "max wait for a free engine (0 = 5s default, negative = none)")
+		queryTO  = flag.Duration("query-timeout", 0, "per-query deadline (0 = 30s default, negative = none)")
+		cacheCap = flag.Int("cache", 4096, "result cache capacity in entries (negative disables)")
+		shards   = flag.Int("cache-shards", 16, "cache shard count")
+	)
+	flag.Parse()
+	srv, err := setup(buildConfig{
+		dataset: *dataset, network: *network, model: *model, index: *index,
+		seed: *seed, scale: *scale, strategy: *strategy,
+		epsilon: *epsilon, delta: *delta, maxSamples: *maxSamp,
+		maxIndexSamples: *maxIdx, cheapBounds: *cheap, maxK: *maxK,
+	}, pitex.ServeOptions{
+		PoolSize: *pool, QueueDepth: *queue,
+		QueueTimeout: *queueTO, QueryTimeout: *queryTO,
+		CacheCapacity: *cacheCap, CacheShards: *shards,
+	}, log.Printf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pitexserve:", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	// SIGINT/SIGTERM drain in-flight requests, then the pool shuts down.
+	idle := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Println("shutting down")
+		_ = httpSrv.Shutdown(context.Background())
+		close(idle)
+	}()
+	log.Printf("listening on %s", *addr)
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		srv.Close()
+		log.Fatal(err)
+	}
+	<-idle
+	srv.Close()
+	log.Println("shutdown complete")
+}
+
+// buildConfig collects the engine-construction flags.
+type buildConfig struct {
+	dataset, network, model, index string
+	seed                           uint64
+	scale                          float64
+	strategy                       string
+	epsilon, delta                 float64
+	maxSamples, maxIndexSamples    int64
+	cheapBounds                    bool
+	maxK                           int
+}
+
+// setup builds the engine (running or loading the offline phase) and wraps
+// it in the serving subsystem. logf receives progress lines.
+func setup(cfg buildConfig, sopts pitex.ServeOptions, logf func(string, ...any)) (*serve.Server, error) {
+	strategy, err := pitex.ParseStrategy(cfg.strategy)
+	if err != nil {
+		return nil, err
+	}
+
+	var net *pitex.Network
+	var model *pitex.TagModel
+	switch {
+	case cfg.dataset != "":
+		spec, err := pitex.BaseDatasetSpec(cfg.dataset)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.scale != 1.0 {
+			spec = spec.Scaled(cfg.scale)
+		}
+		net, model, err = pitex.GenerateDatasetSpec(spec, cfg.seed)
+		if err != nil {
+			return nil, err
+		}
+	case cfg.network != "" && cfg.model != "":
+		nf, err := os.Open(cfg.network)
+		if err != nil {
+			return nil, err
+		}
+		defer nf.Close()
+		net, err = pitex.ReadNetwork(nf)
+		if err != nil {
+			return nil, err
+		}
+		mf, err := os.Open(cfg.model)
+		if err != nil {
+			return nil, err
+		}
+		defer mf.Close()
+		model, err = pitex.ReadTagModel(mf)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("need either -dataset or both -network and -model")
+	}
+
+	opts := pitex.Options{
+		Strategy:        strategy,
+		Epsilon:         cfg.epsilon,
+		Delta:           cfg.delta,
+		MaxK:            cfg.maxK,
+		Seed:            cfg.seed,
+		MaxSamples:      cfg.maxSamples,
+		MaxIndexSamples: cfg.maxIndexSamples,
+		CheapBounds:     cfg.cheapBounds,
+	}
+	var en *pitex.Engine
+	if cfg.index != "" {
+		f, err := os.Open(cfg.index)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		en, err = pitex.NewEngineWithIndex(net, model, opts, f)
+		if err != nil {
+			return nil, err
+		}
+		logf("index loaded in %v (%.2f MB) over %d users",
+			en.IndexBuildTime, float64(en.IndexMemoryBytes())/(1<<20), net.NumUsers())
+	} else {
+		en, err = pitex.NewEngine(net, model, opts)
+		if err != nil {
+			return nil, err
+		}
+		if en.IndexBuildTime > 0 {
+			logf("index built in %v (%.2f MB) over %d users",
+				en.IndexBuildTime, float64(en.IndexMemoryBytes())/(1<<20), net.NumUsers())
+		}
+	}
+	srv, err := serve.New(en, sopts)
+	if err != nil {
+		return nil, err
+	}
+	eff := sopts.WithDefaults()
+	logf("serving %s with %d engine workers, queue depth %d, cache %d entries",
+		en.Strategy(), eff.PoolSize, eff.QueueDepth, eff.CacheCapacity)
+	return srv, nil
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pitex"
+)
+
+func testServeOptions() pitex.ServeOptions {
+	return pitex.ServeOptions{PoolSize: 2, QueueTimeout: 10 * time.Second}
+}
+
+func discardf(string, ...any) {}
+
+func TestParseStrategy(t *testing.T) {
+	cases := map[string]pitex.Strategy{
+		"lazy": pitex.StrategyLazy, "LAZY": pitex.StrategyLazy,
+		"mc": pitex.StrategyMC, "rr": pitex.StrategyRR, "tim": pitex.StrategyTIM,
+		"indexest": pitex.StrategyIndex, "index": pitex.StrategyIndex,
+		"indexest+": pitex.StrategyIndexPruned, "index+": pitex.StrategyIndexPruned,
+		"delaymat": pitex.StrategyDelay, "delay": pitex.StrategyDelay,
+	}
+	for in, want := range cases {
+		got, err := pitex.ParseStrategy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseStrategy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := pitex.ParseStrategy("bogus"); err == nil {
+		t.Fatal("bogus strategy accepted")
+	}
+}
+
+func TestSetupAndServe(t *testing.T) {
+	srv, err := setup(buildConfig{
+		dataset: "lastfm", seed: 1, scale: 0.02, strategy: "indexest+",
+		epsilon: 0.7, delta: 1000, maxSamples: 500, maxIndexSamples: 4000,
+		cheapBounds: true, maxK: 10,
+	}, testServeOptions(), discardf)
+	if err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	defer srv.Close()
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, url := range []string{
+		"/selling-points?user=0&k=2",
+		"/audience?user=0&tags=0,1&m=3&samples=500",
+		"/healthz",
+		"/statsz",
+	} {
+		resp, err := ts.Client().Get(ts.URL + url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("GET %s: status %d, want 200", url, resp.StatusCode)
+		}
+	}
+}
+
+func TestSetupFromFilesWithSavedIndex(t *testing.T) {
+	dir := t.TempDir()
+	spec, err := pitex.BaseDatasetSpec("lastfm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, model, err := pitex.GenerateDatasetSpec(spec.Scaled(0.02), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := pitex.Options{Strategy: pitex.StrategyIndexPruned, Seed: 1,
+		MaxSamples: 500, MaxIndexSamples: 4000, CheapBounds: true}
+	en, err := pitex.NewEngine(net, model, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	np := filepath.Join(dir, "g.network")
+	mp := filepath.Join(dir, "g.model")
+	ip := filepath.Join(dir, "g.index")
+	for _, w := range []struct {
+		path  string
+		write func(f io.Writer) error
+	}{
+		{np, net.Write},
+		{mp, model.Write},
+		{ip, en.SaveIndex},
+	} {
+		f, err := os.Create(w.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.write(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+
+	srv, err := setup(buildConfig{
+		network: np, model: mp, index: ip, seed: 1, strategy: "indexest+",
+		epsilon: 0.7, delta: 1000, maxSamples: 500, maxIndexSamples: 4000,
+		cheapBounds: true, maxK: 10,
+	}, testServeOptions(), discardf)
+	if err != nil {
+		t.Fatalf("setup with saved index: %v", err)
+	}
+	srv.Close()
+}
+
+func TestSetupValidation(t *testing.T) {
+	base := buildConfig{epsilon: 0.7, delta: 1000, maxK: 10}
+
+	cfg := base
+	if _, err := setup(cfg, testServeOptions(), discardf); err == nil {
+		t.Error("missing inputs accepted")
+	}
+	cfg = base
+	cfg.dataset, cfg.strategy = "lastfm", "bogus"
+	if _, err := setup(cfg, testServeOptions(), discardf); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+	cfg = base
+	cfg.dataset, cfg.strategy, cfg.scale = "nope", "lazy", 1
+	if _, err := setup(cfg, testServeOptions(), discardf); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	cfg = base
+	cfg.network, cfg.model, cfg.strategy = "/does/not/exist", "/nope", "lazy"
+	if _, err := setup(cfg, testServeOptions(), discardf); err == nil {
+		t.Error("missing files accepted")
+	}
+}

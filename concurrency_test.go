@@ -1,0 +1,91 @@
+package pitex
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentClonesMatchSingleThreaded hammers one shared offline index
+// from many goroutines and checks every answer against the single-threaded
+// engine. IndexEst+ with cheap bounds is fully deterministic (no per-query
+// randomness), so the comparison is exact. Run under -race this doubles as
+// the shared-index safety proof for the serving pool.
+func TestConcurrentClonesMatchSingleThreaded(t *testing.T) {
+	spec, err := BaseDatasetSpec("lastfm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, model, err := GenerateDatasetSpec(spec.Scaled(0.02), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := NewEngine(net, model, Options{
+		Strategy:        StrategyIndexPruned,
+		Seed:            3,
+		MaxSamples:      5000,
+		MaxIndexSamples: 20000,
+		CheapBounds:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	users := make([]int, 12)
+	for i := range users {
+		users[i] = (i * 7) % net.NumUsers()
+	}
+	const k = 2
+
+	type answer struct {
+		tags      []int
+		influence float64
+	}
+	want := make(map[int]answer, len(users))
+	for _, u := range users {
+		res, err := en.Query(u, k)
+		if err != nil {
+			t.Fatalf("baseline Query(%d): %v", u, err)
+		}
+		want[u] = answer{tags: res.Tags, influence: res.Influence}
+	}
+
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			clone := en.Clone()
+			// Each worker visits every user, starting at a different
+			// offset so distinct users are in flight simultaneously.
+			for i := range users {
+				u := users[(i+w)%len(users)]
+				res, err := clone.Query(u, k)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d Query(%d): %w", w, u, err)
+					return
+				}
+				exp := want[u]
+				if res.Influence != exp.influence || len(res.Tags) != len(exp.tags) {
+					errs <- fmt.Errorf("worker %d user %d: got (%v, %v), want (%v, %v)",
+						w, u, res.Tags, res.Influence, exp.tags, exp.influence)
+					return
+				}
+				for j := range res.Tags {
+					if res.Tags[j] != exp.tags[j] {
+						errs <- fmt.Errorf("worker %d user %d: tags %v, want %v",
+							w, u, res.Tags, exp.tags)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

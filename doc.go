@@ -32,4 +32,22 @@
 // (Sec. 6). Index strategies pay an offline construction cost inside
 // NewEngine and answer queries orders of magnitude faster. All strategies
 // run under best-effort exploration (Sec. 5.2) unless disabled.
+//
+// # Serving
+//
+// An Engine is not safe for concurrent use, but Clone returns a worker
+// sharing the offline index with fresh estimator scratch, and QueryCtx /
+// QueryTopCtx / QueryWithPrefixCtx observe a context between best-first
+// expansions so a serving layer can cancel abandoned work and enforce
+// deadlines. The pitex/serve subpackage assembles these into a production
+// query-serving subsystem — an engine-clone pool with admission control, a
+// sharded result cache with in-flight request deduplication, and an
+// HTTP/JSON surface with latency histograms (pool → cache → estimator; see
+// the serve package documentation for the architecture and for which
+// strategy to serve with). ServeOptions in this package holds its knobs;
+// cmd/pitexserve is the ready-made entry point:
+//
+//	engine, _ := pitex.NewEngine(net, model, pitex.Options{Strategy: pitex.StrategyIndexPruned})
+//	srv, _ := serve.New(engine, pitex.ServeOptions{})
+//	http.ListenAndServe(":8437", srv.Handler())
 package pitex

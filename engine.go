@@ -1,6 +1,7 @@
 package pitex
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -253,35 +254,57 @@ func (en *Engine) IndexMemoryBytes() int64 {
 	}
 }
 
+// Strategy returns the estimation strategy the engine was built with.
+func (en *Engine) Strategy() Strategy { return en.opts.Strategy }
+
 // Query answers the PITEX query (user, k): the size-k tag set maximizing
 // the user's estimated influence spread.
 func (en *Engine) Query(user, k int) (Result, error) {
-	return en.query(user, nil, k, 1)
+	return en.query(context.Background(), user, nil, k, 1)
+}
+
+// QueryCtx is Query under a context: the best-first explorer checks ctx
+// between expansions and abandons the query with ctx.Err() once it is
+// cancelled or past its deadline. This is the serving-path entry point —
+// it bounds tail latency and stops burning samples for disconnected
+// clients.
+func (en *Engine) QueryCtx(ctx context.Context, user, k int) (Result, error) {
+	return en.query(ctx, user, nil, k, 1)
 }
 
 // QueryTop answers (user, k) and returns the m best tag sets in
 // Result.Alternatives, descending by estimated influence. Larger m loosens
 // best-effort pruning (the bar becomes the m-th best), so it explores more.
 func (en *Engine) QueryTop(user, k, m int) (Result, error) {
+	return en.QueryTopCtx(context.Background(), user, k, m)
+}
+
+// QueryTopCtx is QueryTop under a context (see QueryCtx).
+func (en *Engine) QueryTopCtx(ctx context.Context, user, k, m int) (Result, error) {
 	if m < 1 {
 		return Result{}, fmt.Errorf("pitex: m = %d, want >= 1", m)
 	}
-	return en.query(user, nil, k, m)
+	return en.query(ctx, user, nil, k, m)
 }
 
 // QueryWithPrefix answers the constrained query: the best size-k tag set
 // containing all of prefix. This is the interactive exploration flow —
 // pin the tags the post will certainly carry, ask what to add.
 func (en *Engine) QueryWithPrefix(user int, prefix []int, k int) (Result, error) {
+	return en.QueryWithPrefixCtx(context.Background(), user, prefix, k)
+}
+
+// QueryWithPrefixCtx is QueryWithPrefix under a context (see QueryCtx).
+func (en *Engine) QueryWithPrefixCtx(ctx context.Context, user int, prefix []int, k int) (Result, error) {
 	for _, w := range prefix {
 		if w < 0 || w >= en.model.NumTags() {
 			return Result{}, fmt.Errorf("pitex: prefix tag %d outside [0,%d)", w, en.model.NumTags())
 		}
 	}
-	return en.query(user, prefix, k, 1)
+	return en.query(ctx, user, prefix, k, 1)
 }
 
-func (en *Engine) query(user int, prefix []int, k, m int) (Result, error) {
+func (en *Engine) query(ctx context.Context, user int, prefix []int, k, m int) (Result, error) {
 	if user < 0 || user >= en.net.NumUsers() {
 		return Result{}, fmt.Errorf("pitex: user %d outside [0,%d)", user, en.net.NumUsers())
 	}
@@ -298,20 +321,23 @@ func (en *Engine) query(user int, prefix []int, k, m int) (Result, error) {
 		if len(prefix) > 0 || m > 1 {
 			return Result{}, fmt.Errorf("pitex: prefix and top-m queries require best-effort exploration")
 		}
-		tags, influence, stats := en.enumerateAll(graph.VertexID(user), k)
+		tags, influence, stats := en.enumerateAll(ctx, graph.VertexID(user), k)
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		res = Result{
 			Tags:              tags,
 			Influence:         influence,
 			FullSetsEstimated: stats,
 		}
 	case len(prefix) > 0:
-		br, err := en.explorer.Complete(graph.VertexID(user), toTagIDs(prefix), k)
+		br, err := en.explorer.CompleteCtx(ctx, graph.VertexID(user), toTagIDs(prefix), k)
 		if err != nil {
 			return Result{}, err
 		}
 		res = fromBestfirst(br, en.model)
 	default:
-		br, err := en.explorer.QueryTop(graph.VertexID(user), k, m)
+		br, err := en.explorer.QueryTopCtx(ctx, graph.VertexID(user), k, m)
 		if err != nil {
 			return Result{}, err
 		}
@@ -350,12 +376,16 @@ func fromBestfirst(br bestfirst.Result, model *TagModel) Result {
 }
 
 // enumerateAll is the Sec. 4 enumeration framework without best-effort
-// pruning: estimate every size-k tag set.
-func (en *Engine) enumerateAll(u graph.VertexID, k int) ([]int, float64, int64) {
+// pruning: estimate every size-k tag set. It stops early (with a partial
+// answer the caller must discard) once ctx is done.
+func (en *Engine) enumerateAll(ctx context.Context, u graph.VertexID, k int) ([]int, float64, int64) {
 	bestVal := -1.0
 	var best []int
 	var estimated int64
 	enumerate.Combinations(en.model.NumTags(), k, func(idx []int32) bool {
+		if ctx.Err() != nil {
+			return false
+		}
 		tags := make([]topics.TagID, k)
 		copy(tags, idx)
 		if !en.model.m.PosteriorInto(tags, en.posterior) {
@@ -382,11 +412,15 @@ type InfluencedUser struct {
 	Probability float64
 }
 
+// DefaultAudienceSamples is the cascade count Audience uses when samples
+// <= 0 is passed.
+const DefaultAudienceSamples = 2000
+
 // Audience estimates which users the given tag set would reach: the top-m
 // users by activation probability when user posts content tagged with tags
 // (u itself excluded). It answers the follow-up question behind a PITEX
 // result — "who exactly do these selling points reach?" — with samples
-// independent cascades per call.
+// independent cascades per call (DefaultAudienceSamples when samples <= 0).
 func (en *Engine) Audience(user int, tags []int, m int, samples int64) ([]InfluencedUser, error) {
 	if user < 0 || user >= en.net.NumUsers() {
 		return nil, fmt.Errorf("pitex: user %d outside [0,%d)", user, en.net.NumUsers())
@@ -395,7 +429,7 @@ func (en *Engine) Audience(user int, tags []int, m int, samples int64) ([]Influe
 		return nil, fmt.Errorf("pitex: m = %d, want >= 1", m)
 	}
 	if samples <= 0 {
-		samples = 2000
+		samples = DefaultAudienceSamples
 	}
 	for _, w := range tags {
 		if w < 0 || w >= en.model.NumTags() {

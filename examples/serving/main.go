@@ -1,31 +1,27 @@
-// Serving: a small HTTP service answering PITEX queries, the deployment
-// shape the paper's index strategies are built for ("instantly suggesting
+// Serving: an HTTP service answering PITEX queries, the deployment shape
+// the paper's index strategies are built for ("instantly suggesting
 // influential tags once any user on Twitter wishes to post viral ads").
-// The RR-Graph index is built once; each worker goroutine serves from an
-// engine clone sharing it. Run with:
+// The RR-Graph index is built once; the pitex/serve subsystem runs an
+// engine-clone pool with admission control, a sharded result cache with
+// in-flight deduplication, and latency histograms. Run with:
 //
 //	go run ./examples/serving &
 //	curl 'localhost:8437/selling-points?user=12&k=3'
+//	curl 'localhost:8437/selling-points?users=1,2,3&k=3'
 //	curl 'localhost:8437/audience?user=12&tags=1,4&m=5'
+//	curl 'localhost:8437/statsz'
+//
+// For a configurable production entry point see cmd/pitexserve.
 package main
 
 import (
-	"encoding/json"
-	"fmt"
 	"log"
 	"net/http"
-	"strconv"
-	"strings"
-	"sync"
+	"time"
 
 	"pitex"
+	"pitex/serve"
 )
-
-type server struct {
-	mu      sync.Mutex
-	engines chan *pitex.Engine // pool of clones
-	model   *pitex.TagModel
-}
 
 func main() {
 	net, model, err := pitex.GenerateDataset("lastfm", 1)
@@ -44,90 +40,15 @@ func main() {
 	log.Printf("index built in %v (%.2f MB) over %d users",
 		engine.IndexBuildTime, float64(engine.IndexMemoryBytes())/(1<<20), net.NumUsers())
 
-	const poolSize = 8
-	srv := &server{engines: make(chan *pitex.Engine, poolSize), model: model}
-	for i := 0; i < poolSize; i++ {
-		srv.engines <- engine.Clone()
+	srv, err := serve.New(engine, pitex.ServeOptions{
+		PoolSize:     8,
+		QueryTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-
-	http.HandleFunc("/selling-points", srv.sellingPoints)
-	http.HandleFunc("/audience", srv.audience)
 	log.Println("listening on :8437")
-	log.Fatal(http.ListenAndServe("localhost:8437", nil))
-}
-
-// withEngine checks an engine clone out of the pool for one request.
-func (s *server) withEngine(fn func(*pitex.Engine) (interface{}, error)) (interface{}, error) {
-	en := <-s.engines
-	defer func() { s.engines <- en }()
-	return fn(en)
-}
-
-func (s *server) sellingPoints(w http.ResponseWriter, r *http.Request) {
-	user, err := strconv.Atoi(r.URL.Query().Get("user"))
-	if err != nil {
-		http.Error(w, "bad user", http.StatusBadRequest)
-		return
-	}
-	k := 3
-	if ks := r.URL.Query().Get("k"); ks != "" {
-		if k, err = strconv.Atoi(ks); err != nil {
-			http.Error(w, "bad k", http.StatusBadRequest)
-			return
-		}
-	}
-	out, err := s.withEngine(func(en *pitex.Engine) (interface{}, error) {
-		res, err := en.Query(user, k)
-		if err != nil {
-			return nil, err
-		}
-		return map[string]interface{}{
-			"user":      user,
-			"tags":      res.TagNames,
-			"influence": res.Influence,
-			"elapsed":   res.Elapsed.String(),
-		}, nil
-	})
-	writeJSON(w, out, err)
-}
-
-func (s *server) audience(w http.ResponseWriter, r *http.Request) {
-	user, err := strconv.Atoi(r.URL.Query().Get("user"))
-	if err != nil {
-		http.Error(w, "bad user", http.StatusBadRequest)
-		return
-	}
-	var tags []int
-	for _, f := range strings.Split(r.URL.Query().Get("tags"), ",") {
-		t, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil {
-			http.Error(w, "bad tags", http.StatusBadRequest)
-			return
-		}
-		tags = append(tags, t)
-	}
-	m := 10
-	if ms := r.URL.Query().Get("m"); ms != "" {
-		if m, err = strconv.Atoi(ms); err != nil {
-			http.Error(w, "bad m", http.StatusBadRequest)
-			return
-		}
-	}
-	out, err := s.withEngine(func(en *pitex.Engine) (interface{}, error) {
-		aud, err := en.Audience(user, tags, m, 5000)
-		if err != nil {
-			return nil, err
-		}
-		return map[string]interface{}{"user": user, "audience": aud}, nil
-	})
-	writeJSON(w, out, err)
-}
-
-func writeJSON(w http.ResponseWriter, v interface{}, err error) {
-	if err != nil {
-		http.Error(w, fmt.Sprint(err), http.StatusBadRequest)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(v)
+	serveErr := http.ListenAndServe("localhost:8437", srv.Handler())
+	srv.Close()
+	log.Fatal(serveErr)
 }

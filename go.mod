@@ -1,0 +1,3 @@
+module pitex
+
+go 1.24

@@ -2,6 +2,7 @@ package bestfirst
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 
@@ -120,7 +121,15 @@ func (ex *Explorer) Query(u graph.VertexID, k int) (Result, error) {
 // influence (fewer if fewer exist). m > 1 widens the pruning threshold to
 // the m-th best value, so larger m explores more.
 func (ex *Explorer) QueryTop(u graph.VertexID, k, m int) (Result, error) {
-	return ex.run(u, nil, k, m)
+	return ex.run(context.Background(), u, nil, k, m)
+}
+
+// QueryTopCtx is QueryTop under a context: the explorer checks ctx between
+// best-first expansions and abandons the query with ctx.Err() once the
+// context is cancelled or its deadline passes, so a serving layer can bound
+// tail latency and drop work for disconnected clients.
+func (ex *Explorer) QueryTopCtx(ctx context.Context, u graph.VertexID, k, m int) (Result, error) {
+	return ex.run(ctx, u, nil, k, m)
 }
 
 // Complete answers a constrained query: the best size-k tag set that
@@ -128,6 +137,11 @@ func (ex *Explorer) QueryTop(u graph.VertexID, k, m int) (Result, error) {
 // paper motivates — a user pins the tags they will certainly post about
 // and asks what to add.
 func (ex *Explorer) Complete(u graph.VertexID, prefix []topics.TagID, k int) (Result, error) {
+	return ex.CompleteCtx(context.Background(), u, prefix, k)
+}
+
+// CompleteCtx is Complete under a context (see QueryTopCtx).
+func (ex *Explorer) CompleteCtx(ctx context.Context, u graph.VertexID, prefix []topics.TagID, k int) (Result, error) {
 	seen := map[topics.TagID]bool{}
 	for _, w := range prefix {
 		if int(w) < 0 || int(w) >= ex.m.NumTags() {
@@ -141,11 +155,11 @@ func (ex *Explorer) Complete(u graph.VertexID, prefix []topics.TagID, k int) (Re
 	if len(prefix) > k {
 		return Result{}, fmt.Errorf("bestfirst: prefix size %d exceeds k = %d", len(prefix), k)
 	}
-	return ex.run(u, prefix, k, 1)
+	return ex.run(ctx, u, prefix, k, 1)
 }
 
 // run is the shared Algo 5 engine.
-func (ex *Explorer) run(u graph.VertexID, prefix []topics.TagID, k, m int) (Result, error) {
+func (ex *Explorer) run(ctx context.Context, u graph.VertexID, prefix []topics.TagID, k, m int) (Result, error) {
 	if int(u) < 0 || int(u) >= ex.g.NumVertices() {
 		return Result{}, fmt.Errorf("bestfirst: user %d outside [0,%d)", u, ex.g.NumVertices())
 	}
@@ -197,6 +211,12 @@ func (ex *Explorer) run(u graph.VertexID, prefix []topics.TagID, k, m int) (Resu
 	heap.Push(h, root)
 
 	for h.Len() > 0 {
+		// Each iteration estimates a full set or a partial bound — the
+		// expensive units of work — so the cancellation check here bounds
+		// overrun to one estimation.
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		ent := heap.Pop(h).(heapEntry)
 		if len(ent.tags) == k {
 			if !ex.m.PosteriorInto(ent.tags, ex.posterior) {

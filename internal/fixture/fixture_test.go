@@ -1,0 +1,124 @@
+package fixture
+
+import (
+	"math"
+	"testing"
+
+	"pitex/internal/exact"
+	"pitex/internal/graph"
+	"pitex/internal/topics"
+)
+
+func TestDimensions(t *testing.T) {
+	g := Graph()
+	if g.NumVertices() != 7 {
+		t.Errorf("NumVertices = %d, want 7", g.NumVertices())
+	}
+	if g.NumTopics() != 3 {
+		t.Errorf("NumTopics = %d, want 3", g.NumTopics())
+	}
+	if g.NumEdges() != 7 {
+		t.Errorf("NumEdges = %d, want 7", g.NumEdges())
+	}
+	m := Model()
+	if m.NumTags() != 4 || m.NumTopics() != 3 {
+		t.Errorf("model is %dx%d, want 4x3", m.NumTags(), m.NumTopics())
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	for w, want := range []string{"w1", "w2", "w3", "w4"} {
+		if got := m.TagName(topics.TagID(w)); got != want {
+			t.Errorf("TagName(%d) = %q, want %q", w, got, want)
+		}
+	}
+}
+
+// findEdge returns the edge id from -> to, failing the test if absent.
+func findEdge(t *testing.T, g *graph.Graph, from, to graph.VertexID) graph.EdgeID {
+	t.Helper()
+	edges := g.OutEdges(from)
+	for i, v := range g.OutNeighbors(from) {
+		if v == to {
+			return edges[i]
+		}
+	}
+	t.Fatalf("edge %d -> %d not in fixture graph", from, to)
+	return 0
+}
+
+func TestPosteriorFig2b(t *testing.T) {
+	m := Model()
+	cases := []struct {
+		tags []topics.TagID
+		want []float64
+	}{
+		// p(z|W) ∝ p(z)·∏_w p(w|z) with the uniform prior (Eq. 1).
+		{[]topics.TagID{W1, W2}, []float64{0.5, 0.5, 0}},
+		{[]topics.TagID{W3, W4}, []float64{0, 4.0 / 13, 9.0 / 13}},
+		{[]topics.TagID{W1}, []float64{0.6, 0.4, 0}},
+	}
+	for _, c := range cases {
+		got, ok := m.Posterior(c.tags)
+		if !ok {
+			t.Errorf("Posterior(%v) undefined", c.tags)
+			continue
+		}
+		for z := range c.want {
+			if math.Abs(got[z]-c.want[z]) > 1e-12 {
+				t.Errorf("Posterior(%v) = %v, want %v", c.tags, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestEdgeProbabilityExample1(t *testing.T) {
+	g, m := Graph(), Model()
+	probs := exact.EdgeProbs(g, m, []topics.TagID{W1, W2})
+	e := findEdge(t, g, U1, U2)
+	// Example 1: p((u1,u2) | {w1,w2}) = 0.4·0.5 = 0.2.
+	if got := probs[e]; math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("p((u1,u2)|{w1,w2}) = %v, want 0.2", got)
+	}
+}
+
+func TestExactInfluenceExample1(t *testing.T) {
+	g, m := Graph(), Model()
+	inf, err := exact.InfluenceTagSet(g, m, U1, []topics.TagID{W1, W2})
+	if err != nil {
+		t.Fatalf("InfluenceTagSet: %v", err)
+	}
+	if math.Abs(inf-ExactInfluenceU1W12) > 1e-9 {
+		t.Errorf("E[I(u1|{w1,w2})] = %v, want %v", inf, ExactInfluenceU1W12)
+	}
+}
+
+func TestOptimalTagSetExample1(t *testing.T) {
+	g, m := Graph(), Model()
+	best, val, err := exact.BestTagSet(g, m, U1, 2)
+	if err != nil {
+		t.Fatalf("BestTagSet: %v", err)
+	}
+	if len(best) != 2 || best[0] != W3 || best[1] != W4 {
+		t.Errorf("W* = %v, want [%d %d] ({w3, w4})", best, W3, W4)
+	}
+	if val <= ExactInfluenceU1W12 {
+		t.Errorf("E[I(u1|W*)] = %v, want > %v (W* beats {w1,w2})", val, ExactInfluenceU1W12)
+	}
+}
+
+func TestViralPathLiveExample5(t *testing.T) {
+	g, m := Graph(), Model()
+	probs := exact.EdgeProbs(g, m, []topics.TagID{W3, W4})
+	for _, hop := range [][2]graph.VertexID{{U1, U3}, {U3, U4}, {U4, U6}} {
+		e := findEdge(t, g, hop[0], hop[1])
+		if probs[e] <= 0 {
+			t.Errorf("edge %d -> %d dead under {w3,w4} (p = %v), want live", hop[0], hop[1], probs[e])
+		}
+	}
+	// u1 -> u2 carries only topic z1, which {w3,w4} never selects.
+	if e := findEdge(t, g, U1, U2); probs[e] != 0 {
+		t.Errorf("p((u1,u2)|{w3,w4}) = %v, want 0", probs[e])
+	}
+}

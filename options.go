@@ -1,6 +1,11 @@
 package pitex
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
 
 // Strategy selects which influence estimator the engine uses. The paper
 // evaluates all seven (Fig. 7-8).
@@ -55,6 +60,30 @@ func (s Strategy) String() string {
 // construction inside NewEngine.
 func (s Strategy) NeedsIndex() bool {
 	return s == StrategyIndex || s == StrategyIndexPruned || s == StrategyDelay
+}
+
+// ParseStrategy is the inverse of Strategy.String, case-insensitively
+// accepting the paper names plus the short aliases the CLIs use
+// ("index", "index+", "delay").
+func ParseStrategy(name string) (Strategy, error) {
+	switch strings.ToLower(name) {
+	case "lazy":
+		return StrategyLazy, nil
+	case "mc":
+		return StrategyMC, nil
+	case "rr":
+		return StrategyRR, nil
+	case "tim":
+		return StrategyTIM, nil
+	case "indexest", "index":
+		return StrategyIndex, nil
+	case "indexest+", "index+":
+		return StrategyIndexPruned, nil
+	case "delaymat", "delay":
+		return StrategyDelay, nil
+	default:
+		return 0, fmt.Errorf("pitex: unknown strategy %q", name)
+	}
 }
 
 // Propagation selects the cascade model. The paper's main body uses the
@@ -133,6 +162,75 @@ func (o Options) withDefaults() Options {
 		o.Seed = 1
 	}
 	return o
+}
+
+// ServeOptions configures the query-serving subsystem (package
+// pitex/serve): how many engine clones answer queries, how much waiting
+// traffic is admitted, and how results are cached. The zero value gives
+// sensible production defaults; see WithDefaults.
+type ServeOptions struct {
+	// PoolSize is the number of engine clones serving queries
+	// concurrently. Clones share the prototype engine's offline index, so
+	// the marginal cost of a worker is only estimator scratch state.
+	// Default runtime.GOMAXPROCS(0).
+	PoolSize int
+	// QueueDepth bounds how many requests may wait for a free engine
+	// beyond the PoolSize in service. Requests arriving past
+	// PoolSize+QueueDepth are rejected immediately with ErrOverloaded
+	// (load shedding beats unbounded queueing). Default 4*PoolSize;
+	// negative disables queueing entirely (shed as soon as every engine
+	// is busy).
+	QueueDepth int
+	// QueueTimeout caps how long an admitted request waits for a free
+	// engine before failing with ErrQueueTimeout. Default 5s; negative
+	// disables the timeout.
+	QueueTimeout time.Duration
+	// QueryTimeout is the per-query deadline enforced through
+	// Engine.QueryCtx once an engine is checked out; the explorer observes
+	// it between best-first expansions. Estimations are decoupled from the
+	// requesting client's cancellation (deduplicated requests share them),
+	// so this deadline is what bounds work for disconnected clients.
+	// Default 30s; negative disables the deadline.
+	QueryTimeout time.Duration
+	// CacheCapacity is the total number of results kept across all cache
+	// shards. Default 4096; negative disables caching (in-flight
+	// deduplication stays active).
+	CacheCapacity int
+	// CacheShards is the number of independently locked cache shards.
+	// Default 16, rounded up to a power of two.
+	CacheShards int
+}
+
+// WithDefaults fills unset ServeOptions fields with their defaults. It is
+// exported (unlike Options.withDefaults) because package serve applies it.
+func (o ServeOptions) WithDefaults() ServeOptions {
+	if o.PoolSize == 0 {
+		o.PoolSize = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 4 * o.PoolSize
+	}
+	if o.QueueTimeout == 0 {
+		o.QueueTimeout = 5 * time.Second
+	}
+	if o.QueryTimeout == 0 {
+		o.QueryTimeout = 30 * time.Second
+	}
+	if o.CacheCapacity == 0 {
+		o.CacheCapacity = 4096
+	}
+	if o.CacheShards <= 0 {
+		o.CacheShards = 16
+	}
+	return o
+}
+
+// Validate reports whether the serving options are usable.
+func (o ServeOptions) Validate() error {
+	if o.PoolSize < 0 {
+		return fmt.Errorf("pitex: PoolSize = %d, want >= 0", o.PoolSize)
+	}
+	return nil
 }
 
 // Validate reports whether the options are usable.

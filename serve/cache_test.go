@@ -1,0 +1,418 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestTagsKeyCanonicalizes(t *testing.T) {
+	cases := []struct {
+		in   []int
+		want string
+	}{
+		{nil, ""},
+		{[]int{}, ""},
+		{[]int{3}, "3"},
+		{[]int{3, 1, 2}, "1,2,3"},
+		{[]int{10, 2}, "2,10"},
+	}
+	for _, c := range cases {
+		if got := TagsKey(c.in); got != c.want {
+			t.Errorf("TagsKey(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	in := []int{5, 1}
+	TagsKey(in)
+	if in[0] != 5 || in[1] != 1 {
+		t.Error("TagsKey mutated its input")
+	}
+}
+
+func TestCacheHitAndMiss(t *testing.T) {
+	c := NewCache(8, 1)
+	key := Key{Kind: "query", User: 1, K: 2, M: 1}
+	calls := 0
+	compute := func() (any, error) { calls++; return 42, nil }
+
+	v, cached, err := c.GetOrCompute(context.Background(), key, compute)
+	if err != nil || cached || v.(int) != 42 {
+		t.Fatalf("first = (%v, %v, %v), want (42, false, nil)", v, cached, err)
+	}
+	v, cached, err = c.GetOrCompute(context.Background(), key, compute)
+	if err != nil || !cached || v.(int) != 42 {
+		t.Fatalf("second = (%v, %v, %v), want (42, true, nil)", v, cached, err)
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times, want 1", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, 1 entry", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2, 1)
+	get := func(user int) {
+		t.Helper()
+		_, _, err := c.GetOrCompute(context.Background(), Key{User: user},
+			func() (any, error) { return user, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	get(1)
+	get(2)
+	get(1) // touch 1: now 2 is least recently used
+	get(3) // evicts 2
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction, 2 entries", st)
+	}
+	misses := st.Misses
+	get(2) // recompute; inserting 2 evicts 1 in turn
+	if got := c.Stats().Misses; got != misses+1 {
+		t.Errorf("Misses = %d, want %d (2 was evicted)", got, misses+1)
+	}
+	get(3) // still cached
+	if got := c.Stats().Misses; got != misses+1 {
+		t.Errorf("Misses = %d after re-reading 3, want %d", got, misses+1)
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(8, 4)
+	key := Key{Kind: "query", User: 7, K: 3, M: 1}
+	var computes atomic.Int64
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	leader := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrCompute(context.Background(), key, func() (any, error) {
+			computes.Add(1)
+			close(entered)
+			<-release
+			return "answer", nil
+		})
+		leader <- err
+	}()
+	<-entered
+
+	const waiters = 15
+	var wg sync.WaitGroup
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, cached, err := c.GetOrCompute(context.Background(), key, func() (any, error) {
+				computes.Add(1)
+				return "answer", nil
+			})
+			if err == nil && (!cached || v.(string) != "answer") {
+				err = errors.New("waiter got uncached or wrong value")
+			}
+			errs <- err
+		}()
+	}
+	// Waiters must all be blocked on the in-flight call before we release
+	// it; dedup count confirms afterwards that none started its own.
+	close(release)
+	wg.Wait()
+	if err := <-leader; err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("waiter: %v", err)
+		}
+	}
+	if n := computes.Load(); n != 1 {
+		t.Errorf("compute ran %d times, want 1", n)
+	}
+	st := c.Stats()
+	if st.Deduped+st.Hits != waiters {
+		t.Errorf("Deduped (%d) + Hits (%d) = %d, want %d", st.Deduped, st.Hits, st.Deduped+st.Hits, waiters)
+	}
+}
+
+func TestCacheErrorNotStored(t *testing.T) {
+	c := NewCache(8, 1)
+	key := Key{User: 1}
+	boom := errors.New("boom")
+	_, _, err := c.GetOrCompute(context.Background(), key, func() (any, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("error result was stored: %+v", st)
+	}
+	v, cached, err := c.GetOrCompute(context.Background(), key, func() (any, error) { return 1, nil })
+	if err != nil || cached || v.(int) != 1 {
+		t.Fatalf("after error = (%v, %v, %v), want (1, false, nil)", v, cached, err)
+	}
+}
+
+// TestCacheWaiterRetriesOnOwnerCancellation checks that a flight dying of
+// its own caller's cancellation does not fail live piggybacked waiters:
+// they retry and compute for themselves.
+func TestCacheWaiterRetriesOnOwnerCancellation(t *testing.T) {
+	c := NewCache(8, 1)
+	key := Key{User: 1}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	// The owner's client gave up mid queue-wait: Pool.Do surfaces that as
+	// a caller-specific errWaitAborted-marked context error.
+	abort := fmt.Errorf("%w: %w", errWaitAborted, context.Canceled)
+	ownerErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrCompute(context.Background(), key, func() (any, error) {
+			close(entered)
+			<-release
+			return nil, abort
+		})
+		ownerErr <- err
+	}()
+	<-entered
+
+	type res struct {
+		v   any
+		err error
+	}
+	waiter := make(chan res, 1)
+	go func() {
+		v, _, err := c.GetOrCompute(context.Background(), key,
+			func() (any, error) { return "mine", nil })
+		waiter <- res{v, err}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the waiter join the flight
+	close(release)
+
+	if err := <-ownerErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("owner err = %v, want context.Canceled", err)
+	}
+	got := <-waiter
+	if got.err != nil || got.v.(string) != "mine" {
+		t.Fatalf("waiter = (%v, %v), want (mine, nil) via retry", got.v, got.err)
+	}
+}
+
+// TestCacheWaiterDoesNotRetrySharedTimeout checks the counterpart rule: a
+// flight that died of a shared verdict (query deadline, not marked
+// caller-specific) propagates to waiters instead of triggering re-runs.
+func TestCacheWaiterDoesNotRetrySharedTimeout(t *testing.T) {
+	c := NewCache(8, 1)
+	key := Key{User: 1}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var computes atomic.Int64
+	go func() {
+		_, _, _ = c.GetOrCompute(context.Background(), key, func() (any, error) {
+			computes.Add(1)
+			close(entered)
+			<-release
+			return nil, context.DeadlineExceeded // shared QueryTimeout verdict
+		})
+	}()
+	<-entered
+	waiter := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrCompute(context.Background(), key, func() (any, error) {
+			computes.Add(1)
+			return "recomputed", nil
+		})
+		waiter <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the waiter join the flight
+	close(release)
+	if err := <-waiter; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("waiter err = %v, want the shared DeadlineExceeded", err)
+	}
+	if n := computes.Load(); n != 1 {
+		t.Errorf("computes = %d, want 1 (no retry on shared verdicts)", n)
+	}
+}
+
+// TestCachePanicDoesNotPoisonKey checks that a panicking compute unblocks
+// concurrent waiters with an error and leaves the key usable afterwards.
+func TestCachePanicDoesNotPoisonKey(t *testing.T) {
+	c := NewCache(8, 1)
+	key := Key{User: 1}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	waiterErr := make(chan error, 1)
+	go func() {
+		<-entered
+		_, _, err := c.GetOrCompute(context.Background(), key,
+			func() (any, error) { return "waiter", nil })
+		waiterErr <- err
+	}()
+	go func() {
+		<-entered
+		// Give the waiter time to join the flight, then let it panic.
+		time.Sleep(50 * time.Millisecond)
+		close(release)
+	}()
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate")
+			}
+		}()
+		_, _, _ = c.GetOrCompute(context.Background(), key, func() (any, error) {
+			close(entered)
+			<-release
+			panic("estimator blew up")
+		})
+	}()
+
+	select {
+	case err := <-waiterErr:
+		// Either the waiter piggybacked and got the abort error, or it
+		// arrived after cleanup and computed its own answer.
+		if err != nil && !errors.Is(err, errComputeAborted) {
+			t.Fatalf("waiter err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter still blocked: panicking flight poisoned the key")
+	}
+
+	v, _, err := c.GetOrCompute(context.Background(), key,
+		func() (any, error) { return "recovered", nil })
+	if err != nil || v.(string) != "recovered" {
+		t.Fatalf("key unusable after panic: (%v, %v)", v, err)
+	}
+}
+
+func TestCacheWaiterContextCancel(t *testing.T) {
+	c := NewCache(8, 1)
+	key := Key{User: 1}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		_, _, _ = c.GetOrCompute(context.Background(), key, func() (any, error) {
+			close(entered)
+			<-release
+			return 1, nil
+		})
+	}()
+	<-entered
+	defer close(release)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.GetOrCompute(ctx, key, func() (any, error) { return 2, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestNilCachePassesThrough(t *testing.T) {
+	var c *Cache
+	for i := 0; i < 2; i++ {
+		v, cached, err := c.GetOrCompute(context.Background(), Key{User: 1},
+			func() (any, error) { return i, nil })
+		if err != nil || cached || v.(int) != i {
+			t.Fatalf("nil cache call %d = (%v, %v, %v)", i, v, cached, err)
+		}
+	}
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Errorf("nil cache stats = %+v, want zero", st)
+	}
+}
+
+// TestCacheRespectsTotalCapacity inserts far more keys than capacity and
+// checks residency never exceeds the configured total, whatever the
+// shard count (the per-shard split must round down, shrinking the shard
+// count for tiny capacities).
+func TestCacheRespectsTotalCapacity(t *testing.T) {
+	for _, tc := range []struct{ capacity, shards int }{
+		{100, 64}, {4, 64}, {3, 4}, {1, 16}, {16, 1},
+	} {
+		c := NewCache(tc.capacity, tc.shards)
+		for i := 0; i < 10*tc.capacity+100; i++ {
+			_, _, err := c.GetOrCompute(context.Background(), Key{User: i},
+				func() (any, error) { return i, nil })
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if st := c.Stats(); st.Entries > int64(tc.capacity) {
+			t.Errorf("capacity %d, shards %d: %d entries resident",
+				tc.capacity, tc.shards, st.Entries)
+		}
+	}
+}
+
+// TestCacheDedupOnlyMode checks the capacity < 1 contract: nothing is
+// stored (sequential repeats recompute) but concurrent identical lookups
+// still collapse into one computation.
+func TestCacheDedupOnlyMode(t *testing.T) {
+	c := NewCache(-1, 4)
+	if c == nil {
+		t.Fatal("NewCache(-1) = nil, want a dedup-only cache")
+	}
+	key := Key{User: 1}
+	calls := 0
+	for i := 0; i < 2; i++ {
+		_, cached, err := c.GetOrCompute(context.Background(), key,
+			func() (any, error) { calls++; return calls, nil })
+		if err != nil || cached {
+			t.Fatalf("sequential call %d = (cached %v, err %v), want uncached", i, cached, err)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("sequential compute ran %d times, want 2 (no storage)", calls)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("entries = %d, want 0", st.Entries)
+	}
+
+	var computes atomic.Int64
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	leader := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrCompute(context.Background(), key, func() (any, error) {
+			computes.Add(1)
+			close(entered)
+			<-release
+			return "v", nil
+		})
+		leader <- err
+	}()
+	<-entered
+	waiter := make(chan bool, 1)
+	go func() {
+		_, cached, _ := c.GetOrCompute(context.Background(), key, func() (any, error) {
+			computes.Add(1)
+			return "v", nil
+		})
+		waiter <- cached
+	}()
+	// Give the waiter time to join the in-flight call before releasing the
+	// leader; with the leader blocked it must not have computed anything.
+	time.Sleep(50 * time.Millisecond)
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computes = %d while leader blocked, want 1", n)
+	}
+	close(release)
+	if err := <-leader; err != nil {
+		t.Fatal(err)
+	}
+	if cached := <-waiter; !cached {
+		t.Error("concurrent waiter was not deduped")
+	}
+	if n := computes.Load(); n != 1 {
+		t.Errorf("computes = %d, want 1 (singleflight without storage)", n)
+	}
+}

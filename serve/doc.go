@@ -1,0 +1,57 @@
+// Package serve is the production query-serving subsystem for pitex: it
+// turns one offline-constructed Engine into an HTTP service that survives
+// heavy concurrent traffic.
+//
+// # Architecture
+//
+// A request flows pool → cache → estimator:
+//
+//	HTTP handler
+//	   │  parse + validate
+//	   ▼
+//	Cache (sharded LRU, keyed on (kind, user, k, m, tags))
+//	   │  hit  → answer in O(1), no estimation
+//	   │  miss → in-flight deduplication: concurrent identical queries
+//	   │         collapse into ONE estimation (singleflight), so a hot
+//	   │         user going viral costs one query, not thousands
+//	   ▼
+//	Pool (N Engine.Clone workers over one shared offline index)
+//	   │  admission control: at most PoolSize in service plus QueueDepth
+//	   │  waiting; excess load is shed immediately with ErrOverloaded,
+//	   │  queued waiters time out with ErrQueueTimeout
+//	   ▼
+//	Engine.QueryCtx (per-query deadline observed between best-first
+//	   expansions)
+//
+// Every stage is observable: per-endpoint/per-strategy latency histograms,
+// cache hit/miss/dedup counters and pool occupancy are exported as JSON on
+// /statsz and programmatically via Server.Stats.
+//
+// # Endpoints
+//
+//	/selling-points?user=12&k=3[&m=5][&prefix=1,4][&users=1,2,3]
+//	/audience?user=12&tags=1,4[&m=10][&samples=5000]
+//	/healthz
+//	/statsz
+//
+// # Choosing a strategy for serving
+//
+// The engine's Options.Strategy decides the latency profile:
+//
+//   - StrategyIndexPruned (IndexEst+) is the serving default: it pays an
+//     offline RR-Graph construction once, then answers interactively; the
+//     edge-cut filter-and-verify layer prunes most candidate sets without
+//     touching samples.
+//   - StrategyDelay (DelayMat) serves from a per-user-counter index that is
+//     orders of magnitude smaller — pick it when the RR-Graph index does
+//     not fit in memory.
+//   - StrategyIndex (IndexEst) is IndexEst+ without the cut filter;
+//     simpler, slower on dense models.
+//   - Online strategies (Lazy, MC, RR, TIM) need no offline phase but pay
+//     a full sampling run per estimation — fine for low-traffic or
+//     frequently changing networks, not for interactive serving.
+//
+// Whatever the strategy, the cache flattens the cost of repeated queries:
+// answers for a (user, k) pair are deterministic per engine seed, so
+// caching is exact, not approximate.
+package serve

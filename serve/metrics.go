@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// histogram bucket layout: geometric upper bounds 50µs·2^i, i in
+// [0, histBuckets-2], plus one overflow bucket. The top finite bound is
+// 50µs·2^18 ≈ 13.1s — beyond any sane serving deadline; slower samples
+// land in the overflow bucket and report quantiles as the observed max.
+const (
+	histBuckets   = 20
+	histBase      = 50 * time.Microsecond
+	histOverflow  = histBuckets - 1
+	histTopFinite = histBuckets - 2
+)
+
+func bucketBound(i int) time.Duration { return histBase << uint(i) }
+
+// Histogram is a lock-free latency histogram with geometric buckets.
+// The zero value is ready to use.
+type Histogram struct {
+	buckets  [histBuckets]atomic.Int64
+	count    atomic.Int64
+	sumNanos atomic.Int64
+	maxNanos atomic.Int64
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := 0
+	for i <= histTopFinite && d > bucketBound(i) {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+	for {
+		cur := h.maxNanos.Load()
+		if int64(d) <= cur || h.maxNanos.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a consistent-enough view of a histogram for
+// reporting: counts may lag each other by in-flight observations.
+type HistogramSnapshot struct {
+	Count int64         `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P90   time.Duration `json:"p90_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// Snapshot summarizes the histogram. Quantiles are upper bucket bounds
+// (conservative: the true quantile is at most the reported value, within
+// one geometric bucket).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	if s.Count == 0 {
+		return s
+	}
+	s.Mean = time.Duration(h.sumNanos.Load() / s.Count)
+	s.Max = time.Duration(h.maxNanos.Load())
+	quantile := func(q float64) time.Duration {
+		target := int64(math.Ceil(q * float64(s.Count)))
+		if target < 1 {
+			target = 1
+		}
+		var seen int64
+		for i := 0; i < histBuckets; i++ {
+			seen += h.buckets[i].Load()
+			if seen >= target {
+				if i == histOverflow {
+					return s.Max
+				}
+				return bucketBound(i)
+			}
+		}
+		return s.Max
+	}
+	s.P50 = quantile(0.50)
+	s.P90 = quantile(0.90)
+	s.P99 = quantile(0.99)
+	return s
+}
+
+// Metrics is a registry of labelled latency histograms (label convention:
+// "endpoint/STRATEGY", e.g. "selling-points/INDEXEST+"). Safe for
+// concurrent use; Observe on a hot label is a read-lock plus atomics.
+type Metrics struct {
+	mu   sync.RWMutex
+	hist map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{hist: make(map[string]*Histogram)}
+}
+
+// Observe records a latency sample under the given label, creating the
+// histogram on first use.
+func (m *Metrics) Observe(label string, d time.Duration) {
+	m.mu.RLock()
+	h, ok := m.hist[label]
+	m.mu.RUnlock()
+	if !ok {
+		m.mu.Lock()
+		h, ok = m.hist[label]
+		if !ok {
+			h = &Histogram{}
+			m.hist[label] = h
+		}
+		m.mu.Unlock()
+	}
+	h.Observe(d)
+}
+
+// Snapshot returns every labelled histogram's summary. (JSON encoding of
+// the map sorts keys itself, so /statsz output is stable.)
+func (m *Metrics) Snapshot() map[string]HistogramSnapshot {
+	m.mu.RLock()
+	hists := make(map[string]*Histogram, len(m.hist))
+	for l, h := range m.hist {
+		hists[l] = h
+	}
+	m.mu.RUnlock()
+	out := make(map[string]HistogramSnapshot, len(hists))
+	for l, h := range hists {
+		out[l] = h.Snapshot()
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatalf("empty snapshot count = %d", s.Count)
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if s.Max != 10*time.Millisecond {
+		t.Errorf("max = %v, want 10ms", s.Max)
+	}
+	// Quantiles are conservative upper bucket bounds: p50 must cover 100µs
+	// without reaching the 10ms population; p99 must cover 10ms.
+	if s.P50 < 100*time.Microsecond || s.P50 >= 10*time.Millisecond {
+		t.Errorf("p50 = %v, want in [100µs, 10ms)", s.P50)
+	}
+	if s.P99 < 10*time.Millisecond {
+		t.Errorf("p99 = %v, want >= 10ms", s.P99)
+	}
+	if s.Mean <= 0 {
+		t.Errorf("mean = %v, want > 0", s.Mean)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Hour) // beyond the top finite bound
+	h.Observe(-time.Second)
+	s := h.Snapshot()
+	if s.Count != 2 || s.Max != time.Hour {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.P99 != time.Hour {
+		t.Errorf("overflow p99 = %v, want max", s.P99)
+	}
+}
+
+func TestMetricsConcurrentObserve(t *testing.T) {
+	m := NewMetrics()
+	labels := []string{"a/X", "b/X", "c/X"}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				m.Observe(labels[(i+j)%len(labels)], time.Millisecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+	snap := m.Snapshot()
+	var total int64
+	for _, l := range labels {
+		s, ok := snap[l]
+		if !ok {
+			t.Fatalf("label %q missing", l)
+		}
+		total += s.Count
+	}
+	if total != 800 {
+		t.Errorf("total observations = %d, want 800", total)
+	}
+}

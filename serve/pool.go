@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pitex"
+)
+
+// Pool errors. Handlers map ErrOverloaded and ErrQueueTimeout to
+// 503 Service Unavailable so load balancers retry elsewhere.
+var (
+	// ErrOverloaded reports that the pool's admission bound (PoolSize +
+	// QueueDepth outstanding requests) was hit; the request was shed
+	// without waiting.
+	ErrOverloaded = errors.New("serve: pool overloaded, request shed")
+	// ErrQueueTimeout reports that an admitted request waited longer than
+	// QueueTimeout for a free engine.
+	ErrQueueTimeout = errors.New("serve: timed out waiting for a free engine")
+	// ErrPoolClosed reports that the pool was shut down.
+	ErrPoolClosed = errors.New("serve: pool closed")
+
+	// errWaitAborted marks a queue wait ended by the requester's own
+	// context. It wraps the context error, so errors.Is still matches
+	// context.Canceled / DeadlineExceeded; the cache uses the marker to
+	// tell caller-specific failures (retryable by other callers) from
+	// shared verdicts like a query timeout (which bind every waiter).
+	errWaitAborted = errors.New("serve: request context ended while waiting for an engine")
+)
+
+// PoolStats is a point-in-time snapshot of pool activity.
+type PoolStats struct {
+	Size     int   `json:"size"`
+	InUse    int64 `json:"in_use"`
+	Waiting  int64 `json:"waiting"`
+	Served   int64 `json:"served"`
+	Rejected int64 `json:"rejected"`
+	Timeouts int64 `json:"timeouts"`
+}
+
+// Pool manages N Engine.Clone workers over one shared offline index with
+// checkout/checkin, context-aware cancellation and admission control. All
+// methods are safe for concurrent use.
+type Pool struct {
+	engines chan *pitex.Engine
+	// admission holds one token per outstanding request (in service or
+	// queued); a full channel means shed immediately.
+	admission chan struct{}
+	timeout   time.Duration
+
+	size      int
+	closeOnce sync.Once
+	closed    chan struct{}
+
+	inUse    atomic.Int64
+	waiting  atomic.Int64
+	served   atomic.Int64
+	rejected atomic.Int64
+	timeouts atomic.Int64
+}
+
+// NewPool clones the prototype engine size times (sharing its offline
+// index) and returns a ready pool. queueDepth bounds how many requests may
+// wait beyond the size in service; queueTimeout caps the wait for a free
+// engine (<= 0 means wait until cancellation).
+func NewPool(proto *pitex.Engine, size, queueDepth int, queueTimeout time.Duration) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	p := &Pool{
+		engines:   make(chan *pitex.Engine, size),
+		admission: make(chan struct{}, size+queueDepth),
+		timeout:   queueTimeout,
+		size:      size,
+		closed:    make(chan struct{}),
+	}
+	for i := 0; i < size; i++ {
+		p.engines <- proto.Clone()
+	}
+	return p
+}
+
+// Size returns the number of engine workers.
+func (p *Pool) Size() int { return p.size }
+
+// Do checks an engine out of the pool, runs fn with it, and checks it back
+// in. It fails fast with ErrOverloaded when the admission bound is hit,
+// with ErrQueueTimeout after the queue timeout, with ctx.Err() when the
+// caller gives up first, and with ErrPoolClosed after Close.
+func (p *Pool) Do(ctx context.Context, fn func(*pitex.Engine) error) error {
+	select {
+	case <-p.closed:
+		return ErrPoolClosed
+	default:
+	}
+	// A request whose context is already dead (client disconnected before
+	// dispatch) must not occupy an engine. Marked caller-specific so
+	// deduplicated followers retry rather than inherit the failure.
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", errWaitAborted, err)
+	}
+	select {
+	case p.admission <- struct{}{}:
+	default:
+		p.rejected.Add(1)
+		return ErrOverloaded
+	}
+	defer func() { <-p.admission }()
+
+	// Fast path: an idle engine means no timer to arm and no racing
+	// select (a timer firing simultaneously with a check-in could
+	// otherwise time a request out despite available capacity).
+	select {
+	case en := <-p.engines:
+		return p.run(en, fn)
+	default:
+	}
+	var timeoutC <-chan time.Time
+	if p.timeout > 0 {
+		t := time.NewTimer(p.timeout)
+		defer t.Stop()
+		timeoutC = t.C
+	}
+	p.waiting.Add(1)
+	select {
+	case en := <-p.engines:
+		p.waiting.Add(-1)
+		return p.run(en, fn)
+	case <-timeoutC:
+		p.waiting.Add(-1)
+		// The timer can fire in the same instant an engine is checked in,
+		// with the select picking at random; don't shed while capacity
+		// sits idle.
+		select {
+		case en := <-p.engines:
+			return p.run(en, fn)
+		default:
+		}
+		p.timeouts.Add(1)
+		return ErrQueueTimeout
+	case <-ctx.Done():
+		p.waiting.Add(-1)
+		return fmt.Errorf("%w: %w", errWaitAborted, ctx.Err())
+	case <-p.closed:
+		p.waiting.Add(-1)
+		return ErrPoolClosed
+	}
+}
+
+// run executes fn with a checked-out engine and checks it back in.
+func (p *Pool) run(en *pitex.Engine, fn func(*pitex.Engine) error) error {
+	p.inUse.Add(1)
+	defer func() {
+		p.inUse.Add(-1)
+		p.engines <- en
+	}()
+	p.served.Add(1)
+	return fn(en)
+}
+
+// Stats snapshots the pool counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Size:     p.size,
+		InUse:    p.inUse.Load(),
+		Waiting:  p.waiting.Load(),
+		Served:   p.served.Load(),
+		Rejected: p.rejected.Load(),
+		Timeouts: p.timeouts.Load(),
+	}
+}
+
+// Close shuts the pool down: queued waiters and future Do calls fail with
+// ErrPoolClosed; requests already holding an engine finish normally.
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() { close(p.closed) })
+}

@@ -1,0 +1,448 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"pitex"
+)
+
+// Server wires the serving stack — pool → cache → estimator — behind both
+// an HTTP surface (Handler) and a programmatic one (SellingPoints,
+// Audience, QueryBatch). Build it with New; all methods are safe for
+// concurrent use.
+type Server struct {
+	pool     *Pool
+	cache    *Cache
+	metrics  *Metrics
+	strategy string
+	opts     pitex.ServeOptions
+	start    time.Time
+}
+
+// New builds a Server over the given query-ready engine. The engine is
+// used as the clone prototype for the pool; the caller may keep using it
+// (single-threaded) afterwards.
+func New(en *pitex.Engine, opts pitex.ServeOptions) (*Server, error) {
+	if en == nil {
+		return nil, fmt.Errorf("serve: nil engine")
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.WithDefaults()
+	return &Server{
+		pool:     NewPool(en, opts.PoolSize, opts.QueueDepth, opts.QueueTimeout),
+		cache:    NewCache(opts.CacheCapacity, opts.CacheShards),
+		metrics:  NewMetrics(),
+		strategy: en.Strategy().String(),
+		opts:     opts,
+		start:    time.Now(),
+	}, nil
+}
+
+// Close shuts down the pool; in-flight queries finish, queued and future
+// ones fail with ErrPoolClosed.
+func (s *Server) Close() { s.pool.Close() }
+
+// queryCtx applies the per-query deadline, if configured.
+func (s *Server) queryCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.opts.QueryTimeout > 0 {
+		return context.WithTimeout(ctx, s.opts.QueryTimeout)
+	}
+	return ctx, func() {}
+}
+
+// SellingPoints answers one PITEX query through the cache and pool: the m
+// best size-k tag sets for user, optionally constrained to contain prefix
+// (prefix queries require m == 1, as in Engine.QueryWithPrefix). The
+// second return reports whether the answer was served without running an
+// estimation in this call (cache hit or in-flight dedup); a cached
+// Result's Elapsed still reports the original estimation time.
+//
+// Returned results may be shared with the cache and concurrent callers:
+// treat the Result's slices (Tags, TagNames, Alternatives) as read-only.
+func (s *Server) SellingPoints(ctx context.Context, user, k, m int, prefix []int) (pitex.Result, bool, error) {
+	if m < 1 {
+		return pitex.Result{}, false, fmt.Errorf("serve: m = %d, want >= 1", m)
+	}
+	if m > MaxTopM {
+		return pitex.Result{}, false, fmt.Errorf("serve: m = %d exceeds limit %d", m, MaxTopM)
+	}
+	if len(prefix) > 0 && m > 1 {
+		return pitex.Result{}, false, fmt.Errorf("serve: prefix and top-m cannot be combined")
+	}
+	key := Key{Kind: "query", User: user, K: k, M: m, Tags: TagsKey(prefix)}
+	v, cached, err := s.cache.GetOrCompute(ctx, key, func() (any, error) {
+		var res pitex.Result
+		// The queue wait honors the caller's ctx (a dead client must not
+		// hold an admission token), but once an engine is checked out the
+		// estimation is decoupled from that caller's cancellation:
+		// concurrent identical requests piggyback on this flight, so one
+		// client's disconnect must not fail theirs — and a completed
+		// estimation is cached either way. QueryTimeout (default 30s)
+		// bounds work orphaned by disconnections.
+		err := s.pool.Do(ctx, func(en *pitex.Engine) error {
+			qctx, cancel := s.queryCtx(context.WithoutCancel(ctx))
+			defer cancel()
+			var qerr error
+			if len(prefix) > 0 {
+				res, qerr = en.QueryWithPrefixCtx(qctx, user, prefix, k)
+			} else {
+				res, qerr = en.QueryTopCtx(qctx, user, k, m)
+			}
+			return qerr
+		})
+		return res, err
+	})
+	if err != nil {
+		return pitex.Result{}, false, err
+	}
+	return v.(pitex.Result), cached, nil
+}
+
+// MaxAudienceSamples caps the per-request cascade count of Audience.
+// Engine.Audience runs its full sample budget uncancellably once started,
+// so an uncapped client-supplied value could pin a pool worker for
+// minutes; requests asking for more are clamped.
+const MaxAudienceSamples = 100000
+
+// MaxAudienceUsers caps the m of an audience profile. Engine.Audience
+// returns every activated user when m exceeds that count, so an uncapped
+// m could produce (and cache) network-sized results on large datasets.
+const MaxAudienceUsers = 1000
+
+// Audience answers "who exactly do these tags reach?" for user: the top-m
+// users by activation probability, cached like a query. samples is clamped
+// to MaxAudienceSamples. The returned slice may be shared with the cache
+// and concurrent callers: treat it as read-only.
+func (s *Server) Audience(ctx context.Context, user int, tags []int, m int, samples int64) ([]pitex.InfluencedUser, bool, error) {
+	if m > MaxAudienceUsers {
+		return nil, false, fmt.Errorf("serve: m = %d exceeds limit %d", m, MaxAudienceUsers)
+	}
+	if samples <= 0 {
+		samples = pitex.DefaultAudienceSamples // mirror the engine so the key matches
+	}
+	if samples > MaxAudienceSamples {
+		samples = MaxAudienceSamples
+	}
+	key := Key{Kind: "audience", User: user, M: m, Samples: samples, Tags: TagsKey(tags)}
+	v, cached, err := s.cache.GetOrCompute(ctx, key, func() (any, error) {
+		var aud []pitex.InfluencedUser
+		// Queue wait cancellable, sampling run not — see SellingPoints.
+		err := s.pool.Do(ctx, func(en *pitex.Engine) error {
+			var qerr error
+			aud, qerr = en.Audience(user, tags, m, samples)
+			return qerr
+		})
+		return aud, err
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return v.([]pitex.InfluencedUser), cached, nil
+}
+
+// MaxBatchUsers caps the user list of one QueryBatch / batch HTTP request.
+const MaxBatchUsers = 1024
+
+// MaxTopM caps the m of a top-m query. Large m loosens best-effort
+// pruning toward exhaustive enumeration (the bar becomes the m-th best),
+// so an uncapped client value could pin a pool worker for the full query
+// deadline per request.
+const MaxTopM = 64
+
+// QueryBatch answers one plain (user, k) query per user through the cache
+// and pool, fanned out over at most PoolSize workers so a large batch
+// queues instead of tripping admission control. Results come back in input
+// order; per-user failures (including admission rejections when competing
+// traffic has the pool saturated) are reported in BatchResult.Err without
+// failing the batch.
+func (s *Server) QueryBatch(ctx context.Context, users []int, k int) []pitex.BatchResult {
+	out := make([]pitex.BatchResult, len(users))
+	workers := s.pool.Size()
+	if workers > len(users) {
+		workers = len(users)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				// Finishing in-flight work for a gone client is fine (it
+				// lands in the cache); starting its remaining jobs is not.
+				if err := ctx.Err(); err != nil {
+					out[i] = pitex.BatchResult{User: users[i], Err: err}
+					continue
+				}
+				res, err := s.batchQuery(ctx, users[i], k)
+				out[i] = pitex.BatchResult{User: users[i], Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range users {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// batchQuery is one batch worker's SellingPoints call. Unlike single
+// queries, batch queries run in goroutines with no net/http recover above
+// them, so a panicking estimator must be contained here to fail one row
+// instead of the process.
+func (s *Server) batchQuery(ctx context.Context, user, k int) (res pitex.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: query for user %d panicked: %v", user, r)
+		}
+	}()
+	res, _, err = s.SellingPoints(ctx, user, k, 1, nil)
+	return res, err
+}
+
+// Stats is the /statsz payload.
+type Stats struct {
+	Strategy      string                       `json:"strategy"`
+	UptimeSeconds float64                      `json:"uptime_seconds"`
+	Pool          PoolStats                    `json:"pool"`
+	Cache         CacheStats                   `json:"cache"`
+	Latency       map[string]HistogramSnapshot `json:"latency"`
+}
+
+// Stats snapshots every layer's counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Strategy:      s.strategy,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Pool:          s.pool.Stats(),
+		Cache:         s.cache.Stats(),
+		Latency:       s.metrics.Snapshot(),
+	}
+}
+
+// Handler returns the HTTP surface:
+//
+//	/selling-points?user=12&k=3[&m=5][&prefix=1,4] — one query
+//	/selling-points?users=1,2,3&k=3               — a batch
+//	/audience?user=12&tags=1,4[&m=10][&samples=5000]
+//	/healthz
+//	/statsz
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/selling-points", s.handleSellingPoints)
+	mux.HandleFunc("/audience", s.handleAudience)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statsz", s.handleStatsz)
+	return mux
+}
+
+func (s *Server) observe(endpoint string, start time.Time) {
+	s.metrics.Observe(endpoint+"/"+s.strategy, time.Since(start))
+}
+
+func (s *Server) handleSellingPoints(w http.ResponseWriter, r *http.Request) {
+	// Batches record under their own label: one 1024-user batch sample
+	// would otherwise dominate the per-query tail latencies.
+	endpoint := "selling-points"
+	start := time.Now()
+	defer func() { s.observe(endpoint, start) }()
+	q := r.URL.Query()
+	k, err := intParam(q, "k", 3)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	m, err := intParam(q, "m", 1)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	var prefix []int
+	if pArg := q.Get("prefix"); pArg != "" {
+		if prefix, err = parseIntList(pArg); err != nil {
+			httpError(w, fmt.Errorf("bad prefix: %w", err))
+			return
+		}
+	}
+	if usersArg := q.Get("users"); usersArg != "" {
+		endpoint = "selling-points-batch"
+		if m != 1 || len(prefix) > 0 {
+			httpError(w, fmt.Errorf("m and prefix are not supported with users batches"))
+			return
+		}
+		users, err := parseIntList(usersArg)
+		if err != nil {
+			httpError(w, fmt.Errorf("bad users: %w", err))
+			return
+		}
+		if len(users) > MaxBatchUsers {
+			httpError(w, fmt.Errorf("batch of %d users exceeds limit %d", len(users), MaxBatchUsers))
+			return
+		}
+		batch := s.QueryBatch(r.Context(), users, k)
+		type row struct {
+			User      int      `json:"user"`
+			Tags      []string `json:"tags,omitempty"`
+			TagIDs    []int    `json:"tag_ids,omitempty"`
+			Influence float64  `json:"influence,omitempty"`
+			Error     string   `json:"error,omitempty"`
+		}
+		rows := make([]row, len(batch))
+		for i, br := range batch {
+			rows[i] = row{User: br.User, Tags: br.Result.TagNames,
+				TagIDs: br.Result.Tags, Influence: br.Result.Influence}
+			if br.Err != nil {
+				rows[i] = row{User: br.User, Error: br.Err.Error()}
+			}
+		}
+		writeJSON(w, map[string]any{"k": k, "results": rows})
+		return
+	}
+	user, err := intParam(q, "user", -1)
+	if err != nil || user < 0 {
+		httpError(w, fmt.Errorf("bad or missing user"))
+		return
+	}
+	res, cached, err := s.SellingPoints(r.Context(), user, k, m, prefix)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	out := map[string]any{
+		"user":      user,
+		"k":         k,
+		"tags":      res.TagNames,
+		"tag_ids":   res.Tags,
+		"influence": res.Influence,
+		"cached":    cached,
+		"elapsed":   res.Elapsed.String(),
+	}
+	if m > 1 {
+		type alt struct {
+			Tags      []string `json:"tags"`
+			Influence float64  `json:"influence"`
+		}
+		alts := make([]alt, len(res.Alternatives))
+		for i, a := range res.Alternatives {
+			alts[i] = alt{Tags: a.TagNames, Influence: a.Influence}
+		}
+		out["alternatives"] = alts
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleAudience(w http.ResponseWriter, r *http.Request) {
+	defer s.observe("audience", time.Now())
+	q := r.URL.Query()
+	user, err := intParam(q, "user", -1)
+	if err != nil || user < 0 {
+		httpError(w, fmt.Errorf("bad or missing user"))
+		return
+	}
+	tags, err := parseIntList(q.Get("tags"))
+	if err != nil {
+		httpError(w, fmt.Errorf("bad tags: %w", err))
+		return
+	}
+	m, err := intParam(q, "m", 10)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	// Default 0: Audience normalizes it to pitex.DefaultAudienceSamples,
+	// so an omitted samples and an explicit 0 share one cache key.
+	samples, err := intParam(q, "samples", 0)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	aud, cached, err := s.Audience(r.Context(), user, tags, m, int64(samples))
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"user": user, "audience": aud, "cached": cached})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	select {
+	case <-s.pool.closed:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]any{"status": "closed"})
+	default:
+		writeJSON(w, map[string]any{
+			"status":         "ok",
+			"strategy":       s.strategy,
+			"uptime_seconds": time.Since(s.start).Seconds(),
+		})
+	}
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Stats())
+}
+
+// httpError maps subsystem errors onto HTTP statuses: shed/closed → 503
+// (retry elsewhere), deadline → 504, client gone → 499-style 503, bad
+// input → 400.
+func httpError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrQueueTimeout),
+		errors.Is(err, ErrPoolClosed), errors.Is(err, context.Canceled):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, errComputeAborted):
+		// A server-side fault (panicked estimation), not a client error.
+		status = http.StatusInternalServerError
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func intParam(q map[string][]string, name string, def int) (int, error) {
+	vs, ok := q[name]
+	if !ok || len(vs) == 0 || vs[0] == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(vs[0])
+	if err != nil {
+		return 0, fmt.Errorf("bad %s: %q", name, vs[0])
+	}
+	return v, nil
+}
+
+func parseIntList(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("empty list")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad entry %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"testing"
+
+	"pitex"
+)
+
+// fig2Engine builds an engine over the paper's Fig. 2 running example
+// (7 users, 4 tags); the known optimum for (u1, k=2) is {w3, w4} =
+// tag IDs [2 3]. Construction is fast enough for every test.
+func fig2Engine(tb testing.TB, s pitex.Strategy) *pitex.Engine {
+	tb.Helper()
+	nb := pitex.NewNetworkBuilder(7, 3)
+	nb.AddEdge(0, 1, pitex.TopicProb{Topic: 0, Prob: 0.4})
+	nb.AddEdge(0, 2, pitex.TopicProb{Topic: 1, Prob: 0.5}, pitex.TopicProb{Topic: 2, Prob: 0.5})
+	nb.AddEdge(2, 5, pitex.TopicProb{Topic: 0, Prob: 0.5})
+	nb.AddEdge(2, 3, pitex.TopicProb{Topic: 2, Prob: 0.8})
+	nb.AddEdge(3, 5, pitex.TopicProb{Topic: 2, Prob: 0.5})
+	nb.AddEdge(3, 6, pitex.TopicProb{Topic: 2, Prob: 0.4})
+	nb.AddEdge(5, 6, pitex.TopicProb{Topic: 2, Prob: 0.5})
+	net, err := nb.Build()
+	if err != nil {
+		tb.Fatalf("Build: %v", err)
+	}
+	model, err := pitex.NewTagModel(4, 3)
+	if err != nil {
+		tb.Fatalf("NewTagModel: %v", err)
+	}
+	rows := [][3]float64{{0.6, 0.4, 0}, {0.4, 0.6, 0}, {0, 0.4, 0.6}, {0, 0.4, 0.6}}
+	for w, row := range rows {
+		for z, p := range row {
+			if err := model.SetTagTopic(w, z, p); err != nil {
+				tb.Fatalf("SetTagTopic: %v", err)
+			}
+		}
+	}
+	for w, name := range []string{"w1", "w2", "w3", "w4"} {
+		model.SetTagName(w, name)
+	}
+	en, err := pitex.NewEngine(net, model, pitex.Options{
+		Strategy:        s,
+		Epsilon:         0.15,
+		Delta:           200,
+		MaxK:            4,
+		Seed:            11,
+		MaxSamples:      20000,
+		MaxIndexSamples: 20000,
+	})
+	if err != nil {
+		tb.Fatalf("NewEngine: %v", err)
+	}
+	return en
+}
