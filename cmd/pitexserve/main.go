@@ -20,6 +20,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -33,6 +34,8 @@ func main() {
 		network  = flag.String("network", "", "network file (alternative to -dataset)")
 		model    = flag.String("model", "", "tag model file (required with -network)")
 		index    = flag.String("index", "", "offline index file written by SaveIndex (skips construction)")
+		saveIdx  = flag.String("save-index", "", "write the offline index here after construction, so the next restart can -index it")
+		track    = flag.Bool("track-updates", true, "keep incremental-repair bookkeeping for /admin/update (DelayMat pays extra memory)")
 		seed     = flag.Uint64("seed", 1, "generation / sampling seed")
 		scale    = flag.Float64("scale", 1.0, "dataset scale factor (with -dataset)")
 		strategy = flag.String("strategy", "indexest+", "lazy, mc, rr, tim, indexest, indexest+, delaymat")
@@ -54,6 +57,7 @@ func main() {
 	flag.Parse()
 	srv, err := setup(buildConfig{
 		dataset: *dataset, network: *network, model: *model, index: *index,
+		saveIndex: *saveIdx, trackUpdates: *track,
 		seed: *seed, scale: *scale, strategy: *strategy,
 		epsilon: *epsilon, delta: *delta, maxSamples: *maxSamp,
 		maxIndexSamples: *maxIdx, cheapBounds: *cheap, maxK: *maxK,
@@ -94,6 +98,8 @@ func main() {
 // buildConfig collects the engine-construction flags.
 type buildConfig struct {
 	dataset, network, model, index string
+	saveIndex                      string
+	trackUpdates                   bool
 	seed                           uint64
 	scale                          float64
 	strategy                       string
@@ -158,6 +164,7 @@ func setup(cfg buildConfig, sopts pitex.ServeOptions, logf func(string, ...any))
 		MaxSamples:      cfg.maxSamples,
 		MaxIndexSamples: cfg.maxIndexSamples,
 		CheapBounds:     cfg.cheapBounds,
+		TrackUpdates:    cfg.trackUpdates,
 	}
 	var en *pitex.Engine
 	if cfg.index != "" {
@@ -182,6 +189,14 @@ func setup(cfg buildConfig, sopts pitex.ServeOptions, logf func(string, ...any))
 				en.IndexBuildTime, float64(en.IndexMemoryBytes())/(1<<20), net.NumUsers())
 		}
 	}
+	// Outside the build branch so -index input.idx -save-index output.idx
+	// re-persists a loaded index instead of silently skipping the write.
+	if cfg.saveIndex != "" {
+		if err := saveIndexFile(en, cfg.saveIndex); err != nil {
+			return nil, err
+		}
+		logf("index saved to %s", cfg.saveIndex)
+	}
 	srv, err := serve.New(en, sopts)
 	if err != nil {
 		return nil, err
@@ -190,4 +205,25 @@ func setup(cfg buildConfig, sopts pitex.ServeOptions, logf func(string, ...any))
 	logf("serving %s with %d engine workers, queue depth %d, cache %d entries",
 		en.Strategy(), eff.PoolSize, eff.QueueDepth, eff.CacheCapacity)
 	return srv, nil
+}
+
+// saveIndexFile writes the engine's offline structure atomically enough
+// for a restart workflow: to a temp file first, renamed into place, so a
+// crash mid-write never leaves a truncated index where -index expects a
+// good one.
+func saveIndexFile(en *pitex.Engine, path string) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if err := en.SaveIndex(f); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return os.Rename(f.Name(), path)
 }

@@ -115,6 +115,60 @@ func TestSetupFromFilesWithSavedIndex(t *testing.T) {
 	srv.Close()
 }
 
+// TestSaveIndexFlagRoundTrip covers the -save-index → -index restart
+// workflow: the first setup pays offline construction and persists the
+// index; the second loads it instead of rebuilding.
+func TestSaveIndexFlagRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ip := filepath.Join(dir, "saved.index")
+	base := buildConfig{
+		dataset: "lastfm", seed: 1, scale: 0.02, strategy: "delaymat",
+		epsilon: 0.7, delta: 1000, maxSamples: 500, maxIndexSamples: 4000,
+		cheapBounds: true, maxK: 10,
+	}
+
+	cfg := base
+	cfg.saveIndex = ip
+	srv, err := setup(cfg, testServeOptions(), discardf)
+	if err != nil {
+		t.Fatalf("setup with -save-index: %v", err)
+	}
+	srv.Close()
+	if st, err := os.Stat(ip); err != nil || st.Size() == 0 {
+		t.Fatalf("index file not written: %v", err)
+	}
+	// No stray temp files from the atomic write.
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("directory has %d entries (err %v), want only the index", len(entries), err)
+	}
+
+	cfg = base
+	cfg.index = ip
+	srv, err = setup(cfg, testServeOptions(), discardf)
+	if err != nil {
+		t.Fatalf("setup with -index: %v", err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/selling-points?user=0&k=2")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("query over loaded index: status %d", resp.StatusCode)
+	}
+
+	// Saving an online strategy's (nonexistent) index must fail loudly.
+	cfg = base
+	cfg.strategy, cfg.saveIndex = "lazy", filepath.Join(dir, "nope.index")
+	if _, err := setup(cfg, testServeOptions(), discardf); err == nil {
+		t.Fatal("-save-index with an online strategy accepted")
+	}
+}
+
 func TestSetupValidation(t *testing.T) {
 	base := buildConfig{epsilon: 0.7, delta: 1000, maxK: 10}
 

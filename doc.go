@@ -50,4 +50,24 @@
 //	engine, _ := pitex.NewEngine(net, model, pitex.Options{Strategy: pitex.StrategyIndexPruned})
 //	srv, _ := serve.New(engine, pitex.ServeOptions{})
 //	http.ListenAndServe(":8437", srv.Handler())
+//
+// # Live graph updates
+//
+// The paper's offline structures assume a frozen network; production
+// social graphs mutate constantly. Engine.ApplyUpdates absorbs a batched
+// UpdateBatch — edge insertions and deletions, topic-probability changes,
+// new-user appends — by incrementally repairing the index instead of
+// rebuilding it: only the RR-Graphs whose sampled edges are touched by
+// the batch are re-sampled (DelayMat counters are patched), which is
+// 10x+ faster than NewEngine for batches touching ≤1% of edges while
+// keeping the (1-ε) estimation guarantees. The result is a NEW engine of
+// the next Generation; the old one keeps answering over the pre-update
+// network, so a serving layer can hot-swap with zero downtime. The
+// dynamic subpackage stages mutations (dynamic.Overlay) and publishes
+// generations atomically (dynamic.Updater) for programs embedding an
+// engine directly; package serve implements the same publish-and-drain
+// pattern natively at its pool layer, behind POST /admin/update with
+// generation-keyed caching. See the
+// dynamic package documentation for the repair architecture and for when
+// a full rebuild is the better call.
 package pitex

@@ -1,0 +1,62 @@
+// Package dynamic keeps a PITEX engine answering queries while the social
+// graph underneath it changes: edges appear and disappear, influence
+// probabilities drift as the topic model relearns, and new users join.
+//
+// The paper's index strategies (IndexEst, IndexEst+, DelayMat; Sec. 6)
+// assume a frozen network — the offline phase samples θ RR-Graphs once.
+// Without this package, any change means a full offline rebuild and a
+// server restart. Following the "queries under updates" line of work
+// (Berkholz et al., PAPERS.md), dynamic converts that into three steps,
+// none of which stops query traffic:
+//
+//	Overlay (staged mutations)
+//	   │  Commit: one atomic UpdateBatch
+//	   ▼
+//	Engine.ApplyUpdates (incremental index repair)
+//	   │  re-samples ONLY the RR-Graphs whose sampled edges are touched
+//	   │  by the batch (an RR-Graph can change only if it contains the
+//	   │  head vertex of a mutated edge); DelayMat counters are patched
+//	   │  by decrement / re-sample / increment. The old engine is not
+//	   │  modified — old and new generation share every untouched
+//	   │  RR-Graph.
+//	   ▼
+//	Updater (atomic generation swap)
+//	   │  publishes the repaired engine; OnSwap hooks let a serving
+//	   │  layer rotate its engine pool and evict stale cache entries.
+//	   │  (Package serve implements this rotation natively at its pool
+//	   │  layer on /admin/update; Overlay and Updater are the same
+//	   │  pattern for programs embedding an Engine directly.)
+//	   ▼
+//	queries — old clones drain on the old generation, new queries land
+//	on the repaired one; no request ever observes a half-applied batch.
+//
+// # Statistical contract
+//
+// A repaired index is distribution-equivalent to a fresh rebuild over the
+// updated network: untouched RR-Graphs would have been re-sampled to an
+// identically distributed outcome (their generation never probes a mutated
+// edge), invalidated ones are re-sampled from the new network, and vertex
+// additions re-balance both θ (Eq. 7 scales with |V|) and the uniform
+// target distribution by re-targeting existing graphs with probability
+// ΔV/|V_new| and appending the θ growth. Estimates therefore keep the
+// engine's (1-ε)/(1+ε) guarantees at every generation.
+//
+// # When to prefer a full rebuild
+//
+// Incremental repair wins when batches touch a small fraction of the
+// network — the common case for a social graph absorbing follows and
+// unfollows. Prefer a full rebuild (NewEngine over the updated network)
+// when:
+//
+//   - a batch touches hub vertices contained in most RR-Graphs, so the
+//     invalidated fraction approaches 1 and repair degenerates into a
+//     slower rebuild;
+//   - many deletions have accumulated: deleted edges are tombstoned (IDs
+//     stay stable for the index), so the edge array never shrinks until a
+//     rebuild compacts it;
+//   - the tag model or topic count changed — that is a different model,
+//     not a graph delta, and no index sample survives it.
+//
+// Updater.Apply reports RepairedFraction per batch; a serving layer can
+// watch it and schedule an offline rebuild when it stays high.
+package dynamic

@@ -1,0 +1,337 @@
+package dynamic
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"pitex"
+	"pitex/internal/rng"
+)
+
+// fig2 builds the paper's running example (7 users, 3 topics, 4 tags).
+func fig2(tb testing.TB, s pitex.Strategy) (*pitex.Network, *pitex.TagModel, *pitex.Engine) {
+	tb.Helper()
+	nb := pitex.NewNetworkBuilder(7, 3)
+	nb.AddEdge(0, 1, pitex.TopicProb{Topic: 0, Prob: 0.4})
+	nb.AddEdge(0, 2, pitex.TopicProb{Topic: 1, Prob: 0.5}, pitex.TopicProb{Topic: 2, Prob: 0.5})
+	nb.AddEdge(2, 5, pitex.TopicProb{Topic: 0, Prob: 0.5})
+	nb.AddEdge(2, 3, pitex.TopicProb{Topic: 2, Prob: 0.8})
+	nb.AddEdge(3, 5, pitex.TopicProb{Topic: 2, Prob: 0.5})
+	nb.AddEdge(3, 6, pitex.TopicProb{Topic: 2, Prob: 0.4})
+	nb.AddEdge(5, 6, pitex.TopicProb{Topic: 2, Prob: 0.5})
+	net, err := nb.Build()
+	if err != nil {
+		tb.Fatalf("Build: %v", err)
+	}
+	model, err := pitex.NewTagModel(4, 3)
+	if err != nil {
+		tb.Fatalf("NewTagModel: %v", err)
+	}
+	rows := [][3]float64{{0.6, 0.4, 0}, {0.4, 0.6, 0}, {0, 0.4, 0.6}, {0, 0.4, 0.6}}
+	for w, row := range rows {
+		for z, p := range row {
+			if err := model.SetTagTopic(w, z, p); err != nil {
+				tb.Fatalf("SetTagTopic: %v", err)
+			}
+		}
+	}
+	en, err := pitex.NewEngine(net, model, pitex.Options{
+		Strategy: s, Epsilon: 0.15, Delta: 200, MaxK: 4, Seed: 11,
+		MaxSamples: 20000, MaxIndexSamples: 20000, TrackUpdates: true,
+	})
+	if err != nil {
+		tb.Fatalf("NewEngine: %v", err)
+	}
+	return net, model, en
+}
+
+func TestUpdaterSwapsGenerations(t *testing.T) {
+	net, _, en := fig2(t, pitex.StrategyIndexPruned)
+	u, err := NewUpdater(en)
+	if err != nil {
+		t.Fatalf("NewUpdater: %v", err)
+	}
+	if u.Generation() != 0 || u.Engine() != en {
+		t.Fatal("initial state wrong")
+	}
+	var hooked []uint64
+	u.OnSwap(func(old, next *pitex.Engine, stats pitex.UpdateStats) {
+		if old.Generation()+1 != next.Generation() {
+			t.Errorf("hook generations %d -> %d", old.Generation(), next.Generation())
+		}
+		hooked = append(hooked, stats.Generation)
+	})
+
+	o := NewOverlay(net)
+	if err := o.DeleteEdge(2, 3); err != nil {
+		t.Fatalf("DeleteEdge: %v", err)
+	}
+	stats, applied, err := u.Commit(o)
+	if err != nil || !applied {
+		t.Fatalf("Commit: applied=%v err=%v", applied, err)
+	}
+	if stats.Generation != 1 || u.Generation() != 1 {
+		t.Fatalf("generation %d / %d, want 1", stats.Generation, u.Generation())
+	}
+	if len(hooked) != 1 || hooked[0] != 1 {
+		t.Fatalf("hooks fired %v", hooked)
+	}
+	if u.Engine() == en {
+		t.Fatal("engine not swapped")
+	}
+	// Committing an empty overlay is a no-op.
+	if _, applied, err := u.Commit(o); err != nil || applied {
+		t.Fatalf("empty commit: applied=%v err=%v", applied, err)
+	}
+	// A failing batch swaps nothing.
+	var bad pitex.UpdateBatch
+	bad.DeleteEdge(2, 3) // already gone
+	if _, err := u.Apply(&bad); err == nil {
+		t.Fatal("bad batch accepted")
+	}
+	if u.Generation() != 1 {
+		t.Fatal("failed apply advanced the generation")
+	}
+}
+
+func TestOverlayStagingAndDiscard(t *testing.T) {
+	net, _, _ := fig2(t, pitex.StrategyLazy)
+	o := NewOverlay(net)
+	if o.NumUsers() != 7 || o.Pending() != 0 {
+		t.Fatalf("initial view: %d users, %d pending", o.NumUsers(), o.Pending())
+	}
+	first, err := o.AddUsers(3)
+	if err != nil || first != 7 {
+		t.Fatalf("AddUsers: first=%d err=%v", first, err)
+	}
+	// Staged users are immediately referenceable.
+	if err := o.InsertEdge(0, first, pitex.TopicProb{Topic: 0, Prob: 0.5}); err != nil {
+		t.Fatalf("InsertEdge to staged user: %v", err)
+	}
+	if err := o.InsertEdge(0, 42); err == nil {
+		t.Fatal("out-of-range target accepted")
+	}
+	if err := o.InsertEdge(3, 3); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if o.NumUsers() != 10 || o.Pending() != 2 {
+		t.Fatalf("staged view: %d users, %d pending", o.NumUsers(), o.Pending())
+	}
+	o.Discard()
+	if o.NumUsers() != 7 || o.Pending() != 0 {
+		t.Fatalf("discard left: %d users, %d pending", o.NumUsers(), o.Pending())
+	}
+	// Commit path: stage again, commit, overlay empties but keeps users.
+	if _, err := o.AddUsers(1); err != nil {
+		t.Fatalf("AddUsers: %v", err)
+	}
+	b := o.Commit()
+	if b == nil || b.Empty() {
+		t.Fatal("commit returned empty batch")
+	}
+	if o.Pending() != 0 || o.NumUsers() != 8 {
+		t.Fatalf("post-commit view: %d users, %d pending", o.NumUsers(), o.Pending())
+	}
+	if o.Commit() != nil {
+		t.Fatal("second commit not nil")
+	}
+}
+
+// TestCommitRollbackOnFailure pins the overlay/engine user-count
+// invariant: a dropped batch must not leave phantom users in the overlay
+// view, or every later batch referencing them would pass staging checks
+// and fail at apply time forever.
+func TestCommitRollbackOnFailure(t *testing.T) {
+	net, _, en := fig2(t, pitex.StrategyIndexPruned)
+	u, err := NewUpdater(en)
+	if err != nil {
+		t.Fatalf("NewUpdater: %v", err)
+	}
+	o := NewOverlay(net)
+	if _, err := o.AddUsers(3); err != nil {
+		t.Fatalf("AddUsers: %v", err)
+	}
+	// 6 -> 0 is in range (passes staging) but has no live edge, so the
+	// batch fails apply-time resolution.
+	if err := o.DeleteEdge(6, 0); err != nil {
+		t.Fatalf("DeleteEdge: %v", err)
+	}
+	if _, applied, err := u.Commit(o); !applied || err == nil {
+		t.Fatalf("Commit: applied=%v err=%v, want applied failure", applied, err)
+	}
+	if u.Generation() != 0 {
+		t.Fatalf("failed commit advanced generation to %d", u.Generation())
+	}
+	if got := o.NumUsers(); got != 7 {
+		t.Fatalf("overlay kept %d users after dropped batch, want 7", got)
+	}
+	// The overlay stays usable: the same IDs are handed out again and a
+	// clean batch goes through.
+	first, err := o.AddUsers(1)
+	if err != nil || first != 7 {
+		t.Fatalf("AddUsers after rollback: first=%d err=%v, want 7", first, err)
+	}
+	if err := o.InsertEdge(0, first, pitex.TopicProb{Topic: 0, Prob: 0.5}); err != nil {
+		t.Fatalf("InsertEdge: %v", err)
+	}
+	if _, applied, err := u.Commit(o); !applied || err != nil {
+		t.Fatalf("clean commit: applied=%v err=%v", applied, err)
+	}
+	if u.Generation() != 1 || u.Engine().Network().NumUsers() != 8 {
+		t.Fatalf("generation %d over %d users, want 1 over 8",
+			u.Generation(), u.Engine().Network().NumUsers())
+	}
+}
+
+// TestQueriesDuringSwap exercises the zero-downtime property: query
+// traffic over clones keeps succeeding while updates land concurrently
+// (the race detector guards memory safety).
+func TestQueriesDuringSwap(t *testing.T) {
+	net, _, en := fig2(t, pitex.StrategyIndexPruned)
+	u, err := NewUpdater(en)
+	if err != nil {
+		t.Fatalf("NewUpdater: %v", err)
+	}
+	o := NewOverlay(net)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				clone := u.Engine().Clone()
+				if _, err := clone.Query(0, 2); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	probs := []float64{0.3, 0.5, 0.7, 0.45, 0.6}
+	for i, p := range probs {
+		if err := o.SetEdge(2, 3, pitex.TopicProb{Topic: 2, Prob: p}); err != nil {
+			t.Fatalf("SetEdge: %v", err)
+		}
+		if _, applied, err := u.Commit(o); err != nil || !applied {
+			t.Fatalf("commit %d: applied=%v err=%v", i, applied, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatalf("query during swap failed: %v", err)
+	default:
+	}
+	if u.Generation() != uint64(len(probs)) {
+		t.Fatalf("generation %d, want %d", u.Generation(), len(probs))
+	}
+}
+
+// randomNetwork builds a sparse random network for the equivalence test
+// and benchmarks.
+func randomNetwork(tb testing.TB, users, avgDeg, topics int, lo, hi float64, seed uint64) (*pitex.Network, *pitex.TagModel) {
+	tb.Helper()
+	r := rng.New(seed)
+	nb := pitex.NewNetworkBuilder(users, topics)
+	for v := 0; v < users; v++ {
+		for d := 0; d < avgDeg; d++ {
+			to := r.Intn(users)
+			if to == v {
+				continue
+			}
+			nb.AddEdge(v, to, pitex.TopicProb{Topic: r.Intn(topics), Prob: lo + (hi-lo)*r.Float64()})
+		}
+	}
+	net, err := nb.Build()
+	if err != nil {
+		tb.Fatalf("Build: %v", err)
+	}
+	model, err := pitex.NewTagModel(2*topics, topics)
+	if err != nil {
+		tb.Fatalf("NewTagModel: %v", err)
+	}
+	for w := 0; w < 2*topics; w++ {
+		if err := model.SetTagTopic(w, w%topics, 0.7); err != nil {
+			tb.Fatalf("SetTagTopic: %v", err)
+		}
+		if err := model.SetTagTopic(w, (w+1)%topics, 0.3); err != nil {
+			tb.Fatalf("SetTagTopic: %v", err)
+		}
+	}
+	return net, model
+}
+
+// TestRepairedEngineMatchesRebuild is the acceptance-criteria equivalence
+// check at the public-API level: after a mixed batch, the incrementally
+// repaired engine's estimates match a from-scratch NewEngine over the
+// updated network within the estimators' (1±ε) tolerance.
+func TestRepairedEngineMatchesRebuild(t *testing.T) {
+	net, model := randomNetwork(t, 250, 4, 2, 0.05, 0.3, 17)
+	opts := pitex.Options{
+		Strategy: pitex.StrategyIndex, Epsilon: 0.2, Delta: 200,
+		MaxK: 2, Seed: 5, // θ uncapped: the guarantee must actually hold
+	}
+	en, err := pitex.NewEngine(net, model, opts)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	edges := liveEdges(net)
+	var b pitex.UpdateBatch
+	b.DeleteEdge(edges[0].From, edges[0].To)
+	b.DeleteEdge(edges[40].From, edges[40].To)
+	b.SetEdge(edges[80].From, edges[80].To, pitex.TopicProb{Topic: 0, Prob: 0.25})
+	b.InsertEdge(1, 200, pitex.TopicProb{Topic: 0, Prob: 0.4})
+	b.InsertEdge(200, 2, pitex.TopicProb{Topic: 1, Prob: 0.4})
+	repaired, stats, err := en.ApplyUpdates(&b)
+	if err != nil {
+		t.Fatalf("ApplyUpdates: %v", err)
+	}
+	if stats.RepairedFraction() >= 0.9 {
+		t.Fatalf("repair fraction %.2f — not incremental", stats.RepairedFraction())
+	}
+	rebuilt, err := pitex.NewEngine(repaired.Network(), model, opts)
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	tol := (1 + opts.Epsilon) / (1 - opts.Epsilon) * 1.05
+	for u := 0; u < 250; u += 13 {
+		a, err := repaired.EstimateInfluence(u, []int{0, 1})
+		if err != nil {
+			t.Fatalf("repaired estimate: %v", err)
+		}
+		c, err := rebuilt.EstimateInfluence(u, []int{0, 1})
+		if err != nil {
+			t.Fatalf("rebuilt estimate: %v", err)
+		}
+		lo, hi := math.Min(a, c), math.Max(a, c)
+		if hi/lo > tol {
+			t.Errorf("u=%d: repaired %.4f vs rebuilt %.4f exceeds tolerance %.3f", u, a, c, tol)
+		}
+	}
+}
+
+// liveEdges collects the network's live edges in ID order, deduplicated
+// by (from, to) so batch operations that resolve every parallel edge pick
+// distinct pairs.
+func liveEdges(net *pitex.Network) []pitex.Edge {
+	var out []pitex.Edge
+	seen := map[[2]int]bool{}
+	net.ForEachEdge(func(e pitex.Edge) bool {
+		if e.Live() && !seen[[2]int{e.From, e.To}] {
+			seen[[2]int{e.From, e.To}] = true
+			out = append(out, e)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,145 @@
+package dynamic
+
+import (
+	"fmt"
+	"sync"
+
+	"pitex"
+)
+
+// Overlay is a mutable staging area over an (immutable) Network: callers
+// record edge insertions, deletions, probability changes and user appends
+// as they arrive from the outside world, then Commit drains them as one
+// atomic UpdateBatch for Updater.Apply. The overlay tracks the running
+// user count across commits so staged operations can reference users that
+// earlier batches added. Safe for concurrent use.
+type Overlay struct {
+	mu      sync.Mutex
+	batch   *pitex.UpdateBatch
+	users   int // base users plus every staged/committed AddUsers
+	pending int // staged users not yet committed
+}
+
+// NewOverlay creates an overlay over the network an engine currently
+// serves.
+func NewOverlay(net *pitex.Network) *Overlay {
+	return &Overlay{batch: &pitex.UpdateBatch{}, users: net.NumUsers()}
+}
+
+// NumUsers returns the user count as of the staged state: the base network
+// plus every AddUsers recorded so far (committed or not).
+func (o *Overlay) NumUsers() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.users
+}
+
+// Pending returns the number of staged, uncommitted operations.
+func (o *Overlay) Pending() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.batch.Len()
+}
+
+// checkUser validates a staged user reference against the overlay view.
+func (o *Overlay) checkUser(u int) error {
+	if u < 0 || u >= o.users {
+		return fmt.Errorf("dynamic: user %d outside overlay range [0,%d)", u, o.users)
+	}
+	return nil
+}
+
+// InsertEdge stages a new influence edge from -> to.
+func (o *Overlay) InsertEdge(from, to int, probs ...pitex.TopicProb) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if err := o.checkUser(from); err != nil {
+		return err
+	}
+	if err := o.checkUser(to); err != nil {
+		return err
+	}
+	if from == to {
+		return fmt.Errorf("dynamic: self-loop at user %d", from)
+	}
+	o.batch.InsertEdge(from, to, probs...)
+	return nil
+}
+
+// DeleteEdge stages the removal of every live edge from -> to.
+func (o *Overlay) DeleteEdge(from, to int) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if err := o.checkUser(from); err != nil {
+		return err
+	}
+	if err := o.checkUser(to); err != nil {
+		return err
+	}
+	o.batch.DeleteEdge(from, to)
+	return nil
+}
+
+// SetEdge stages a topic-probability change on every live edge from -> to.
+func (o *Overlay) SetEdge(from, to int, probs ...pitex.TopicProb) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if err := o.checkUser(from); err != nil {
+		return err
+	}
+	if err := o.checkUser(to); err != nil {
+		return err
+	}
+	o.batch.SetEdge(from, to, probs...)
+	return nil
+}
+
+// AddUsers stages appending n users and returns the ID of the first one,
+// so the caller can immediately stage edges for the newcomers.
+func (o *Overlay) AddUsers(n int) (first int, err error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if n <= 0 {
+		return 0, fmt.Errorf("dynamic: AddUsers(%d), want > 0", n)
+	}
+	first = o.users
+	o.users += n
+	o.pending += n
+	o.batch.AddUsers(n)
+	return first, nil
+}
+
+// Commit drains the staged operations as one batch, leaving the overlay
+// empty (the user count keeps reflecting committed appends). Returns nil
+// when nothing is staged.
+func (o *Overlay) Commit() *pitex.UpdateBatch {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.batch.Empty() {
+		return nil
+	}
+	b := o.batch
+	o.batch = &pitex.UpdateBatch{}
+	o.pending = 0
+	return b
+}
+
+// rollbackUsers removes n user appends from the overlay view after the
+// batch that staged them failed to apply: the users never materialized in
+// any engine generation, so keeping them would let future staging pass
+// range checks for IDs no generation will ever accept.
+func (o *Overlay) rollbackUsers(n int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.users -= n
+}
+
+// Discard drops every staged operation, rolling the overlay view back to
+// the last committed state.
+func (o *Overlay) Discard() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.users -= o.pending
+	o.pending = 0
+	o.batch = &pitex.UpdateBatch{}
+}

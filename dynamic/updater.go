@@ -1,0 +1,98 @@
+package dynamic
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pitex"
+)
+
+// Updater owns the live engine of a mutating network: Apply repairs the
+// index incrementally for each committed batch and publishes the new
+// generation atomically, so readers always observe a complete engine —
+// either the old generation or the new one, never a half-applied state.
+// Apply calls are serialized; Engine is wait-free. Safe for concurrent
+// use.
+type Updater struct {
+	mu    sync.Mutex // serializes Apply and hook registration ordering
+	cur   atomic.Pointer[pitex.Engine]
+	hooks []func(old, next *pitex.Engine, stats pitex.UpdateStats)
+}
+
+// NewUpdater creates an updater publishing en as the current generation.
+func NewUpdater(en *pitex.Engine) (*Updater, error) {
+	if en == nil {
+		return nil, fmt.Errorf("dynamic: nil engine")
+	}
+	u := &Updater{}
+	u.cur.Store(en)
+	return u, nil
+}
+
+// Engine returns the current generation. Callers needing concurrency
+// should Clone it, exactly as with a static engine; clones keep answering
+// over their generation even after later swaps.
+func (u *Updater) Engine() *pitex.Engine { return u.cur.Load() }
+
+// Generation returns the current engine generation.
+func (u *Updater) Generation() uint64 { return u.cur.Load().Generation() }
+
+// OnSwap registers a hook invoked after every successful Apply, in
+// registration order, with the retiring engine, the new one and the
+// batch's stats. Hooks run under the updater's apply lock: swaps are
+// observed in order and a hook's work (pool rotation, cache eviction)
+// completes before the next batch can land.
+func (u *Updater) OnSwap(fn func(old, next *pitex.Engine, stats pitex.UpdateStats)) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.hooks = append(u.hooks, fn)
+}
+
+// Apply repairs the current generation with the batch and publishes the
+// result. On error nothing is swapped and the current engine keeps
+// serving.
+func (u *Updater) Apply(b *pitex.UpdateBatch) (pitex.UpdateStats, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.applyLocked(b)
+}
+
+func (u *Updater) applyLocked(b *pitex.UpdateBatch) (pitex.UpdateStats, error) {
+	old := u.cur.Load()
+	next, stats, err := old.ApplyUpdates(b)
+	if err != nil {
+		return stats, err
+	}
+	u.cur.Store(next)
+	for _, fn := range u.hooks {
+		fn(old, next, stats)
+	}
+	return stats, nil
+}
+
+// Commit is Apply(overlay.Commit()): it drains the overlay and applies the
+// batch, reporting whether anything was staged. A batch that fails
+// validation is dropped — the overlay does not re-stage it, so callers
+// that stage speculative operations should validate through the Overlay
+// methods (which catch range errors up front). User appends in a dropped
+// batch are rolled out of the overlay's user count (they exist in no
+// generation), so operations staged between the drain and the failure
+// that referenced those phantom IDs will fail the next apply too.
+func (u *Updater) Commit(o *Overlay) (pitex.UpdateStats, bool, error) {
+	// Drain under the apply lock: concurrent Commits must apply batches in
+	// the order they drained the overlay, or a batch referencing users an
+	// earlier drain staged would resolve against an engine that does not
+	// have them yet and be dropped despite being valid in stage order.
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	b := o.Commit()
+	if b == nil {
+		return pitex.UpdateStats{}, false, nil
+	}
+	stats, err := u.applyLocked(b)
+	if err != nil {
+		o.rollbackUsers(b.AddedUsers())
+	}
+	return stats, true, err
+}

@@ -66,6 +66,10 @@ type Engine struct {
 	// IndexBuildTime records the offline phase duration (Table 3).
 	IndexBuildTime time.Duration
 
+	// generation counts applied update batches (see ApplyUpdates); clones
+	// inherit it.
+	generation uint64
+
 	posterior []float64
 }
 
@@ -99,6 +103,7 @@ func NewEngine(net *Network, model *TagModel, opts Options) (*Engine, error) {
 			Accuracy:        en.samplingOptions(enumerate.LogPhiK(model.NumTags(), opts.MaxK)),
 			MaxIndexSamples: opts.MaxIndexSamples,
 			Seed:            opts.Seed,
+			TrackMembers:    opts.TrackUpdates,
 		}
 		start := time.Now()
 		var err error
@@ -174,6 +179,7 @@ func (en *Engine) Clone() *Engine {
 		index:          en.index,
 		delay:          en.delay,
 		IndexBuildTime: en.IndexBuildTime,
+		generation:     en.generation,
 		posterior:      make([]float64, en.model.NumTopics()),
 	}
 	c.est = c.newEstimator()
@@ -256,6 +262,13 @@ func (en *Engine) IndexMemoryBytes() int64 {
 
 // Strategy returns the estimation strategy the engine was built with.
 func (en *Engine) Strategy() Strategy { return en.opts.Strategy }
+
+// Network returns the (immutable) network this engine generation answers
+// over. After ApplyUpdates, the new engine returns the updated network.
+func (en *Engine) Network() *Network { return en.net }
+
+// Model returns the tag model the engine was built with.
+func (en *Engine) Model() *TagModel { return en.model }
 
 // Query answers the PITEX query (user, k): the size-k tag set maximizing
 // the user's estimated influence spread.

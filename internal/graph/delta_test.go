@@ -1,0 +1,153 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+)
+
+// deltaBase builds a small graph: 0->1 (z0:0.4), 0->2 (z1:0.5), 2->3
+// (z0:0.8), 1->3 (z1:0.3).
+func deltaBase(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(4, 2)
+	b.AddEdge(0, 1, []TopicProb{{Topic: 0, Prob: 0.4}})
+	b.AddEdge(0, 2, []TopicProb{{Topic: 1, Prob: 0.5}})
+	b.AddEdge(2, 3, []TopicProb{{Topic: 0, Prob: 0.8}})
+	b.AddEdge(1, 3, []TopicProb{{Topic: 1, Prob: 0.3}})
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func sortedHeads(info *DeltaInfo) []VertexID {
+	out := append([]VertexID(nil), info.TouchedHeads...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestApplyDeltaStableEdgeIDs(t *testing.T) {
+	g := deltaBase(t)
+	ng, info, err := ApplyDelta(g, Delta{
+		InsertEdges:  []EdgeInsert{{From: 3, To: 0, Topics: []TopicProb{{Topic: 0, Prob: 0.6}}}},
+		DeleteEdges:  []EdgeID{1},
+		RetopicEdges: []EdgeRetopic{{Edge: 2, Topics: []TopicProb{{Topic: 1, Prob: 0.9}}}},
+	})
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("base graph mutated: %d edges", g.NumEdges())
+	}
+	if ng.NumEdges() != 5 {
+		t.Fatalf("new graph has %d edges, want 5", ng.NumEdges())
+	}
+	// Untouched edge 0 keeps ID, endpoints and probabilities.
+	if ng.EdgeFrom(0) != 0 || ng.EdgeTo(0) != 1 || ng.EdgeMaxProb(0) != 0.4 {
+		t.Fatalf("edge 0 changed: %d->%d p=%v", ng.EdgeFrom(0), ng.EdgeTo(0), ng.EdgeMaxProb(0))
+	}
+	// Deleted edge 1 is a tombstone: same endpoints, dead forever.
+	if ng.EdgeFrom(1) != 0 || ng.EdgeTo(1) != 2 || ng.EdgeMaxProb(1) != 0 {
+		t.Fatalf("tombstone wrong: %d->%d p=%v", ng.EdgeFrom(1), ng.EdgeTo(1), ng.EdgeMaxProb(1))
+	}
+	if ids, _ := ng.EdgeTopics(1); len(ids) != 0 {
+		t.Fatalf("tombstone kept %d topic entries", len(ids))
+	}
+	// Retopiced edge 2 has the new vector.
+	if got := ng.EdgeTopicProb(2, 1); got != 0.9 {
+		t.Fatalf("edge 2 p(e|z1) = %v, want 0.9", got)
+	}
+	if got := ng.EdgeTopicProb(2, 0); got != 0 {
+		t.Fatalf("edge 2 kept old topic: %v", got)
+	}
+	// Inserted edge got the next ID.
+	if ng.EdgeFrom(4) != 3 || ng.EdgeTo(4) != 0 || ng.EdgeMaxProb(4) != 0.6 {
+		t.Fatalf("inserted edge wrong: %d->%d p=%v", ng.EdgeFrom(4), ng.EdgeTo(4), ng.EdgeMaxProb(4))
+	}
+	// Touched heads: delete head 2, retopic head 3, insert head 0.
+	if got := sortedHeads(info); len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("touched heads %v, want [0 2 3]", got)
+	}
+	if info.Inserted != 1 || info.Deleted != 1 || info.Retopiced != 1 {
+		t.Fatalf("counts %+v", info)
+	}
+}
+
+func TestApplyDeltaAddVertices(t *testing.T) {
+	g := deltaBase(t)
+	ng, info, err := ApplyDelta(g, Delta{
+		AddVertices: 2,
+		InsertEdges: []EdgeInsert{{From: 3, To: 5, Topics: []TopicProb{{Topic: 0, Prob: 0.5}}}},
+	})
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	if ng.NumVertices() != 6 {
+		t.Fatalf("vertices %d, want 6", ng.NumVertices())
+	}
+	if ng.OutDegree(4) != 0 || ng.InDegree(4) != 0 {
+		t.Fatal("fresh vertex 4 has edges")
+	}
+	if ng.InDegree(5) != 1 {
+		t.Fatalf("vertex 5 in-degree %d, want 1", ng.InDegree(5))
+	}
+	if info.AddedVertices != 2 {
+		t.Fatalf("AddedVertices = %d", info.AddedVertices)
+	}
+}
+
+func TestApplyDeltaTombstoneSemantics(t *testing.T) {
+	g := deltaBase(t)
+	// First delete edge 3.
+	ng, info, err := ApplyDelta(g, Delta{DeleteEdges: []EdgeID{3, 3}})
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	if info.Deleted != 1 {
+		t.Fatalf("duplicate delete counted: %d", info.Deleted)
+	}
+	// Deleting the tombstone again is a silent no-op with no touched heads.
+	ng2, info2, err := ApplyDelta(ng, Delta{DeleteEdges: []EdgeID{3}})
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	if info2.Deleted != 0 || len(info2.TouchedHeads) != 0 {
+		t.Fatalf("tombstone re-delete reported work: %+v", info2)
+	}
+	// Retopic resurrects the tombstone under its old ID.
+	ng3, _, err := ApplyDelta(ng2, Delta{
+		RetopicEdges: []EdgeRetopic{{Edge: 3, Topics: []TopicProb{{Topic: 0, Prob: 0.2}}}},
+	})
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	if ng3.EdgeMaxProb(3) != 0.2 {
+		t.Fatalf("resurrected edge p = %v", ng3.EdgeMaxProb(3))
+	}
+}
+
+func TestApplyDeltaValidation(t *testing.T) {
+	g := deltaBase(t)
+	cases := map[string]Delta{
+		"delete out of range":  {DeleteEdges: []EdgeID{99}},
+		"retopic out of range": {RetopicEdges: []EdgeRetopic{{Edge: -1}}},
+		"negative vertices":    {AddVertices: -1},
+		"insert out of range":  {InsertEdges: []EdgeInsert{{From: 0, To: 17}}},
+		"insert self loop":     {InsertEdges: []EdgeInsert{{From: 2, To: 2}}},
+		"delete and retopic": {
+			DeleteEdges:  []EdgeID{0},
+			RetopicEdges: []EdgeRetopic{{Edge: 0, Topics: []TopicProb{{Topic: 0, Prob: 0.1}}}},
+		},
+		"bad topic": {InsertEdges: []EdgeInsert{{From: 0, To: 3,
+			Topics: []TopicProb{{Topic: 9, Prob: 0.1}}}}},
+	}
+	for name, d := range cases {
+		if _, _, err := ApplyDelta(g, d); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, _, err := ApplyDelta(g, Delta{}); err != nil {
+		t.Errorf("empty delta rejected: %v", err)
+	}
+}

@@ -23,11 +23,61 @@ type DelayMat struct {
 	theta int64
 	// counts[u] = θ(u).
 	counts []int64
+
+	// members and targets are the optional incremental-repair bookkeeping
+	// (BuildOptions.TrackMembers): the member set and target of each
+	// conceptual offline RR-Graph, so Repair can decide which graphs a
+	// mutation invalidates and patch counters by decrement/re-sample/
+	// increment. Both nil when not tracked (the Table 3 counters-only
+	// configuration); a DelayMat loaded from disk is never repairable.
+	members [][]graph.VertexID
+	targets []graph.VertexID
+}
+
+// memberScratch carries the reusable buffers of sampleMemberSet.
+type memberScratch struct {
+	stack   []graph.VertexID
+	members []graph.VertexID
+}
+
+// sampleMemberSet runs the reverse BFS of Def. 2 from target over live
+// draws and returns the member set (target first) without materializing
+// edges. The returned slice aliases sc.members and is valid only until
+// the next call — callers that retain it must copy. mark is caller
+// scratch of length |V|, all false on entry and reset before return.
+func sampleMemberSet(g *graph.Graph, target graph.VertexID, r *rng.Source, mark []bool, sc *memberScratch) []graph.VertexID {
+	sc.members = sc.members[:0]
+	sc.stack = sc.stack[:0]
+	sc.stack = append(sc.stack, target)
+	mark[target] = true
+	sc.members = append(sc.members, target)
+	for len(sc.stack) > 0 {
+		v := sc.stack[len(sc.stack)-1]
+		sc.stack = sc.stack[:len(sc.stack)-1]
+		ins := g.InEdges(v)
+		nbrs := g.InNeighbors(v)
+		for j, e := range ins {
+			p := g.EdgeMaxProb(e)
+			if p <= 0 || r.Float64() >= p {
+				continue
+			}
+			if f := nbrs[j]; !mark[f] {
+				mark[f] = true
+				sc.members = append(sc.members, f)
+				sc.stack = append(sc.stack, f)
+			}
+		}
+	}
+	for _, m := range sc.members {
+		mark[m] = false
+	}
+	return sc.members
 }
 
 // BuildDelayMat runs the offline counting phase: it samples the same θ
 // RR-Graphs as Build would, but only increments per-user counters instead
-// of materializing anything.
+// of materializing anything. With opts.TrackMembers it additionally
+// records each graph's member set and target for incremental Repair.
 func BuildDelayMat(g *graph.Graph, opts BuildOptions) (*DelayMat, error) {
 	if err := opts.Accuracy.Validate(); err != nil {
 		return nil, fmt.Errorf("rrindex: %w", err)
@@ -35,37 +85,21 @@ func BuildDelayMat(g *graph.Graph, opts BuildOptions) (*DelayMat, error) {
 	theta := opts.Theta(g.NumVertices())
 	r := rng.New(opts.Seed)
 	dm := &DelayMat{g: g, theta: theta, counts: make([]int64, g.NumVertices())}
+	if opts.TrackMembers {
+		dm.members = make([][]graph.VertexID, 0, theta)
+		dm.targets = make([]graph.VertexID, 0, theta)
+	}
 	mark := make([]bool, g.NumVertices())
-	members := make([]graph.VertexID, 0, 64)
-	stack := make([]graph.VertexID, 0, 64)
+	var sc memberScratch
 	for i := int64(0); i < theta; i++ {
 		target := graph.VertexID(r.Intn(g.NumVertices()))
-		// Reverse BFS over live edges, counting members only.
-		members = members[:0]
-		stack = stack[:0]
-		stack = append(stack, target)
-		mark[target] = true
-		members = append(members, target)
-		for len(stack) > 0 {
-			v := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			ins := g.InEdges(v)
-			nbrs := g.InNeighbors(v)
-			for j, e := range ins {
-				p := g.EdgeMaxProb(e)
-				if p <= 0 || r.Float64() >= p {
-					continue
-				}
-				if f := nbrs[j]; !mark[f] {
-					mark[f] = true
-					members = append(members, f)
-					stack = append(stack, f)
-				}
-			}
-		}
+		members := sampleMemberSet(g, target, r, mark, &sc)
 		for _, m := range members {
-			mark[m] = false
 			dm.counts[m]++
+		}
+		if opts.TrackMembers {
+			dm.members = append(dm.members, append([]graph.VertexID(nil), members...))
+			dm.targets = append(dm.targets, target)
 		}
 	}
 	return dm, nil
@@ -78,8 +112,16 @@ func (dm *DelayMat) Theta() int64 { return dm.theta }
 func (dm *DelayMat) Count(u graph.VertexID) int64 { return dm.counts[u] }
 
 // MemoryFootprint is the index size: one counter per user (Table 3's
-// "DelayMat size" column).
-func (dm *DelayMat) MemoryFootprint() int64 { return int64(len(dm.counts)) * 8 }
+// "DelayMat size" column), plus the member/target bookkeeping when the
+// index was built with TrackMembers.
+func (dm *DelayMat) MemoryFootprint() int64 {
+	b := int64(len(dm.counts)) * 8
+	for _, m := range dm.members {
+		b += int64(len(m)) * 4
+	}
+	b += int64(len(dm.targets)) * 4
+	return b
+}
 
 // DelayEstimator answers queries against a DelayMat index. Recovered
 // RR-Graphs are cached per user so repeated estimations for the same query

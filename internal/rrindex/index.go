@@ -24,6 +24,11 @@ type BuildOptions struct {
 	// Workers parallelizes offline sampling across goroutines. Results
 	// are deterministic per (Seed, Workers); 0 or 1 means sequential.
 	Workers int
+	// TrackMembers makes BuildDelayMat record per-graph member sets and
+	// targets so the index supports incremental Repair under graph
+	// updates. It trades DelayMat's tiny footprint for patchable counters;
+	// ignored by Build (the materialized index is always repairable).
+	TrackMembers bool
 }
 
 // Theta returns the offline sample count of Eq. 7:

@@ -1,0 +1,314 @@
+package rrindex
+
+import (
+	"errors"
+	"fmt"
+
+	"pitex/internal/graph"
+	"pitex/internal/rng"
+)
+
+// This file implements incremental index maintenance under graph updates
+// (the "dynamic" subsystem): instead of rebuilding the offline structures
+// from scratch after a batch of edge mutations, only the RR-Graphs whose
+// sampled outcome could have changed are re-sampled, and DelayMat counters
+// are patched in place.
+//
+// Soundness of the invalidation rule. RR-Graph generation (Def. 2) probes
+// the in-edges of member vertices and keeps edges with c(e) < p(e). A
+// mutation can change a graph's outcome only by changing the in-edge list
+// or an in-edge probability of some member vertex — and every mutated edge
+// changes exactly the in-list of its head. Therefore a graph whose member
+// set is disjoint from the touched heads would be re-sampled to an
+// identically distributed outcome, and keeping it preserves the index
+// distribution exactly. Graphs containing a touched head are re-sampled
+// from the NEW graph with fresh draws, keeping their original target, so
+// the target marginal stays uniform.
+//
+// Vertex additions change |V|, which enters both θ = λ|V| and the uniform
+// target distribution. Repair restores both: every existing graph
+// re-targets onto a uniformly chosen new vertex with probability
+// ΔV/|V_new| (old targets were uniform over V_old, so the mixture is
+// uniform over V_new), and θ_new - θ_old fresh graphs with targets uniform
+// over V_new are appended.
+
+// ErrNotRepairable reports an index that lacks the bookkeeping incremental
+// repair needs (a DelayMat built without TrackMembers, or one loaded from
+// disk). Callers should fall back to a full rebuild.
+var ErrNotRepairable = errors.New(
+	"rrindex: index has no repair bookkeeping (rebuild required)")
+
+// RepairStats summarizes what one Repair call re-sampled.
+type RepairStats struct {
+	// Invalidated counts graphs re-sampled because a touched head was a
+	// member.
+	Invalidated int
+	// Retargeted counts graphs re-targeted onto newly added vertices to
+	// restore target uniformity.
+	Retargeted int
+	// Appended counts fresh graphs appended for θ growth.
+	Appended int
+	// Total is the resulting graph count (= θ_new).
+	Total int
+}
+
+// Repaired is Invalidated + Retargeted + Appended: how many graphs were
+// sampled, the work a full rebuild would have spent θ times.
+func (s RepairStats) Repaired() int { return s.Invalidated + s.Retargeted + s.Appended }
+
+// Repair returns a new Index over the updated graph g, re-sampling only
+// the RR-Graphs invalidated by the mutation batch. g must be the result of
+// graph.ApplyDelta on the index's graph (edge IDs stable, addedVertices
+// vertices appended); touched are the DeltaInfo.TouchedHeads. opts must
+// carry the accuracy parameters the index was built with (θ growth is
+// recomputed from them) and the seed for the repair sampler — vary the
+// seed per update generation to keep repairs independent.
+//
+// The receiver is not modified: untouched *RRGraph values are shared
+// (they are immutable), so concurrent readers of the old index are
+// unaffected — this is what makes zero-downtime hot-swap possible.
+func (idx *Index) Repair(g *graph.Graph, opts BuildOptions, touched []graph.VertexID, addedVertices int) (*Index, RepairStats, error) {
+	var stats RepairStats
+	if err := opts.Accuracy.Validate(); err != nil {
+		return nil, stats, fmt.Errorf("rrindex: %w", err)
+	}
+	oldV := idx.g.NumVertices()
+	newV := g.NumVertices()
+	if newV != oldV+addedVertices {
+		return nil, stats, fmt.Errorf("rrindex: graph has %d vertices, want %d + %d added",
+			newV, oldV, addedVertices)
+	}
+
+	invalid := make([]bool, len(idx.graphs))
+	for _, h := range touched {
+		if int(h) >= len(idx.containing) {
+			continue // head is a brand-new vertex: no graph can contain it
+		}
+		for _, gi := range idx.containing[h] {
+			invalid[gi] = true
+		}
+	}
+
+	r := rng.New(opts.Seed)
+	mark := make([]bool, newV)
+	next := &Index{
+		g:       g,
+		graphs:  append([]*RRGraph(nil), idx.graphs...),
+		maxSize: idx.maxSize,
+	}
+	retargetP := 0.0
+	if addedVertices > 0 {
+		retargetP = float64(addedVertices) / float64(newV)
+	}
+	// dirty marks vertices whose postings list must change: old or new
+	// members of any re-sampled graph, and members of appended ones.
+	// resampled marks the graph indices whose old postings entries are
+	// stale. Old member sets must be recorded before regeneration.
+	resampled := make([]bool, len(idx.graphs))
+	dirty := make([]bool, newV)
+	for gi, rr := range next.graphs {
+		target := rr.target
+		resample := invalid[gi]
+		if retargetP > 0 && r.Bernoulli(retargetP) {
+			target = graph.VertexID(oldV + r.Intn(addedVertices))
+			stats.Retargeted++
+			resample = true
+		} else if resample {
+			stats.Invalidated++
+		}
+		if !resample {
+			continue
+		}
+		resampled[gi] = true
+		for _, v := range rr.verts {
+			dirty[v] = true
+		}
+		nrr := generate(g, target, r, mark)
+		next.graphs[gi] = nrr
+		if nrr.NumVertices() > next.maxSize {
+			next.maxSize = nrr.NumVertices()
+		}
+	}
+
+	// θ grows with |V| (Eq. 7). It never shrinks: a cap change cannot
+	// retroactively unsample graphs without biasing the estimator.
+	next.theta = idx.theta
+	if grown := opts.Theta(newV); grown > next.theta {
+		for i := next.theta; i < grown; i++ {
+			target := graph.VertexID(r.Intn(newV))
+			nrr := generate(g, target, r, mark)
+			next.graphs = append(next.graphs, nrr)
+			if nrr.NumVertices() > next.maxSize {
+				next.maxSize = nrr.NumVertices()
+			}
+			stats.Appended++
+		}
+		next.theta = grown
+	}
+
+	// Patch postings per affected vertex rather than rebuilding them from
+	// the graphs: clean vertices share the old index's list (it is never
+	// mutated), dirty ones get old-minus-resampled plus the re-sampled and
+	// appended memberships. This keeps the per-batch fixed cost at
+	// O(Σ_dirty |containing(v)|) sequential int32 scans instead of a
+	// pointer chase over every graph — the difference between repair
+	// amortizing θ and repair costing a rebuild.
+	addCount := make([]int32, newV)
+	countAdds := func(gi int) {
+		for _, v := range next.graphs[gi].verts {
+			dirty[v] = true
+			addCount[v]++
+		}
+	}
+	for gi := range resampled {
+		if resampled[gi] {
+			countAdds(gi)
+		}
+	}
+	for gi := len(idx.graphs); gi < len(next.graphs); gi++ {
+		countAdds(gi)
+	}
+	next.containing = make([][]int32, newV)
+	total := 0
+	for v := 0; v < newV; v++ {
+		if !dirty[v] {
+			if v < oldV {
+				next.containing[v] = idx.containing[v]
+			}
+			continue
+		}
+		if v < oldV {
+			total += len(idx.containing[v])
+		}
+		total += int(addCount[v])
+	}
+	flat := make([]int32, 0, total)
+	for v := 0; v < newV; v++ {
+		if !dirty[v] {
+			continue
+		}
+		start := len(flat)
+		if v < oldV {
+			for _, gi := range idx.containing[v] {
+				if !resampled[gi] {
+					flat = append(flat, gi)
+				}
+			}
+		}
+		// Reserve the addition slots; filled in graph order below.
+		next.containing[v] = flat[start:len(flat):len(flat)+int(addCount[v])]
+		flat = flat[:len(flat)+int(addCount[v])]
+	}
+	appendAdds := func(gi int) {
+		for _, v := range next.graphs[gi].verts {
+			l := next.containing[v]
+			next.containing[v] = append(l, int32(gi))
+		}
+	}
+	for gi := range resampled {
+		if resampled[gi] {
+			appendAdds(gi)
+		}
+	}
+	for gi := len(idx.graphs); gi < len(next.graphs); gi++ {
+		appendAdds(gi)
+	}
+	stats.Total = len(next.graphs)
+	return next, stats, nil
+}
+
+// CanRepair reports whether the DelayMat carries the member bookkeeping
+// Repair needs (built with BuildOptions.TrackMembers).
+func (dm *DelayMat) CanRepair() bool { return dm.members != nil }
+
+// Repair returns a new DelayMat over the updated graph g by patching
+// counters: for each conceptual RR-Graph whose member set intersects the
+// touched heads, the old members' counters are decremented, the member set
+// is re-sampled from the new graph (same target), and the new members'
+// counters are incremented. Vertex additions re-target and append exactly
+// like Index.Repair. Requires TrackMembers bookkeeping; ErrNotRepairable
+// otherwise. The receiver is not modified.
+func (dm *DelayMat) Repair(g *graph.Graph, opts BuildOptions, touched []graph.VertexID, addedVertices int) (*DelayMat, RepairStats, error) {
+	var stats RepairStats
+	if !dm.CanRepair() {
+		return nil, stats, ErrNotRepairable
+	}
+	if err := opts.Accuracy.Validate(); err != nil {
+		return nil, stats, fmt.Errorf("rrindex: %w", err)
+	}
+	oldV := dm.g.NumVertices()
+	newV := g.NumVertices()
+	if newV != oldV+addedVertices {
+		return nil, stats, fmt.Errorf("rrindex: graph has %d vertices, want %d + %d added",
+			newV, oldV, addedVertices)
+	}
+
+	touchedSet := make([]bool, oldV)
+	for _, h := range touched {
+		if int(h) < oldV {
+			touchedSet[h] = true
+		}
+	}
+
+	next := &DelayMat{
+		g:       g,
+		theta:   dm.theta,
+		counts:  make([]int64, newV),
+		members: append([][]graph.VertexID(nil), dm.members...),
+		targets: append([]graph.VertexID(nil), dm.targets...),
+	}
+	copy(next.counts, dm.counts)
+
+	r := rng.New(opts.Seed)
+	mark := make([]bool, newV)
+	var scratch memberScratch
+	retargetP := 0.0
+	if addedVertices > 0 {
+		retargetP = float64(addedVertices) / float64(newV)
+	}
+	for i := range next.members {
+		target := next.targets[i]
+		resample := false
+		for _, v := range next.members[i] {
+			if touchedSet[v] {
+				resample = true
+				break
+			}
+		}
+		if retargetP > 0 && r.Bernoulli(retargetP) {
+			target = graph.VertexID(oldV + r.Intn(addedVertices))
+			stats.Retargeted++
+			resample = true
+		} else if resample {
+			stats.Invalidated++
+		}
+		if !resample {
+			continue
+		}
+		for _, v := range next.members[i] {
+			next.counts[v]--
+		}
+		members := append([]graph.VertexID(nil), sampleMemberSet(g, target, r, mark, &scratch)...)
+		for _, v := range members {
+			next.counts[v]++
+		}
+		next.members[i] = members
+		next.targets[i] = target
+	}
+
+	if grown := opts.Theta(newV); grown > next.theta {
+		for i := next.theta; i < grown; i++ {
+			target := graph.VertexID(r.Intn(newV))
+			members := append([]graph.VertexID(nil), sampleMemberSet(g, target, r, mark, &scratch)...)
+			for _, v := range members {
+				next.counts[v]++
+			}
+			next.members = append(next.members, members)
+			next.targets = append(next.targets, target)
+			stats.Appended++
+		}
+		next.theta = grown
+	}
+	stats.Total = len(next.members)
+	return next, stats, nil
+}

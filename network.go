@@ -37,6 +37,34 @@ func (n *Network) OutDegree(u int) int {
 	return n.g.OutDegree(graph.VertexID(u))
 }
 
+// Edge is one influence edge of a network view (see ForEachEdge).
+type Edge struct {
+	From, To int
+	// Topics is the sparse topic-probability vector; empty for tombstones
+	// left by edge deletions (see Engine.ApplyUpdates).
+	Topics []TopicProb
+}
+
+// Live reports whether the edge can ever activate (false for tombstones).
+func (e Edge) Live() bool { return len(e.Topics) > 0 }
+
+// ForEachEdge calls fn for every edge in ID order, tombstones included,
+// until fn returns false. The Topics slice is freshly allocated per call
+// and may be retained.
+func (n *Network) ForEachEdge(fn func(e Edge) bool) {
+	for i := 0; i < n.g.NumEdges(); i++ {
+		e := graph.EdgeID(i)
+		ids, probs := n.g.EdgeTopics(e)
+		tps := make([]TopicProb, len(ids))
+		for j := range ids {
+			tps[j] = TopicProb{Topic: int(ids[j]), Prob: probs[j]}
+		}
+		if !fn(Edge{From: int(n.g.EdgeFrom(e)), To: int(n.g.EdgeTo(e)), Topics: tps}) {
+			return
+		}
+	}
+}
+
 // Write serializes the network in pitex's line-oriented text format.
 func (n *Network) Write(w io.Writer) error { return graph.Write(w, n.g) }
 

@@ -145,6 +145,13 @@ type Options struct {
 	// DisableEarlyStop turns off the Algo-2 martingale stopping rule in
 	// online samplers (ablation knob).
 	DisableEarlyStop bool
+	// TrackUpdates prepares the offline structures for incremental repair
+	// by Engine.ApplyUpdates. The RR-Graph index strategies are always
+	// repairable and ignore it; for DelayMat it records per-graph member
+	// sets and targets, trading the strategy's tiny footprint for
+	// patchable counters — without it, ApplyUpdates on a DelayMat engine
+	// falls back to a full offline recount.
+	TrackUpdates bool
 }
 
 // withDefaults fills unset fields with the paper's defaults.

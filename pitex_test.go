@@ -537,6 +537,59 @@ func TestSaveAndLoadIndex(t *testing.T) {
 	}
 }
 
+// TestSaveIndexDelayMatCounterPayload is the dedicated round-trip for the
+// kindDelayMat serialization path: the counter payload must survive
+// SaveIndex → NewEngineWithIndex bit-exactly, which we observe through
+// estimate determinism — the DelayMat estimator's recovery sampling is
+// seeded by the engine options, so identical counters (and only identical
+// counters) reproduce identical influence estimates.
+func TestSaveIndexDelayMatCounterPayload(t *testing.T) {
+	net, model := fig2Network(t)
+	opts := testEngineOptions(StrategyDelay)
+	en, err := NewEngine(net, model, opts)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := en.SaveIndex(&buf); err != nil {
+		t.Fatalf("SaveIndex: %v", err)
+	}
+	saved := buf.Bytes()
+	loaded, err := NewEngineWithIndex(net, model, opts, bytes.NewReader(saved))
+	if err != nil {
+		t.Fatalf("NewEngineWithIndex: %v", err)
+	}
+	if got, want := loaded.IndexMemoryBytes(), en.IndexMemoryBytes(); got != want {
+		t.Fatalf("loaded footprint %d, want %d", got, want)
+	}
+	for user := 0; user < net.NumUsers(); user++ {
+		for _, tags := range [][]int{{0, 1}, {2, 3}, {1, 2}} {
+			a, err := en.EstimateInfluence(user, tags)
+			if err != nil {
+				t.Fatalf("original estimate: %v", err)
+			}
+			b, err := loaded.EstimateInfluence(user, tags)
+			if err != nil {
+				t.Fatalf("loaded estimate: %v", err)
+			}
+			if a != b {
+				t.Fatalf("u=%d W=%v: %v != %v after round trip", user, tags, a, b)
+			}
+		}
+	}
+	// Counter-payload corruption must be rejected, not silently absorbed:
+	// bump one counter byte above θ.
+	bad := append([]byte(nil), saved...)
+	bad[len(bad)-1] = 0xff
+	if _, err := NewEngineWithIndex(net, model, opts, bytes.NewReader(bad)); err == nil {
+		t.Fatal("implausible counter accepted")
+	}
+	// Truncating mid-payload must fail too.
+	if _, err := NewEngineWithIndex(net, model, opts, bytes.NewReader(saved[:len(saved)-4])); err == nil {
+		t.Fatal("truncated counter payload accepted")
+	}
+}
+
 func TestAudienceProfile(t *testing.T) {
 	net, model := fig2Network(t)
 	en, err := NewEngine(net, model, testEngineOptions(StrategyLazy))

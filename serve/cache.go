@@ -21,6 +21,12 @@ var errComputeAborted = errors.New("serve: cached computation aborted")
 type Key struct {
 	// Kind separates endpoint namespaces ("query", "audience", ...).
 	Kind string
+	// Gen is the engine generation the answer was computed by (see
+	// Server.ApplyUpdates). Lookups always use the current generation, so
+	// an entry computed before a hot-swap — including one inserted by an
+	// in-flight computation that straddled the swap — can never be served
+	// afterwards, even before Purge evicts it.
+	Gen uint64
 	// User, K and M are the query parameters (K is zero for kinds without
 	// a size-k component, e.g. audience profiles).
 	User, K, M int
@@ -73,6 +79,7 @@ func (k Key) hash() uint64 {
 		}
 	}
 	mix(k.Kind)
+	mixInt(int(k.Gen))
 	mixInt(k.User)
 	mixInt(k.K)
 	mixInt(k.M)
@@ -242,6 +249,27 @@ func (c *Cache) GetOrCompute(ctx context.Context, key Key, compute func() (any, 
 	}()
 	fl.val, fl.err = compute()
 	return fl.val, false, fl.err
+}
+
+// Purge evicts every stored entry (counted as evictions), leaving
+// in-flight computations to finish; their results land under the keys
+// they started with. Called on engine hot-swap: entries of the retired
+// generation would never be read again (keys carry the generation), so
+// holding them would only crowd out live entries. Safe on a nil cache.
+func (c *Cache) Purge() {
+	if c == nil {
+		return
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n := sh.ll.Len()
+		sh.ll.Init()
+		clear(sh.items)
+		sh.mu.Unlock()
+		c.entries.Add(int64(-n))
+		c.evictions.Add(int64(n))
+	}
 }
 
 // Stats snapshots the cache counters. Safe on a nil cache.

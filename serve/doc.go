@@ -31,8 +31,39 @@
 //
 //	/selling-points?user=12&k=3[&m=5][&prefix=1,4][&users=1,2,3]
 //	/audience?user=12&tags=1,4[&m=10][&samples=5000]
+//	/admin/update (POST, JSON)
 //	/healthz
 //	/statsz
+//
+// # Live updates and zero-downtime hot-swap
+//
+// The serving stack stays up while the social graph changes. POST
+// /admin/update (or Server.ApplyUpdates) carries a batch of mutations —
+// edge inserts/deletes, probability changes, new users — and flows
+// delta overlay → incremental repair → pool swap:
+//
+//	pitex.Engine.ApplyUpdates repairs the offline index incrementally
+//	   │  (only RR-Graphs touching mutated edges are re-sampled; see the
+//	   │  dynamic package for the architecture and guarantees)
+//	   ▼
+//	a fresh Pool of clones over the repaired engine atomically replaces
+//	   │  the serving pool; the generation counter advances
+//	   ▼
+//	the old pool drains in the background: requests dispatched before
+//	the swap finish on the old generation, then it closes
+//
+// No stale result is ever served: cache keys carry the engine generation
+// (an answer computed by generation g is unreachable from generation
+// g+1, even if an in-flight computation lands after the swap) and the
+// whole cache is purged on swap so retired entries don't crowd out live
+// ones. Queries never observe a half-applied batch — they see the old
+// engine or the new one, atomically. Watch repaired_fraction in the
+// /admin/update response: when batches repeatedly repair a large share
+// of the index (hub-heavy churn), schedule an offline rebuild and
+// restart from a -save-index file instead.
+//
+// /admin/update is unauthenticated; bind it to an internal listener or
+// gate it behind a reverse proxy.
 //
 // # Choosing a strategy for serving
 //
@@ -48,8 +79,10 @@
 //   - StrategyIndex (IndexEst) is IndexEst+ without the cut filter;
 //     simpler, slower on dense models.
 //   - Online strategies (Lazy, MC, RR, TIM) need no offline phase but pay
-//     a full sampling run per estimation — fine for low-traffic or
-//     frequently changing networks, not for interactive serving.
+//     a full sampling run per estimation — fine for low traffic, not for
+//     interactive serving. A mutating network is no longer a reason to
+//     serve online: index strategies absorb updates incrementally (see
+//     "Live updates" below).
 //
 // Whatever the strategy, the cache flattens the cost of repeated queries:
 // answers for a (user, k) pair are deterministic per engine seed, so

@@ -182,3 +182,22 @@ func (p *Pool) Stats() PoolStats {
 func (p *Pool) Close() {
 	p.closeOnce.Do(func() { close(p.closed) })
 }
+
+// DrainAndClose retires the pool in the background: it waits until no
+// request is in service or queued — the hot-swap case, where requests that
+// entered before the pool pointer moved finish on the old generation —
+// then closes. maxWait bounds the wait; when it elapses the pool closes
+// anyway and stragglers fail with ErrPoolClosed, so a wedged query cannot
+// pin a retired engine (and its index) forever.
+func (p *Pool) DrainAndClose(maxWait time.Duration) {
+	go func() {
+		deadline := time.Now().Add(maxWait)
+		for time.Now().Before(deadline) {
+			if p.inUse.Load() == 0 && p.waiting.Load() == 0 {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		p.Close()
+	}()
+}

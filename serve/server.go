@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pitex"
@@ -16,10 +17,21 @@ import (
 
 // Server wires the serving stack — pool → cache → estimator — behind both
 // an HTTP surface (Handler) and a programmatic one (SellingPoints,
-// Audience, QueryBatch). Build it with New; all methods are safe for
+// Audience, QueryBatch), and keeps it live under graph updates: a
+// versioned engine pool that ApplyUpdates swaps atomically, with cache
+// keys carrying the engine generation so a hot-swap can never serve a
+// pre-update result. Build it with New; all methods are safe for
 // concurrent use.
 type Server struct {
-	pool     *Pool
+	pool       atomic.Pointer[Pool]
+	generation atomic.Uint64
+	// updateMu serializes ApplyUpdates and Close; proto is the current
+	// generation's prototype engine and closed the shutdown latch, both
+	// accessed only under it.
+	updateMu sync.Mutex
+	proto    *pitex.Engine
+	closed   bool
+
 	cache    *Cache
 	metrics  *Metrics
 	strategy string
@@ -28,8 +40,9 @@ type Server struct {
 }
 
 // New builds a Server over the given query-ready engine. The engine is
-// used as the clone prototype for the pool; the caller may keep using it
-// (single-threaded) afterwards.
+// used as the clone prototype for the pool and retained as the update
+// base for ApplyUpdates; the caller may keep using it (single-threaded)
+// but must not apply updates to it directly.
 func New(en *pitex.Engine, opts pitex.ServeOptions) (*Server, error) {
 	if en == nil {
 		return nil, fmt.Errorf("serve: nil engine")
@@ -38,19 +51,94 @@ func New(en *pitex.Engine, opts pitex.ServeOptions) (*Server, error) {
 		return nil, err
 	}
 	opts = opts.WithDefaults()
-	return &Server{
-		pool:     NewPool(en, opts.PoolSize, opts.QueueDepth, opts.QueueTimeout),
+	s := &Server{
+		proto:    en,
 		cache:    NewCache(opts.CacheCapacity, opts.CacheShards),
 		metrics:  NewMetrics(),
 		strategy: en.Strategy().String(),
 		opts:     opts,
 		start:    time.Now(),
-	}, nil
+	}
+	s.pool.Store(NewPool(en, opts.PoolSize, opts.QueueDepth, opts.QueueTimeout))
+	s.generation.Store(en.Generation())
+	return s, nil
 }
 
-// Close shuts down the pool; in-flight queries finish, queued and future
-// ones fail with ErrPoolClosed.
-func (s *Server) Close() { s.pool.Close() }
+// Close shuts down the server: in-flight queries finish, queued and
+// future ones fail with ErrPoolClosed, and later ApplyUpdates calls are
+// rejected — an update landing during shutdown must not swap in a fresh
+// pool and resurrect a server a load balancer is draining.
+func (s *Server) Close() {
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	s.closed = true
+	s.pool.Load().Close()
+}
+
+// Generation returns the engine generation currently serving queries.
+func (s *Server) Generation() uint64 { return s.generation.Load() }
+
+// drainGrace bounds how long a retired pool may finish its in-flight and
+// queued work after a hot-swap before it is force-closed.
+func (s *Server) drainGrace() time.Duration {
+	grace := 2 * time.Second
+	if s.opts.QueueTimeout > 0 {
+		grace += s.opts.QueueTimeout
+	}
+	if s.opts.QueryTimeout > 0 {
+		grace += s.opts.QueryTimeout
+	}
+	return grace
+}
+
+// ApplyUpdates applies a batch of graph mutations to the serving engine
+// with zero downtime: the index is repaired incrementally
+// (pitex.Engine.ApplyUpdates), a pool of clones over the repaired engine
+// atomically replaces the current one, the generation counter moves, and
+// the result cache is purged. Queries never stop: requests dispatched
+// before the swap drain against the old generation (their results are
+// cached under the old generation's keys, unreachable afterwards), and
+// requests after it land on the repaired engine. Batches are serialized;
+// on error nothing changes and the current generation keeps serving.
+func (s *Server) ApplyUpdates(batch *pitex.UpdateBatch) (pitex.UpdateStats, error) {
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	if s.closed {
+		return pitex.UpdateStats{}, ErrPoolClosed
+	}
+	next, stats, err := s.proto.ApplyUpdates(batch)
+	if err != nil {
+		return stats, err
+	}
+	s.proto = next
+	old := s.pool.Swap(NewPool(next, s.opts.PoolSize, s.opts.QueueDepth, s.opts.QueueTimeout))
+	// Order matters: once the generation is visible, any reader building a
+	// key with it is guaranteed to load the new pool (both are atomic and
+	// the pool moved first), so a new-generation key can never be computed
+	// by an old-generation engine.
+	s.generation.Store(next.Generation())
+	s.cache.Purge()
+	old.DrainAndClose(s.drainGrace())
+	return stats, nil
+}
+
+// do dispatches fn through the current pool, retrying on the new pool
+// when the one it loaded was retired mid-dispatch: a request can load the
+// pool pointer, lose the CPU across a hot-swap, and find the old pool
+// already drained and closed — that request belongs on the new
+// generation, not in a 503. The loop only continues while the pool
+// pointer keeps moving, so a genuinely closed server still returns
+// ErrPoolClosed.
+func (s *Server) do(ctx context.Context, fn func(*pitex.Engine) error) error {
+	for {
+		p := s.pool.Load()
+		err := p.Do(ctx, fn)
+		if errors.Is(err, ErrPoolClosed) && s.pool.Load() != p {
+			continue
+		}
+		return err
+	}
+}
 
 // queryCtx applies the per-query deadline, if configured.
 func (s *Server) queryCtx(ctx context.Context) (context.Context, context.CancelFunc) {
@@ -79,7 +167,7 @@ func (s *Server) SellingPoints(ctx context.Context, user, k, m int, prefix []int
 	if len(prefix) > 0 && m > 1 {
 		return pitex.Result{}, false, fmt.Errorf("serve: prefix and top-m cannot be combined")
 	}
-	key := Key{Kind: "query", User: user, K: k, M: m, Tags: TagsKey(prefix)}
+	key := Key{Kind: "query", Gen: s.generation.Load(), User: user, K: k, M: m, Tags: TagsKey(prefix)}
 	v, cached, err := s.cache.GetOrCompute(ctx, key, func() (any, error) {
 		var res pitex.Result
 		// The queue wait honors the caller's ctx (a dead client must not
@@ -89,7 +177,7 @@ func (s *Server) SellingPoints(ctx context.Context, user, k, m int, prefix []int
 		// client's disconnect must not fail theirs — and a completed
 		// estimation is cached either way. QueryTimeout (default 30s)
 		// bounds work orphaned by disconnections.
-		err := s.pool.Do(ctx, func(en *pitex.Engine) error {
+		err := s.do(ctx, func(en *pitex.Engine) error {
 			qctx, cancel := s.queryCtx(context.WithoutCancel(ctx))
 			defer cancel()
 			var qerr error
@@ -133,11 +221,11 @@ func (s *Server) Audience(ctx context.Context, user int, tags []int, m int, samp
 	if samples > MaxAudienceSamples {
 		samples = MaxAudienceSamples
 	}
-	key := Key{Kind: "audience", User: user, M: m, Samples: samples, Tags: TagsKey(tags)}
+	key := Key{Kind: "audience", Gen: s.generation.Load(), User: user, M: m, Samples: samples, Tags: TagsKey(tags)}
 	v, cached, err := s.cache.GetOrCompute(ctx, key, func() (any, error) {
 		var aud []pitex.InfluencedUser
 		// Queue wait cancellable, sampling run not — see SellingPoints.
-		err := s.pool.Do(ctx, func(en *pitex.Engine) error {
+		err := s.do(ctx, func(en *pitex.Engine) error {
 			var qerr error
 			aud, qerr = en.Audience(user, tags, m, samples)
 			return qerr
@@ -167,7 +255,7 @@ const MaxTopM = 64
 // failing the batch.
 func (s *Server) QueryBatch(ctx context.Context, users []int, k int) []pitex.BatchResult {
 	out := make([]pitex.BatchResult, len(users))
-	workers := s.pool.Size()
+	workers := s.pool.Load().Size()
 	if workers > len(users) {
 		workers = len(users)
 	}
@@ -214,18 +302,21 @@ func (s *Server) batchQuery(ctx context.Context, user, k int) (res pitex.Result,
 // Stats is the /statsz payload.
 type Stats struct {
 	Strategy      string                       `json:"strategy"`
+	Generation    uint64                       `json:"generation"`
 	UptimeSeconds float64                      `json:"uptime_seconds"`
 	Pool          PoolStats                    `json:"pool"`
 	Cache         CacheStats                   `json:"cache"`
 	Latency       map[string]HistogramSnapshot `json:"latency"`
 }
 
-// Stats snapshots every layer's counters.
+// Stats snapshots every layer's counters (the pool snapshot is the
+// current generation's).
 func (s *Server) Stats() Stats {
 	return Stats{
 		Strategy:      s.strategy,
+		Generation:    s.generation.Load(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
-		Pool:          s.pool.Stats(),
+		Pool:          s.pool.Load().Stats(),
 		Cache:         s.cache.Stats(),
 		Latency:       s.metrics.Snapshot(),
 	}
@@ -236,12 +327,17 @@ func (s *Server) Stats() Stats {
 //	/selling-points?user=12&k=3[&m=5][&prefix=1,4] — one query
 //	/selling-points?users=1,2,3&k=3               — a batch
 //	/audience?user=12&tags=1,4[&m=10][&samples=5000]
+//	/admin/update  (POST, JSON)                   — live graph update
 //	/healthz
 //	/statsz
+//
+// /admin/update carries no authentication; expose it only on an internal
+// listener or behind a reverse proxy that does.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/selling-points", s.handleSellingPoints)
 	mux.HandleFunc("/audience", s.handleAudience)
+	mux.HandleFunc("/admin/update", s.handleAdminUpdate)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
 	return mux
@@ -375,9 +471,97 @@ func (s *Server) handleAudience(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"user": user, "audience": aud, "cached": cached})
 }
 
+// updateRequest is the /admin/update JSON body. Example:
+//
+//	{"add_users": 2,
+//	 "insert_edges": [{"from": 0, "to": 7, "probs": [{"topic": 1, "prob": 0.4}]}],
+//	 "delete_edges": [{"from": 3, "to": 5}],
+//	 "set_edges":    [{"from": 2, "to": 3, "probs": [{"topic": 2, "prob": 0.6}]}]}
+type updateRequest struct {
+	AddUsers    int          `json:"add_users"`
+	InsertEdges []updateEdge `json:"insert_edges"`
+	DeleteEdges []updateEdge `json:"delete_edges"`
+	SetEdges    []updateEdge `json:"set_edges"`
+}
+
+type updateEdge struct {
+	From  int          `json:"from"`
+	To    int          `json:"to"`
+	Probs []updateProb `json:"probs"`
+}
+
+type updateProb struct {
+	Topic int     `json:"topic"`
+	Prob  float64 `json:"prob"`
+}
+
+// maxUpdateBody bounds the /admin/update request body (1 MiB is ~10k
+// staged operations, far beyond the incremental sweet spot).
+const maxUpdateBody = 1 << 20
+
+func (s *Server) handleAdminUpdate(w http.ResponseWriter, r *http.Request) {
+	defer s.observe("admin-update", time.Now())
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req updateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUpdateBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, fmt.Errorf("bad update body: %w", err))
+		return
+	}
+	var batch pitex.UpdateBatch
+	if req.AddUsers != 0 {
+		// Negative values flow through so apply-time validation rejects the
+		// whole request with 400 instead of silently applying half of it.
+		batch.AddUsers(req.AddUsers)
+	}
+	toProbs := func(ps []updateProb) []pitex.TopicProb {
+		out := make([]pitex.TopicProb, len(ps))
+		for i, p := range ps {
+			out[i] = pitex.TopicProb{Topic: p.Topic, Prob: p.Prob}
+		}
+		return out
+	}
+	for _, e := range req.DeleteEdges {
+		batch.DeleteEdge(e.From, e.To)
+	}
+	for _, e := range req.SetEdges {
+		batch.SetEdge(e.From, e.To, toProbs(e.Probs)...)
+	}
+	for _, e := range req.InsertEdges {
+		batch.InsertEdge(e.From, e.To, toProbs(e.Probs)...)
+	}
+	if batch.Empty() {
+		httpError(w, fmt.Errorf("empty update batch"))
+		return
+	}
+	stats, err := s.ApplyUpdates(&batch)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"generation":        stats.Generation,
+		"edges_inserted":    stats.EdgesInserted,
+		"edges_deleted":     stats.EdgesDeleted,
+		"edges_retopiced":   stats.EdgesRetopiced,
+		"users_added":       stats.UsersAdded,
+		"graphs_repaired":   stats.GraphsRepaired,
+		"graphs_appended":   stats.GraphsAppended,
+		"graphs_total":      stats.GraphsTotal,
+		"repaired_fraction": stats.RepairedFraction(),
+		"full_rebuild":      stats.FullRebuild,
+		"elapsed":           stats.Elapsed.String(),
+	})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	select {
-	case <-s.pool.closed:
+	case <-s.pool.Load().closed:
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		_ = json.NewEncoder(w).Encode(map[string]any{"status": "closed"})
@@ -385,6 +569,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string]any{
 			"status":         "ok",
 			"strategy":       s.strategy,
+			"generation":     s.generation.Load(),
 			"uptime_seconds": time.Since(s.start).Seconds(),
 		})
 	}
