@@ -33,6 +33,21 @@
 // NewEngine and answer queries orders of magnitude faster. All strategies
 // run under best-effort exploration (Sec. 5.2) unless disabled.
 //
+// # Performance layout
+//
+// The offline RR-Graph index is arena-flattened: the θ sampled graphs are
+// views into one contiguous set of backing arrays rather than θ separate
+// heap objects, and the per-user postings lists share a single int32
+// arena (see the internal/rrindex package documentation for the layout
+// and the version-2 on-disk format; version-1 index files are still
+// readable). Query evaluation caches p(e|W) once per distinct edge per
+// estimation, and the best-first explorer reuses its heap, tag-set and
+// traversal scratch across queries, so a steady-state query allocates
+// almost nothing. Engine.IndexMemoryBytes is O(1) and exported by serve's
+// /statsz as index_bytes, so operators can watch index RSS across live
+// updates. Measured effects per PR are recorded in CHANGES.md and
+// BENCH_query.json.
+//
 // # Serving
 //
 // An Engine is not safe for concurrent use, but Clone returns a worker

@@ -71,6 +71,10 @@ type Engine struct {
 	generation uint64
 
 	posterior []float64
+	// probe is the query-scoped p(e|W) cache for Audience, whose cascade
+	// sampling probes the same edges across up to thousands of cascades;
+	// the index estimators carry their own.
+	probe *sampling.ProbeCache
 }
 
 // NewEngine validates the inputs, runs any offline construction the
@@ -96,6 +100,7 @@ func NewEngine(net *Network, model *TagModel, opts Options) (*Engine, error) {
 		model:     model,
 		opts:      opts,
 		posterior: make([]float64, model.NumTopics()),
+		probe:     sampling.NewProbeCache(net.g.NumEdges()),
 	}
 
 	if opts.Strategy.NeedsIndex() {
@@ -181,6 +186,7 @@ func (en *Engine) Clone() *Engine {
 		IndexBuildTime: en.IndexBuildTime,
 		generation:     en.generation,
 		posterior:      make([]float64, en.model.NumTopics()),
+		probe:          sampling.NewProbeCache(en.net.g.NumEdges()),
 	}
 	c.est = c.newEstimator()
 	c.explorer = bestfirst.NewExplorer(c.net.g, c.model.m, c.est)
@@ -229,6 +235,7 @@ func NewEngineWithIndex(net *Network, model *TagModel, opts Options, r io.Reader
 		model:     model,
 		opts:      opts,
 		posterior: make([]float64, model.NumTopics()),
+		probe:     sampling.NewProbeCache(net.g.NumEdges()),
 	}
 	start := time.Now()
 	var err error
@@ -453,7 +460,7 @@ func (en *Engine) Audience(user int, tags []int, m int, samples int64) ([]Influe
 		return nil, nil // nothing propagates
 	}
 	freqs := sampling.ActivationFrequencies(en.net.g, graph.VertexID(user),
-		sampling.PosteriorProber{G: en.net.g, Posterior: en.posterior},
+		en.probe.Begin(sampling.PosteriorProber{G: en.net.g, Posterior: en.posterior}),
 		samples, rng.New(en.opts.Seed+104729))
 	if len(freqs) > m {
 		freqs = freqs[:m]

@@ -1,9 +1,9 @@
 package bestfirst
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
+	"slices"
 	"sort"
 
 	"pitex/internal/graph"
@@ -72,6 +72,46 @@ type Explorer struct {
 
 	posterior []float64
 	reachMark []bool
+	// Per-query scratch: the heap, the arena backing every pending
+	// entry's tag set (one query expands thousands of partial sets; a
+	// per-child make() dominated query allocations), and the
+	// reachableUnder BFS buffers.
+	heap       maxHeap
+	tags       tagArena
+	reachStack []graph.VertexID
+	reached    []graph.VertexID
+}
+
+// tagArena hands out small tag-set slices from chunked backing arrays
+// that are reused across queries. Allocated slices stay valid until the
+// next reset (chunks are never grown in place).
+type tagArena struct {
+	chunks [][]topics.TagID
+	ci     int
+}
+
+const tagArenaChunk = 1 << 13
+
+func (a *tagArena) alloc(n int) []topics.TagID {
+	for {
+		if a.ci == len(a.chunks) {
+			a.chunks = append(a.chunks, make([]topics.TagID, 0, max(tagArenaChunk, n)))
+		}
+		c := a.chunks[a.ci]
+		if len(c)+n <= cap(c) {
+			s := c[len(c) : len(c)+n : len(c)+n]
+			a.chunks[a.ci] = c[:len(c)+n]
+			return s
+		}
+		a.ci++
+	}
+}
+
+func (a *tagArena) reset() {
+	for i := range a.chunks {
+		a.chunks[i] = a.chunks[i][:0]
+	}
+	a.ci = 0
 }
 
 // NewExplorer builds an explorer using est for full tag sets and for
@@ -97,18 +137,49 @@ type heapEntry struct {
 	bound     float64
 }
 
+// maxHeap is a hand-rolled binary max-heap on bound. container/heap moves
+// entries through interface{} values, which boxes one allocation per
+// push/pop — a measurable share of per-query allocations on this path.
 type maxHeap []heapEntry
 
-func (h maxHeap) Len() int            { return len(h) }
-func (h maxHeap) Less(i, j int) bool  { return h[i].bound > h[j].bound }
-func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(heapEntry)) }
-func (h *maxHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+func (h *maxHeap) push(e heapEntry) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].bound >= s[i].bound {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func (h *maxHeap) pop() heapEntry {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = heapEntry{} // drop the tag-slice reference
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		m := i
+		if l := 2*i + 1; l < n && s[l].bound > s[m].bound {
+			m = l
+		}
+		if r := 2*i + 2; r < n && s[r].bound > s[m].bound {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
 }
 
 // Query answers the PITEX query (u, k): the size-k tag set maximizing the
@@ -187,8 +258,10 @@ func (ex *Explorer) run(ctx context.Context, u graph.VertexID, prefix []topics.T
 		if i >= m {
 			return
 		}
+		// Copy out of the arena (entries die at query end); slices.Sort is
+		// allocation-free, unlike sort.Slice's reflection path.
 		cp := append([]topics.TagID(nil), tags...)
-		sort.Slice(cp, func(a, b int) bool { return cp[a] < cp[b] })
+		slices.Sort(cp)
 		best = append(best, Scored{})
 		copy(best[i+1:], best[i:])
 		best[i] = Scored{Tags: cp, Influence: inf}
@@ -202,22 +275,24 @@ func (ex *Explorer) run(ctx context.Context, u graph.VertexID, prefix []topics.T
 		inPrefix[w] = true
 	}
 
-	h := &maxHeap{}
+	ex.tags.reset()
+	h := &ex.heap
+	*h = (*h)[:0]
 	root := heapEntry{
-		tags:      append([]topics.TagID(nil), prefix...),
+		tags:      append(ex.tags.alloc(len(prefix))[:0], prefix...),
 		lastAdded: -1,
 		bound:     float64(ex.g.NumVertices()),
 	}
-	heap.Push(h, root)
+	h.push(root)
 
-	for h.Len() > 0 {
+	for len(*h) > 0 {
 		// Each iteration estimates a full set or a partial bound — the
 		// expensive units of work — so the cancellation check here bounds
 		// overrun to one estimation.
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
 		}
-		ent := heap.Pop(h).(heapEntry)
+		ent := h.pop()
 		if len(ent.tags) == k {
 			if !ex.m.PosteriorInto(ent.tags, ex.posterior) {
 				// Undefined posterior: influence is exactly 1.
@@ -225,6 +300,10 @@ func (ex *Explorer) run(ctx context.Context, u graph.VertexID, prefix []topics.T
 				continue
 			}
 			res.Stats.FullSetsEstimated++
+			// Estimators that revisit edges (the index strategies) carry
+			// their own query-scoped ProbeCache; single-pass estimators
+			// like TIM are handed the raw prober — a cache layer would be
+			// all misses.
 			est := ex.est.EstimateProber(u, sampling.PosteriorProber{G: ex.g, Posterior: ex.posterior})
 			record(ent.tags, est.Influence)
 			continue
@@ -257,10 +336,10 @@ func (ex *Explorer) run(ctx context.Context, u graph.VertexID, prefix []topics.T
 			if inPrefix[w] {
 				continue
 			}
-			child := make([]topics.TagID, len(ent.tags)+1)
+			child := ex.tags.alloc(len(ent.tags) + 1)
 			copy(child, ent.tags)
 			child[len(ent.tags)] = w
-			heap.Push(h, heapEntry{tags: child, lastAdded: w, bound: ent.bound})
+			h.push(heapEntry{tags: child, lastAdded: w, bound: ent.bound})
 		}
 	}
 
@@ -284,12 +363,14 @@ func (ex *Explorer) run(ctx context.Context, u graph.VertexID, prefix []topics.T
 
 // reachableUnder counts vertices reachable from u across edges with
 // positive probability under prober — a one-BFS influence upper bound.
+// The traversal buffers live on the explorer (one bound per expansion
+// made per-call slices a top allocation source).
 func (ex *Explorer) reachableUnder(u graph.VertexID, prober sampling.EdgeProber) int {
 	g := ex.g
 	mark := ex.reachMark
-	stack := []graph.VertexID{u}
+	stack := append(ex.reachStack[:0], u)
 	mark[u] = true
-	reached := []graph.VertexID{u}
+	reached := append(ex.reached[:0], u)
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -309,5 +390,6 @@ func (ex *Explorer) reachableUnder(u graph.VertexID, prober sampling.EdgeProber)
 	for _, v := range reached {
 		mark[v] = false
 	}
+	ex.reachStack, ex.reached = stack, reached
 	return len(reached)
 }

@@ -27,11 +27,18 @@ type cutEntry struct {
 	c        float64
 }
 
+// cutPosting is one (edge, posting) pair before grouping.
+type cutPosting struct {
+	edge graph.EdgeID
+	cutEntry
+}
+
 // userCuts is the per-user pruning structure: inverted lists over the
 // distinct cut edges of the user's RR-Graphs.
 type userCuts struct {
 	u graph.VertexID
 	// edges and lists are parallel; lists[i] is sorted by c ascending.
+	// All lists are windows into one shared entries slice.
 	edges []graph.EdgeID
 	lists [][]cutEntry
 	// direct[i] is the position (in containing[u]) of an RR-Graph whose
@@ -52,36 +59,58 @@ const (
 	CutSourceOnly
 )
 
-// buildUserCuts constructs the inverted cut index for user u.
-func buildUserCuts(idx *Index, u graph.VertexID, policy CutPolicy) *userCuts {
+// cutScratch carries the reusable buffers of buildUserCuts.
+type cutScratch struct {
+	src, dst []cutEdge
+	flat     []cutPosting
+}
+
+// buildUserCuts constructs the inverted cut index for user u. Postings
+// are accumulated into one flat slice, sorted by (edge, c) and grouped —
+// a single backing array instead of a map of per-edge slices, so warm-up
+// cost is one sort and two allocations that survive.
+func buildUserCuts(idx *Index, u graph.VertexID, policy CutPolicy, sc *cutScratch) *userCuts {
 	uc := &userCuts{u: u}
-	byEdge := map[graph.EdgeID][]cutEntry{}
+	sc.flat = sc.flat[:0]
 	for pos, gi := range idx.containing[u] {
-		rr := idx.graphs[gi]
+		rr := &idx.graphs[gi]
 		if rr.target == u {
 			uc.direct = append(uc.direct, int32(pos))
 			continue
 		}
 		var cut []cutEdge
 		if policy == CutSourceOnly {
-			cut = sideCut(idx.g, rr, rr.localID(u))
+			cut = sideCut(rr, rr.localID(u), sc.src[:0])
+			sc.src = cut[:0]
 		} else {
-			cut = chooseCut(idx.g, rr, u)
+			cut = chooseCut(idx.g, rr, u, sc)
 		}
 		for _, ce := range cut {
-			byEdge[ce.edge] = append(byEdge[ce.edge], cutEntry{graphPos: int32(pos), c: ce.c})
+			sc.flat = append(sc.flat, cutPosting{
+				edge:     ce.edge,
+				cutEntry: cutEntry{graphPos: int32(pos), c: ce.c},
+			})
 		}
 	}
-	uc.edges = make([]graph.EdgeID, 0, len(byEdge))
-	for e := range byEdge {
-		uc.edges = append(uc.edges, e)
+	flat := sc.flat
+	sort.Slice(flat, func(i, j int) bool {
+		if flat[i].edge != flat[j].edge {
+			return flat[i].edge < flat[j].edge
+		}
+		return flat[i].c < flat[j].c
+	})
+	entries := make([]cutEntry, len(flat))
+	for i := range flat {
+		entries[i] = flat[i].cutEntry
 	}
-	sort.Slice(uc.edges, func(i, j int) bool { return uc.edges[i] < uc.edges[j] })
-	uc.lists = make([][]cutEntry, len(uc.edges))
-	for i, e := range uc.edges {
-		list := byEdge[e]
-		sort.Slice(list, func(a, b int) bool { return list[a].c < list[b].c })
-		uc.lists[i] = list
+	for i := 0; i < len(flat); {
+		j := i + 1
+		for j < len(flat) && flat[j].edge == flat[i].edge {
+			j++
+		}
+		uc.edges = append(uc.edges, flat[i].edge)
+		uc.lists = append(uc.lists, entries[i:j:j])
+		i = j
 	}
 	return uc
 }
@@ -93,29 +122,29 @@ type cutEdge struct {
 }
 
 // chooseCut returns the better of the source-side and target-side cuts of
-// rr for user u, by prune probability Π c(e)/p(e).
-func chooseCut(g *graph.Graph, rr *RRGraph, u graph.VertexID) []cutEdge {
-	src := sideCut(g, rr, rr.localID(u))
-	dst := targetInCut(g, rr)
+// rr for user u, by prune probability Π c(e)/p(e). The returned slice
+// aliases sc and is valid until the next chooseCut/sideCut call.
+func chooseCut(g *graph.Graph, rr *RRGraph, u graph.VertexID, sc *cutScratch) []cutEdge {
+	src := sideCut(rr, rr.localID(u), sc.src[:0])
+	dst := targetInCut(rr, sc.dst[:0])
+	sc.src, sc.dst = src[:0], dst[:0]
 	if pruneProb(g, src) >= pruneProb(g, dst) {
 		return src
 	}
 	return dst
 }
 
-// sideCut collects v's out-edges inside the RR-Graph.
-func sideCut(g *graph.Graph, rr *RRGraph, local int32) []cutEdge {
-	var out []cutEdge
+// sideCut collects v's out-edges inside the RR-Graph into out.
+func sideCut(rr *RRGraph, local int32, out []cutEdge) []cutEdge {
 	for i := rr.outStart[local]; i < rr.outStart[local+1]; i++ {
 		out = append(out, cutEdge{edge: rr.edgeID[i], c: rr.c[i]})
 	}
 	return out
 }
 
-// targetInCut collects the target's in-edges inside the RR-Graph.
-func targetInCut(g *graph.Graph, rr *RRGraph) []cutEdge {
+// targetInCut collects the target's in-edges inside the RR-Graph into out.
+func targetInCut(rr *RRGraph, out []cutEdge) []cutEdge {
 	lt := rr.localID(rr.target)
-	var out []cutEdge
 	for v := int32(0); v < int32(len(rr.verts)); v++ {
 		for i := rr.outStart[v]; i < rr.outStart[v+1]; i++ {
 			if rr.outTo[i] == lt {
@@ -149,8 +178,11 @@ type PrunedEstimator struct {
 	// Policy selects the cut construction; change it before the first
 	// estimate for a given user (cut indexes are cached per user).
 	Policy  CutPolicy
+	probe   *sampling.ProbeCache
 	cuts    map[graph.VertexID]*userCuts
+	cutSc   cutScratch
 	visited []int64
+	dfs     []int32
 	stamp   int64
 	// candStamp deduplicates candidate positions during filtering.
 	candStamp []int64
@@ -165,6 +197,7 @@ type PrunedEstimator struct {
 func NewPrunedEstimator(idx *Index) *PrunedEstimator {
 	return &PrunedEstimator{
 		idx:     idx,
+		probe:   sampling.NewProbeCache(idx.g.NumEdges()),
 		cuts:    make(map[graph.VertexID]*userCuts),
 		visited: make([]int64, idx.maxSize),
 	}
@@ -177,12 +210,15 @@ func (pe *PrunedEstimator) GraphsChecked() int64 { return pe.graphsChecked }
 // cut filter.
 func (pe *PrunedEstimator) GraphsPruned() int64 { return pe.graphsPruned }
 
-// EstimateProber estimates E[I(u|W)] with filter-and-verify.
+// EstimateProber estimates E[I(u|W)] with filter-and-verify. The prober
+// is wrapped in a query-scoped ProbeCache shared between the filter scan
+// and verification, so each distinct edge is probed once per call.
 func (pe *PrunedEstimator) EstimateProber(u graph.VertexID, prober sampling.EdgeProber) sampling.Result {
 	idx := pe.idx
+	prober = pe.probe.Begin(prober)
 	uc, ok := pe.cuts[u]
 	if !ok {
-		uc = buildUserCuts(idx, u, pe.Policy)
+		uc = buildUserCuts(idx, u, pe.Policy, &pe.cutSc)
 		pe.cuts[u] = uc
 	}
 	containing := idx.containing[u]
@@ -212,10 +248,11 @@ func (pe *PrunedEstimator) EstimateProber(u graph.VertexID, prober sampling.Edge
 	var hits int64
 	hits += int64(len(uc.direct)) // target == u: unconditional hits
 	for _, pos := range pe.cands {
-		rr := idx.graphs[containing[pos]]
+		rr := &idx.graphs[containing[pos]]
 		pe.stamp++
 		pe.graphsChecked++
-		if rr.Reaches(u, prober, pe.visited, pe.stamp) {
+		var reached bool
+		if reached, pe.dfs = rr.reaches(u, prober, pe.visited, pe.stamp, pe.dfs); reached {
 			hits++
 		}
 	}

@@ -32,6 +32,8 @@ type DelayMat struct {
 	// configuration); a DelayMat loaded from disk is never repairable.
 	members [][]graph.VertexID
 	targets []graph.VertexID
+
+	footprint int64 // cached MemoryFootprint
 }
 
 // memberScratch carries the reusable buffers of sampleMemberSet.
@@ -102,6 +104,7 @@ func BuildDelayMat(g *graph.Graph, opts BuildOptions) (*DelayMat, error) {
 			dm.targets = append(dm.targets, target)
 		}
 	}
+	dm.recomputeFootprint()
 	return dm, nil
 }
 
@@ -113,61 +116,86 @@ func (dm *DelayMat) Count(u graph.VertexID) int64 { return dm.counts[u] }
 
 // MemoryFootprint is the index size: one counter per user (Table 3's
 // "DelayMat size" column), plus the member/target bookkeeping when the
-// index was built with TrackMembers.
-func (dm *DelayMat) MemoryFootprint() int64 {
+// index was built with TrackMembers. Cached at build/load/repair time, so
+// the call is O(1).
+func (dm *DelayMat) MemoryFootprint() int64 { return dm.footprint }
+
+// recomputeFootprint refreshes the cached MemoryFootprint value.
+func (dm *DelayMat) recomputeFootprint() {
 	b := int64(len(dm.counts)) * 8
 	for _, m := range dm.members {
 		b += int64(len(m)) * 4
 	}
 	b += int64(len(dm.targets)) * 4
-	return b
+	dm.footprint = b
 }
 
 // DelayEstimator answers queries against a DelayMat index. Recovered
 // RR-Graphs are cached per user so repeated estimations for the same query
 // user (one PITEX query estimates many tag sets) pay recovery once, exactly
-// like the materialized index amortizes construction. Not safe for
-// concurrent use.
+// like the materialized index amortizes construction. Recovered graphs are
+// assembled into a per-recovery arena (reused across recoveries), so a
+// recovery costs a handful of allocations rather than six per graph. Not
+// safe for concurrent use.
 type DelayEstimator struct {
-	dm  *DelayMat
-	rng *rng.Source
+	dm    *DelayMat
+	rng   *rng.Source
+	probe *sampling.ProbeCache
 
 	cachedUser   graph.VertexID
 	cachedValid  bool
-	cachedGraphs []*RRGraph
+	cachedGraphs []RRGraph
+	arena        arenaBuilder
 
 	visited []int64
+	dfs     []int32
 	stamp   int64
 
-	mark  []bool
-	stack []graph.VertexID
+	sc *genScratch
+	// Forward-cascade buffers, reused across recoverOne attempts (up to
+	// 8θ rejected cascades per recovery would otherwise each allocate).
+	live      []liveEdge
+	activated []graph.VertexID
+}
+
+// liveEdge is one live edge of a forward cascade during Algo 4 recovery.
+type liveEdge struct {
+	from, to graph.VertexID
+	id       graph.EdgeID
 }
 
 // NewDelayEstimator creates a query evaluator over dm.
 func NewDelayEstimator(dm *DelayMat, r *rng.Source) *DelayEstimator {
-	return &DelayEstimator{dm: dm, rng: r, mark: make([]bool, dm.g.NumVertices())}
+	return &DelayEstimator{
+		dm:    dm,
+		rng:   r,
+		probe: sampling.NewProbeCache(dm.g.NumEdges()),
+		sc:    newGenScratch(dm.g.NumVertices()),
+	}
 }
 
 // EstimateProber estimates E[I(u|W)] over recovered RR-Graphs.
 func (de *DelayEstimator) EstimateProber(u graph.VertexID, prober sampling.EdgeProber) sampling.Result {
 	dm := de.dm
+	prober = de.probe.Begin(prober)
 	if !de.cachedValid || de.cachedUser != u {
 		de.recover(u)
 	}
 	var hits int64
 	maxSize := 0
-	for _, rr := range de.cachedGraphs {
-		if rr.NumVertices() > maxSize {
-			maxSize = rr.NumVertices()
+	for i := range de.cachedGraphs {
+		if n := de.cachedGraphs[i].NumVertices(); n > maxSize {
+			maxSize = n
 		}
 	}
 	if len(de.visited) < maxSize {
 		de.visited = make([]int64, maxSize)
 		de.stamp = 0
 	}
-	for _, rr := range de.cachedGraphs {
+	for i := range de.cachedGraphs {
 		de.stamp++
-		if rr.Reaches(u, prober, de.visited, de.stamp) {
+		var ok bool
+		if ok, de.dfs = de.cachedGraphs[i].reaches(u, prober, de.visited, de.stamp, de.dfs); ok {
 			hits++
 		}
 	}
@@ -188,7 +216,10 @@ func (de *DelayEstimator) Estimate(u graph.VertexID, posterior []float64) sampli
 	return de.EstimateProber(u, sampling.PosteriorProber{G: de.dm.g, Posterior: posterior})
 }
 
-// recover materializes θ(u) RR-Graphs containing u per Algo 4.
+// recover materializes θ(u) RR-Graphs containing u per Algo 4. Accepted
+// graphs accumulate in the estimator's arena; views are taken only after
+// the last acceptance (arena growth moves the backing arrays), replacing
+// the previous recovery's cache.
 //
 // Distribution note: an offline RR-Graph containing u corresponds to the
 // pair (possible world g, target v) with v uniform over all of V and
@@ -200,40 +231,40 @@ func (de *DelayEstimator) Estimate(u graph.VertexID, posterior []float64) sampli
 func (de *DelayEstimator) recover(u graph.VertexID) {
 	dm := de.dm
 	n := dm.counts[u]
-	de.cachedGraphs = de.cachedGraphs[:0]
+	de.arena.reset()
 	// Safety valve against pathological acceptance rates; recovery beyond
 	// it degrades the sample count (and the guarantee) rather than hanging.
 	maxAttempts := 8*dm.theta + 1024
-	for attempts := int64(0); int64(len(de.cachedGraphs)) < n && attempts < maxAttempts; attempts++ {
-		if rr := de.recoverOne(u); rr != nil {
-			de.cachedGraphs = append(de.cachedGraphs, rr)
+	accepted := int64(0)
+	for attempts := int64(0); accepted < n && attempts < maxAttempts; attempts++ {
+		if de.recoverOne(u) {
+			accepted++
 		}
 	}
+	de.cachedGraphs = de.arena.takeViews()
 	de.cachedUser = u
 	de.cachedValid = true
 }
 
 // recoverOne implements Algo 4 (RetainRRGraphs) with the acceptance step;
-// it returns nil when the cascade is rejected.
-func (de *DelayEstimator) recoverOne(u graph.VertexID) *RRGraph {
+// it appends the recovered graph to the arena and reports whether the
+// cascade was accepted.
+func (de *DelayEstimator) recoverOne(u graph.VertexID) bool {
 	g := de.dm.g
 	r := de.rng
+	sc := de.sc
 
 	// Step 1: forward cascade from u under p(e); collect activated
 	// vertices V' and live edges E'.
-	type liveEdge struct {
-		from, to graph.VertexID
-		id       graph.EdgeID
-	}
-	var live []liveEdge
-	de.stack = de.stack[:0]
-	var activated []graph.VertexID
-	de.stack = append(de.stack, u)
-	de.mark[u] = true
+	live := de.live[:0]
+	activated := de.activated[:0]
+	sc.stack = sc.stack[:0]
+	sc.stack = append(sc.stack, u)
+	sc.mark[u] = true
 	activated = append(activated, u)
-	for len(de.stack) > 0 {
-		v := de.stack[len(de.stack)-1]
-		de.stack = de.stack[:len(de.stack)-1]
+	for len(sc.stack) > 0 {
+		v := sc.stack[len(sc.stack)-1]
+		sc.stack = sc.stack[:len(sc.stack)-1]
 		edges := g.OutEdges(v)
 		nbrs := g.OutNeighbors(v)
 		for i, e := range edges {
@@ -243,21 +274,22 @@ func (de *DelayEstimator) recoverOne(u graph.VertexID) *RRGraph {
 			}
 			t := nbrs[i]
 			live = append(live, liveEdge{from: v, to: t, id: e})
-			if !de.mark[t] {
-				de.mark[t] = true
+			if !sc.mark[t] {
+				sc.mark[t] = true
 				activated = append(activated, t)
-				de.stack = append(de.stack, t)
+				sc.stack = append(sc.stack, t)
 			}
 		}
 	}
 	for _, v := range activated {
-		de.mark[v] = false
+		sc.mark[v] = false
 	}
+	de.live, de.activated = live, activated
 
 	// Step 2: accept the cascade with probability |V'|/|V| (size-biased
 	// world selection), then draw the target uniformly from V'.
 	if !r.Bernoulli(float64(len(activated)) / float64(g.NumVertices())) {
-		return nil
+		return false
 	}
 	target := activated[r.Intn(len(activated))]
 
@@ -281,18 +313,19 @@ func (de *DelayEstimator) recoverOne(u graph.VertexID) *RRGraph {
 			}
 		}
 	}
-	members := make([]graph.VertexID, 0, len(reach))
+	sc.members = sc.members[:0]
 	for v := range reach {
-		members = append(members, v)
+		sc.members = append(sc.members, v)
 	}
-	var edges []rrEdge
+	sc.edges = sc.edges[:0]
 	for _, le := range live {
 		if reach[le.from] && reach[le.to] {
-			edges = append(edges, rrEdge{
+			sc.edges = append(sc.edges, rrEdge{
 				from: le.from, to: le.to, id: le.id,
 				c: r.UniformIn(g.EdgeMaxProb(le.id)),
 			})
 		}
 	}
-	return assemble(target, members, edges)
+	de.arena.add(target, sc)
+	return true
 }

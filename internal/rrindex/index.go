@@ -47,15 +47,57 @@ func (o BuildOptions) Theta(numVertices int) int64 {
 
 // Index is the offline RR-Graph index of Algo 3 ("IndexEst"): θ RR-Graphs
 // of uniformly sampled targets, plus a per-user postings list of the
-// RR-Graphs containing that user. Safe for concurrent readers; the
+// RR-Graphs containing that user. The graphs are views into a shared
+// contiguous arena and the postings lists are windows into a single int32
+// arena (see the package comment). Safe for concurrent readers; the
 // estimator wrappers carry per-goroutine scratch.
 type Index struct {
 	g      *graph.Graph
 	theta  int64
-	graphs []*RRGraph
+	graphs []RRGraph
 	// containing[u] lists indices into graphs of RR-Graphs containing u.
 	containing [][]int32
-	maxSize    int // largest RR-Graph vertex count, for scratch sizing
+	maxSize    int   // largest RR-Graph vertex count, for scratch sizing
+	footprint  int64 // cached MemoryFootprint, maintained by Build/Read/Repair
+	// loose counts views living outside the primary arena (accumulated by
+	// repairs). An untouched view pins its whole backing array, so once
+	// repairs have replaced many graphs the live data could be a shrinking
+	// share of retained RSS; Repair compacts when loose passes half of θ,
+	// bounding retention at ~2x the live index.
+	loose int
+}
+
+// compact copies every view into one fresh contiguous arena so older
+// generations' backing arrays (pinned only by stale segments) become
+// collectable. Purely a storage move: targets, CSR content and postings
+// indices are unchanged, so estimates are bit-identical.
+func (idx *Index) compact() {
+	var tv, ts, te int
+	for gi := range idx.graphs {
+		tv += len(idx.graphs[gi].verts)
+		ts += len(idx.graphs[gi].outStart)
+		te += len(idx.graphs[gi].outTo)
+	}
+	verts := make([]graph.VertexID, 0, tv)
+	outStart := make([]int32, 0, ts)
+	outTo := make([]int32, 0, te)
+	edgeID := make([]graph.EdgeID, 0, te)
+	c := make([]float64, 0, te)
+	for gi := range idx.graphs {
+		rr := &idx.graphs[gi]
+		vo, so, eo := len(verts), len(outStart), len(outTo)
+		verts = append(verts, rr.verts...)
+		outStart = append(outStart, rr.outStart...)
+		outTo = append(outTo, rr.outTo...)
+		edgeID = append(edgeID, rr.edgeID...)
+		c = append(c, rr.c...)
+		rr.verts = verts[vo:len(verts):len(verts)]
+		rr.outStart = outStart[so:len(outStart):len(outStart)]
+		rr.outTo = outTo[eo:len(outTo):len(outTo)]
+		rr.edgeID = edgeID[eo:len(edgeID):len(edgeID)]
+		rr.c = c[eo:len(c):len(c)]
+	}
+	idx.loose = 0
 }
 
 // Build constructs the index. It is the paper's offline phase.
@@ -64,12 +106,7 @@ func Build(g *graph.Graph, opts BuildOptions) (*Index, error) {
 		return nil, fmt.Errorf("rrindex: %w", err)
 	}
 	theta := opts.Theta(g.NumVertices())
-	idx := &Index{
-		g:          g,
-		theta:      theta,
-		graphs:     make([]*RRGraph, 0, theta),
-		containing: make([][]int32, g.NumVertices()),
-	}
+	idx := &Index{g: g, theta: theta}
 
 	workers := opts.Workers
 	if workers < 1 {
@@ -80,16 +117,19 @@ func Build(g *graph.Graph, opts BuildOptions) (*Index, error) {
 	}
 	if workers == 1 {
 		r := rng.New(opts.Seed)
-		mark := make([]bool, g.NumVertices())
+		sc := newGenScratch(g.NumVertices())
+		ab := &arenaBuilder{}
 		for i := int64(0); i < theta; i++ {
 			target := graph.VertexID(r.Intn(g.NumVertices()))
-			idx.graphs = append(idx.graphs, generate(g, target, r, mark))
+			generate(g, target, r, sc, ab)
 		}
+		idx.graphs = mergeArenas(ab)
 	} else {
 		// Deterministic parallel sampling: worker w owns the w-th chunk
-		// of θ with its own derived stream; chunks are concatenated in
-		// worker order, so the graph list depends only on (Seed, Workers).
-		chunks := make([][]*RRGraph, workers)
+		// of θ with its own derived stream and per-worker arena; arenas
+		// are merged once in worker order, so the graph list depends only
+		// on (Seed, Workers).
+		builders := make([]*arenaBuilder, workers)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			lo := theta * int64(w) / int64(workers)
@@ -98,30 +138,65 @@ func Build(g *graph.Graph, opts BuildOptions) (*Index, error) {
 			go func(w int, n int64) {
 				defer wg.Done()
 				r := rng.New(opts.Seed + uint64(w)*0x9e3779b97f4a7c15)
-				mark := make([]bool, g.NumVertices())
-				out := make([]*RRGraph, 0, n)
+				sc := newGenScratch(g.NumVertices())
+				ab := &arenaBuilder{}
 				for i := int64(0); i < n; i++ {
 					target := graph.VertexID(r.Intn(g.NumVertices()))
-					out = append(out, generate(g, target, r, mark))
+					generate(g, target, r, sc, ab)
 				}
-				chunks[w] = out
+				builders[w] = ab
 			}(w, hi-lo)
 		}
 		wg.Wait()
-		for _, chunk := range chunks {
-			idx.graphs = append(idx.graphs, chunk...)
-		}
+		idx.graphs = mergeArenas(builders...)
 	}
 
-	for gi, rr := range idx.graphs {
+	idx.finishPostings()
+	return idx, nil
+}
+
+// finishPostings packs the per-user postings lists into one int32 arena
+// (two counting passes, zero per-user allocations) and refreshes the
+// cached maxSize and footprint. Called at the end of Build and ReadIndex.
+func (idx *Index) finishPostings() {
+	numV := idx.g.NumVertices()
+	counts := make([]int32, numV)
+	total := 0
+	for gi := range idx.graphs {
+		rr := &idx.graphs[gi]
 		for _, v := range rr.verts {
-			idx.containing[v] = append(idx.containing[v], int32(gi))
+			counts[v]++
 		}
+		total += len(rr.verts)
 		if rr.NumVertices() > idx.maxSize {
 			idx.maxSize = rr.NumVertices()
 		}
 	}
-	return idx, nil
+	arena := make([]int32, total)
+	idx.containing = make([][]int32, numV)
+	off := 0
+	for v := 0; v < numV; v++ {
+		idx.containing[v] = arena[off : off : off+int(counts[v])]
+		off += int(counts[v])
+	}
+	for gi := range idx.graphs {
+		for _, v := range idx.graphs[gi].verts {
+			idx.containing[v] = append(idx.containing[v], int32(gi)) // within cap
+		}
+	}
+	idx.recomputeFootprint()
+}
+
+// recomputeFootprint refreshes the cached MemoryFootprint value.
+func (idx *Index) recomputeFootprint() {
+	var b int64
+	for gi := range idx.graphs {
+		b += idx.graphs[gi].memoryFootprint()
+	}
+	for _, list := range idx.containing {
+		b += int64(len(list)) * 4
+	}
+	idx.footprint = b
 }
 
 // Theta returns the number of offline RR-Graphs.
@@ -130,25 +205,20 @@ func (idx *Index) Theta() int64 { return idx.theta }
 // NumContaining returns θ(u), the number of RR-Graphs containing u.
 func (idx *Index) NumContaining(u graph.VertexID) int { return len(idx.containing[u]) }
 
-// MemoryFootprint estimates the index's in-memory size in bytes
-// (Table 3's "RR-Graphs size" column).
-func (idx *Index) MemoryFootprint() int64 {
-	var b int64
-	for _, rr := range idx.graphs {
-		b += rr.memoryFootprint()
-	}
-	for _, list := range idx.containing {
-		b += int64(len(list)) * 4
-	}
-	return b
-}
+// MemoryFootprint returns the index's estimated in-memory size in bytes
+// (Table 3's "RR-Graphs size" column). With the arena layout the number
+// is maintained by Build/Read/Repair, so this is O(1) and cheap enough
+// for a /statsz scrape on every request.
+func (idx *Index) MemoryFootprint() int64 { return idx.footprint }
 
 // Estimator evaluates queries against the index with per-call scratch
 // (Algo 3's online phase). Not safe for concurrent use; create one per
 // goroutine over the shared Index.
 type Estimator struct {
 	idx     *Index
+	probe   *sampling.ProbeCache
 	visited []int64
+	dfs     []int32
 	stamp   int64
 	// graphsChecked counts RR-Graphs whose reachability was verified, the
 	// work metric that the cut-pruning layer reduces.
@@ -157,7 +227,11 @@ type Estimator struct {
 
 // NewEstimator creates an estimator over idx.
 func NewEstimator(idx *Index) *Estimator {
-	return &Estimator{idx: idx, visited: make([]int64, idx.maxSize)}
+	return &Estimator{
+		idx:     idx,
+		probe:   sampling.NewProbeCache(idx.g.NumEdges()),
+		visited: make([]int64, idx.maxSize),
+	}
 }
 
 // GraphsChecked returns the cumulative number of RR-Graphs verified.
@@ -165,14 +239,18 @@ func (est *Estimator) GraphsChecked() int64 { return est.graphsChecked }
 
 // EstimateProber estimates E[I(u|W)] as (hits/θ)·|V| over the RR-Graphs
 // containing u (graphs not containing u can never witness u's influence).
+// The prober is wrapped in a query-scoped ProbeCache so p(e|W) is
+// computed once per distinct edge, not once per (edge, RR-Graph) visit.
 func (est *Estimator) EstimateProber(u graph.VertexID, prober sampling.EdgeProber) sampling.Result {
 	idx := est.idx
+	prober = est.probe.Begin(prober)
 	var hits int64
 	for _, gi := range idx.containing[u] {
-		rr := idx.graphs[gi]
+		rr := &idx.graphs[gi]
 		est.stamp++
 		est.graphsChecked++
-		if rr.Reaches(u, prober, est.visited, est.stamp) {
+		var ok bool
+		if ok, est.dfs = rr.reaches(u, prober, est.visited, est.stamp, est.dfs); ok {
 			hits++
 		}
 	}

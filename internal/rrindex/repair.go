@@ -31,6 +31,16 @@ import (
 // ΔV/|V_new| (old targets were uniform over V_old, so the mixture is
 // uniform over V_new), and θ_new - θ_old fresh graphs with targets uniform
 // over V_new are appended.
+//
+// With the arena layout, copy-on-write happens at segment granularity:
+// the new index copies the view table (slice headers only), untouched
+// views keep aliasing the old arena, and every re-sampled or appended
+// graph is generated into one fresh per-repair arena whose views are
+// patched in after generation finishes. The old index never changes.
+// Because a single surviving view pins its entire backing array, repairs
+// count their out-of-primary-arena views and compact into one fresh arena
+// once those exceed half of θ, so retained memory across many update
+// generations stays within ~2x the live index.
 
 // ErrNotRepairable reports an index that lacks the bookkeeping incremental
 // repair needs (a DelayMat built without TrackMembers, or one loaded from
@@ -64,8 +74,8 @@ func (s RepairStats) Repaired() int { return s.Invalidated + s.Retargeted + s.Ap
 // recomputed from them) and the seed for the repair sampler — vary the
 // seed per update generation to keep repairs independent.
 //
-// The receiver is not modified: untouched *RRGraph values are shared
-// (they are immutable), so concurrent readers of the old index are
+// The receiver is not modified: untouched views still alias the old
+// (immutable) arena, so concurrent readers of the old index are
 // unaffected — this is what makes zero-downtime hot-swap possible.
 func (idx *Index) Repair(g *graph.Graph, opts BuildOptions, touched []graph.VertexID, addedVertices int) (*Index, RepairStats, error) {
 	var stats RepairStats
@@ -90,10 +100,10 @@ func (idx *Index) Repair(g *graph.Graph, opts BuildOptions, touched []graph.Vert
 	}
 
 	r := rng.New(opts.Seed)
-	mark := make([]bool, newV)
+	sc := newGenScratch(newV)
 	next := &Index{
 		g:       g,
-		graphs:  append([]*RRGraph(nil), idx.graphs...),
+		graphs:  append([]RRGraph(nil), idx.graphs...),
 		maxSize: idx.maxSize,
 	}
 	retargetP := 0.0
@@ -103,10 +113,15 @@ func (idx *Index) Repair(g *graph.Graph, opts BuildOptions, touched []graph.Vert
 	// dirty marks vertices whose postings list must change: old or new
 	// members of any re-sampled graph, and members of appended ones.
 	// resampled marks the graph indices whose old postings entries are
-	// stale. Old member sets must be recorded before regeneration.
+	// stale. Old member sets must be recorded before the views are
+	// swapped; the replacement views are patched in after generation (the
+	// repair arena moves while it grows).
 	resampled := make([]bool, len(idx.graphs))
 	dirty := make([]bool, newV)
-	for gi, rr := range next.graphs {
+	ab := &arenaBuilder{}
+	patched := make([]int, 0, 64)
+	for gi := range next.graphs {
+		rr := &next.graphs[gi]
 		target := rr.target
 		resample := invalid[gi]
 		if retargetP > 0 && r.Bernoulli(retargetP) {
@@ -123,11 +138,8 @@ func (idx *Index) Repair(g *graph.Graph, opts BuildOptions, touched []graph.Vert
 		for _, v := range rr.verts {
 			dirty[v] = true
 		}
-		nrr := generate(g, target, r, mark)
-		next.graphs[gi] = nrr
-		if nrr.NumVertices() > next.maxSize {
-			next.maxSize = nrr.NumVertices()
-		}
+		generate(g, target, r, sc, ab)
+		patched = append(patched, gi)
 	}
 
 	// θ grows with |V| (Eq. 7). It never shrinks: a cap change cannot
@@ -136,14 +148,23 @@ func (idx *Index) Repair(g *graph.Graph, opts BuildOptions, touched []graph.Vert
 	if grown := opts.Theta(newV); grown > next.theta {
 		for i := next.theta; i < grown; i++ {
 			target := graph.VertexID(r.Intn(newV))
-			nrr := generate(g, target, r, mark)
-			next.graphs = append(next.graphs, nrr)
-			if nrr.NumVertices() > next.maxSize {
-				next.maxSize = nrr.NumVertices()
-			}
+			generate(g, target, r, sc, ab)
 			stats.Appended++
 		}
 		next.theta = grown
+	}
+
+	// Swap in the repair-arena views: re-sampled graphs at their old
+	// indices, appended ones at the end.
+	views := ab.takeViews()
+	for j, gi := range patched {
+		next.graphs[gi] = views[j]
+	}
+	next.graphs = append(next.graphs, views[len(patched):]...)
+	for i := range views {
+		if n := views[i].NumVertices(); n > next.maxSize {
+			next.maxSize = n
+		}
 	}
 
 	// Patch postings per affected vertex rather than rebuilding them from
@@ -214,6 +235,15 @@ func (idx *Index) Repair(g *graph.Graph, opts BuildOptions, touched []graph.Vert
 		appendAdds(gi)
 	}
 	stats.Total = len(next.graphs)
+	// Views from this and earlier repair arenas pin their whole backing
+	// arrays; once they outnumber half the index, copy everything into one
+	// fresh arena so retained RSS stays within ~2x the live data (the
+	// cached footprint tracks live views only).
+	next.loose = idx.loose + len(views)
+	if next.loose > len(next.graphs)/2 {
+		next.compact()
+	}
+	next.recomputeFootprint()
 	return next, stats, nil
 }
 
@@ -310,5 +340,6 @@ func (dm *DelayMat) Repair(g *graph.Graph, opts BuildOptions, touched []graph.Ve
 		next.theta = grown
 	}
 	stats.Total = len(next.members)
+	next.recomputeFootprint()
 	return next, stats, nil
 }

@@ -68,7 +68,9 @@ func TestIndexRepairSharesUntouchedGraphs(t *testing.T) {
 	head := g.EdgeTo(0)
 	shared, resampled := 0, 0
 	for gi := range idx.graphs {
-		if next.graphs[gi] == idx.graphs[gi] {
+		// Sharing is at arena-segment granularity: an untouched view must
+		// still alias the old index's backing arrays.
+		if next.graphs[gi].sharesStorage(&idx.graphs[gi]) {
 			shared++
 			if idx.graphs[gi].Contains(head) {
 				t.Fatalf("graph %d contains touched head %d but was not re-sampled", gi, head)

@@ -54,10 +54,22 @@ func TestBuildValidation(t *testing.T) {
 func TestRRGraphStructure(t *testing.T) {
 	g := fixture.Graph()
 	r := rng.New(7)
-	mark := make([]bool, g.NumVertices())
+	sc := newGenScratch(g.NumVertices())
+	ab := &arenaBuilder{}
+	var targets []graph.VertexID
 	for i := 0; i < 200; i++ {
 		target := graph.VertexID(r.Intn(g.NumVertices()))
-		rr := generate(g, target, r, mark)
+		generate(g, target, r, sc, ab)
+		targets = append(targets, target)
+		// mark scratch must be clean between generations.
+		for v, m := range sc.mark {
+			if m {
+				t.Fatalf("mark[%d] left set", v)
+			}
+		}
+	}
+	for i, rr := range mergeArenas(ab) {
+		target := targets[i]
 		if !rr.Contains(target) {
 			t.Fatalf("RR-Graph of %d does not contain its target", target)
 		}
@@ -80,12 +92,6 @@ func TestRRGraphStructure(t *testing.T) {
 		for _, v := range rr.verts {
 			if !rr.Reaches(v, loosest, visited, int64(v)+1) {
 				t.Fatalf("member %d cannot reach target %d", v, target)
-			}
-		}
-		// mark scratch must be clean.
-		for v, m := range mark {
-			if m {
-				t.Fatalf("mark[%d] left set", v)
 			}
 		}
 	}

@@ -6,115 +6,234 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 
 	"pitex/internal/graph"
 )
 
-// Binary index format (little-endian):
+// Binary index formats (little-endian). Both open with the same header:
 //
-//	magic "PITEXIDX" | version u32 | numVertices u64 | theta u64 |
-//	numGraphs u64 | per graph: target u32, nV u64, verts u32...,
-//	nE u64, per edge: fromLocal u32, toLocal u32, edgeID u32, c f64
+//	magic "PITEXIDX" | version u32 | kind u32 | numVertices u64 | theta u64
+//
+// Version 2 (written by WriteIndex) serializes the arena layout as whole
+// arrays so a loader fills each backing array in one contiguous pass:
+//
+//	numGraphs u64 |
+//	targets u32 × G | vertN u32 × G | edgeN u32 × G |
+//	verts u32 × ΣV | outStart u32 × (ΣV+G) |
+//	outTo u32 × ΣE | edgeID u32 × ΣE | c f64 × ΣE
+//
+// where outStart values are per-graph-relative edge offsets. Version 1
+// (the seed format: per graph, target/verts then per-edge records of
+// fromLocal/toLocal/edgeID/c) is still readable; loading it assembles the
+// graphs into an arena, so a v1 file yields the same in-memory layout.
 //
 // The per-user postings lists are rebuilt on load (they are derivable).
-// DelayMat uses the same header with numGraphs = 0 followed by one u64
-// counter per vertex.
+// DelayMat files use the version-1 header with one u64 counter per vertex
+// and are written unchanged, so older readers keep working.
 
 var indexMagic = [8]byte{'P', 'I', 'T', 'E', 'X', 'I', 'D', 'X'}
 
 const (
-	indexVersion    = 1
+	indexVersionV1  = 1
+	indexVersionV2  = 2
 	kindIndex       = 1
 	kindDelayMat    = 2
 	maxSaneVertices = 1 << 31
 )
 
-type countingWriter struct {
+// leWriter writes little-endian scalars through one reusable buffer
+// (binary.Write's per-call reflection and allocation made v1 writes the
+// slowest part of SaveIndex).
+type leWriter struct {
 	w   *bufio.Writer
 	err error
+	tmp [8]byte
 }
 
-func (cw *countingWriter) write(v interface{}) {
-	if cw.err != nil {
+func (lw *leWriter) u32(v uint32) {
+	if lw.err != nil {
 		return
 	}
-	cw.err = binary.Write(cw.w, binary.LittleEndian, v)
+	binary.LittleEndian.PutUint32(lw.tmp[:4], v)
+	_, lw.err = lw.w.Write(lw.tmp[:4])
 }
 
-// WriteIndex serializes the index so that a query server can load it
-// instead of re-running the offline phase.
+func (lw *leWriter) u64(v uint64) {
+	if lw.err != nil {
+		return
+	}
+	binary.LittleEndian.PutUint64(lw.tmp[:8], v)
+	_, lw.err = lw.w.Write(lw.tmp[:8])
+}
+
+func (lw *leWriter) f64(v float64) { lw.u64(math.Float64bits(v)) }
+
+// WriteIndex serializes the index (format version 2) so that a query
+// server can load it instead of re-running the offline phase.
 func WriteIndex(w io.Writer, idx *Index) error {
-	cw := &countingWriter{w: bufio.NewWriterSize(w, 1<<16)}
-	cw.write(indexMagic)
-	cw.write(uint32(indexVersion))
-	cw.write(uint32(kindIndex))
-	cw.write(uint64(idx.g.NumVertices()))
-	cw.write(uint64(idx.theta))
-	cw.write(uint64(len(idx.graphs)))
-	for _, rr := range idx.graphs {
-		cw.write(uint32(rr.target))
-		cw.write(uint64(len(rr.verts)))
-		for _, v := range rr.verts {
-			cw.write(uint32(v))
-		}
-		cw.write(uint64(len(rr.edgeID)))
-		for v := int32(0); v < int32(len(rr.verts)); v++ {
-			for i := rr.outStart[v]; i < rr.outStart[v+1]; i++ {
-				cw.write(uint32(v))
-				cw.write(uint32(rr.outTo[i]))
-				cw.write(uint32(rr.edgeID[i]))
-				cw.write(rr.c[i])
-			}
+	lw := &leWriter{w: bufio.NewWriterSize(w, 1<<16)}
+	if _, err := lw.w.Write(indexMagic[:]); err != nil {
+		return fmt.Errorf("rrindex: write: %w", err)
+	}
+	lw.u32(indexVersionV2)
+	lw.u32(kindIndex)
+	lw.u64(uint64(idx.g.NumVertices()))
+	lw.u64(uint64(idx.theta))
+	lw.u64(uint64(len(idx.graphs)))
+	for gi := range idx.graphs {
+		lw.u32(uint32(idx.graphs[gi].target))
+	}
+	for gi := range idx.graphs {
+		lw.u32(uint32(len(idx.graphs[gi].verts)))
+	}
+	for gi := range idx.graphs {
+		lw.u32(uint32(len(idx.graphs[gi].edgeID)))
+	}
+	// After a Repair the views may span several arenas, so each array is
+	// written view by view; the file is contiguous either way.
+	for gi := range idx.graphs {
+		for _, v := range idx.graphs[gi].verts {
+			lw.u32(uint32(v))
 		}
 	}
-	if cw.err != nil {
-		return fmt.Errorf("rrindex: write: %w", cw.err)
+	for gi := range idx.graphs {
+		for _, s := range idx.graphs[gi].outStart {
+			lw.u32(uint32(s))
+		}
 	}
-	return cw.w.Flush()
+	for gi := range idx.graphs {
+		for _, t := range idx.graphs[gi].outTo {
+			lw.u32(uint32(t))
+		}
+	}
+	for gi := range idx.graphs {
+		for _, e := range idx.graphs[gi].edgeID {
+			lw.u32(uint32(e))
+		}
+	}
+	for gi := range idx.graphs {
+		for _, c := range idx.graphs[gi].c {
+			lw.f64(c)
+		}
+	}
+	if lw.err != nil {
+		return fmt.Errorf("rrindex: write: %w", lw.err)
+	}
+	return lw.w.Flush()
 }
 
-type reader struct {
+// leReader reads little-endian scalars and bulk arrays through one
+// reusable chunk buffer.
+type leReader struct {
 	r   *bufio.Reader
 	err error
+	tmp [8]byte
+	buf []byte
 }
 
-func (rd *reader) read(v interface{}) {
-	if rd.err != nil {
-		return
+func (lr *leReader) u32() uint32 {
+	if lr.err != nil {
+		return 0
 	}
-	rd.err = binary.Read(rd.r, binary.LittleEndian, v)
+	if _, err := io.ReadFull(lr.r, lr.tmp[:4]); err != nil {
+		lr.err = err
+		return 0
+	}
+	return binary.LittleEndian.Uint32(lr.tmp[:4])
 }
 
-// readHeader validates the magic/version and returns the kind.
-func readHeader(rd *reader) (kind uint32, numVertices, theta uint64, err error) {
+func (lr *leReader) u64() uint64 {
+	if lr.err != nil {
+		return 0
+	}
+	if _, err := io.ReadFull(lr.r, lr.tmp[:8]); err != nil {
+		lr.err = err
+		return 0
+	}
+	return binary.LittleEndian.Uint64(lr.tmp[:8])
+}
+
+func (lr *leReader) f64() float64 { return math.Float64frombits(lr.u64()) }
+
+// chunk returns the reusable bulk-decode buffer.
+func (lr *leReader) chunk() []byte {
+	if lr.buf == nil {
+		lr.buf = make([]byte, 1<<15)
+	}
+	return lr.buf
+}
+
+// u32s streams n little-endian u32 words to f in large chunks.
+func (lr *leReader) u32s(n int, f func(i int, v uint32)) {
+	buf := lr.chunk()
+	for i := 0; i < n && lr.err == nil; {
+		k := (n - i) * 4
+		if k > len(buf) {
+			k = len(buf) - len(buf)%4
+		}
+		if _, err := io.ReadFull(lr.r, buf[:k]); err != nil {
+			lr.err = err
+			return
+		}
+		for o := 0; o < k; o += 4 {
+			f(i, binary.LittleEndian.Uint32(buf[o:o+4]))
+			i++
+		}
+	}
+}
+
+// f64s streams n little-endian float64 words to f in large chunks.
+func (lr *leReader) f64s(n int, f func(i int, v float64)) {
+	buf := lr.chunk()
+	for i := 0; i < n && lr.err == nil; {
+		k := (n - i) * 8
+		if k > len(buf) {
+			k = len(buf) - len(buf)%8
+		}
+		if _, err := io.ReadFull(lr.r, buf[:k]); err != nil {
+			lr.err = err
+			return
+		}
+		for o := 0; o < k; o += 8 {
+			f(i, math.Float64frombits(binary.LittleEndian.Uint64(buf[o:o+8])))
+			i++
+		}
+	}
+}
+
+// readHeader validates the magic/version and returns the version and kind.
+func readHeader(lr *leReader) (version, kind uint32, numVertices, theta uint64, err error) {
 	var magic [8]byte
-	rd.read(&magic)
-	if rd.err == nil && magic != indexMagic {
-		return 0, 0, 0, fmt.Errorf("rrindex: bad magic %q", magic[:])
+	if _, err := io.ReadFull(lr.r, magic[:]); err != nil {
+		return 0, 0, 0, 0, fmt.Errorf("rrindex: header: %w", err)
 	}
-	var version uint32
-	rd.read(&version)
-	if rd.err == nil && version != indexVersion {
-		return 0, 0, 0, fmt.Errorf("rrindex: unsupported version %d", version)
+	if magic != indexMagic {
+		return 0, 0, 0, 0, fmt.Errorf("rrindex: bad magic %q", magic[:])
 	}
-	rd.read(&kind)
-	rd.read(&numVertices)
-	rd.read(&theta)
-	if rd.err != nil {
-		return 0, 0, 0, fmt.Errorf("rrindex: header: %w", rd.err)
+	version = lr.u32()
+	if lr.err == nil && version != indexVersionV1 && version != indexVersionV2 {
+		return 0, 0, 0, 0, fmt.Errorf("rrindex: unsupported version %d", version)
+	}
+	kind = lr.u32()
+	numVertices = lr.u64()
+	theta = lr.u64()
+	if lr.err != nil {
+		return 0, 0, 0, 0, fmt.Errorf("rrindex: header: %w", lr.err)
 	}
 	if numVertices == 0 || numVertices > maxSaneVertices || theta == 0 {
-		return 0, 0, 0, fmt.Errorf("rrindex: implausible header (V=%d θ=%d)", numVertices, theta)
+		return 0, 0, 0, 0, fmt.Errorf("rrindex: implausible header (V=%d θ=%d)", numVertices, theta)
 	}
-	return kind, numVertices, theta, nil
+	return version, kind, numVertices, theta, nil
 }
 
-// ReadIndex loads an index previously written with WriteIndex. The graph
-// must be the one the index was built over; structural mismatches are
-// detected where cheap (vertex count, edge-ID range).
+// ReadIndex loads an index previously written with WriteIndex (either
+// format version). The graph must be the one the index was built over;
+// structural mismatches are detected where cheap (vertex count, edge-ID
+// range). Both versions produce the arena-flattened in-memory layout.
 func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
-	rd := &reader{r: bufio.NewReaderSize(r, 1<<16)}
-	kind, nV, theta, err := readHeader(rd)
+	lr := &leReader{r: bufio.NewReaderSize(r, 1<<16)}
+	version, kind, nV, theta, err := readHeader(lr)
 	if err != nil {
 		return nil, err
 	}
@@ -125,126 +244,234 @@ func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
 		return nil, fmt.Errorf("rrindex: index built over %d vertices, graph has %d", nV, g.NumVertices())
 	}
 	var nGraphs uint64
-	rd.read(&nGraphs)
-	if rd.err != nil {
-		return nil, fmt.Errorf("rrindex: %w", rd.err)
+	nGraphs = lr.u64()
+	if lr.err != nil {
+		return nil, fmt.Errorf("rrindex: %w", lr.err)
 	}
 	if nGraphs > uint64(theta) {
 		return nil, fmt.Errorf("rrindex: %d graphs exceed θ=%d", nGraphs, theta)
 	}
-	idx := &Index{
-		g:          g,
-		theta:      int64(theta),
-		graphs:     make([]*RRGraph, 0, nGraphs),
-		containing: make([][]int32, g.NumVertices()),
+	idx := &Index{g: g, theta: int64(theta)}
+	if version == indexVersionV1 {
+		if err := readGraphsV1(lr, g, idx, nV, nGraphs); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := readGraphsV2(lr, g, idx, nV, nGraphs); err != nil {
+			return nil, err
+		}
 	}
+	idx.finishPostings()
+	return idx, nil
+}
+
+// readGraphsV2 loads the arena arrays in one contiguous pass per array.
+// Array storage grows with append as payload actually arrives, so a
+// corrupt or malicious header claiming huge counts fails with a read
+// error after at most the real file size — it cannot drive one giant
+// up-front allocation (the header-declared totals are only trusted as
+// upper bounds to stream against).
+func readGraphsV2(lr *leReader, g *graph.Graph, idx *Index, nV, nGraphs uint64) error {
+	if nGraphs > maxSaneVertices {
+		return fmt.Errorf("rrindex: implausible graph count %d", nGraphs)
+	}
+	G := int(nGraphs)
+	ab := arenaBuilder{}
+	lr.u32s(G, func(i int, v uint32) { ab.targets = append(ab.targets, graph.VertexID(v)) })
+	lr.u32s(G, func(i int, v uint32) { ab.vertN = append(ab.vertN, int32(v)) })
+	lr.u32s(G, func(i int, v uint32) { ab.edgeN = append(ab.edgeN, int32(v)) })
+	if lr.err != nil {
+		return fmt.Errorf("rrindex: graph table: %w", lr.err)
+	}
+	var totV, totE int64
+	for i := 0; i < G; i++ {
+		if uint64(ab.targets[i]) >= nV || ab.vertN[i] <= 0 || uint64(ab.vertN[i]) > nV ||
+			ab.edgeN[i] < 0 || int(ab.edgeN[i]) > g.NumEdges() {
+			return fmt.Errorf("rrindex: graph %d: implausible shape", i)
+		}
+		totV += int64(ab.vertN[i])
+		totE += int64(ab.edgeN[i])
+	}
+	badAt := int64(-1)
+	note := func(i int, bad bool) {
+		if bad && badAt < 0 {
+			badAt = int64(i)
+		}
+	}
+	lr.u32s(int(totV), func(i int, v uint32) {
+		note(i, uint64(v) >= nV)
+		ab.verts = append(ab.verts, graph.VertexID(v))
+	})
+	lr.u32s(int(totV)+G, func(i int, v uint32) {
+		note(i, int64(v) > totE)
+		ab.outStart = append(ab.outStart, int32(v))
+	})
+	lr.u32s(int(totE), func(i int, v uint32) {
+		note(i, int64(v) >= totV)
+		ab.outTo = append(ab.outTo, int32(v))
+	})
+	lr.u32s(int(totE), func(i int, v uint32) {
+		note(i, int(v) >= g.NumEdges())
+		ab.edgeID = append(ab.edgeID, graph.EdgeID(v))
+	})
+	lr.f64s(int(totE), func(i int, v float64) {
+		note(i, math.IsNaN(v) || v < 0 || v >= 1)
+		ab.c = append(ab.c, v)
+	})
+	if lr.err != nil {
+		return fmt.Errorf("rrindex: arenas: %w", lr.err)
+	}
+	if badAt >= 0 {
+		return fmt.Errorf("rrindex: invalid arena value at offset %d", badAt)
+	}
+	idx.graphs = ab.takeViews()
+	// Per-graph structural invariants that bulk range checks cannot see.
+	for gi := range idx.graphs {
+		rr := &idx.graphs[gi]
+		n := int32(len(rr.verts))
+		for i := 1; i < len(rr.verts); i++ {
+			if rr.verts[i] <= rr.verts[i-1] {
+				return fmt.Errorf("rrindex: graph %d: members not strictly ascending", gi)
+			}
+		}
+		if !rr.Contains(rr.target) {
+			return fmt.Errorf("rrindex: graph %d: target not a member", gi)
+		}
+		if rr.outStart[0] != 0 || rr.outStart[n] != int32(len(rr.edgeID)) {
+			return fmt.Errorf("rrindex: graph %d: CSR bounds corrupt", gi)
+		}
+		for v := int32(0); v < n; v++ {
+			if rr.outStart[v+1] < rr.outStart[v] {
+				return fmt.Errorf("rrindex: graph %d: CSR offsets decrease", gi)
+			}
+		}
+		for _, t := range rr.outTo {
+			if t < 0 || t >= n {
+				return fmt.Errorf("rrindex: graph %d: head out of range", gi)
+			}
+		}
+	}
+	return nil
+}
+
+// readGraphsV1 parses the seed per-graph format and assembles it into an
+// arena, so legacy files load into the flat layout.
+func readGraphsV1(lr *leReader, g *graph.Graph, idx *Index, nV, nGraphs uint64) error {
+	sc := newGenScratch(int(nV))
+	ab := &arenaBuilder{}
 	for gi := uint64(0); gi < nGraphs; gi++ {
-		var target uint32
-		var nVerts uint64
-		rd.read(&target)
-		rd.read(&nVerts)
-		if rd.err != nil {
-			return nil, fmt.Errorf("rrindex: graph %d: %w", gi, rd.err)
+		target := lr.u32()
+		nVerts := lr.u64()
+		if lr.err != nil {
+			return fmt.Errorf("rrindex: graph %d: %w", gi, lr.err)
 		}
 		if uint64(target) >= nV || nVerts == 0 || nVerts > nV {
-			return nil, fmt.Errorf("rrindex: graph %d: implausible shape", gi)
+			return fmt.Errorf("rrindex: graph %d: implausible shape", gi)
 		}
-		verts := make([]graph.VertexID, nVerts)
-		for i := range verts {
-			var v uint32
-			rd.read(&v)
-			if rd.err == nil && uint64(v) >= nV {
-				return nil, fmt.Errorf("rrindex: graph %d: vertex %d out of range", gi, v)
+		sc.members = sc.members[:0]
+		for i := uint64(0); i < nVerts; i++ {
+			v := lr.u32()
+			if lr.err == nil && uint64(v) >= nV {
+				return fmt.Errorf("rrindex: graph %d: vertex %d out of range", gi, v)
 			}
-			verts[i] = graph.VertexID(v)
+			sc.members = append(sc.members, graph.VertexID(v))
 		}
-		var nEdges uint64
-		rd.read(&nEdges)
-		if rd.err != nil {
-			return nil, fmt.Errorf("rrindex: graph %d: %w", gi, rd.err)
+		nEdges := lr.u64()
+		if lr.err != nil {
+			return fmt.Errorf("rrindex: graph %d: %w", gi, lr.err)
 		}
 		if nEdges > uint64(g.NumEdges()) {
-			return nil, fmt.Errorf("rrindex: graph %d: %d edges exceed graph size", gi, nEdges)
+			return fmt.Errorf("rrindex: graph %d: %d edges exceed graph size", gi, nEdges)
 		}
-		edges := make([]rrEdge, 0, nEdges)
+		sc.edges = sc.edges[:0]
 		for i := uint64(0); i < nEdges; i++ {
-			var fromLocal, toLocal, edgeID uint32
-			var c float64
-			rd.read(&fromLocal)
-			rd.read(&toLocal)
-			rd.read(&edgeID)
-			rd.read(&c)
-			if rd.err != nil {
-				return nil, fmt.Errorf("rrindex: graph %d edge %d: %w", gi, i, rd.err)
+			fromLocal := lr.u32()
+			toLocal := lr.u32()
+			edgeID := lr.u32()
+			c := lr.f64()
+			if lr.err != nil {
+				return fmt.Errorf("rrindex: graph %d edge %d: %w", gi, i, lr.err)
 			}
 			if uint64(fromLocal) >= nVerts || uint64(toLocal) >= nVerts ||
 				int(edgeID) >= g.NumEdges() || math.IsNaN(c) || c < 0 || c >= 1 {
-				return nil, fmt.Errorf("rrindex: graph %d edge %d: invalid fields", gi, i)
+				return fmt.Errorf("rrindex: graph %d edge %d: invalid fields", gi, i)
 			}
-			edges = append(edges, rrEdge{
-				from: verts[fromLocal],
-				to:   verts[toLocal],
+			sc.edges = append(sc.edges, rrEdge{
+				from: sc.members[fromLocal],
+				to:   sc.members[toLocal],
 				id:   graph.EdgeID(edgeID),
 				c:    c,
 			})
 		}
-		rr := assemble(graph.VertexID(target), verts, edges)
-		if !rr.Contains(graph.VertexID(target)) {
-			return nil, fmt.Errorf("rrindex: graph %d: target not a member", gi)
+		// Edges are resolved to global IDs above, so the file's member
+		// order is no longer needed: sort once, then reject duplicates (a
+		// malicious file may repeat a member, which would corrupt ab.add's
+		// localOf table) and targets that are not members.
+		sort.Slice(sc.members, func(a, b int) bool { return sc.members[a] < sc.members[b] })
+		for i := 1; i < len(sc.members); i++ {
+			if sc.members[i] == sc.members[i-1] {
+				return fmt.Errorf("rrindex: graph %d: duplicate member %d", gi, sc.members[i])
+			}
 		}
-		pos := int32(len(idx.graphs))
-		idx.graphs = append(idx.graphs, rr)
-		for _, v := range rr.verts {
-			idx.containing[v] = append(idx.containing[v], pos)
+		t := graph.VertexID(target)
+		if i := sort.Search(len(sc.members), func(i int) bool { return sc.members[i] >= t }); i == len(sc.members) || sc.members[i] != t {
+			return fmt.Errorf("rrindex: graph %d: target not a member", gi)
 		}
-		if rr.NumVertices() > idx.maxSize {
-			idx.maxSize = rr.NumVertices()
-		}
+		ab.add(t, sc)
 	}
-	return idx, nil
+	idx.graphs = mergeArenas(ab)
+	return nil
 }
 
-// WriteDelayMat serializes a DelayMat index.
+// WriteDelayMat serializes a DelayMat index (format version 1; the
+// counters-only format needs nothing from v2).
 func WriteDelayMat(w io.Writer, dm *DelayMat) error {
-	cw := &countingWriter{w: bufio.NewWriterSize(w, 1<<16)}
-	cw.write(indexMagic)
-	cw.write(uint32(indexVersion))
-	cw.write(uint32(kindDelayMat))
-	cw.write(uint64(dm.g.NumVertices()))
-	cw.write(uint64(dm.theta))
+	lw := &leWriter{w: bufio.NewWriterSize(w, 1<<16)}
+	if _, err := lw.w.Write(indexMagic[:]); err != nil {
+		return fmt.Errorf("rrindex: write: %w", err)
+	}
+	lw.u32(indexVersionV1)
+	lw.u32(kindDelayMat)
+	lw.u64(uint64(dm.g.NumVertices()))
+	lw.u64(uint64(dm.theta))
 	for _, c := range dm.counts {
-		cw.write(uint64(c))
+		lw.u64(uint64(c))
 	}
-	if cw.err != nil {
-		return fmt.Errorf("rrindex: write: %w", cw.err)
+	if lw.err != nil {
+		return fmt.Errorf("rrindex: write: %w", lw.err)
 	}
-	return cw.w.Flush()
+	return lw.w.Flush()
 }
 
 // ReadDelayMat loads a DelayMat index written with WriteDelayMat.
 func ReadDelayMat(r io.Reader, g *graph.Graph) (*DelayMat, error) {
-	rd := &reader{r: bufio.NewReaderSize(r, 1<<16)}
-	kind, nV, theta, err := readHeader(rd)
+	lr := &leReader{r: bufio.NewReaderSize(r, 1<<16)}
+	version, kind, nV, theta, err := readHeader(lr)
 	if err != nil {
 		return nil, err
 	}
 	if kind != kindDelayMat {
 		return nil, fmt.Errorf("rrindex: file is not a DelayMat index (kind %d)", kind)
 	}
+	if version != indexVersionV1 {
+		// No v2 DelayMat layout exists; parsing one as v1 counters would
+		// silently misread a future format.
+		return nil, fmt.Errorf("rrindex: unsupported DelayMat version %d", version)
+	}
 	if int(nV) != g.NumVertices() {
 		return nil, fmt.Errorf("rrindex: index built over %d vertices, graph has %d", nV, g.NumVertices())
 	}
 	dm := &DelayMat{g: g, theta: int64(theta), counts: make([]int64, nV)}
 	for i := range dm.counts {
-		var c uint64
-		rd.read(&c)
-		if rd.err != nil {
-			return nil, fmt.Errorf("rrindex: counts: %w", rd.err)
+		c := lr.u64()
+		if lr.err != nil {
+			return nil, fmt.Errorf("rrindex: counts: %w", lr.err)
 		}
 		if c > theta {
 			return nil, fmt.Errorf("rrindex: θ(%d)=%d exceeds θ=%d", i, c, theta)
 		}
 		dm.counts[i] = int64(c)
 	}
+	dm.recomputeFootprint()
 	return dm, nil
 }

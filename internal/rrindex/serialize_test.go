@@ -2,6 +2,7 @@ package rrindex
 
 import (
 	"bytes"
+	"encoding/binary"
 	"strings"
 	"testing"
 
@@ -99,6 +100,19 @@ func TestIndexReadRejectsCorruption(t *testing.T) {
 	tampered[8] = 99
 	if _, err := ReadIndex(bytes.NewReader(tampered), g); err == nil {
 		t.Error("bad version accepted")
+	}
+
+	// A tiny file whose header claims absurd counts must fail with an
+	// error (EOF or implausible-shape), not a giant allocation or a
+	// makeslice panic: the reader only grows storage as payload arrives.
+	huge := append([]byte(nil), good[:16]...) // magic|version|kind
+	var tail [24]byte
+	binary.LittleEndian.PutUint64(tail[0:], uint64(g.NumVertices())) // V
+	binary.LittleEndian.PutUint64(tail[8:], 1<<62)                   // theta
+	binary.LittleEndian.PutUint64(tail[16:], 1<<62)                  // numGraphs
+	huge = append(huge, tail[:]...)
+	if _, err := ReadIndex(bytes.NewReader(huge), g); err == nil {
+		t.Error("absurd graph count accepted")
 	}
 
 	// Wrong graph.

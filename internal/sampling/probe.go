@@ -1,0 +1,57 @@
+package sampling
+
+import "pitex/internal/graph"
+
+// ProbeCache memoizes an EdgeProber per distinct global edge for the
+// duration of one estimation scope. Index estimators visit the same edge
+// once per RR-Graph it survived in, and online samplers probe it once per
+// cascade; within one scope the posterior is fixed, so every probe after
+// the first is a redundant Σ_z p(e|z)·p(z|W) evaluation. Begin opens a new
+// scope by bumping an epoch counter — invalidation is O(1), no clearing.
+//
+// A ProbeCache is scratch state, not safe for concurrent use; give each
+// estimator (or explorer) its own. The O(numEdges) arrays are allocated
+// on first use, so an idle owner (an engine clone whose Audience path is
+// never hit, an estimator that never runs) costs three words, not
+// 16 bytes per edge.
+type ProbeCache struct {
+	numEdges int
+	inner    EdgeProber
+	vals     []float64
+	seen     []int64
+	epoch    int64
+}
+
+// NewProbeCache returns a cache for a graph with numEdges edges.
+func NewProbeCache(numEdges int) *ProbeCache {
+	return &ProbeCache{numEdges: numEdges}
+}
+
+// Begin opens a new scope over inner and returns the caching prober.
+// Passing a prober that is already a ProbeCache returns it unchanged, so
+// layers that each own a cache (explorer and estimator) compose without
+// stacking lookups.
+func (pc *ProbeCache) Begin(inner EdgeProber) EdgeProber {
+	if cached, ok := inner.(*ProbeCache); ok {
+		return cached
+	}
+	if pc.vals == nil {
+		pc.vals = make([]float64, pc.numEdges)
+		pc.seen = make([]int64, pc.numEdges)
+	}
+	pc.inner = inner
+	pc.epoch++
+	return pc
+}
+
+// Prob implements EdgeProber, computing p(e|W) at most once per edge per
+// scope.
+func (pc *ProbeCache) Prob(e graph.EdgeID) float64 {
+	if pc.seen[e] == pc.epoch {
+		return pc.vals[e]
+	}
+	v := pc.inner.Prob(e)
+	pc.seen[e] = pc.epoch
+	pc.vals[e] = v
+	return v
+}

@@ -1,0 +1,68 @@
+package sampling
+
+import (
+	"testing"
+
+	"pitex/internal/graph"
+	"pitex/internal/rng"
+)
+
+// countingProber wraps an EdgeProber and counts Prob calls per edge.
+type countingProber struct {
+	inner EdgeProber
+	calls []int64
+}
+
+func (cp *countingProber) Prob(e graph.EdgeID) float64 {
+	cp.calls[e]++
+	return cp.inner.Prob(e)
+}
+
+// TestProbeCacheAgreesWithUncached is the property test: across scopes
+// with changing posteriors and repeated probes, the cached prober must
+// return exactly the uncached value, evaluate the inner prober at most
+// once per edge per scope, and never leak a value across scopes.
+func TestProbeCacheAgreesWithUncached(t *testing.T) {
+	r := rng.New(99)
+	g, err := graph.ErdosRenyi(r, 60, 400, graph.TopicAssignment{
+		NumTopics: 3, TopicsPerEdge: 2, MaxProb: 0.8,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	pc := NewProbeCache(g.NumEdges())
+	for scope := 0; scope < 25; scope++ {
+		post := make([]float64, 3)
+		rem := 1.0
+		for z := 0; z < 2; z++ {
+			post[z] = rem * r.Float64()
+			rem -= post[z]
+		}
+		post[2] = rem
+		direct := PosteriorProber{G: g, Posterior: post}
+		counted := &countingProber{inner: direct, calls: make([]int64, g.NumEdges())}
+		cached := pc.Begin(counted)
+		for probe := 0; probe < 3*g.NumEdges(); probe++ {
+			e := graph.EdgeID(r.Intn(g.NumEdges()))
+			if got, want := cached.Prob(e), direct.Prob(e); got != want {
+				t.Fatalf("scope %d: cached Prob(%d) = %v, want %v", scope, e, got, want)
+			}
+		}
+		for e, n := range counted.calls {
+			if n > 1 {
+				t.Fatalf("scope %d: edge %d evaluated %d times, want <= 1", scope, e, n)
+			}
+		}
+	}
+}
+
+// TestProbeCacheBeginIdempotent: wrapping an already-cached prober must
+// not stack a second layer.
+func TestProbeCacheBeginIdempotent(t *testing.T) {
+	pc := NewProbeCache(4)
+	inner := pc.Begin(PosteriorProber{})
+	other := NewProbeCache(4)
+	if got := other.Begin(inner); got != inner {
+		t.Fatal("Begin wrapped an existing ProbeCache")
+	}
+}

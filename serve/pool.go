@@ -52,6 +52,11 @@ type Pool struct {
 	admission chan struct{}
 	timeout   time.Duration
 
+	// indexBytes is the offline index footprint shared by every engine in
+	// the pool, captured at construction (clones share the prototype's
+	// index, so one number describes them all).
+	indexBytes int64
+
 	size      int
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -75,11 +80,12 @@ func NewPool(proto *pitex.Engine, size, queueDepth int, queueTimeout time.Durati
 		queueDepth = 0
 	}
 	p := &Pool{
-		engines:   make(chan *pitex.Engine, size),
-		admission: make(chan struct{}, size+queueDepth),
-		timeout:   queueTimeout,
-		size:      size,
-		closed:    make(chan struct{}),
+		engines:    make(chan *pitex.Engine, size),
+		admission:  make(chan struct{}, size+queueDepth),
+		timeout:    queueTimeout,
+		indexBytes: proto.IndexMemoryBytes(),
+		size:       size,
+		closed:     make(chan struct{}),
 	}
 	for i := 0; i < size; i++ {
 		p.engines <- proto.Clone()
@@ -89,6 +95,10 @@ func NewPool(proto *pitex.Engine, size, queueDepth int, queueTimeout time.Durati
 
 // Size returns the number of engine workers.
 func (p *Pool) Size() int { return p.size }
+
+// IndexBytes returns the estimated in-memory size of the offline index
+// shared by the pool's engines (0 for online strategies).
+func (p *Pool) IndexBytes() int64 { return p.indexBytes }
 
 // Do checks an engine out of the pool, runs fn with it, and checks it back
 // in. It fails fast with ErrOverloaded when the admission bound is hit,

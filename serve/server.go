@@ -301,22 +301,28 @@ func (s *Server) batchQuery(ctx context.Context, user, k int) (res pitex.Result,
 
 // Stats is the /statsz payload.
 type Stats struct {
-	Strategy      string                       `json:"strategy"`
-	Generation    uint64                       `json:"generation"`
-	UptimeSeconds float64                      `json:"uptime_seconds"`
-	Pool          PoolStats                    `json:"pool"`
-	Cache         CacheStats                   `json:"cache"`
-	Latency       map[string]HistogramSnapshot `json:"latency"`
+	Strategy      string  `json:"strategy"`
+	Generation    uint64  `json:"generation"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// IndexBytes is the current generation's offline-index footprint (the
+	// Table 3 metric, O(1) to read), so operators can watch index RSS
+	// across live updates. 0 for online strategies.
+	IndexBytes int64                        `json:"index_bytes"`
+	Pool       PoolStats                    `json:"pool"`
+	Cache      CacheStats                   `json:"cache"`
+	Latency    map[string]HistogramSnapshot `json:"latency"`
 }
 
-// Stats snapshots every layer's counters (the pool snapshot is the
-// current generation's).
+// Stats snapshots every layer's counters (the pool and index snapshots
+// are the current generation's).
 func (s *Server) Stats() Stats {
+	pool := s.pool.Load()
 	return Stats{
 		Strategy:      s.strategy,
 		Generation:    s.generation.Load(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
-		Pool:          s.pool.Load().Stats(),
+		IndexBytes:    pool.IndexBytes(),
+		Pool:          pool.Stats(),
 		Cache:         s.cache.Stats(),
 		Latency:       s.metrics.Snapshot(),
 	}

@@ -73,6 +73,10 @@ func TestServerSellingPointsAndCacheHit(t *testing.T) {
 	if _, ok := lat["selling-points/INDEXEST+"]; !ok {
 		t.Errorf("latency histogram missing, have %v", lat)
 	}
+	// An index strategy must report a positive offline-index footprint.
+	if ib := stats["index_bytes"].(float64); ib <= 0 {
+		t.Errorf("/statsz index_bytes = %v, want > 0", ib)
+	}
 }
 
 func TestServerTopMAndPrefix(t *testing.T) {

@@ -8,6 +8,7 @@ import (
 	"pitex/internal/enumerate"
 	"pitex/internal/graph"
 	"pitex/internal/rrindex"
+	"pitex/internal/sampling"
 )
 
 // UpdateBatch stages a batch of network mutations for Engine.ApplyUpdates:
@@ -156,6 +157,7 @@ func (en *Engine) ApplyUpdates(b *UpdateBatch) (*Engine, UpdateStats, error) {
 		opts:       en.opts,
 		generation: en.generation + 1,
 		posterior:  make([]float64, en.model.NumTopics()),
+		probe:      sampling.NewProbeCache(newG.NumEdges()),
 	}
 	stats.Generation = next.generation
 	stats.EdgesInserted = info.Inserted
