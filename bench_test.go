@@ -321,4 +321,27 @@ func BenchmarkQuerySingle(b *testing.B) {
 			}
 		})
 	}
+	// Sharded variants (S=4) for the index strategies, so BENCH_query.json
+	// tracks the scatter-gather layout's trajectory next to the monolithic
+	// one.
+	for _, s := range []pitex.Strategy{
+		pitex.StrategyIndex, pitex.StrategyIndexPruned, pitex.StrategyDelay,
+	} {
+		b.Run(s.String()+"-S4", func(b *testing.B) {
+			en, err := pitex.NewEngine(net, model, pitex.Options{
+				Strategy: s, Epsilon: 0.7, Delta: 1000, MaxK: 5, Seed: 1,
+				MaxSamples: 500, MaxIndexSamples: 20000, CheapBounds: true,
+				IndexShards: 4,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := en.Query(u, 3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

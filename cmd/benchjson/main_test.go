@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: pitex
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkQuerySingle/LAZY-4         	       1	18267846 ns/op	   30051 B/op	     333 allocs/op
+BenchmarkQuerySingle/INDEXEST-4     	       1	11877107 ns/op	   30578 B/op	     324 allocs/op
+BenchmarkQuerySingle/INDEXEST-S4-4  	       1	 9877107 ns/op	   31000 B/op	     350 allocs/op
+BenchmarkQuerySingle/DELAYMAT-S4    	       1	 9999999 ns/op	   32000 B/op	     360 allocs/op
+BenchmarkAblationLazyVsBernoulli/lazy-geometric-4 	       1	  501234 ns/op	        4096 edgevisits/op
+BenchmarkServe/cached-4             	12345678	     103.1 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	pitex	12.345s
+`
+
+func TestParseBench(t *testing.T) {
+	lines, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatalf("parseBench: %v", err)
+	}
+	if len(lines) != 6 {
+		t.Fatalf("parsed %d lines, want 6", len(lines))
+	}
+	if lines[0].Name != "BenchmarkQuerySingle/LAZY-4" || lines[0].NsPerOp != 18267846 {
+		t.Fatalf("first line parsed as %+v", lines[0])
+	}
+	if v, ok := lines[0].extra("allocs/op"); !ok || v != 333 {
+		t.Fatalf("allocs/op = %v (%v)", v, ok)
+	}
+	if v, ok := lines[4].extra("edgevisits/op"); !ok || v != 4096 {
+		t.Fatalf("custom metric lost: %v (%v)", v, ok)
+	}
+	if lines[5].Iterations != 12345678 || lines[5].NsPerOp != 103.1 {
+		t.Fatalf("fractional ns line parsed as %+v", lines[5])
+	}
+}
+
+func TestQueryEntriesStrategyNames(t *testing.T) {
+	lines, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatalf("parseBench: %v", err)
+	}
+	entries := queryEntries(lines)
+	if len(entries) != 4 {
+		t.Fatalf("query entries = %d, want 4", len(entries))
+	}
+	// The last row has no GOMAXPROCS suffix (go test omits it at
+	// GOMAXPROCS=1); the -S4 marker must survive either way.
+	want := []string{"LAZY", "INDEXEST", "INDEXEST-S4", "DELAYMAT-S4"}
+	for i, e := range entries {
+		if e.Strategy != want[i] {
+			t.Errorf("entry %d strategy = %q, want %q", i, e.Strategy, want[i])
+		}
+		if e.BytesPerOp == nil || e.AllocsPerOp == nil {
+			t.Errorf("entry %d lost benchmem metrics", i)
+		}
+	}
+}
+
+func TestRunWritesValidJSON(t *testing.T) {
+	dir := t.TempDir()
+	servePath := filepath.Join(dir, "serve.json")
+	queryPath := filepath.Join(dir, "query.json")
+	if err := run(strings.NewReader(sampleBench), servePath, queryPath); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var serveDoc []map[string]any
+	data, err := os.ReadFile(servePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &serveDoc); err != nil {
+		t.Fatalf("serve JSON invalid: %v\n%s", err, data)
+	}
+	if len(serveDoc) != 6 {
+		t.Fatalf("serve JSON has %d rows, want 6", len(serveDoc))
+	}
+	if serveDoc[0]["ns_per_op"].(float64) != 18267846 {
+		t.Fatalf("serve row 0: %v", serveDoc[0])
+	}
+	if serveDoc[4]["edgevisits/op"].(float64) != 4096 {
+		t.Fatalf("serve row 4 lost custom metric: %v", serveDoc[4])
+	}
+	var queryDoc []queryEntry
+	data, err = os.ReadFile(queryPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &queryDoc); err != nil {
+		t.Fatalf("query JSON invalid: %v", err)
+	}
+	if len(queryDoc) != 4 || queryDoc[2].Strategy != "INDEXEST-S4" || queryDoc[3].Strategy != "DELAYMAT-S4" {
+		t.Fatalf("query JSON rows: %+v", queryDoc)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	if err := run(strings.NewReader("no benchmarks here\n"), "", filepath.Join(t.TempDir(), "q.json")); err == nil {
+		t.Fatal("empty bench output accepted")
+	}
+	if err := run(strings.NewReader(sampleBench), "", ""); err == nil {
+		t.Fatal("no-output invocation accepted")
+	}
+}

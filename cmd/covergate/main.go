@@ -1,0 +1,68 @@
+// Command covergate fails CI when total test coverage drops below the
+// recorded baseline:
+//
+//	go test ./... -coverprofile=cover.out
+//	go tool cover -func=cover.out | covergate -min 63.0
+//
+// It reads `go tool cover -func` output on stdin, extracts the trailing
+// "total:" percentage, prints it, and exits nonzero when it is below
+// -min. Keeping the floor in the workflow file (not here) makes coverage
+// regressions a reviewed, intentional change.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// totalCoverage extracts the percentage from the "total:" line of
+// `go tool cover -func` output.
+func totalCoverage(r io.Reader) (float64, error) {
+	sc := bufio.NewScanner(r)
+	total := -1.0
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 3 || f[0] != "total:" {
+			continue
+		}
+		pct := strings.TrimSuffix(f[len(f)-1], "%")
+		v, err := strconv.ParseFloat(pct, 64)
+		if err != nil {
+			return 0, fmt.Errorf("unparseable total line %q", sc.Text())
+		}
+		total = v
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if total < 0 {
+		return 0, fmt.Errorf("no total: line found — is this `go tool cover -func` output?")
+	}
+	return total, nil
+}
+
+func run(r io.Reader, min float64) error {
+	total, err := totalCoverage(r)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("covergate: total coverage %.1f%% (floor %.1f%%)\n", total, min)
+	if total < min {
+		return fmt.Errorf("coverage %.1f%% fell below the %.1f%% baseline", total, min)
+	}
+	return nil
+}
+
+func main() {
+	min := flag.Float64("min", 0, "fail when total coverage (percent) is below this")
+	flag.Parse()
+	if err := run(os.Stdin, *min); err != nil {
+		fmt.Fprintln(os.Stderr, "covergate:", err)
+		os.Exit(1)
+	}
+}

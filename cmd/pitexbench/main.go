@@ -26,15 +26,16 @@ func main() {
 		names   = flag.String("datasets", "", "comma-separated dataset subset")
 		maxSamp = flag.Int64("max-samples", -1, "override per-estimation sample cap (0 = theoretical)")
 		maxIdx  = flag.Int64("max-index-samples", -1, "override offline sample cap (0 = theoretical)")
+		shards  = flag.Int("index-shards", 0, "hash-partition the offline index into this many shards (0/1 = monolithic)")
 	)
 	flag.Parse()
-	if err := run(*exp, *full, *scale, *queries, *seed, *names, *maxSamp, *maxIdx); err != nil {
+	if err := run(*exp, *full, *scale, *queries, *seed, *names, *maxSamp, *maxIdx, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "pitexbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, full bool, scale float64, queries int, seed uint64, names string, maxSamp, maxIdx int64) error {
+func run(exp string, full bool, scale float64, queries int, seed uint64, names string, maxSamp, maxIdx int64, shards int) error {
 	cfg := experiments.Quick()
 	if full {
 		cfg = experiments.Full()
@@ -56,6 +57,9 @@ func run(exp string, full bool, scale float64, queries int, seed uint64, names s
 	}
 	if maxIdx >= 0 {
 		cfg.MaxIndexSamples = maxIdx
+	}
+	if shards > 0 {
+		cfg.IndexShards = shards
 	}
 
 	ids := experiments.ExperimentIDs()

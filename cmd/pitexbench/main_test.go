@@ -3,25 +3,25 @@ package main
 import "testing"
 
 func TestRunSingleExperiment(t *testing.T) {
-	if err := run("table2", false, 0.02, 1, 1, "lastfm", 200, 2000); err != nil {
+	if err := run("table2", false, 0.02, 1, 1, "lastfm", 200, 2000, 0); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunMultipleExperiments(t *testing.T) {
-	if err := run("table2, table4", false, 0.02, 1, 1, "lastfm", 200, 2000); err != nil {
+	if err := run("table2, table4", false, 0.02, 1, 1, "lastfm", 200, 2000, 0); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("fig99", false, 0.02, 1, 1, "lastfm", 200, 2000); err == nil {
+	if err := run("fig99", false, 0.02, 1, 1, "lastfm", 200, 2000, 0); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestRunUnknownDataset(t *testing.T) {
-	if err := run("table2", false, 0.02, 1, 1, "bogus", 200, 2000); err == nil {
+	if err := run("table2", false, 0.02, 1, 1, "bogus", 200, 2000, 4); err == nil {
 		t.Fatal("unknown dataset accepted")
 	}
 }

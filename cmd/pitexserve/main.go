@@ -43,6 +43,7 @@ func main() {
 		delta    = flag.Float64("delta", 1000, "failure probability control (1/delta)")
 		maxSamp  = flag.Int64("max-samples", 5000, "per-estimation sample cap (0 = theoretical)")
 		maxIdx   = flag.Int64("max-index-samples", 200000, "offline sample cap (0 = theoretical)")
+		idxShard = flag.Int("index-shards", 0, "hash-partition the offline index into this many shards (0/1 = monolithic)")
 		cheap    = flag.Bool("cheap-bounds", true, "use one-BFS upper bounds in best-effort exploration")
 		maxK     = flag.Int("max-k", 10, "largest supported query size k")
 
@@ -60,7 +61,7 @@ func main() {
 		saveIndex: *saveIdx, trackUpdates: *track,
 		seed: *seed, scale: *scale, strategy: *strategy,
 		epsilon: *epsilon, delta: *delta, maxSamples: *maxSamp,
-		maxIndexSamples: *maxIdx, cheapBounds: *cheap, maxK: *maxK,
+		maxIndexSamples: *maxIdx, indexShards: *idxShard, cheapBounds: *cheap, maxK: *maxK,
 	}, pitex.ServeOptions{
 		PoolSize: *pool, QueueDepth: *queue,
 		QueueTimeout: *queueTO, QueryTimeout: *queryTO,
@@ -105,6 +106,7 @@ type buildConfig struct {
 	strategy                       string
 	epsilon, delta                 float64
 	maxSamples, maxIndexSamples    int64
+	indexShards                    int
 	cheapBounds                    bool
 	maxK                           int
 }
@@ -163,6 +165,7 @@ func setup(cfg buildConfig, sopts pitex.ServeOptions, logf func(string, ...any))
 		Seed:            cfg.seed,
 		MaxSamples:      cfg.maxSamples,
 		MaxIndexSamples: cfg.maxIndexSamples,
+		IndexShards:     cfg.indexShards,
 		CheapBounds:     cfg.cheapBounds,
 		TrackUpdates:    cfg.trackUpdates,
 	}

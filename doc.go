@@ -48,6 +48,40 @@
 // updates. Measured effects per PR are recorded in CHANGES.md and
 // BENCH_query.json.
 //
+// # Sharding
+//
+// Options.IndexShards splits an index strategy's offline structure into S
+// independent shards: users are hash-partitioned (stable in (user, S),
+// independent of |V|), each shard samples θ_s ∝ |V_s| RR-Graphs whose
+// targets lie in its partition, and every shard owns its own arena,
+// postings and DelayMat counters. Build and incremental repair
+// parallelize across shards under derived per-shard RNG streams, so
+// results are deterministic per (Seed, IndexShards, Workers); queries
+// scatter across shards (in parallel above a small work threshold, with a
+// per-shard p(e|W) cache so workers never contend) and gather the
+// per-shard coverage counts into Σ_s (hits_s/θ_s)·|V_s| — unbiased at
+// every S, and byte-identical to the monolithic estimate at S=1.
+//
+// When to raise IndexShards: when offline build or repair latency is the
+// bottleneck (each shard builds and repairs concurrently, and an update
+// batch repairs only the shards whose postings contain a touched head —
+// roughly 1/S of the index for a small batch), or when the single arena's
+// allocation and compaction granularity is too coarse. Per-query latency
+// is roughly flat in S on mid-sized graphs; sharding is a build/repair/
+// memory-granularity lever, not a per-query one. One caveat: DelayMat
+// counters span all of |V| per shard (any user can appear in any shard's
+// graphs), so that strategy's — already tiny — counter footprint grows
+// with S; sharding's memory benefits apply to the materialized index,
+// whose arenas genuinely partition.
+//
+// Serialization compatibility: S=1 engines write the same v2 (index) and
+// v1 (DelayMat) formats as before, readable by older binaries; S>1 writes
+// format v3, which round-trips the shard layout (older readers reject it
+// cleanly). v1/v2 files load as a single shard; a loaded index keeps its
+// file's shard count regardless of Options.IndexShards. Per-shard sizes
+// and repair counters are exported by serve's /statsz as index_shards and
+// programmatically via Engine.IndexShardStats.
+//
 // # Serving
 //
 // An Engine is not safe for concurrent use, but Clone returns a worker

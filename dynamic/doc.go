@@ -59,4 +59,16 @@
 //
 // Updater.Apply reports RepairedFraction per batch; a serving layer can
 // watch it and schedule an offline rebuild when it stays high.
+//
+// # Sharded indexes
+//
+// Engines built with pitex.Options.IndexShards > 1 repair per shard: the
+// batch is routed only to the shards whose postings contain a touched
+// head (the others share their arenas with the previous generation
+// unchanged), and the owning shards repair concurrently under
+// independent per-shard streams. For a small batch this shrinks both the
+// repair work and the copy-on-write churn to roughly 1/S of the index,
+// and Engine.IndexShardStats exposes cumulative per-shard repair counts
+// so skew (one hub-heavy shard absorbing every batch) is visible before
+// it degrades into rebuild-sized repairs.
 package dynamic

@@ -60,8 +60,11 @@ type Engine struct {
 	explorer *bestfirst.Explorer
 
 	// Shared offline structures (nil unless the strategy needs them).
-	index *rrindex.Index
-	delay *rrindex.DelayMat
+	// Both are sharded containers; the default Options.IndexShards of 0
+	// yields a single shard, which reproduces the monolithic structures
+	// byte-for-byte.
+	index *rrindex.ShardedIndex
+	delay *rrindex.ShardedDelayMat
 
 	// IndexBuildTime records the offline phase duration (Table 3).
 	IndexBuildTime time.Duration
@@ -113,9 +116,9 @@ func NewEngine(net *Network, model *TagModel, opts Options) (*Engine, error) {
 		start := time.Now()
 		var err error
 		if opts.Strategy == StrategyDelay {
-			en.delay, err = rrindex.BuildDelayMat(net.g, build)
+			en.delay, err = rrindex.BuildShardedDelayMat(net.g, build, opts.IndexShards)
 		} else {
-			en.index, err = rrindex.Build(net.g, build)
+			en.index, err = rrindex.BuildSharded(net.g, build, opts.IndexShards)
 		}
 		if err != nil {
 			return nil, err
@@ -163,11 +166,11 @@ func (en *Engine) newEstimator() bestfirst.Estimator {
 	case StrategyTIM:
 		return tim.New(en.net.g, 0)
 	case StrategyIndex:
-		return rrindex.NewEstimator(en.index)
+		return rrindex.NewShardedEstimator(en.index)
 	case StrategyIndexPruned:
-		return rrindex.NewPrunedEstimator(en.index)
+		return rrindex.NewShardedPrunedEstimator(en.index)
 	case StrategyDelay:
-		return rrindex.NewDelayEstimator(en.delay, r)
+		return rrindex.NewShardedDelayEstimator(en.delay, r)
 	default:
 		return sampling.NewLazy(en.net.g, so, r)
 	}
@@ -201,9 +204,9 @@ func (en *Engine) Clone() *Engine {
 func (en *Engine) SaveIndex(w io.Writer) error {
 	switch {
 	case en.index != nil:
-		return rrindex.WriteIndex(w, en.index)
+		return rrindex.WriteSharded(w, en.index)
 	case en.delay != nil:
-		return rrindex.WriteDelayMat(w, en.delay)
+		return rrindex.WriteShardedDelayMat(w, en.delay)
 	default:
 		return fmt.Errorf("pitex: strategy %v has no offline index to save", en.opts.Strategy)
 	}
@@ -240,9 +243,9 @@ func NewEngineWithIndex(net *Network, model *TagModel, opts Options, r io.Reader
 	start := time.Now()
 	var err error
 	if opts.Strategy == StrategyDelay {
-		en.delay, err = rrindex.ReadDelayMat(r, net.g)
+		en.delay, err = rrindex.ReadShardedDelayMat(r, net.g)
 	} else {
-		en.index, err = rrindex.ReadIndex(r, net.g)
+		en.index, err = rrindex.ReadSharded(r, net.g)
 	}
 	if err != nil {
 		return nil, err
@@ -265,6 +268,45 @@ func (en *Engine) IndexMemoryBytes() int64 {
 	default:
 		return 0
 	}
+}
+
+// IndexShardStat describes one shard of the offline index: its user
+// partition size, sample count, footprint, and the cumulative number of
+// RR-Graphs incremental repairs have re-sampled in it across update
+// generations. Exported by serve's /statsz as index_shards.
+type IndexShardStat struct {
+	Shard          int   `json:"shard"`
+	Users          int   `json:"users"`
+	Theta          int64 `json:"theta"`
+	Graphs         int   `json:"graphs"`
+	IndexBytes     int64 `json:"index_bytes"`
+	GraphsRepaired int64 `json:"graphs_repaired"`
+}
+
+// IndexShardStats snapshots the offline index's per-shard layout, or nil
+// for online strategies. Single-shard (monolithic) engines report one row.
+func (en *Engine) IndexShardStats() []IndexShardStat {
+	var stats []rrindex.ShardStat
+	switch {
+	case en.index != nil:
+		stats = en.index.ShardStats()
+	case en.delay != nil:
+		stats = en.delay.ShardStats()
+	default:
+		return nil
+	}
+	out := make([]IndexShardStat, len(stats))
+	for i, s := range stats {
+		out[i] = IndexShardStat{
+			Shard:          s.Shard,
+			Users:          s.Users,
+			Theta:          s.Theta,
+			Graphs:         s.Graphs,
+			IndexBytes:     s.Bytes,
+			GraphsRepaired: s.Repaired,
+		}
+	}
+	return out
 }
 
 // Strategy returns the estimation strategy the engine was built with.

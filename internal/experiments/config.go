@@ -40,6 +40,11 @@ type Config struct {
 	MaxIndexSamples int64
 	// CheapBounds selects one-BFS upper bounds in best-effort exploration.
 	CheapBounds bool
+	// IndexShards hash-partitions the offline index of the index
+	// strategies into this many shards (0/1 = monolithic), so experiment
+	// runs can compare the scatter-gather layout against the single-arena
+	// one.
+	IndexShards int
 }
 
 // Quick returns a CI-sized configuration: datasets scaled to ~5%, few
@@ -115,6 +120,7 @@ func (c Config) engineOptions(s pitex.Strategy) pitex.Options {
 		Seed:            c.Seed,
 		MaxSamples:      c.MaxSamples,
 		MaxIndexSamples: c.MaxIndexSamples,
+		IndexShards:     c.IndexShards,
 		CheapBounds:     c.CheapBounds,
 	}
 }

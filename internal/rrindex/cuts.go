@@ -210,10 +210,13 @@ func (pe *PrunedEstimator) GraphsChecked() int64 { return pe.graphsChecked }
 // cut filter.
 func (pe *PrunedEstimator) GraphsPruned() int64 { return pe.graphsPruned }
 
-// EstimateProber estimates E[I(u|W)] with filter-and-verify. The prober
-// is wrapped in a query-scoped ProbeCache shared between the filter scan
-// and verification, so each distinct edge is probed once per call.
-func (pe *PrunedEstimator) EstimateProber(u graph.VertexID, prober sampling.EdgeProber) sampling.Result {
+// hitsProber runs filter-and-verify and returns the raw hit count along
+// with how many graphs were looked at (verified plus unconditional direct
+// hits) and how many contain u at all — the scatter side of an
+// estimation. The prober is wrapped in a query-scoped ProbeCache shared
+// between the filter scan and verification, so each distinct edge is
+// probed once per call.
+func (pe *PrunedEstimator) hitsProber(u graph.VertexID, prober sampling.EdgeProber) (hits, samples int64, contained int) {
 	idx := pe.idx
 	prober = pe.probe.Begin(prober)
 	uc, ok := pe.cuts[u]
@@ -245,8 +248,7 @@ func (pe *PrunedEstimator) EstimateProber(u graph.VertexID, prober sampling.Edge
 		}
 	}
 
-	var hits int64
-	hits += int64(len(uc.direct)) // target == u: unconditional hits
+	hits = int64(len(uc.direct)) // target == u: unconditional hits
 	for _, pos := range pe.cands {
 		rr := &idx.graphs[containing[pos]]
 		pe.stamp++
@@ -257,16 +259,22 @@ func (pe *PrunedEstimator) EstimateProber(u graph.VertexID, prober sampling.Edge
 		}
 	}
 	pe.graphsPruned += int64(len(containing)-len(uc.direct)) - int64(len(pe.cands))
+	return hits, int64(len(pe.cands) + len(uc.direct)), len(containing)
+}
 
+// EstimateProber estimates E[I(u|W)] with filter-and-verify.
+func (pe *PrunedEstimator) EstimateProber(u graph.VertexID, prober sampling.EdgeProber) sampling.Result {
+	idx := pe.idx
+	hits, samples, contained := pe.hitsProber(u, prober)
 	inf := float64(hits) / float64(idx.theta) * float64(idx.g.NumVertices())
 	if inf < 1 {
 		inf = 1
 	}
 	return sampling.Result{
 		Influence: inf,
-		Samples:   int64(len(pe.cands) + len(uc.direct)),
+		Samples:   samples,
 		Theta:     idx.theta,
-		Reachable: len(containing),
+		Reachable: contained,
 	}
 }
 

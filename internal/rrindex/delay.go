@@ -84,7 +84,13 @@ func BuildDelayMat(g *graph.Graph, opts BuildOptions) (*DelayMat, error) {
 	if err := opts.Accuracy.Validate(); err != nil {
 		return nil, fmt.Errorf("rrindex: %w", err)
 	}
-	theta := opts.Theta(g.NumVertices())
+	return buildDelayMatPool(g, opts, nil, opts.Theta(g.NumVertices()))
+}
+
+// buildDelayMatPool is BuildDelayMat with an explicit target pool and θ —
+// the shared core of the monolithic build and of per-shard builds (pool =
+// the shard's user partition, θ its apportioned sample count).
+func buildDelayMatPool(g *graph.Graph, opts BuildOptions, pool []graph.VertexID, theta int64) (*DelayMat, error) {
 	r := rng.New(opts.Seed)
 	dm := &DelayMat{g: g, theta: theta, counts: make([]int64, g.NumVertices())}
 	if opts.TrackMembers {
@@ -94,7 +100,7 @@ func BuildDelayMat(g *graph.Graph, opts BuildOptions) (*DelayMat, error) {
 	mark := make([]bool, g.NumVertices())
 	var sc memberScratch
 	for i := int64(0); i < theta; i++ {
-		target := graph.VertexID(r.Intn(g.NumVertices()))
+		target := drawTarget(r, pool, g.NumVertices())
 		members := sampleMemberSet(g, target, r, mark, &sc)
 		for _, m := range members {
 			dm.counts[m]++
@@ -142,6 +148,15 @@ type DelayEstimator struct {
 	rng   *rng.Source
 	probe *sampling.ProbeCache
 
+	// Shard scope: when numShards > 1 the estimator recovers RR-Graphs for
+	// one hash partition — cascades are accepted with |V'∩V_s|/|V_s| and
+	// targets drawn from V'∩V_s, matching the offline per-shard target
+	// distribution. numShards <= 1 is the monolithic paper behavior.
+	shardID   int
+	numShards int
+	poolSize  int
+	inShard   []graph.VertexID
+
 	cachedUser   graph.VertexID
 	cachedValid  bool
 	cachedGraphs []RRGraph
@@ -166,22 +181,30 @@ type liveEdge struct {
 
 // NewDelayEstimator creates a query evaluator over dm.
 func NewDelayEstimator(dm *DelayMat, r *rng.Source) *DelayEstimator {
+	return newDelayEstimatorShard(dm, r, 0, 1, dm.g.NumVertices())
+}
+
+// newDelayEstimatorShard creates an evaluator recovering RR-Graphs for
+// one shard of a hash partition (numShards <= 1 means the whole graph).
+func newDelayEstimatorShard(dm *DelayMat, r *rng.Source, shardID, numShards, poolSize int) *DelayEstimator {
 	return &DelayEstimator{
-		dm:    dm,
-		rng:   r,
-		probe: sampling.NewProbeCache(dm.g.NumEdges()),
-		sc:    newGenScratch(dm.g.NumVertices()),
+		dm:        dm,
+		rng:       r,
+		shardID:   shardID,
+		numShards: numShards,
+		poolSize:  poolSize,
+		probe:     sampling.NewProbeCache(dm.g.NumEdges()),
+		sc:        newGenScratch(dm.g.NumVertices()),
 	}
 }
 
-// EstimateProber estimates E[I(u|W)] over recovered RR-Graphs.
-func (de *DelayEstimator) EstimateProber(u graph.VertexID, prober sampling.EdgeProber) sampling.Result {
-	dm := de.dm
+// hitsProber recovers (or reuses) θ(u) RR-Graphs for u and counts how
+// many u reaches under prober — the raw scatter side of an estimation.
+func (de *DelayEstimator) hitsProber(u graph.VertexID, prober sampling.EdgeProber) (hits int64, recovered int) {
 	prober = de.probe.Begin(prober)
 	if !de.cachedValid || de.cachedUser != u {
 		de.recover(u)
 	}
-	var hits int64
 	maxSize := 0
 	for i := range de.cachedGraphs {
 		if n := de.cachedGraphs[i].NumVertices(); n > maxSize {
@@ -199,15 +222,22 @@ func (de *DelayEstimator) EstimateProber(u graph.VertexID, prober sampling.EdgeP
 			hits++
 		}
 	}
+	return hits, len(de.cachedGraphs)
+}
+
+// EstimateProber estimates E[I(u|W)] over recovered RR-Graphs.
+func (de *DelayEstimator) EstimateProber(u graph.VertexID, prober sampling.EdgeProber) sampling.Result {
+	dm := de.dm
+	hits, recovered := de.hitsProber(u, prober)
 	inf := float64(hits) / float64(dm.theta) * float64(dm.g.NumVertices())
 	if inf < 1 {
 		inf = 1
 	}
 	return sampling.Result{
 		Influence: inf,
-		Samples:   int64(len(de.cachedGraphs)),
+		Samples:   int64(recovered),
 		Theta:     dm.theta,
-		Reachable: len(de.cachedGraphs),
+		Reachable: recovered,
 	}
 }
 
@@ -286,12 +316,25 @@ func (de *DelayEstimator) recoverOne(u graph.VertexID) bool {
 	}
 	de.live, de.activated = live, activated
 
-	// Step 2: accept the cascade with probability |V'|/|V| (size-biased
-	// world selection), then draw the target uniformly from V'.
-	if !r.Bernoulli(float64(len(activated)) / float64(g.NumVertices())) {
+	// Step 2: accept the cascade with probability |V'∩pool|/|pool|
+	// (size-biased world selection restricted to the estimator's shard;
+	// the monolithic pool is all of V), then draw the target uniformly
+	// from the in-pool activated set. A cascade activating nobody in the
+	// shard is rejected without consuming a draw (Bernoulli(0)).
+	cands := activated
+	if de.numShards > 1 {
+		de.inShard = de.inShard[:0]
+		for _, v := range activated {
+			if ShardOf(v, de.numShards) == de.shardID {
+				de.inShard = append(de.inShard, v)
+			}
+		}
+		cands = de.inShard
+	}
+	if !r.Bernoulli(float64(len(cands)) / float64(de.poolSize)) {
 		return false
 	}
-	target := activated[r.Intn(len(activated))]
+	target := cands[r.Intn(len(cands))]
 
 	// Step 3: restrict to the part of G' that reaches target, then draw
 	// fresh c(e) ~ U[0, p(e)) per surviving edge (Theorem 3's conditional

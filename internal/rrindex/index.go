@@ -105,7 +105,24 @@ func Build(g *graph.Graph, opts BuildOptions) (*Index, error) {
 	if err := opts.Accuracy.Validate(); err != nil {
 		return nil, fmt.Errorf("rrindex: %w", err)
 	}
-	theta := opts.Theta(g.NumVertices())
+	return buildWithPool(g, opts, nil, opts.Theta(g.NumVertices()))
+}
+
+// drawTarget draws a uniform target from pool; a nil pool means all
+// vertices of g, drawn without the slice indirection so the monolithic
+// path consumes the RNG exactly as the seed layout did.
+func drawTarget(r *rng.Source, pool []graph.VertexID, numVertices int) graph.VertexID {
+	if pool == nil {
+		return graph.VertexID(r.Intn(numVertices))
+	}
+	return pool[r.Intn(len(pool))]
+}
+
+// buildWithPool constructs an index of exactly theta RR-Graphs whose
+// targets are drawn uniformly from pool (nil = every vertex of g). It is
+// the shared core of the monolithic Build and of per-shard builds, which
+// pass the shard's user partition and apportioned θ.
+func buildWithPool(g *graph.Graph, opts BuildOptions, pool []graph.VertexID, theta int64) (*Index, error) {
 	idx := &Index{g: g, theta: theta}
 
 	workers := opts.Workers
@@ -120,8 +137,7 @@ func Build(g *graph.Graph, opts BuildOptions) (*Index, error) {
 		sc := newGenScratch(g.NumVertices())
 		ab := &arenaBuilder{}
 		for i := int64(0); i < theta; i++ {
-			target := graph.VertexID(r.Intn(g.NumVertices()))
-			generate(g, target, r, sc, ab)
+			generate(g, drawTarget(r, pool, g.NumVertices()), r, sc, ab)
 		}
 		idx.graphs = mergeArenas(ab)
 	} else {
@@ -141,8 +157,7 @@ func Build(g *graph.Graph, opts BuildOptions) (*Index, error) {
 				sc := newGenScratch(g.NumVertices())
 				ab := &arenaBuilder{}
 				for i := int64(0); i < n; i++ {
-					target := graph.VertexID(r.Intn(g.NumVertices()))
-					generate(g, target, r, sc, ab)
+					generate(g, drawTarget(r, pool, g.NumVertices()), r, sc, ab)
 				}
 				builders[w] = ab
 			}(w, hi-lo)
@@ -237,14 +252,15 @@ func NewEstimator(idx *Index) *Estimator {
 // GraphsChecked returns the cumulative number of RR-Graphs verified.
 func (est *Estimator) GraphsChecked() int64 { return est.graphsChecked }
 
-// EstimateProber estimates E[I(u|W)] as (hits/θ)·|V| over the RR-Graphs
-// containing u (graphs not containing u can never witness u's influence).
-// The prober is wrapped in a query-scoped ProbeCache so p(e|W) is
-// computed once per distinct edge, not once per (edge, RR-Graph) visit.
-func (est *Estimator) EstimateProber(u graph.VertexID, prober sampling.EdgeProber) sampling.Result {
+// hitsProber counts the RR-Graphs containing u that u actually reaches
+// under prober — the raw scatter side of an estimation, before the
+// (hits/θ)·|pop| normalization. The prober is wrapped in the estimator's
+// query-scoped ProbeCache so p(e|W) is computed once per distinct edge,
+// not once per (edge, RR-Graph) visit; sharded gathers therefore keep one
+// cache per shard worker with no contention.
+func (est *Estimator) hitsProber(u graph.VertexID, prober sampling.EdgeProber) (hits int64, contained int) {
 	idx := est.idx
 	prober = est.probe.Begin(prober)
-	var hits int64
 	for _, gi := range idx.containing[u] {
 		rr := &idx.graphs[gi]
 		est.stamp++
@@ -254,15 +270,23 @@ func (est *Estimator) EstimateProber(u graph.VertexID, prober sampling.EdgeProbe
 			hits++
 		}
 	}
+	return hits, len(idx.containing[u])
+}
+
+// EstimateProber estimates E[I(u|W)] as (hits/θ)·|V| over the RR-Graphs
+// containing u (graphs not containing u can never witness u's influence).
+func (est *Estimator) EstimateProber(u graph.VertexID, prober sampling.EdgeProber) sampling.Result {
+	idx := est.idx
+	hits, contained := est.hitsProber(u, prober)
 	inf := float64(hits) / float64(idx.theta) * float64(idx.g.NumVertices())
 	if inf < 1 {
 		inf = 1 // the query user is always active
 	}
 	return sampling.Result{
 		Influence: inf,
-		Samples:   int64(len(idx.containing[u])),
+		Samples:   int64(contained),
 		Theta:     idx.theta,
-		Reachable: len(idx.containing[u]),
+		Reachable: contained,
 	}
 }
 

@@ -66,6 +66,40 @@ type RepairStats struct {
 // sampled, the work a full rebuild would have spent θ times.
 func (s RepairStats) Repaired() int { return s.Invalidated + s.Retargeted + s.Appended }
 
+// repairSpec carries the pool-aware parameters of one repair: the
+// monolithic Repair passes nil pools (the whole vertex range) while a
+// sharded repair passes the shard's new user partition, the partition
+// members added by this batch, and the shard's apportioned θ target.
+type repairSpec struct {
+	addedVertices int // global vertex growth (layout validation)
+	// pool is the new target pool (nil = every vertex of the new graph).
+	pool []graph.VertexID
+	// addedPool lists pool members added by this batch; nil means the
+	// identity tail [oldV, newV) of a monolithic repair.
+	addedPool []graph.VertexID
+	// thetaNew is the target θ after growth; values at or below the
+	// current θ leave it unchanged (θ never shrinks).
+	thetaNew int64
+}
+
+// poolCounts returns the retarget numerator (pool members added) and
+// denominator (new pool size) of the spec.
+func (rs repairSpec) poolCounts(newV int) (added, size int) {
+	if rs.pool == nil {
+		return rs.addedVertices, newV
+	}
+	return len(rs.addedPool), len(rs.pool)
+}
+
+// drawAdded draws a uniform retarget target among the pool members added
+// by this batch.
+func (rs repairSpec) drawAdded(r *rng.Source, oldV int) graph.VertexID {
+	if rs.addedPool == nil {
+		return graph.VertexID(oldV + r.Intn(rs.addedVertices))
+	}
+	return rs.addedPool[r.Intn(len(rs.addedPool))]
+}
+
 // Repair returns a new Index over the updated graph g, re-sampling only
 // the RR-Graphs invalidated by the mutation batch. g must be the result of
 // graph.ApplyDelta on the index's graph (edge IDs stable, addedVertices
@@ -78,15 +112,21 @@ func (s RepairStats) Repaired() int { return s.Invalidated + s.Retargeted + s.Ap
 // (immutable) arena, so concurrent readers of the old index are
 // unaffected — this is what makes zero-downtime hot-swap possible.
 func (idx *Index) Repair(g *graph.Graph, opts BuildOptions, touched []graph.VertexID, addedVertices int) (*Index, RepairStats, error) {
-	var stats RepairStats
 	if err := opts.Accuracy.Validate(); err != nil {
-		return nil, stats, fmt.Errorf("rrindex: %w", err)
+		return nil, RepairStats{}, fmt.Errorf("rrindex: %w", err)
 	}
+	spec := repairSpec{addedVertices: addedVertices, thetaNew: opts.Theta(g.NumVertices())}
+	return idx.repair(g, opts, touched, spec)
+}
+
+// repair is the pool-aware core of Repair; see repairSpec.
+func (idx *Index) repair(g *graph.Graph, opts BuildOptions, touched []graph.VertexID, spec repairSpec) (*Index, RepairStats, error) {
+	var stats RepairStats
 	oldV := idx.g.NumVertices()
 	newV := g.NumVertices()
-	if newV != oldV+addedVertices {
+	if newV != oldV+spec.addedVertices {
 		return nil, stats, fmt.Errorf("rrindex: graph has %d vertices, want %d + %d added",
-			newV, oldV, addedVertices)
+			newV, oldV, spec.addedVertices)
 	}
 
 	invalid := make([]bool, len(idx.graphs))
@@ -106,9 +146,10 @@ func (idx *Index) Repair(g *graph.Graph, opts BuildOptions, touched []graph.Vert
 		graphs:  append([]RRGraph(nil), idx.graphs...),
 		maxSize: idx.maxSize,
 	}
+	addedToPool, poolSize := spec.poolCounts(newV)
 	retargetP := 0.0
-	if addedVertices > 0 {
-		retargetP = float64(addedVertices) / float64(newV)
+	if addedToPool > 0 {
+		retargetP = float64(addedToPool) / float64(poolSize)
 	}
 	// dirty marks vertices whose postings list must change: old or new
 	// members of any re-sampled graph, and members of appended ones.
@@ -125,7 +166,7 @@ func (idx *Index) Repair(g *graph.Graph, opts BuildOptions, touched []graph.Vert
 		target := rr.target
 		resample := invalid[gi]
 		if retargetP > 0 && r.Bernoulli(retargetP) {
-			target = graph.VertexID(oldV + r.Intn(addedVertices))
+			target = spec.drawAdded(r, oldV)
 			stats.Retargeted++
 			resample = true
 		} else if resample {
@@ -145,13 +186,12 @@ func (idx *Index) Repair(g *graph.Graph, opts BuildOptions, touched []graph.Vert
 	// θ grows with |V| (Eq. 7). It never shrinks: a cap change cannot
 	// retroactively unsample graphs without biasing the estimator.
 	next.theta = idx.theta
-	if grown := opts.Theta(newV); grown > next.theta {
-		for i := next.theta; i < grown; i++ {
-			target := graph.VertexID(r.Intn(newV))
-			generate(g, target, r, sc, ab)
+	if spec.thetaNew > next.theta {
+		for i := next.theta; i < spec.thetaNew; i++ {
+			generate(g, drawTarget(r, spec.pool, newV), r, sc, ab)
 			stats.Appended++
 		}
-		next.theta = grown
+		next.theta = spec.thetaNew
 	}
 
 	// Swap in the repair-arena views: re-sampled graphs at their old
@@ -217,7 +257,7 @@ func (idx *Index) Repair(g *graph.Graph, opts BuildOptions, touched []graph.Vert
 			}
 		}
 		// Reserve the addition slots; filled in graph order below.
-		next.containing[v] = flat[start:len(flat):len(flat)+int(addCount[v])]
+		next.containing[v] = flat[start : len(flat) : len(flat)+int(addCount[v])]
 		flat = flat[:len(flat)+int(addCount[v])]
 	}
 	appendAdds := func(gi int) {
@@ -259,18 +299,24 @@ func (dm *DelayMat) CanRepair() bool { return dm.members != nil }
 // like Index.Repair. Requires TrackMembers bookkeeping; ErrNotRepairable
 // otherwise. The receiver is not modified.
 func (dm *DelayMat) Repair(g *graph.Graph, opts BuildOptions, touched []graph.VertexID, addedVertices int) (*DelayMat, RepairStats, error) {
+	if err := opts.Accuracy.Validate(); err != nil {
+		return nil, RepairStats{}, fmt.Errorf("rrindex: %w", err)
+	}
+	spec := repairSpec{addedVertices: addedVertices, thetaNew: opts.Theta(g.NumVertices())}
+	return dm.repair(g, opts, touched, spec)
+}
+
+// repair is the pool-aware core of DelayMat.Repair; see repairSpec.
+func (dm *DelayMat) repair(g *graph.Graph, opts BuildOptions, touched []graph.VertexID, spec repairSpec) (*DelayMat, RepairStats, error) {
 	var stats RepairStats
 	if !dm.CanRepair() {
 		return nil, stats, ErrNotRepairable
 	}
-	if err := opts.Accuracy.Validate(); err != nil {
-		return nil, stats, fmt.Errorf("rrindex: %w", err)
-	}
 	oldV := dm.g.NumVertices()
 	newV := g.NumVertices()
-	if newV != oldV+addedVertices {
+	if newV != oldV+spec.addedVertices {
 		return nil, stats, fmt.Errorf("rrindex: graph has %d vertices, want %d + %d added",
-			newV, oldV, addedVertices)
+			newV, oldV, spec.addedVertices)
 	}
 
 	touchedSet := make([]bool, oldV)
@@ -292,9 +338,10 @@ func (dm *DelayMat) Repair(g *graph.Graph, opts BuildOptions, touched []graph.Ve
 	r := rng.New(opts.Seed)
 	mark := make([]bool, newV)
 	var scratch memberScratch
+	addedToPool, poolSize := spec.poolCounts(newV)
 	retargetP := 0.0
-	if addedVertices > 0 {
-		retargetP = float64(addedVertices) / float64(newV)
+	if addedToPool > 0 {
+		retargetP = float64(addedToPool) / float64(poolSize)
 	}
 	for i := range next.members {
 		target := next.targets[i]
@@ -306,7 +353,7 @@ func (dm *DelayMat) Repair(g *graph.Graph, opts BuildOptions, touched []graph.Ve
 			}
 		}
 		if retargetP > 0 && r.Bernoulli(retargetP) {
-			target = graph.VertexID(oldV + r.Intn(addedVertices))
+			target = spec.drawAdded(r, oldV)
 			stats.Retargeted++
 			resample = true
 		} else if resample {
@@ -326,9 +373,9 @@ func (dm *DelayMat) Repair(g *graph.Graph, opts BuildOptions, touched []graph.Ve
 		next.targets[i] = target
 	}
 
-	if grown := opts.Theta(newV); grown > next.theta {
-		for i := next.theta; i < grown; i++ {
-			target := graph.VertexID(r.Intn(newV))
+	if spec.thetaNew > next.theta {
+		for i := next.theta; i < spec.thetaNew; i++ {
+			target := drawTarget(r, spec.pool, newV)
 			members := append([]graph.VertexID(nil), sampleMemberSet(g, target, r, mark, &scratch)...)
 			for _, v := range members {
 				next.counts[v]++
@@ -337,7 +384,7 @@ func (dm *DelayMat) Repair(g *graph.Graph, opts BuildOptions, touched []graph.Ve
 			next.targets = append(next.targets, target)
 			stats.Appended++
 		}
-		next.theta = grown
+		next.theta = spec.thetaNew
 	}
 	stats.Total = len(next.members)
 	next.recomputeFootprint()

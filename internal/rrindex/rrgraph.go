@@ -18,6 +18,17 @@
 // (immutable) arena while re-sampled and appended graphs point into a
 // fresh per-repair arena, so concurrent readers of the old index are
 // never affected.
+//
+// # Sharded mode
+//
+// ShardedIndex / ShardedDelayMat (see shard.go) hash-partition the users
+// into S independent shards, each an ordinary Index/DelayMat whose
+// targets are drawn from its partition with θ_s ∝ |V_s| samples. Shards
+// build and repair concurrently under derived RNG streams, estimators
+// scatter-gather per-shard hit counts into Σ_s (hits_s/θ_s)·|V_s|, and a
+// repair touches only the shards whose postings contain a touched head.
+// S=1 reproduces the monolithic structures bit-for-bit; serialization
+// format v3 round-trips shard boundaries (v1/v2 load as one shard).
 package rrindex
 
 import (
@@ -137,7 +148,7 @@ func (ab *arenaBuilder) reset() {
 // grown returns s extended by n elements; callers overwrite every added
 // element.
 func grown[T any](s []T, n int) []T {
-	return slices.Grow(s, n)[: len(s)+n]
+	return slices.Grow(s, n)[:len(s)+n]
 }
 
 // add assembles the graph staged in sc (members + surviving edges) into

@@ -37,9 +37,11 @@ var indexMagic = [8]byte{'P', 'I', 'T', 'E', 'X', 'I', 'D', 'X'}
 const (
 	indexVersionV1  = 1
 	indexVersionV2  = 2
+	indexVersionV3  = 3
 	kindIndex       = 1
 	kindDelayMat    = 2
 	maxSaneVertices = 1 << 31
+	maxSaneShards   = 1 << 20
 )
 
 // leWriter writes little-endian scalars through one reusable buffer
@@ -80,42 +82,79 @@ func WriteIndex(w io.Writer, idx *Index) error {
 	lw.u32(kindIndex)
 	lw.u64(uint64(idx.g.NumVertices()))
 	lw.u64(uint64(idx.theta))
-	lw.u64(uint64(len(idx.graphs)))
-	for gi := range idx.graphs {
-		lw.u32(uint32(idx.graphs[gi].target))
+	writeGraphArrays(lw, idx.graphs)
+	if lw.err != nil {
+		return fmt.Errorf("rrindex: write: %w", lw.err)
 	}
-	for gi := range idx.graphs {
-		lw.u32(uint32(len(idx.graphs[gi].verts)))
+	return lw.w.Flush()
+}
+
+// writeGraphArrays writes one graph set in the whole-array layout shared
+// by format versions 2 (the file body) and 3 (one block per shard):
+// graph count, per-graph table, then each arena array in full.
+func writeGraphArrays(lw *leWriter, graphs []RRGraph) {
+	lw.u64(uint64(len(graphs)))
+	for gi := range graphs {
+		lw.u32(uint32(graphs[gi].target))
 	}
-	for gi := range idx.graphs {
-		lw.u32(uint32(len(idx.graphs[gi].edgeID)))
+	for gi := range graphs {
+		lw.u32(uint32(len(graphs[gi].verts)))
+	}
+	for gi := range graphs {
+		lw.u32(uint32(len(graphs[gi].edgeID)))
 	}
 	// After a Repair the views may span several arenas, so each array is
 	// written view by view; the file is contiguous either way.
-	for gi := range idx.graphs {
-		for _, v := range idx.graphs[gi].verts {
+	for gi := range graphs {
+		for _, v := range graphs[gi].verts {
 			lw.u32(uint32(v))
 		}
 	}
-	for gi := range idx.graphs {
-		for _, s := range idx.graphs[gi].outStart {
+	for gi := range graphs {
+		for _, s := range graphs[gi].outStart {
 			lw.u32(uint32(s))
 		}
 	}
-	for gi := range idx.graphs {
-		for _, t := range idx.graphs[gi].outTo {
+	for gi := range graphs {
+		for _, t := range graphs[gi].outTo {
 			lw.u32(uint32(t))
 		}
 	}
-	for gi := range idx.graphs {
-		for _, e := range idx.graphs[gi].edgeID {
+	for gi := range graphs {
+		for _, e := range graphs[gi].edgeID {
 			lw.u32(uint32(e))
 		}
 	}
-	for gi := range idx.graphs {
-		for _, c := range idx.graphs[gi].c {
+	for gi := range graphs {
+		for _, c := range graphs[gi].c {
 			lw.f64(c)
 		}
+	}
+}
+
+// WriteSharded serializes a sharded index. A single-shard index is
+// written in format version 2 — byte-identical to WriteIndex over its one
+// shard — so files produced at S=1 stay readable by pre-sharding readers.
+// S>1 produces format version 3: the common header (θ is the combined
+// count), the shard count, then per shard its θ and graph arrays in shard
+// order; the hash partition itself is derived from (|V|, S) on load, so
+// shard boundaries round-trip without storing user lists.
+func WriteSharded(w io.Writer, si *ShardedIndex) error {
+	if si.numShards == 1 {
+		return WriteIndex(w, si.shards[0])
+	}
+	lw := &leWriter{w: bufio.NewWriterSize(w, 1<<16)}
+	if _, err := lw.w.Write(indexMagic[:]); err != nil {
+		return fmt.Errorf("rrindex: write: %w", err)
+	}
+	lw.u32(indexVersionV3)
+	lw.u32(kindIndex)
+	lw.u64(uint64(si.g.NumVertices()))
+	lw.u64(uint64(si.theta))
+	lw.u32(uint32(si.numShards))
+	for _, sh := range si.shards {
+		lw.u64(uint64(sh.theta))
+		writeGraphArrays(lw, sh.graphs)
 	}
 	if lw.err != nil {
 		return fmt.Errorf("rrindex: write: %w", lw.err)
@@ -212,7 +251,7 @@ func readHeader(lr *leReader) (version, kind uint32, numVertices, theta uint64, 
 		return 0, 0, 0, 0, fmt.Errorf("rrindex: bad magic %q", magic[:])
 	}
 	version = lr.u32()
-	if lr.err == nil && version != indexVersionV1 && version != indexVersionV2 {
+	if lr.err == nil && (version < indexVersionV1 || version > indexVersionV3) {
 		return 0, 0, 0, 0, fmt.Errorf("rrindex: unsupported version %d", version)
 	}
 	kind = lr.u32()
@@ -243,8 +282,16 @@ func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
 	if int(nV) != g.NumVertices() {
 		return nil, fmt.Errorf("rrindex: index built over %d vertices, graph has %d", nV, g.NumVertices())
 	}
-	var nGraphs uint64
-	nGraphs = lr.u64()
+	if version == indexVersionV3 {
+		return nil, fmt.Errorf("rrindex: file is a sharded (v3) index; load it with ReadSharded")
+	}
+	return readMonolithicBody(lr, g, version, nV, theta)
+}
+
+// readMonolithicBody reads a v1/v2 graph-set body (count + graphs) into a
+// fresh Index with postings rebuilt.
+func readMonolithicBody(lr *leReader, g *graph.Graph, version uint32, nV, theta uint64) (*Index, error) {
+	nGraphs := lr.u64()
 	if lr.err != nil {
 		return nil, fmt.Errorf("rrindex: %w", lr.err)
 	}
@@ -263,6 +310,85 @@ func ReadIndex(r io.Reader, g *graph.Graph) (*Index, error) {
 	}
 	idx.finishPostings()
 	return idx, nil
+}
+
+// wrapMonolithic presents a monolithic index as a single-shard
+// ShardedIndex — how v1/v2 files load under the sharded surface.
+func wrapMonolithic(idx *Index) *ShardedIndex {
+	return &ShardedIndex{
+		g:         idx.g,
+		numShards: 1,
+		shards:    []*Index{idx},
+		pools:     [][]graph.VertexID{nil},
+		theta:     idx.theta,
+		repaired:  make([]int64, 1),
+	}
+}
+
+// ReadSharded loads an index written by WriteSharded (or WriteIndex): a
+// v1/v2 file loads as a single shard, a v3 file reconstructs the shard
+// layout, re-deriving each shard's user partition from (|V|, S) and
+// validating that every graph's target lies in its shard.
+func ReadSharded(r io.Reader, g *graph.Graph) (*ShardedIndex, error) {
+	lr := &leReader{r: bufio.NewReaderSize(r, 1<<16)}
+	version, kind, nV, theta, err := readHeader(lr)
+	if err != nil {
+		return nil, err
+	}
+	if kind != kindIndex {
+		return nil, fmt.Errorf("rrindex: file is not an RR-Graph index (kind %d)", kind)
+	}
+	if int(nV) != g.NumVertices() {
+		return nil, fmt.Errorf("rrindex: index built over %d vertices, graph has %d", nV, g.NumVertices())
+	}
+	if version != indexVersionV3 {
+		idx, err := readMonolithicBody(lr, g, version, nV, theta)
+		if err != nil {
+			return nil, err
+		}
+		return wrapMonolithic(idx), nil
+	}
+	S := lr.u32()
+	if lr.err != nil {
+		return nil, fmt.Errorf("rrindex: shard count: %w", lr.err)
+	}
+	if S < 2 || S > maxSaneShards {
+		return nil, fmt.Errorf("rrindex: implausible shard count %d", S)
+	}
+	si := &ShardedIndex{
+		g:         g,
+		numShards: int(S),
+		shards:    make([]*Index, S),
+		pools:     shardPools(g.NumVertices(), int(S)),
+		repaired:  make([]int64, S),
+	}
+	var total int64
+	for s := 0; s < int(S); s++ {
+		thetaS := lr.u64()
+		if lr.err != nil {
+			return nil, fmt.Errorf("rrindex: shard %d: %w", s, lr.err)
+		}
+		if thetaS > theta {
+			return nil, fmt.Errorf("rrindex: shard %d: θ_s=%d exceeds θ=%d", s, thetaS, theta)
+		}
+		sh, err := readMonolithicBody(lr, g, indexVersionV2, nV, thetaS)
+		if err != nil {
+			return nil, fmt.Errorf("rrindex: shard %d: %w", s, err)
+		}
+		for gi := range sh.graphs {
+			if ShardOf(sh.graphs[gi].target, int(S)) != s {
+				return nil, fmt.Errorf("rrindex: shard %d: graph %d target %d belongs to shard %d",
+					s, gi, sh.graphs[gi].target, ShardOf(sh.graphs[gi].target, int(S)))
+			}
+		}
+		si.shards[s] = sh
+		total += sh.theta
+	}
+	if total != int64(theta) {
+		return nil, fmt.Errorf("rrindex: shard θ sum %d does not match header θ=%d", total, theta)
+	}
+	si.theta = total
+	return si, nil
 }
 
 // readGraphsV2 loads the arena arrays in one contiguous pass per array.
@@ -454,24 +580,136 @@ func ReadDelayMat(r io.Reader, g *graph.Graph) (*DelayMat, error) {
 		return nil, fmt.Errorf("rrindex: file is not a DelayMat index (kind %d)", kind)
 	}
 	if version != indexVersionV1 {
-		// No v2 DelayMat layout exists; parsing one as v1 counters would
-		// silently misread a future format.
+		// No v2 DelayMat layout exists, and v3 is sharded; parsing either
+		// as v1 counters would silently misread the format.
 		return nil, fmt.Errorf("rrindex: unsupported DelayMat version %d", version)
 	}
 	if int(nV) != g.NumVertices() {
 		return nil, fmt.Errorf("rrindex: index built over %d vertices, graph has %d", nV, g.NumVertices())
 	}
-	dm := &DelayMat{g: g, theta: int64(theta), counts: make([]int64, nV)}
+	dm, err := readDelayCounts(lr, g, theta, int64(theta))
+	if err != nil {
+		return nil, err
+	}
+	return dm, nil
+}
+
+// readDelayCounts reads one per-vertex counter array (bounded by maxCount
+// per entry) into a fresh DelayMat with the given θ.
+func readDelayCounts(lr *leReader, g *graph.Graph, maxCount uint64, theta int64) (*DelayMat, error) {
+	dm := &DelayMat{g: g, theta: theta, counts: make([]int64, g.NumVertices())}
 	for i := range dm.counts {
 		c := lr.u64()
 		if lr.err != nil {
 			return nil, fmt.Errorf("rrindex: counts: %w", lr.err)
 		}
-		if c > theta {
-			return nil, fmt.Errorf("rrindex: θ(%d)=%d exceeds θ=%d", i, c, theta)
+		if c > maxCount {
+			return nil, fmt.Errorf("rrindex: θ(%d)=%d exceeds θ=%d", i, c, maxCount)
 		}
 		dm.counts[i] = int64(c)
 	}
 	dm.recomputeFootprint()
 	return dm, nil
+}
+
+// WriteShardedDelayMat serializes a sharded DelayMat. A single shard is
+// written in the version-1 counters format — byte-identical to
+// WriteDelayMat — so S=1 files stay readable everywhere; S>1 produces
+// format version 3: the common header, the shard count, then per shard
+// its θ and counter array. Repair bookkeeping (TrackMembers) is never
+// serialized, matching the monolithic format: a DelayMat loaded from disk
+// repairs via a full recount.
+func WriteShardedDelayMat(w io.Writer, sdm *ShardedDelayMat) error {
+	if sdm.numShards == 1 {
+		return WriteDelayMat(w, sdm.shards[0])
+	}
+	lw := &leWriter{w: bufio.NewWriterSize(w, 1<<16)}
+	if _, err := lw.w.Write(indexMagic[:]); err != nil {
+		return fmt.Errorf("rrindex: write: %w", err)
+	}
+	lw.u32(indexVersionV3)
+	lw.u32(kindDelayMat)
+	lw.u64(uint64(sdm.g.NumVertices()))
+	lw.u64(uint64(sdm.theta))
+	lw.u32(uint32(sdm.numShards))
+	for _, sh := range sdm.shards {
+		lw.u64(uint64(sh.theta))
+		for _, c := range sh.counts {
+			lw.u64(uint64(c))
+		}
+	}
+	if lw.err != nil {
+		return fmt.Errorf("rrindex: write: %w", lw.err)
+	}
+	return lw.w.Flush()
+}
+
+// ReadShardedDelayMat loads a DelayMat written by WriteShardedDelayMat
+// (or WriteDelayMat): v1 files load as a single shard, v3 files
+// reconstruct the shard layout.
+func ReadShardedDelayMat(r io.Reader, g *graph.Graph) (*ShardedDelayMat, error) {
+	lr := &leReader{r: bufio.NewReaderSize(r, 1<<16)}
+	version, kind, nV, theta, err := readHeader(lr)
+	if err != nil {
+		return nil, err
+	}
+	if kind != kindDelayMat {
+		return nil, fmt.Errorf("rrindex: file is not a DelayMat index (kind %d)", kind)
+	}
+	if int(nV) != g.NumVertices() {
+		return nil, fmt.Errorf("rrindex: index built over %d vertices, graph has %d", nV, g.NumVertices())
+	}
+	switch version {
+	case indexVersionV1:
+		dm, err := readDelayCounts(lr, g, theta, int64(theta))
+		if err != nil {
+			return nil, err
+		}
+		return &ShardedDelayMat{
+			g: g, numShards: 1,
+			shards:    []*DelayMat{dm},
+			poolSizes: []int{g.NumVertices()},
+			theta:     dm.theta,
+			repaired:  make([]int64, 1),
+		}, nil
+	case indexVersionV3:
+		S := lr.u32()
+		if lr.err != nil {
+			return nil, fmt.Errorf("rrindex: shard count: %w", lr.err)
+		}
+		if S < 2 || S > maxSaneShards {
+			return nil, fmt.Errorf("rrindex: implausible shard count %d", S)
+		}
+		pools := shardPools(g.NumVertices(), int(S))
+		sdm := &ShardedDelayMat{
+			g: g, numShards: int(S),
+			shards:    make([]*DelayMat, S),
+			poolSizes: make([]int, S),
+			repaired:  make([]int64, S),
+		}
+		var total int64
+		for s := 0; s < int(S); s++ {
+			sdm.poolSizes[s] = poolSizeOf(pools[s], g.NumVertices())
+			thetaS := lr.u64()
+			if lr.err != nil {
+				return nil, fmt.Errorf("rrindex: shard %d: %w", s, lr.err)
+			}
+			if thetaS > theta {
+				return nil, fmt.Errorf("rrindex: shard %d: θ_s=%d exceeds θ=%d", s, thetaS, theta)
+			}
+			sh, err := readDelayCounts(lr, g, thetaS, int64(thetaS))
+			if err != nil {
+				return nil, fmt.Errorf("rrindex: shard %d: %w", s, err)
+			}
+			sdm.shards[s] = sh
+			total += sh.theta
+		}
+		if total != int64(theta) {
+			return nil, fmt.Errorf("rrindex: shard θ sum %d does not match header θ=%d", total, theta)
+		}
+		sdm.theta = total
+		return sdm, nil
+	default:
+		return nil, fmt.Errorf("rrindex: unsupported DelayMat version %d", version)
+	}
 }

@@ -136,6 +136,16 @@ type Options struct {
 	// MaxIndexSamples caps the offline θ of Eq. 7 for index strategies;
 	// 0 keeps the theoretical value.
 	MaxIndexSamples int64
+	// IndexShards hash-partitions the users of an index strategy's offline
+	// structure into this many independent shards, built and repaired in
+	// parallel, with queries scattered across shards and gathered into the
+	// same unbiased estimate. 0 or 1 keeps the single monolithic index
+	// (whose estimates S=1 reproduces byte-for-byte). Raise it when
+	// offline build/repair latency or the single arena's size becomes the
+	// bottleneck; see the package documentation's Sharding section.
+	// Ignored by online strategies and when loading a saved index (the
+	// file's shard layout wins).
+	IndexShards int
 	// DisableBestEffort switches the query loop from best-effort
 	// exploration (Sec. 5.2) to plain enumeration of all C(|Ω|,k) sets.
 	DisableBestEffort bool
@@ -257,6 +267,9 @@ func (o Options) Validate() error {
 	}
 	if o.MaxSamples < 0 || o.MaxIndexSamples < 0 {
 		return fmt.Errorf("pitex: negative sample caps")
+	}
+	if o.IndexShards < 0 {
+		return fmt.Errorf("pitex: IndexShards = %d, want >= 0", o.IndexShards)
 	}
 	if o.Propagation != PropagationIC && o.Propagation != PropagationLT {
 		return fmt.Errorf("pitex: unknown propagation model %d", int(o.Propagation))

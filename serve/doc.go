@@ -65,6 +65,25 @@
 // /admin/update is unauthenticated; bind it to an internal listener or
 // gate it behind a reverse proxy.
 //
+// # Sharding
+//
+// Engines built with pitex.Options.IndexShards > 1 serve from a
+// hash-partitioned offline index: estimations scatter across shards and
+// gather into the same unbiased answer, update batches repair only the
+// shards owning touched heads (concurrently), and /statsz exposes the
+// layout as index_shards — one row per shard with its user count, θ,
+// graph count, index_bytes share and the cumulative graphs_repaired
+// across update generations. Watch the repair counters to spot skew: a
+// shard absorbing most repairs hosts the churn-heavy hubs, the signal to
+// schedule an offline rebuild (or raise IndexShards) before repair cost
+// approaches rebuild cost.
+//
+// The determinism contract is unchanged by sharding — answers are
+// deterministic per (seed, IndexShards), so caching stays exact. Saved
+// indexes round-trip their shard layout (format v3; S=1 still writes the
+// pre-sharding v1/v2 formats), and a loaded index keeps the file's shard
+// count. pitexserve's -index-shards flag sets the knob.
+//
 // # Choosing a strategy for serving
 //
 // The engine's Options.Strategy decides the latency profile:

@@ -54,8 +54,10 @@ type Pool struct {
 
 	// indexBytes is the offline index footprint shared by every engine in
 	// the pool, captured at construction (clones share the prototype's
-	// index, so one number describes them all).
+	// index, so one number describes them all). shardStats is the per-shard
+	// breakdown, nil for online strategies.
 	indexBytes int64
+	shardStats []pitex.IndexShardStat
 
 	size      int
 	closeOnce sync.Once
@@ -84,6 +86,7 @@ func NewPool(proto *pitex.Engine, size, queueDepth int, queueTimeout time.Durati
 		admission:  make(chan struct{}, size+queueDepth),
 		timeout:    queueTimeout,
 		indexBytes: proto.IndexMemoryBytes(),
+		shardStats: proto.IndexShardStats(),
 		size:       size,
 		closed:     make(chan struct{}),
 	}
@@ -99,6 +102,11 @@ func (p *Pool) Size() int { return p.size }
 // IndexBytes returns the estimated in-memory size of the offline index
 // shared by the pool's engines (0 for online strategies).
 func (p *Pool) IndexBytes() int64 { return p.indexBytes }
+
+// ShardStats returns the per-shard index breakdown captured at
+// construction (nil for online strategies; one row for monolithic
+// indexes).
+func (p *Pool) ShardStats() []pitex.IndexShardStat { return p.shardStats }
 
 // Do checks an engine out of the pool, runs fn with it, and checks it back
 // in. It fails fast with ErrOverloaded when the admission bound is hit,

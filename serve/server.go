@@ -307,10 +307,14 @@ type Stats struct {
 	// IndexBytes is the current generation's offline-index footprint (the
 	// Table 3 metric, O(1) to read), so operators can watch index RSS
 	// across live updates. 0 for online strategies.
-	IndexBytes int64                        `json:"index_bytes"`
-	Pool       PoolStats                    `json:"pool"`
-	Cache      CacheStats                   `json:"cache"`
-	Latency    map[string]HistogramSnapshot `json:"latency"`
+	IndexBytes int64 `json:"index_bytes"`
+	// IndexShards breaks the footprint down per shard (users, θ, graphs,
+	// bytes, cumulative graphs repaired across update generations).
+	// Omitted for online strategies; one row for a monolithic index.
+	IndexShards []pitex.IndexShardStat       `json:"index_shards,omitempty"`
+	Pool        PoolStats                    `json:"pool"`
+	Cache       CacheStats                   `json:"cache"`
+	Latency     map[string]HistogramSnapshot `json:"latency"`
 }
 
 // Stats snapshots every layer's counters (the pool and index snapshots
@@ -322,6 +326,7 @@ func (s *Server) Stats() Stats {
 		Generation:    s.generation.Load(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		IndexBytes:    pool.IndexBytes(),
+		IndexShards:   pool.ShardStats(),
 		Pool:          pool.Stats(),
 		Cache:         s.cache.Stats(),
 		Latency:       s.metrics.Snapshot(),

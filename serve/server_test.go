@@ -164,21 +164,21 @@ func TestServerBadParams(t *testing.T) {
 	defer ts.Close()
 
 	for _, url := range []string{
-		"/selling-points",                      // missing user
-		"/selling-points?user=zzz&k=2",         // bad user
-		"/selling-points?user=0&k=bogus",       // bad k
-		"/selling-points?user=999&k=2",         // out-of-range user
-		"/selling-points?user=0&k=99",          // k > MaxK
-		"/selling-points?user=0&k=2&m=0",       // bad m
-		"/selling-points?user=0&k=2&m=65",      // m beyond MaxTopM
+		"/selling-points",                         // missing user
+		"/selling-points?user=zzz&k=2",            // bad user
+		"/selling-points?user=0&k=bogus",          // bad k
+		"/selling-points?user=999&k=2",            // out-of-range user
+		"/selling-points?user=0&k=99",             // k > MaxK
+		"/selling-points?user=0&k=2&m=0",          // bad m
+		"/selling-points?user=0&k=2&m=65",         // m beyond MaxTopM
 		"/selling-points?user=0&k=2&m=2&prefix=1", // prefix+top-m
-		"/selling-points?users=1,zz&k=2",       // bad batch list
-		"/selling-points?users=0,1&k=2&m=2",    // batch+top-m
-		"/selling-points?users=0,1&k=2&prefix=1", // batch+prefix
-		"/audience?user=0&tags=",               // empty tags
-		"/audience?tags=1",                     // missing user
-		"/audience?user=0&tags=1&m=nope",       // bad m
-		"/audience?user=0&tags=1&m=1001",       // m beyond MaxAudienceUsers
+		"/selling-points?users=1,zz&k=2",          // bad batch list
+		"/selling-points?users=0,1&k=2&m=2",       // batch+top-m
+		"/selling-points?users=0,1&k=2&prefix=1",  // batch+prefix
+		"/audience?user=0&tags=",                  // empty tags
+		"/audience?tags=1",                        // missing user
+		"/audience?user=0&tags=1&m=nope",          // bad m
+		"/audience?user=0&tags=1&m=1001",          // m beyond MaxAudienceUsers
 	} {
 		getJSON(t, ts.URL+url, http.StatusBadRequest)
 	}

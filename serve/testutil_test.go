@@ -11,6 +11,12 @@ import (
 // tag IDs [2 3]. Construction is fast enough for every test.
 func fig2Engine(tb testing.TB, s pitex.Strategy) *pitex.Engine {
 	tb.Helper()
+	return fig2EngineSharded(tb, s, 0)
+}
+
+// fig2EngineSharded is fig2Engine with an explicit IndexShards setting.
+func fig2EngineSharded(tb testing.TB, s pitex.Strategy, shards int) *pitex.Engine {
+	tb.Helper()
 	nb := pitex.NewNetworkBuilder(7, 3)
 	nb.AddEdge(0, 1, pitex.TopicProb{Topic: 0, Prob: 0.4})
 	nb.AddEdge(0, 2, pitex.TopicProb{Topic: 1, Prob: 0.5}, pitex.TopicProb{Topic: 2, Prob: 0.5})
@@ -46,6 +52,7 @@ func fig2Engine(tb testing.TB, s pitex.Strategy) *pitex.Engine {
 		Seed:            11,
 		MaxSamples:      20000,
 		MaxIndexSamples: 20000,
+		IndexShards:     shards,
 	})
 	if err != nil {
 		tb.Fatalf("NewEngine: %v", err)

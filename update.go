@@ -182,10 +182,11 @@ func (en *Engine) ApplyUpdates(b *UpdateBatch) (*Engine, UpdateStats, error) {
 			next.delay, rs, err = en.delay.Repair(newG, build, info.TouchedHeads, info.AddedVertices)
 		default:
 			// No repair bookkeeping (e.g. the DelayMat was loaded from
-			// disk): fall back to a full offline recount, tracking members
-			// from now on when the engine opted into updates.
+			// disk): fall back to a full offline recount at the same shard
+			// count, tracking members from now on when the engine opted
+			// into updates.
 			stats.FullRebuild = true
-			next.delay, err = rrindex.BuildDelayMat(newG, build)
+			next.delay, err = rrindex.BuildShardedDelayMat(newG, build, en.delay.NumShards())
 			if next.delay != nil {
 				rs.Total = int(next.delay.Theta())
 			}
