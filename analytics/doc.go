@@ -1,0 +1,46 @@
+// Package analytics runs whole-population PITEX workloads: resumable,
+// checkpointed selling-points sweeps that answer one query per user (or
+// per cohort member) and reduce the answers into leaderboards — the top-N
+// users by E[I(u|W*)] and the tag-frequency histogram across optimal
+// selling points.
+//
+// The paper evaluates PITEX per single query; a production deployment
+// also needs the population view ("who are our most influential users",
+// "which tags dominate this cohort's selling points"). Those sweeps run
+// for minutes to hours on real graphs, so they must survive process
+// restarts and keep a consistent answer while the graph mutates under
+// them. This package provides both guarantees.
+//
+// # Execution model
+//
+// A sweep partitions its user list into fixed chunks (Options.ChunkSize).
+// Every chunk is processed on a fresh Engine.Clone, which makes a chunk's
+// result a pure function of (chunk users, engine seed): independent of
+// worker count, scheduling, and any kill/resume history. Workers pull
+// chunks concurrently; completed chunks are merged in chunk order. The
+// final Leaderboard is therefore deterministic per (Seed, Options), and
+// Leaderboard.WriteJSON renders it byte-identically.
+//
+// # Checkpointing and resumption
+//
+// With Options.CheckpointPath set, completed chunks are persisted as
+// versioned JSON (atomic temp-file + rename) every CheckpointEvery
+// chunks and flushed on cancellation. A later Run with Options.Resume
+// loads the file, verifies its fingerprint (seed, strategy, generation,
+// k, top-n, chunk size, cohort — a mismatched checkpoint is rejected, not
+// silently mixed in) and re-runs only the missing chunks. An interrupted-
+// and-resumed sweep produces byte-identical output to an uninterrupted
+// one.
+//
+// # Jobs
+//
+// Manager wraps Run for serving layers: Start pins a job to the engine's
+// current update generation and runs it in the background with progress
+// and ETA snapshots (Job.Status) and cancellation (Job.Cancel). After a
+// live-update hot-swap, Manager.MarkStale flags jobs pinned to older
+// generations: they finish on their pinned generation — consistent
+// answers over a slightly old graph, never mixed generations — and report
+// stale so the operator knows to re-run. Package pitex/serve exposes all
+// of this over HTTP as POST /admin/jobs, GET /admin/jobs/{id} and
+// DELETE /admin/jobs/{id}; cmd/pitexsweep is the batch CLI.
+package analytics

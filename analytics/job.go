@@ -1,0 +1,335 @@
+package analytics
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pitex"
+)
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+const (
+	// JobRunning: the sweep is in flight.
+	JobRunning JobState = "running"
+	// JobDone: the sweep finished; Result returns the leaderboard.
+	JobDone JobState = "done"
+	// JobCancelled: Cancel ended the sweep early (its checkpoint, if any,
+	// was flushed, so a new job can resume it).
+	JobCancelled JobState = "cancelled"
+	// JobFailed: the sweep stopped on an error other than cancellation.
+	JobFailed JobState = "failed"
+)
+
+// JobStatus is a point-in-time job snapshot, JSON-shaped for serving.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	// Generation pins the engine generation the job sweeps; Stale reports
+	// that the serving layer has since hot-swapped past it. A stale job
+	// still finishes on its pinned generation — consistent answers over a
+	// slightly old graph beat mixed-generation ones — but the caller is
+	// told the population moved on.
+	Generation uint64   `json:"generation"`
+	Stale      bool     `json:"stale"`
+	Progress   Progress `json:"progress"`
+	// ElapsedSeconds is wall-clock time since start (frozen at finish);
+	// EtaSeconds extrapolates the remaining time from chunk throughput
+	// (0 until one chunk completes, and once the job finishes).
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	EtaSeconds     float64 `json:"eta_seconds"`
+	Error          string  `json:"error,omitempty"`
+}
+
+// Job is one sweep running (or finished) under a Manager.
+type Job struct {
+	id         string
+	seq        int // creation order, drives oldest-first eviction
+	generation uint64
+	cancel     context.CancelFunc
+	start      time.Time
+	// doneCh closes when the job reaches a terminal state.
+	doneCh chan struct{}
+
+	mu       sync.Mutex
+	state    JobState
+	stale    bool
+	progress Progress
+	// startDone is the restored-from-checkpoint chunk count, excluded
+	// from the ETA's throughput estimate (those chunks cost no time).
+	startDone int
+	elapsed   time.Duration
+	err       error
+	result    *Leaderboard
+}
+
+// ID returns the job's manager-unique identifier.
+func (j *Job) ID() string { return j.id }
+
+// Generation returns the engine generation the job is pinned to.
+func (j *Job) Generation() uint64 { return j.generation }
+
+// Cancel asks the sweep to stop. Safe to call at any time, in any state.
+func (j *Job) Cancel() { j.cancel() }
+
+// Result returns the leaderboard once the job is done.
+func (j *Job) Result() (*Leaderboard, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.state == JobDone
+}
+
+// Err returns the terminal error of a failed or cancelled job.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Wait blocks until the job leaves JobRunning and returns its terminal
+// error (nil for JobDone).
+func (j *Job) Wait() error {
+	<-j.doneCh
+	return j.Err()
+}
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := JobStatus{
+		ID:         j.id,
+		State:      j.state,
+		Generation: j.generation,
+		Stale:      j.stale,
+		Progress:   j.progress,
+	}
+	elapsed := j.elapsed
+	if j.state == JobRunning {
+		elapsed = time.Since(j.start)
+		// Chunks completed by THIS run (not restored ones) per elapsed
+		// second extrapolate the remainder.
+		freshDone := j.progress.ChunksDone - j.startDone
+		if freshDone > 0 && j.progress.ChunksDone < j.progress.ChunksTotal {
+			perChunk := elapsed / time.Duration(freshDone)
+			remaining := time.Duration(j.progress.ChunksTotal-j.progress.ChunksDone) * perChunk
+			s.EtaSeconds = remaining.Seconds()
+		}
+	}
+	s.ElapsedSeconds = elapsed.Seconds()
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	return s
+}
+
+// DefaultMaxFinishedJobs is how many terminal (done/failed/cancelled)
+// jobs a Manager retains before Start evicts the oldest; running jobs are
+// never evicted. Leaderboards are bounded but not small, and a
+// long-running server sweeping on a schedule must not accumulate them
+// forever.
+const DefaultMaxFinishedJobs = 32
+
+// Manager runs sweep jobs and tracks their lifecycle, generation pinning
+// and staleness. All methods are safe for concurrent use.
+type Manager struct {
+	// MaxFinishedJobs overrides DefaultMaxFinishedJobs when > 0; set it
+	// before the first Start.
+	MaxFinishedJobs int
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	nextID int
+}
+
+// NewManager returns an empty job manager.
+func NewManager() *Manager {
+	return &Manager{jobs: make(map[string]*Job)}
+}
+
+// Start validates the sweep options against the engine, registers a job
+// pinned to the engine's current generation, and runs the sweep in the
+// background. The engine is only used as a clone prototype, so the caller
+// may keep serving queries from it.
+func (m *Manager) Start(en *pitex.Engine, opts Options) (*Job, error) {
+	if en == nil {
+		return nil, fmt.Errorf("analytics: nil engine")
+	}
+	eff := opts.withDefaults()
+	if err := eff.validate(en); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m.mu.Lock()
+	m.nextID++
+	j := &Job{
+		id:         fmt.Sprintf("job-%d", m.nextID),
+		seq:        m.nextID,
+		generation: en.Generation(),
+		cancel:     cancel,
+		start:      time.Now(),
+		state:      JobRunning,
+		doneCh:     make(chan struct{}),
+	}
+	m.jobs[j.id] = j
+	m.evictLocked()
+	m.mu.Unlock()
+
+	// Tee sweep progress into the job snapshot (and through to any
+	// caller-supplied observer).
+	userProgress := opts.OnProgress
+	first := true
+	opts.OnProgress = func(p Progress) {
+		j.mu.Lock()
+		if first {
+			// The first report carries the restored-checkpoint state.
+			j.startDone = p.ChunksDone
+			first = false
+		}
+		j.progress = p
+		j.mu.Unlock()
+		if userProgress != nil {
+			userProgress(p)
+		}
+	}
+	go func() {
+		lb, err := Run(ctx, en, opts)
+		j.mu.Lock()
+		j.elapsed = time.Since(j.start)
+		switch {
+		case err == nil:
+			j.state = JobDone
+			j.result = lb
+		case ctx.Err() != nil:
+			j.state = JobCancelled
+			j.err = err
+		default:
+			j.state = JobFailed
+			j.err = err
+		}
+		j.mu.Unlock()
+		close(j.doneCh)
+	}()
+	return j, nil
+}
+
+// Get returns a job by ID.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// List snapshots every job in creation order (numeric, not lexicographic:
+// job-10 lists after job-9).
+func (m *Manager) List() []JobStatus {
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].seq < jobs[j].seq })
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Remove drops a terminal job (and its retained leaderboard) from the
+// manager. It reports whether the job existed; removing a running job is
+// refused (cancel it first and wait for the terminal state).
+func (m *Manager) Remove(id string) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return false, nil
+	}
+	j.mu.Lock()
+	running := j.state == JobRunning
+	j.mu.Unlock()
+	if running {
+		return true, fmt.Errorf("analytics: job %s is running; cancel it before removing", id)
+	}
+	delete(m.jobs, id)
+	return true, nil
+}
+
+// CancelAll cancels every running job without waiting for them to stop;
+// use Shutdown when the caller needs the sweeps (and their checkpoint
+// flushes) finished before proceeding.
+func (m *Manager) CancelAll() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.jobs {
+		j.cancel()
+	}
+}
+
+// Shutdown cancels every job and blocks until each has reached a
+// terminal state. Cancellation flushes completed-but-unwritten chunks to
+// the job's checkpoint, so a serving layer that calls Shutdown before
+// process exit guarantees the next start resumes from everything that
+// was swept.
+func (m *Manager) Shutdown() {
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	for _, j := range jobs {
+		j.cancel()
+	}
+	for _, j := range jobs {
+		<-j.doneCh
+	}
+}
+
+// evictLocked drops the oldest terminal jobs beyond the retention cap.
+// Caller holds m.mu.
+func (m *Manager) evictLocked() {
+	keep := m.MaxFinishedJobs
+	if keep <= 0 {
+		keep = DefaultMaxFinishedJobs
+	}
+	var finished []*Job
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		terminal := j.state != JobRunning
+		j.mu.Unlock()
+		if terminal {
+			finished = append(finished, j)
+		}
+	}
+	if len(finished) <= keep {
+		return
+	}
+	sort.Slice(finished, func(i, j int) bool { return finished[i].seq < finished[j].seq })
+	for _, j := range finished[:len(finished)-keep] {
+		delete(m.jobs, j.id)
+	}
+}
+
+// MarkStale flags every job pinned to a generation other than current as
+// stale. Serving layers call it after a hot-swap: running jobs finish on
+// their pinned (pre-swap) generation — never mixing generations — but
+// their status tells the operator the data moved on.
+func (m *Manager) MarkStale(current uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.jobs {
+		if j.generation != current {
+			j.mu.Lock()
+			j.stale = true
+			j.mu.Unlock()
+		}
+	}
+}

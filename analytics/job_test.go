@@ -1,0 +1,263 @@
+package analytics
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pitex"
+)
+
+func TestJobLifecycle(t *testing.T) {
+	en := fig2Engine(t, pitex.StrategyIndexPruned)
+	m := NewManager()
+	var progressed atomic.Int64
+	j, err := m.Start(en, Options{K: 2, TopN: 5, ChunkSize: 2, Workers: 2,
+		OnProgress: func(p Progress) { progressed.Add(1) }})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if j.ID() == "" || j.Generation() != 0 {
+		t.Fatalf("job = %q gen %d", j.ID(), j.Generation())
+	}
+	if err := j.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	st := j.Status()
+	if st.State != JobDone || st.Stale {
+		t.Fatalf("status = %+v, want done and fresh", st)
+	}
+	if st.Progress.ChunksDone != 4 || st.Progress.UsersDone != 7 {
+		t.Fatalf("progress = %+v, want 4 chunks / 7 users", st.Progress)
+	}
+	if st.ElapsedSeconds < 0 || st.EtaSeconds != 0 {
+		t.Fatalf("finished job timings = %+v", st)
+	}
+	if progressed.Load() == 0 {
+		t.Fatal("caller's OnProgress never observed the sweep")
+	}
+	lb, ok := j.Result()
+	if !ok || lb == nil || lb.UsersSwept != 7 {
+		t.Fatalf("Result = %+v, %v", lb, ok)
+	}
+	// The job's leaderboard must equal a direct Run's.
+	direct := leaderboardBytes(t, en, Options{K: 2, TopN: 5, ChunkSize: 2, Workers: 2})
+	var got strings.Builder
+	if err := lb.WriteJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != string(direct) {
+		t.Fatalf("job output diverged from direct Run:\n%s\nvs\n%s", got.String(), direct)
+	}
+
+	// Lookup and listing.
+	if got, ok := m.Get(j.ID()); !ok || got != j {
+		t.Fatalf("Get(%q) = %v, %v", j.ID(), got, ok)
+	}
+	if _, ok := m.Get("job-999"); ok {
+		t.Fatal("Get of unknown id succeeded")
+	}
+	list := m.List()
+	if len(list) != 1 || list[0].ID != j.ID() {
+		t.Fatalf("List = %+v", list)
+	}
+}
+
+func TestJobCancel(t *testing.T) {
+	en := fig2Engine(t, pitex.StrategyIndexPruned)
+	m := NewManager()
+	// Cancel from the progress hook so the sweep is provably in flight.
+	var j *Job
+	started := make(chan struct{})
+	jj, err := m.Start(en, Options{K: 2, ChunkSize: 1, Workers: 1,
+		OnProgress: func(p Progress) {
+			<-started
+			if p.ChunksDone >= 1 {
+				j.Cancel()
+			}
+		}})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	j = jj
+	close(started)
+	if err := j.Wait(); err == nil {
+		t.Fatal("cancelled job reported no error")
+	}
+	st := j.Status()
+	if st.State != JobCancelled {
+		t.Fatalf("state = %v, want cancelled", st.State)
+	}
+	if st.Error == "" {
+		t.Fatal("cancelled status carries no error")
+	}
+	if _, ok := j.Result(); ok {
+		t.Fatal("cancelled job returned a result")
+	}
+	// Cancel is idempotent in any state.
+	j.Cancel()
+}
+
+func TestJobMarkStale(t *testing.T) {
+	en := fig2Engine(t, pitex.StrategyIndexPruned)
+	m := NewManager()
+	j, err := m.Start(en, Options{K: 2, ChunkSize: 2})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := j.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	m.MarkStale(j.Generation()) // same generation: still fresh
+	if j.Status().Stale {
+		t.Fatal("job marked stale at its own generation")
+	}
+	m.MarkStale(j.Generation() + 1) // hot-swap happened
+	if !j.Status().Stale {
+		t.Fatal("job not marked stale after generation moved")
+	}
+	// The result stays pinned to the job's generation.
+	if lb, ok := j.Result(); !ok || lb.Generation != j.Generation() {
+		t.Fatalf("result generation = %+v, want pinned %d", lb, j.Generation())
+	}
+}
+
+func TestJobStartValidation(t *testing.T) {
+	en := fig2Engine(t, pitex.StrategyIndexPruned)
+	m := NewManager()
+	if _, err := m.Start(nil, Options{}); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	if _, err := m.Start(en, Options{Users: []int{42}}); err == nil {
+		t.Fatal("bad cohort accepted")
+	}
+	if len(m.List()) != 0 {
+		t.Fatal("failed starts registered jobs")
+	}
+}
+
+func TestManagerRemoveAndEviction(t *testing.T) {
+	en := fig2Engine(t, pitex.StrategyIndexPruned)
+	m := NewManager()
+	m.MaxFinishedJobs = 2
+
+	// Removing a running job is refused; removing a finished one works.
+	gate := make(chan struct{})
+	running, err := m.Start(en, Options{K: 2, ChunkSize: 1, Workers: 1,
+		OnProgress: func(Progress) { <-gate }})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if ok, err := m.Remove(running.ID()); !ok || err == nil {
+		t.Fatalf("Remove(running) = %v, %v; want refusal", ok, err)
+	}
+	close(gate)
+	if err := running.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := m.Remove(running.ID()); !ok || err != nil {
+		t.Fatalf("Remove(done) = %v, %v", ok, err)
+	}
+	if _, ok := m.Get(running.ID()); ok {
+		t.Fatal("removed job still listed")
+	}
+	if ok, err := m.Remove(running.ID()); ok || err != nil {
+		t.Fatalf("Remove(gone) = %v, %v", ok, err)
+	}
+
+	// Finished jobs beyond the cap are evicted oldest-first on Start.
+	var ids []string
+	for i := 0; i < 4; i++ {
+		j, err := m.Start(en, Options{K: 2, ChunkSize: 4})
+		if err != nil {
+			t.Fatalf("Start %d: %v", i, err)
+		}
+		if err := j.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID())
+	}
+	// One more Start triggers eviction of the oldest finished jobs.
+	last, err := m.Start(en, Options{K: 2, ChunkSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := last.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Get(ids[0]); ok {
+		t.Fatalf("oldest finished job %s survived eviction; list = %+v", ids[0], m.List())
+	}
+	if _, ok := m.Get(ids[3]); !ok {
+		t.Fatalf("recent job %s evicted; list = %+v", ids[3], m.List())
+	}
+}
+
+func TestManagerCancelAll(t *testing.T) {
+	en := fig2Engine(t, pitex.StrategyIndexPruned)
+	m := NewManager()
+	gate := make(chan struct{})
+	var jobs []*Job
+	for i := 0; i < 3; i++ {
+		j, err := m.Start(en, Options{K: 2, ChunkSize: 1, Workers: 1,
+			OnProgress: func(Progress) { <-gate }})
+		if err != nil {
+			t.Fatalf("Start: %v", err)
+		}
+		jobs = append(jobs, j)
+	}
+	m.CancelAll()
+	close(gate)
+	for _, j := range jobs {
+		if err := j.Wait(); err == nil {
+			t.Fatalf("job %s survived CancelAll", j.ID())
+		}
+		if st := j.Status(); st.State != JobCancelled {
+			t.Fatalf("job %s state = %v", j.ID(), st.State)
+		}
+	}
+}
+
+func TestJobEtaWhileRunning(t *testing.T) {
+	en := fig2Engine(t, pitex.StrategyIndexPruned)
+	m := NewManager()
+	gate := make(chan struct{})
+	var j *Job
+	var sawEta atomic.Bool
+	jj, err := m.Start(en, Options{K: 2, ChunkSize: 1, Workers: 1,
+		OnProgress: func(p Progress) {
+			if p.ChunksDone == 2 {
+				// Two chunks done, five to go: the snapshot taken now must
+				// extrapolate an ETA.
+				<-gate
+			}
+		}})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	j = jj
+	deadline := time.After(10 * time.Second)
+	for {
+		st := j.Status()
+		if st.State == JobRunning && st.Progress.ChunksDone == 2 {
+			if st.EtaSeconds > 0 {
+				sawEta.Store(true)
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("job never paused at chunk 2: %+v", st)
+		default:
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	if err := j.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if !sawEta.Load() {
+		t.Fatal("running job never reported an ETA")
+	}
+}

@@ -10,9 +10,11 @@ package pitex_test
 // with:  go run ./cmd/pitexbench -exp <id> [-full]
 
 import (
+	"context"
 	"testing"
 
 	"pitex"
+	"pitex/analytics"
 
 	"pitex/internal/datasets"
 	"pitex/internal/experiments"
@@ -286,6 +288,49 @@ func BenchmarkAblationCheapBounds(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkSweep measures the population-analytics workload: a cohort
+// sweep (one query per user, reduced to a leaderboard) over the same
+// mid-sized dataset BenchmarkQuerySingle uses, fanned over 4 workers.
+// Rows land in BENCH_query.json next to the per-query numbers, so the
+// whole-population path is tracked by the same regression gate.
+func BenchmarkSweep(b *testing.B) {
+	net, model, err := pitex.GenerateDatasetSpec(pitex.DatasetSpec{
+		Name: "headline", Users: 1500, Edges: 15000,
+		Topics: 20, Tags: 50, TopicsPerEdge: 2, MaxProb: 0.4, Reciprocity: 0.3,
+	}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cohort := make([]int, 64)
+	for i := range cohort {
+		cohort[i] = i
+	}
+	for _, s := range []pitex.Strategy{pitex.StrategyIndexPruned, pitex.StrategyDelay} {
+		b.Run(s.String()+"-W4", func(b *testing.B) {
+			en, err := pitex.NewEngine(net, model, pitex.Options{
+				Strategy: s, Epsilon: 0.7, Delta: 1000, MaxK: 5, Seed: 1,
+				MaxSamples: 500, MaxIndexSamples: 20000, CheapBounds: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lb, err := analytics.Run(context.Background(), en, analytics.Options{
+					K: 3, TopN: 20, Workers: 4, ChunkSize: 16, Users: cohort,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if lb.UsersSwept != len(cohort) {
+					b.Fatalf("swept %d users", lb.UsersSwept)
+				}
+			}
+			b.ReportMetric(float64(len(cohort)), "users/op")
 		})
 	}
 }

@@ -23,6 +23,12 @@
 // peers. A uniform slowdown across every strategy hides inside the
 // factor; the allocation gate (machine-independent) is the backstop for
 // those. Pass -no-ns-calibrate to compare raw wall-clock instead.
+//
+// Multi-threaded benchmarks (e.g. the Sweep/* rows, which fan work over
+// worker goroutines) scale with the runner's core count rather than its
+// single-thread speed, so neither the raw comparison nor the calibration
+// factor fits them: exempt such rows from the ns gate with
+// -ns-skip '^Sweep/' — their allocation counts are still gated.
 package main
 
 import (
@@ -106,10 +112,15 @@ const minRowsForCalibration = 4
 // machineFactor estimates how much slower the fresh machine is than the
 // baseline one: the median fresh/baseline ns ratio over matched rows,
 // floored at 1 (a faster runner keeps the raw gate — everything sits
-// below threshold anyway unless genuinely regressed).
-func machineFactor(baseline map[string]row, fresh []row) float64 {
+// below threshold anyway unless genuinely regressed). Rows exempted from
+// the ns gate (nsSkip) are excluded: they run multi-threaded, so their
+// ratio tracks core count, not the single-thread speed the factor models.
+func machineFactor(baseline map[string]row, fresh []row, nsSkip *regexp.Regexp) float64 {
 	var ratios []float64
 	for _, f := range fresh {
+		if nsSkip != nil && nsSkip.MatchString(f.key()) {
+			continue
+		}
 		if b, ok := baseline[f.key()]; ok && b.NsPerOp > 0 && f.NsPerOp > 0 {
 			ratios = append(ratios, f.NsPerOp/b.NsPerOp)
 		}
@@ -132,15 +143,18 @@ func machineFactor(baseline map[string]row, fresh []row) float64 {
 // gate compares fresh rows against the baseline and returns one message
 // per regression plus how many rows matched. calibrate enables the
 // median-ratio machine-speed correction on the ns check (see the package
-// comment).
-func gate(baseline, fresh []row, maxNsRatio, maxAllocsRatio float64, calibrate bool) (regressions []string, matched int) {
+// comment). Rows whose key matches nsSkip are held to the (machine-
+// independent) allocation gate only: multi-threaded benchmarks scale
+// with the runner's core count, which neither the raw ns comparison nor
+// the single-thread calibration factor models.
+func gate(baseline, fresh []row, maxNsRatio, maxAllocsRatio float64, calibrate bool, nsSkip *regexp.Regexp) (regressions []string, matched int) {
 	base := make(map[string]row, len(baseline))
 	for _, b := range baseline {
 		base[b.key()] = b
 	}
 	factor := 1.0
 	if calibrate {
-		factor = machineFactor(base, fresh)
+		factor = machineFactor(base, fresh, nsSkip)
 	}
 	for _, f := range fresh {
 		b, ok := base[f.key()]
@@ -148,7 +162,8 @@ func gate(baseline, fresh []row, maxNsRatio, maxAllocsRatio float64, calibrate b
 			continue
 		}
 		matched++
-		if limit := b.NsPerOp * maxNsRatio * factor; b.NsPerOp > 0 && f.NsPerOp > limit {
+		nsGated := nsSkip == nil || !nsSkip.MatchString(f.key())
+		if limit := b.NsPerOp * maxNsRatio * factor; nsGated && b.NsPerOp > 0 && f.NsPerOp > limit {
 			regressions = append(regressions, fmt.Sprintf(
 				"%s: ns_per_op %.0f exceeds baseline %.0f by %.1f%% (limit %.0f%%, machine factor %.2f)",
 				f.key(), f.NsPerOp, b.NsPerOp, 100*(f.NsPerOp/b.NsPerOp-1), 100*(maxNsRatio-1), factor))
@@ -163,7 +178,7 @@ func gate(baseline, fresh []row, maxNsRatio, maxAllocsRatio float64, calibrate b
 	return regressions, matched
 }
 
-func run(baselinePath, baselineRun, freshPath string, maxNsRatio, maxAllocsRatio float64, calibrate bool) error {
+func run(baselinePath, baselineRun, freshPath string, maxNsRatio, maxAllocsRatio float64, calibrate bool, nsSkipPat string) error {
 	baseline, err := loadRows(baselinePath, baselineRun)
 	if err != nil {
 		return err
@@ -172,7 +187,13 @@ func run(baselinePath, baselineRun, freshPath string, maxNsRatio, maxAllocsRatio
 	if err != nil {
 		return err
 	}
-	regressions, matched := gate(baseline, fresh, maxNsRatio, maxAllocsRatio, calibrate)
+	var nsSkip *regexp.Regexp
+	if nsSkipPat != "" {
+		if nsSkip, err = regexp.Compile(nsSkipPat); err != nil {
+			return fmt.Errorf("bad -ns-skip pattern: %w", err)
+		}
+	}
+	regressions, matched := gate(baseline, fresh, maxNsRatio, maxAllocsRatio, calibrate, nsSkip)
 	if matched == 0 {
 		return fmt.Errorf("no fresh row matched the baseline — benchmark names drifted?")
 	}
@@ -199,9 +220,10 @@ func main() {
 		nsRatio     = flag.Float64("max-ns-ratio", 1.25, "fail when ns_per_op exceeds baseline times this")
 		allocsRatio = flag.Float64("max-allocs-ratio", 1.10, "fail when allocs_per_op exceeds baseline times this")
 		noCal       = flag.Bool("no-ns-calibrate", false, "compare raw wall-clock instead of machine-drift-corrected ns")
+		nsSkip      = flag.String("ns-skip", "", "regex of row keys exempt from the ns gate (allocs still gated); use for multi-threaded benchmarks whose speed tracks core count")
 	)
 	flag.Parse()
-	if err := run(*baseline, *baselineRun, *fresh, *nsRatio, *allocsRatio, !*noCal); err != nil {
+	if err := run(*baseline, *baselineRun, *fresh, *nsRatio, *allocsRatio, !*noCal, *nsSkip); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(1)
 	}

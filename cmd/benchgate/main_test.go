@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -23,7 +24,7 @@ func TestGatePassesWithinTolerance(t *testing.T) {
 		{Name: "BenchmarkQuerySingle/LAZY-4", Strategy: "LAZY", NsPerOp: 1200000, AllocsPerOp: f(320)},
 		{Name: "BenchmarkQuerySingle/INDEXEST-4", Strategy: "INDEXEST", NsPerOp: 400000, AllocsPerOp: f(100)},
 	}
-	regressions, matched := gate(baselineRows(), fresh, 1.25, 1.10, false)
+	regressions, matched := gate(baselineRows(), fresh, 1.25, 1.10, false, nil)
 	if matched != 2 {
 		t.Fatalf("matched = %d, want 2", matched)
 	}
@@ -39,7 +40,7 @@ func TestGateFailsOnFabricatedSlowResult(t *testing.T) {
 		{Name: "BenchmarkQuerySingle/LAZY-4", Strategy: "LAZY", NsPerOp: 2000000, AllocsPerOp: f(300)},
 		{Name: "BenchmarkQuerySingle/INDEXEST-4", Strategy: "INDEXEST", NsPerOp: 500000, AllocsPerOp: f(120)},
 	}
-	regressions, matched := gate(baselineRows(), fresh, 1.25, 1.10, false)
+	regressions, matched := gate(baselineRows(), fresh, 1.25, 1.10, false, nil)
 	if matched != 2 {
 		t.Fatalf("matched = %d, want 2", matched)
 	}
@@ -55,7 +56,7 @@ func TestGateFailsOnFabricatedSlowResult(t *testing.T) {
 // strategy still match on the proc-stripped name.
 func TestGateMatchesByStrategyAcrossProcSuffixes(t *testing.T) {
 	fresh := []row{{Name: "BenchmarkServe/cached-8", NsPerOp: 90, AllocsPerOp: f(0)}}
-	regressions, matched := gate(baselineRows(), fresh, 1.25, 1.10, false)
+	regressions, matched := gate(baselineRows(), fresh, 1.25, 1.10, false, nil)
 	if matched != 1 || len(regressions) != 0 {
 		t.Fatalf("matched %d, regressions %v", matched, regressions)
 	}
@@ -82,18 +83,18 @@ func TestRunAgainstCuratedBaseline(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if err := run(baseline, "newer", fresh, 1.25, 1.10, false); err != nil {
+	if err := run(baseline, "newer", fresh, 1.25, 1.10, false, ""); err != nil {
 		t.Fatalf("gate against curated run failed: %v", err)
 	}
 	// 1.1ms vs the "older" 9ms baseline passes trivially; vs "newer" with a
 	// tightened ns ratio it must fail.
-	if err := run(baseline, "newer", fresh, 1.05, 1.10, false); err == nil {
+	if err := run(baseline, "newer", fresh, 1.05, 1.10, false, ""); err == nil {
 		t.Fatal("tightened gate did not fail")
 	}
-	if err := run(baseline, "", fresh, 1.25, 1.10, false); err == nil || !strings.Contains(err.Error(), "-baseline-run") {
+	if err := run(baseline, "", fresh, 1.25, 1.10, false, ""); err == nil || !strings.Contains(err.Error(), "-baseline-run") {
 		t.Fatalf("missing -baseline-run not diagnosed: %v", err)
 	}
-	if err := run(baseline, "bogus", fresh, 1.25, 1.10, false); err == nil {
+	if err := run(baseline, "bogus", fresh, 1.25, 1.10, false, ""); err == nil {
 		t.Fatal("unknown run accepted")
 	}
 
@@ -102,7 +103,7 @@ func TestRunAgainstCuratedBaseline(t *testing.T) {
 	if err := os.WriteFile(disjoint, []byte(`[{"name": "BenchmarkOther-4", "ns_per_op": 1}]`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(baseline, "newer", disjoint, 1.25, 1.10, false); err == nil {
+	if err := run(baseline, "newer", disjoint, 1.25, 1.10, false, ""); err == nil {
 		t.Fatal("disjoint comparison passed")
 	}
 }
@@ -122,18 +123,47 @@ func TestGateCalibratesMachineDrift(t *testing.T) {
 		}
 		skewed = append(skewed, row{Name: "BenchmarkQuerySingle/" + strat + "-4", Strategy: strat, NsPerOp: factor * ns})
 	}
-	if regressions, _ := gate(baseline, uniform, 1.25, 1.10, true); len(regressions) != 0 {
+	if regressions, _ := gate(baseline, uniform, 1.25, 1.10, true, nil); len(regressions) != 0 {
 		t.Fatalf("uniform 2x machine drift tripped the calibrated gate: %v", regressions)
 	}
-	if regressions, _ := gate(baseline, uniform, 1.25, 1.10, false); len(regressions) != 5 {
+	if regressions, _ := gate(baseline, uniform, 1.25, 1.10, false, nil); len(regressions) != 5 {
 		t.Fatalf("raw gate should flag all 5 uniform-drift rows, got %v", regressions)
 	}
-	regressions, _ := gate(baseline, skewed, 1.25, 1.10, true)
+	regressions, _ := gate(baseline, skewed, 1.25, 1.10, true, nil)
 	if len(regressions) != 1 || !strings.Contains(regressions[0], "C:") {
 		t.Fatalf("calibrated gate missed the relative regression: %v", regressions)
 	}
 	// Fewer than minRowsForCalibration matched rows: no calibration.
-	if regressions, _ := gate(baseline[:2], uniform[:2], 1.25, 1.10, true); len(regressions) != 2 {
+	if regressions, _ := gate(baseline[:2], uniform[:2], 1.25, 1.10, true, nil); len(regressions) != 2 {
 		t.Fatalf("small-sample gate should stay raw, got %v", regressions)
+	}
+}
+
+// TestGateNsSkip: rows matching -ns-skip (multi-threaded benchmarks whose
+// wall-clock tracks core count) are exempt from the ns gate — and from
+// the calibration median — but still held to the allocation gate.
+func TestGateNsSkip(t *testing.T) {
+	baseline := []row{
+		{Strategy: "A", NsPerOp: 1e6, AllocsPerOp: f(100)},
+		{Strategy: "Sweep/A-W4", NsPerOp: 1e8, AllocsPerOp: f(5000)},
+	}
+	fresh := []row{
+		{Strategy: "A", NsPerOp: 1e6, AllocsPerOp: f(100)},
+		// 3x slower wall-clock (fewer cores on the runner), allocs equal.
+		{Strategy: "Sweep/A-W4", NsPerOp: 3e8, AllocsPerOp: f(5000)},
+	}
+	skip := regexp.MustCompile(`^Sweep/`)
+	if regressions, matched := gate(baseline, fresh, 1.25, 1.10, false, skip); len(regressions) != 0 || matched != 2 {
+		t.Fatalf("ns-skipped core-count slowdown tripped the gate: %v (matched %d)", regressions, matched)
+	}
+	// Without the skip it trips, proving the exemption is what saved it.
+	if regressions, _ := gate(baseline, fresh, 1.25, 1.10, false, nil); len(regressions) != 1 {
+		t.Fatalf("unskipped slowdown should trip: %v", regressions)
+	}
+	// Allocation regressions in skipped rows still gate.
+	fresh[1].AllocsPerOp = f(9000)
+	if regressions, _ := gate(baseline, fresh, 1.25, 1.10, false, skip); len(regressions) != 1 ||
+		!strings.Contains(regressions[0], "allocs_per_op") {
+		t.Fatalf("alloc regression in a ns-skipped row missed: %v", regressions)
 	}
 }

@@ -7,10 +7,12 @@
 //
 // -serve writes every benchmark line ({name, iterations, ns_per_op, plus
 // one key per reported unit, e.g. "B/op", "allocs/op", "edgevisits/op"}).
-// -query writes only the BenchmarkQuerySingle/* lines in the per-strategy
-// shape cmd/benchgate compares ({name, strategy, ns_per_op, bytes_per_op,
-// allocs_per_op}); the strategy is the sub-benchmark name with the
-// GOMAXPROCS suffix stripped, so sharded variants keep their -S4 marker.
+// -query writes only the BenchmarkQuerySingle/* and BenchmarkSweep/*
+// lines in the per-strategy shape cmd/benchgate compares ({name,
+// strategy, ns_per_op, bytes_per_op, allocs_per_op}); the strategy is the
+// sub-benchmark name with the GOMAXPROCS suffix stripped (so sharded
+// variants keep their -S4 marker), namespaced "Sweep/<name>" for the
+// population-sweep rows.
 package main
 
 import (
@@ -118,17 +120,26 @@ type queryEntry struct {
 	AllocsPerOp *float64 `json:"allocs_per_op"`
 }
 
-// queryEntries extracts the per-strategy query benchmark rows.
+// queryEntries extracts the per-strategy query benchmark rows: one per
+// BenchmarkQuerySingle/* sub-benchmark (strategy = the bare sub-name, the
+// historical key) and one per BenchmarkSweep/* sub-benchmark (strategy =
+// "Sweep/<sub-name>", so the population-sweep rows can never collide with
+// a per-query strategy key in cmd/benchgate).
 func queryEntries(lines []benchLine) []queryEntry {
 	var out []queryEntry
 	for _, b := range lines {
-		const prefix = "BenchmarkQuerySingle/"
-		if !strings.HasPrefix(b.Name, prefix) {
+		var strategy string
+		switch {
+		case strings.HasPrefix(b.Name, "BenchmarkQuerySingle/"):
+			strategy = strings.TrimPrefix(b.Name, "BenchmarkQuerySingle/")
+		case strings.HasPrefix(b.Name, "BenchmarkSweep/"):
+			strategy = "Sweep/" + strings.TrimPrefix(b.Name, "BenchmarkSweep/")
+		default:
 			continue
 		}
 		e := queryEntry{
 			Name:     b.Name,
-			Strategy: procSuffix.ReplaceAllString(strings.TrimPrefix(b.Name, prefix), ""),
+			Strategy: procSuffix.ReplaceAllString(strategy, ""),
 			NsPerOp:  b.NsPerOp,
 		}
 		if v, ok := b.extra("B/op"); ok {

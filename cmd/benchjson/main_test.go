@@ -16,6 +16,7 @@ BenchmarkQuerySingle/LAZY-4         	       1	18267846 ns/op	   30051 B/op	     
 BenchmarkQuerySingle/INDEXEST-4     	       1	11877107 ns/op	   30578 B/op	     324 allocs/op
 BenchmarkQuerySingle/INDEXEST-S4-4  	       1	 9877107 ns/op	   31000 B/op	     350 allocs/op
 BenchmarkQuerySingle/DELAYMAT-S4    	       1	 9999999 ns/op	   32000 B/op	     360 allocs/op
+BenchmarkSweep/INDEXEST+-W4-4       	       3	712345678 ns/op	        64.00 users/op	 2030051 B/op	   21333 allocs/op
 BenchmarkAblationLazyVsBernoulli/lazy-geometric-4 	       1	  501234 ns/op	        4096 edgevisits/op
 BenchmarkServe/cached-4             	12345678	     103.1 ns/op	       0 B/op	       0 allocs/op
 PASS
@@ -27,8 +28,8 @@ func TestParseBench(t *testing.T) {
 	if err != nil {
 		t.Fatalf("parseBench: %v", err)
 	}
-	if len(lines) != 6 {
-		t.Fatalf("parsed %d lines, want 6", len(lines))
+	if len(lines) != 7 {
+		t.Fatalf("parsed %d lines, want 7", len(lines))
 	}
 	if lines[0].Name != "BenchmarkQuerySingle/LAZY-4" || lines[0].NsPerOp != 18267846 {
 		t.Fatalf("first line parsed as %+v", lines[0])
@@ -36,11 +37,14 @@ func TestParseBench(t *testing.T) {
 	if v, ok := lines[0].extra("allocs/op"); !ok || v != 333 {
 		t.Fatalf("allocs/op = %v (%v)", v, ok)
 	}
-	if v, ok := lines[4].extra("edgevisits/op"); !ok || v != 4096 {
+	if v, ok := lines[4].extra("users/op"); !ok || v != 64 {
+		t.Fatalf("sweep users/op lost: %v (%v)", v, ok)
+	}
+	if v, ok := lines[5].extra("edgevisits/op"); !ok || v != 4096 {
 		t.Fatalf("custom metric lost: %v (%v)", v, ok)
 	}
-	if lines[5].Iterations != 12345678 || lines[5].NsPerOp != 103.1 {
-		t.Fatalf("fractional ns line parsed as %+v", lines[5])
+	if lines[6].Iterations != 12345678 || lines[6].NsPerOp != 103.1 {
+		t.Fatalf("fractional ns line parsed as %+v", lines[6])
 	}
 }
 
@@ -50,12 +54,14 @@ func TestQueryEntriesStrategyNames(t *testing.T) {
 		t.Fatalf("parseBench: %v", err)
 	}
 	entries := queryEntries(lines)
-	if len(entries) != 4 {
-		t.Fatalf("query entries = %d, want 4", len(entries))
+	if len(entries) != 5 {
+		t.Fatalf("query entries = %d, want 5", len(entries))
 	}
-	// The last row has no GOMAXPROCS suffix (go test omits it at
-	// GOMAXPROCS=1); the -S4 marker must survive either way.
-	want := []string{"LAZY", "INDEXEST", "INDEXEST-S4", "DELAYMAT-S4"}
+	// The DELAYMAT row has no GOMAXPROCS suffix (go test omits it at
+	// GOMAXPROCS=1); the -S4 and -W4 markers must survive either way, and
+	// sweep rows carry the Sweep/ namespace so their keys never collide
+	// with per-query strategies.
+	want := []string{"LAZY", "INDEXEST", "INDEXEST-S4", "DELAYMAT-S4", "Sweep/INDEXEST+-W4"}
 	for i, e := range entries {
 		if e.Strategy != want[i] {
 			t.Errorf("entry %d strategy = %q, want %q", i, e.Strategy, want[i])
@@ -81,14 +87,14 @@ func TestRunWritesValidJSON(t *testing.T) {
 	if err := json.Unmarshal(data, &serveDoc); err != nil {
 		t.Fatalf("serve JSON invalid: %v\n%s", err, data)
 	}
-	if len(serveDoc) != 6 {
-		t.Fatalf("serve JSON has %d rows, want 6", len(serveDoc))
+	if len(serveDoc) != 7 {
+		t.Fatalf("serve JSON has %d rows, want 7", len(serveDoc))
 	}
 	if serveDoc[0]["ns_per_op"].(float64) != 18267846 {
 		t.Fatalf("serve row 0: %v", serveDoc[0])
 	}
-	if serveDoc[4]["edgevisits/op"].(float64) != 4096 {
-		t.Fatalf("serve row 4 lost custom metric: %v", serveDoc[4])
+	if serveDoc[5]["edgevisits/op"].(float64) != 4096 {
+		t.Fatalf("serve row 5 lost custom metric: %v", serveDoc[5])
 	}
 	var queryDoc []queryEntry
 	data, err = os.ReadFile(queryPath)
@@ -98,7 +104,7 @@ func TestRunWritesValidJSON(t *testing.T) {
 	if err := json.Unmarshal(data, &queryDoc); err != nil {
 		t.Fatalf("query JSON invalid: %v", err)
 	}
-	if len(queryDoc) != 4 || queryDoc[2].Strategy != "INDEXEST-S4" || queryDoc[3].Strategy != "DELAYMAT-S4" {
+	if len(queryDoc) != 5 || queryDoc[2].Strategy != "INDEXEST-S4" || queryDoc[4].Strategy != "Sweep/INDEXEST+-W4" {
 		t.Fatalf("query JSON rows: %+v", queryDoc)
 	}
 }

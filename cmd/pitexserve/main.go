@@ -54,6 +54,7 @@ func main() {
 		queryTO  = flag.Duration("query-timeout", 0, "per-query deadline (0 = 30s default, negative = none)")
 		cacheCap = flag.Int("cache", 4096, "result cache capacity in entries (negative disables)")
 		shards   = flag.Int("cache-shards", 16, "cache shard count")
+		sweepDir = flag.String("sweep-checkpoint-dir", "", "directory for POST /admin/jobs checkpoint files (empty rejects checkpointed jobs over HTTP)")
 	)
 	flag.Parse()
 	srv, err := setup(buildConfig{
@@ -66,6 +67,7 @@ func main() {
 		PoolSize: *pool, QueueDepth: *queue,
 		QueueTimeout: *queueTO, QueryTimeout: *queryTO,
 		CacheCapacity: *cacheCap, CacheShards: *shards,
+		SweepCheckpointDir: *sweepDir,
 	}, log.Printf)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pitexserve:", err)

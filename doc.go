@@ -119,4 +119,26 @@
 // generation-keyed caching. See the
 // dynamic package documentation for the repair architecture and for when
 // a full rebuild is the better call.
+//
+// # Analytics sweeps
+//
+// Beyond per-query serving, the pitex/analytics subpackage runs the
+// whole-population workload: one query per user (or per cohort member),
+// reduced into leaderboards — the top-N users by E[I(u|W*)] and the
+// tag-frequency histogram across optimal selling points. Sweeps are
+// chunked over fresh engine clones, which makes the output deterministic
+// per (Seed, Options) regardless of worker count, and checkpointed to
+// versioned JSON so a killed sweep resumes to byte-identical output.
+// Engine.QueryAllCtx is the one-shot, in-memory variant (cancellable
+// batch fan-out, pitex.RunBatchCtx underneath); analytics.Run adds
+// persistence and analytics.Manager adds background jobs with progress,
+// ETA, cancellation and generation pinning. Package serve exposes jobs at
+// POST /admin/jobs (pinned to the serving generation and reported stale
+// after a hot-swap); cmd/pitexsweep is the batch CLI, whose -resume flag
+// continues an interrupted run:
+//
+//	lb, _ := analytics.Run(ctx, engine, analytics.Options{
+//		K: 3, TopN: 100, CheckpointPath: "sweep.ckpt", Resume: true,
+//	})
+//	_ = lb.WriteJSON(os.Stdout)
 package pitex

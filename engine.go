@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"slices"
+	"sync"
 	"time"
 
 	"pitex/internal/bestfirst"
@@ -312,6 +314,12 @@ func (en *Engine) IndexShardStats() []IndexShardStat {
 // Strategy returns the estimation strategy the engine was built with.
 func (en *Engine) Strategy() Strategy { return en.opts.Strategy }
 
+// Options returns the engine's effective options (defaults applied).
+// Layers above the engine — the analytics sweep fingerprint, serving
+// diagnostics — read the seed and accuracy parameters from here instead
+// of carrying their own copies.
+func (en *Engine) Options() Options { return en.opts }
+
 // Network returns the (immutable) network this engine generation answers
 // over. After ApplyUpdates, the new engine returns the updated network.
 func (en *Engine) Network() *Network { return en.net }
@@ -358,12 +366,32 @@ func (en *Engine) QueryWithPrefix(user int, prefix []int, k int) (Result, error)
 
 // QueryWithPrefixCtx is QueryWithPrefix under a context (see QueryCtx).
 func (en *Engine) QueryWithPrefixCtx(ctx context.Context, user int, prefix []int, k int) (Result, error) {
-	for _, w := range prefix {
-		if w < 0 || w >= en.model.NumTags() {
-			return Result{}, fmt.Errorf("pitex: prefix tag %d outside [0,%d)", w, en.model.NumTags())
-		}
+	if err := ValidatePrefix(prefix, k, en.model.NumTags()); err != nil {
+		return Result{}, err
 	}
 	return en.query(ctx, user, prefix, k, 1)
+}
+
+// ValidatePrefix checks a constrained query's pinned tag set: every tag in
+// [0, numTags), no duplicates, and at most k tags (a prefix larger than
+// the answer cannot be contained in it). Serving layers call it before
+// admission so malformed prefixes fail fast instead of occupying an
+// engine; QueryWithPrefixCtx applies the same checks.
+func ValidatePrefix(prefix []int, k, numTags int) error {
+	if len(prefix) > k {
+		return fmt.Errorf("pitex: prefix has %d tags, exceeds k = %d", len(prefix), k)
+	}
+	for i, w := range prefix {
+		if w < 0 || w >= numTags {
+			return fmt.Errorf("pitex: prefix tag %d outside [0,%d)", w, numTags)
+		}
+		for _, prev := range prefix[:i] {
+			if prev == w {
+				return fmt.Errorf("pitex: duplicate prefix tag %d", w)
+			}
+		}
+	}
+	return nil
 }
 
 func (en *Engine) query(ctx context.Context, user int, prefix []int, k, m int) (Result, error) {
@@ -501,9 +529,22 @@ func (en *Engine) Audience(user int, tags []int, m int, samples int64) ([]Influe
 	if !en.model.m.PosteriorInto(toTagIDs(tags), en.posterior) {
 		return nil, nil // nothing propagates
 	}
+	// The cascade stream is keyed to the full argument tuple, not just the
+	// engine seed: a fixed per-engine stream would replay the same cascades
+	// on every call (repeated calls could never average error down) and
+	// correlate profiles across tag sets. Tags are hashed sorted, so the
+	// stream — like the posterior and serve's cache key — depends on the
+	// tag SET, not the argument order.
+	seedParts := make([]uint64, 0, len(tags)+4)
+	seedParts = append(seedParts, en.opts.Seed, 104729, uint64(user), uint64(samples))
+	sorted := append([]int(nil), tags...)
+	slices.Sort(sorted)
+	for _, w := range sorted {
+		seedParts = append(seedParts, uint64(w))
+	}
 	freqs := sampling.ActivationFrequencies(en.net.g, graph.VertexID(user),
 		en.probe.Begin(sampling.PosteriorProber{G: en.net.g, Posterior: en.posterior}),
-		samples, rng.New(en.opts.Seed+104729))
+		samples, rng.New(rng.Mix(seedParts...)))
 	if len(freqs) > m {
 		freqs = freqs[:m]
 	}
@@ -525,6 +566,34 @@ type BatchResult struct {
 // engine clones (sharing any offline index). Results are returned in input
 // order. workers <= 0 defaults to 4.
 func (en *Engine) QueryAll(users []int, k, workers int) []BatchResult {
+	return en.QueryAllCtx(context.Background(), users, k, workers)
+}
+
+// QueryAllCtx is QueryAll under a context: once ctx is cancelled, no new
+// per-user query starts and the in-flight ones are abandoned at their next
+// best-first expansion; users whose query never ran (or was cut short)
+// carry ctx.Err() in BatchResult.Err. The fan-out always drains its
+// workers before returning, so cancellation leaks no goroutines.
+func (en *Engine) QueryAllCtx(ctx context.Context, users []int, k, workers int) []BatchResult {
+	return RunBatchCtx(ctx, users, workers, func() BatchQueryFunc {
+		clone := en.Clone()
+		return func(ctx context.Context, user int) (Result, error) {
+			return clone.QueryCtx(ctx, user, k)
+		}
+	})
+}
+
+// BatchQueryFunc answers one user's query inside a batch fan-out.
+type BatchQueryFunc func(ctx context.Context, user int) (Result, error)
+
+// RunBatchCtx is the shared batch fan-out machinery behind
+// Engine.QueryAllCtx and serve.QueryBatch: it answers one query per user
+// over `workers` goroutines (newWorker is called once per goroutine, so a
+// worker can carry per-goroutine state like an engine clone) and returns
+// results in input order. Once ctx is done, remaining users are marked
+// with ctx.Err() instead of queried; every worker is always drained
+// before returning. workers <= 0 defaults to 4.
+func RunBatchCtx(ctx context.Context, users []int, workers int, newWorker func() BatchQueryFunc) []BatchResult {
 	if workers <= 0 {
 		workers = 4
 	}
@@ -535,26 +604,31 @@ func (en *Engine) QueryAll(users []int, k, workers int) []BatchResult {
 	if len(users) == 0 {
 		return out
 	}
-	type job struct{ pos, user int }
-	jobs := make(chan job)
-	done := make(chan struct{})
+	jobs := make(chan int)
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		clone := en.Clone()
+		query := newWorker()
+		wg.Add(1)
 		go func() {
-			defer func() { done <- struct{}{} }()
-			for j := range jobs {
-				res, err := clone.Query(j.user, k)
-				out[j.pos] = BatchResult{User: j.user, Result: res, Err: err}
+			defer wg.Done()
+			for i := range jobs {
+				// A cancelled batch must still consume every queued index —
+				// that is what lets the producer below finish unconditionally
+				// — but must not start the query.
+				if err := ctx.Err(); err != nil {
+					out[i] = BatchResult{User: users[i], Err: err}
+					continue
+				}
+				res, err := query(ctx, users[i])
+				out[i] = BatchResult{User: users[i], Result: res, Err: err}
 			}
 		}()
 	}
-	for pos, u := range users {
-		jobs <- job{pos: pos, user: u}
+	for i := range users {
+		jobs <- i
 	}
 	close(jobs)
-	for w := 0; w < workers; w++ {
-		<-done
-	}
+	wg.Wait()
 	return out
 }
 

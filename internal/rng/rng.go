@@ -44,6 +44,20 @@ func splitmix64(x *uint64) uint64 {
 
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 
+// Mix folds the given values into one well-distributed 64-bit seed via a
+// splitmix64 chain. Components that need a randomness stream keyed to a
+// tuple of arguments — rather than one fixed per-engine stream — derive
+// it with New(Mix(seed, domain, args...)): equal tuples give equal
+// streams, and any differing component decorrelates the whole stream.
+func Mix(parts ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, p := range parts {
+		h ^= p
+		h = splitmix64(&h)
+	}
+	return h
+}
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *Source) Uint64() uint64 {
 	result := rotl(r.s[0]+r.s[3], 23) + r.s[0]

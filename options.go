@@ -216,6 +216,13 @@ type ServeOptions struct {
 	// CacheShards is the number of independently locked cache shards.
 	// Default 16, rounded up to a power of two.
 	CacheShards int
+	// SweepCheckpointDir is the directory sweep jobs started over HTTP
+	// (POST /admin/jobs) may persist checkpoints into: a request's
+	// checkpoint_path must be a bare file name, joined under this
+	// directory — never an arbitrary server path. Empty (the default)
+	// rejects checkpointed jobs over HTTP entirely; programmatic callers
+	// (analytics.Run, Server.StartSweep) are unaffected.
+	SweepCheckpointDir string
 }
 
 // WithDefaults fills unset ServeOptions fields with their defaults. It is

@@ -32,8 +32,27 @@
 //	/selling-points?user=12&k=3[&m=5][&prefix=1,4][&users=1,2,3]
 //	/audience?user=12&tags=1,4[&m=10][&samples=5000]
 //	/admin/update (POST, JSON)
+//	/admin/jobs (POST to start a population sweep, GET to list)
+//	/admin/jobs/{id} (GET progress/ETA/leaderboard, DELETE to cancel)
 //	/healthz
 //	/statsz
+//
+// # Population sweeps
+//
+// POST /admin/jobs starts a whole-population (or cohort) analytics sweep
+// — one query per user, reduced to an influence leaderboard and a
+// tag-frequency histogram (package pitex/analytics). Jobs run on their
+// own engine clones, so the query pool's admission control and latency
+// are untouched, and each job is pinned to the engine generation it
+// started on: after a hot-swap it finishes on the pre-swap generation —
+// never mixing generations — and its status reports stale so the
+// operator knows to re-run. Jobs support server-side checkpoint files
+// and resume (see the analytics package documentation); over HTTP,
+// checkpoint files are confined to the operator-configured
+// ServeOptions.SweepCheckpointDir, and requests naming one are rejected
+// when no directory is configured. DELETE cancels a running job or
+// removes a finished one; finished jobs beyond a retention cap are
+// evicted oldest-first.
 //
 // # Live updates and zero-downtime hot-swap
 //
@@ -62,8 +81,8 @@
 // of the index (hub-heavy churn), schedule an offline rebuild and
 // restart from a -save-index file instead.
 //
-// /admin/update is unauthenticated; bind it to an internal listener or
-// gate it behind a reverse proxy.
+// The /admin endpoints are unauthenticated; bind them to an internal
+// listener or gate them behind a reverse proxy.
 //
 // # Sharding
 //

@@ -1,0 +1,378 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pitex"
+	"pitex/analytics"
+)
+
+// postJSON POSTs a JSON body and decodes the JSON response.
+func postJSON(t *testing.T, url string, body string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	dec := json.NewDecoder(resp.Body)
+	if err := dec.Decode(&out); err != nil {
+		t.Fatalf("POST %s: bad JSON: %v", url, err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s: status %d, want %d (%v)", url, resp.StatusCode, wantStatus, out)
+	}
+	return out
+}
+
+// waitJobDone polls GET /admin/jobs/{id} until the job leaves "running".
+func waitJobDone(t *testing.T, base, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		out := getJSON(t, base+"/admin/jobs/"+id, http.StatusOK)
+		if out["state"] != string(analytics.JobRunning) {
+			return out
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return nil
+}
+
+func TestJobsHTTPLifecycle(t *testing.T) {
+	srv := newTestServer(t, pitex.ServeOptions{PoolSize: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Start a whole-population sweep.
+	out := postJSON(t, ts.URL+"/admin/jobs", `{"k": 2, "top_n": 3, "chunk_size": 2}`, http.StatusAccepted)
+	id, _ := out["id"].(string)
+	if id == "" {
+		t.Fatalf("job create response carries no id: %v", out)
+	}
+	if out["generation"].(float64) != 0 {
+		t.Fatalf("job not pinned to generation 0: %v", out)
+	}
+
+	done := waitJobDone(t, ts.URL, id)
+	if done["state"] != string(analytics.JobDone) {
+		t.Fatalf("terminal state = %v", done["state"])
+	}
+	prog := done["progress"].(map[string]any)
+	if prog["users_done"].(float64) != 7 || prog["chunks_done"].(float64) != 4 {
+		t.Fatalf("progress = %v", prog)
+	}
+	lb, ok := done["leaderboard"].(map[string]any)
+	if !ok {
+		t.Fatalf("done job carries no leaderboard: %v", done)
+	}
+	if lb["users_swept"].(float64) != 7 {
+		t.Fatalf("leaderboard users_swept = %v", lb["users_swept"])
+	}
+	topUsers := lb["top_users"].([]any)
+	if len(topUsers) != 3 {
+		t.Fatalf("top_users = %v", topUsers)
+	}
+	if lead := topUsers[0].(map[string]any); lead["user"].(float64) != 0 {
+		t.Fatalf("leader = %v, want user 0", lead)
+	}
+	if _, ok := lb["tag_histogram"].([]any); !ok {
+		t.Fatalf("leaderboard missing tag_histogram: %v", lb)
+	}
+
+	// Listing: via /admin/jobs and /statsz.
+	list := getJSON(t, ts.URL+"/admin/jobs", http.StatusOK)
+	if jobs := list["jobs"].([]any); len(jobs) != 1 {
+		t.Fatalf("job list = %v", jobs)
+	}
+	stats := getJSON(t, ts.URL+"/statsz", http.StatusOK)
+	if jobs := stats["jobs"].([]any); len(jobs) != 1 {
+		t.Fatalf("/statsz jobs = %v", stats["jobs"])
+	}
+
+	// Unknown ids 404; bad bodies and bad specs 400; wrong methods 405.
+	getJSON(t, ts.URL+"/admin/jobs/job-999", http.StatusNotFound)
+	postJSON(t, ts.URL+"/admin/jobs", `{nope`, http.StatusBadRequest)
+	postJSON(t, ts.URL+"/admin/jobs", `{"unknown_knob": 1}`, http.StatusBadRequest)
+	postJSON(t, ts.URL+"/admin/jobs", `{"users": [99]}`, http.StatusBadRequest)
+	postJSON(t, ts.URL+"/admin/jobs", fmt.Sprintf(`{"workers": %d}`, MaxJobWorkers+1), http.StatusBadRequest)
+	postJSON(t, ts.URL+"/admin/jobs", fmt.Sprintf(`{"top_n": %d}`, MaxJobTopN+1), http.StatusBadRequest)
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/admin/jobs", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("PUT /admin/jobs = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestJobsHTTPCancel(t *testing.T) {
+	srv := newTestServer(t, pitex.ServeOptions{PoolSize: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// A paused sweep: the progress hook blocks until cancellation, so the
+	// DELETE provably lands on a running job. Started programmatically —
+	// hooks don't travel over HTTP — but cancelled through the HTTP path.
+	release := make(chan struct{})
+	var once sync.Once
+	job, err := srv.StartSweep(analytics.Options{K: 2, ChunkSize: 1, Workers: 1,
+		OnProgress: func(p analytics.Progress) {
+			if p.ChunksDone >= 1 {
+				<-release
+			}
+		}})
+	if err != nil {
+		t.Fatalf("StartSweep: %v", err)
+	}
+	defer once.Do(func() { close(release) })
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/admin/jobs/"+job.ID(), nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE = %d", resp.StatusCode)
+	}
+	once.Do(func() { close(release) })
+	done := waitJobDone(t, ts.URL, job.ID())
+	if done["state"] != string(analytics.JobCancelled) {
+		t.Fatalf("state after DELETE = %v", done["state"])
+	}
+	// Cancelling an unknown job 404s.
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/admin/jobs/nope", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("DELETE unknown = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestJobsCheckpointPathConfinement: the HTTP surface must never let a
+// request body choose an arbitrary server path to (over)write.
+func TestJobsCheckpointPathConfinement(t *testing.T) {
+	// No SweepCheckpointDir configured: checkpointed jobs are rejected.
+	srv := newTestServer(t, pitex.ServeOptions{PoolSize: 1})
+	ts := httptest.NewServer(srv.Handler())
+	out := postJSON(t, ts.URL+"/admin/jobs", `{"k":2,"checkpoint_path":"sweep.ckpt"}`, http.StatusBadRequest)
+	if msg, _ := out["error"].(string); !strings.Contains(msg, "SweepCheckpointDir") {
+		t.Fatalf("error = %q", msg)
+	}
+	ts.Close()
+
+	// With a directory: bare names are confined into it, path escapes 400.
+	dir := t.TempDir()
+	srv2 := newTestServer(t, pitex.ServeOptions{PoolSize: 1, SweepCheckpointDir: dir})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	for _, bad := range []string{"../evil.ckpt", "/etc/passwd", "a/b.ckpt", "..", ".", "/", `\evil`} {
+		body, _ := json.Marshal(map[string]any{"k": 2, "checkpoint_path": bad})
+		out := postJSON(t, ts2.URL+"/admin/jobs", string(body), http.StatusBadRequest)
+		if msg, _ := out["error"].(string); !strings.Contains(msg, "bare file name") {
+			t.Fatalf("checkpoint_path %q: error = %q", bad, msg)
+		}
+	}
+	out = postJSON(t, ts2.URL+"/admin/jobs", `{"k":2,"chunk_size":2,"checkpoint_path":"sweep.ckpt"}`, http.StatusAccepted)
+	id := out["id"].(string)
+	if done := waitJobDone(t, ts2.URL, id); done["state"] != string(analytics.JobDone) {
+		t.Fatalf("state = %v", done["state"])
+	}
+	if _, err := os.Stat(filepath.Join(dir, "sweep.ckpt")); err != nil {
+		t.Fatalf("checkpoint not confined to the configured dir: %v", err)
+	}
+}
+
+// TestJobsDeleteRemovesFinished: DELETE on a terminal job removes it (and
+// its retained leaderboard) from the manager.
+func TestJobsDeleteRemovesFinished(t *testing.T) {
+	srv := newTestServer(t, pitex.ServeOptions{PoolSize: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	out := postJSON(t, ts.URL+"/admin/jobs", `{"k":2,"chunk_size":2}`, http.StatusAccepted)
+	id := out["id"].(string)
+	waitJobDone(t, ts.URL, id)
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/admin/jobs/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var del map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&del); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if del["removed"] != true {
+		t.Fatalf("DELETE on finished job = %v, want removed:true", del)
+	}
+	getJSON(t, ts.URL+"/admin/jobs/"+id, http.StatusNotFound)
+}
+
+// TestCloseCancelsJobs: a server shutting down must cancel running sweeps
+// and not return until they have terminated (checkpoints flushed) — sweep
+// goroutines never outlive the server.
+func TestCloseCancelsJobs(t *testing.T) {
+	srv := newTestServer(t, pitex.ServeOptions{PoolSize: 1})
+	gate := make(chan struct{})
+	job, err := srv.StartSweep(analytics.Options{K: 2, ChunkSize: 1, Workers: 1,
+		OnProgress: func(analytics.Progress) { <-gate }})
+	if err != nil {
+		t.Fatalf("StartSweep: %v", err)
+	}
+	closeDone := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(closeDone)
+	}()
+	// Close must block while the sweep is still in flight.
+	select {
+	case <-closeDone:
+		t.Fatal("Close returned before the running sweep terminated")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(gate)
+	<-closeDone
+	if err := job.Wait(); err == nil {
+		t.Fatal("sweep survived server Close")
+	}
+	if st := job.Status(); st.State != analytics.JobCancelled {
+		t.Fatalf("state after Close = %v", st.State)
+	}
+	// And a closed server refuses new sweeps.
+	if _, err := srv.StartSweep(analytics.Options{K: 2}); err == nil {
+		t.Fatal("StartSweep accepted after Close")
+	}
+}
+
+// TestSweepJobDuringHotSwap is the race-mode satellite test: sweep jobs
+// run while update batches hot-swap the serving engine underneath them.
+// Every job must finish on its pinned generation (or report cancellation)
+// — never crash, never mix generations — and end up flagged stale once
+// the serving generation moves past it.
+func TestSweepJobDuringHotSwap(t *testing.T) {
+	en := fig2Engine(t, pitex.StrategyIndexPruned)
+	srv, err := New(en, pitex.ServeOptions{PoolSize: 2, QueueDepth: 32})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer srv.Close()
+
+	const swaps = 4
+	var wg sync.WaitGroup
+	jobs := make([]*analytics.Job, 0, swaps)
+	var jobsMu sync.Mutex
+
+	// Updater: alternately weaken and restore an edge, swapping the pool
+	// each time; between swaps, start a fresh sweep pinned to whatever
+	// generation is current.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < swaps; i++ {
+			var batch pitex.UpdateBatch
+			if i%2 == 0 {
+				batch.SetEdge(2, 3, pitex.TopicProb{Topic: 2, Prob: 0.3})
+			} else {
+				batch.SetEdge(2, 3, pitex.TopicProb{Topic: 2, Prob: 0.8})
+			}
+			if _, err := srv.ApplyUpdates(&batch); err != nil {
+				t.Errorf("ApplyUpdates %d: %v", i, err)
+				return
+			}
+			j, err := srv.StartSweep(analytics.Options{K: 2, TopN: 5, ChunkSize: 2, Workers: 2})
+			if err != nil {
+				t.Errorf("StartSweep %d: %v", i, err)
+				return
+			}
+			jobsMu.Lock()
+			jobs = append(jobs, j)
+			jobsMu.Unlock()
+		}
+	}()
+	// Query traffic rides along so the pool swap machinery is exercised
+	// at the same time.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if _, _, err := srv.SellingPoints(t.Context(), i%7, 2, 1, nil); err != nil {
+					t.Errorf("query during swaps: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	finalGen := srv.Generation()
+	for _, j := range jobs {
+		if err := j.Wait(); err != nil {
+			t.Fatalf("job %s: %v", j.ID(), err)
+		}
+		lb, ok := j.Result()
+		if !ok {
+			t.Fatalf("job %s finished without a result", j.ID())
+		}
+		// Never mixed generations: the leaderboard reports exactly the
+		// generation the job was pinned to at start.
+		if lb.Generation != j.Generation() {
+			t.Fatalf("job %s swept generation %d, pinned to %d", j.ID(), lb.Generation, j.Generation())
+		}
+		if lb.UsersSwept != 7 {
+			t.Fatalf("job %s swept %d users", j.ID(), lb.UsersSwept)
+		}
+		st := j.Status()
+		if j.Generation() != finalGen && !st.Stale {
+			t.Fatalf("job %s pinned to %d not stale at serving generation %d", j.ID(), j.Generation(), finalGen)
+		}
+		if j.Generation() == finalGen && st.Stale {
+			t.Fatalf("job %s stale at its own generation", j.ID())
+		}
+	}
+
+	// Determinism across the chaos: re-running a sweep against the final
+	// generation reproduces the last pinned-to-final job byte-for-byte.
+	var last *analytics.Job
+	for _, j := range jobs {
+		if j.Generation() == finalGen {
+			last = j
+		}
+	}
+	if last != nil {
+		relb, err := analytics.Run(t.Context(), srv.Engine(), analytics.Options{K: 2, TopN: 5, ChunkSize: 2, Workers: 3})
+		if err != nil {
+			t.Fatalf("re-run: %v", err)
+		}
+		var a, b bytes.Buffer
+		lb, _ := last.Result()
+		if err := lb.WriteJSON(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := relb.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("re-run diverged:\n%s\nvs\n%s", b.String(), a.String())
+		}
+	}
+}

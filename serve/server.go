@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"pitex"
+	"pitex/analytics"
 )
 
 // Server wires the serving stack — pool → cache → estimator — behind both
@@ -32,11 +33,19 @@ type Server struct {
 	proto    *pitex.Engine
 	closed   bool
 
-	cache    *Cache
-	metrics  *Metrics
+	cache   *Cache
+	metrics *Metrics
+	// jobs runs population-analytics sweeps (POST /admin/jobs): each job
+	// is pinned to the generation it started on and marked stale by
+	// ApplyUpdates once the serving engine moves past it.
+	jobs     *analytics.Manager
 	strategy string
-	opts     pitex.ServeOptions
-	start    time.Time
+	// numTags is the tag-vocabulary size, fixed across generations
+	// (ApplyUpdates mutates the network, never the tag model); request
+	// validation reads it without touching the pool.
+	numTags int
+	opts    pitex.ServeOptions
+	start   time.Time
 }
 
 // New builds a Server over the given query-ready engine. The engine is
@@ -55,7 +64,9 @@ func New(en *pitex.Engine, opts pitex.ServeOptions) (*Server, error) {
 		proto:    en,
 		cache:    NewCache(opts.CacheCapacity, opts.CacheShards),
 		metrics:  NewMetrics(),
+		jobs:     analytics.NewManager(),
 		strategy: en.Strategy().String(),
+		numTags:  en.Model().NumTags(),
 		opts:     opts,
 		start:    time.Now(),
 	}
@@ -65,18 +76,31 @@ func New(en *pitex.Engine, opts pitex.ServeOptions) (*Server, error) {
 }
 
 // Close shuts down the server: in-flight queries finish, queued and
-// future ones fail with ErrPoolClosed, and later ApplyUpdates calls are
-// rejected — an update landing during shutdown must not swap in a fresh
-// pool and resurrect a server a load balancer is draining.
+// future ones fail with ErrPoolClosed, running sweep jobs are cancelled
+// and waited for (their checkpoints flush before Close returns, so they
+// resume on the next start), and later ApplyUpdates calls are rejected —
+// an update landing during shutdown must not swap in a fresh pool and
+// resurrect a server a load balancer is draining.
 func (s *Server) Close() {
 	s.updateMu.Lock()
 	defer s.updateMu.Unlock()
 	s.closed = true
+	s.jobs.Shutdown()
 	s.pool.Load().Close()
 }
 
 // Generation returns the engine generation currently serving queries.
 func (s *Server) Generation() uint64 { return s.generation.Load() }
+
+// Engine returns the current generation's prototype engine — the one
+// pool clones and sweep jobs derive from. Treat it as read-only shared
+// state: clone it for queries, and never apply updates to it directly
+// (use ApplyUpdates).
+func (s *Server) Engine() *pitex.Engine {
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	return s.proto
+}
 
 // drainGrace bounds how long a retired pool may finish its in-flight and
 // queued work after a hot-swap before it is force-closed.
@@ -118,6 +142,10 @@ func (s *Server) ApplyUpdates(batch *pitex.UpdateBatch) (pitex.UpdateStats, erro
 	// by an old-generation engine.
 	s.generation.Store(next.Generation())
 	s.cache.Purge()
+	// Sweep jobs keep running on their pinned (pre-swap) generation —
+	// consistent answers, never mixed generations — but are flagged so
+	// GET /admin/jobs/{id} reports the population moved on.
+	s.jobs.MarkStale(next.Generation())
 	old.DrainAndClose(s.drainGrace())
 	return stats, nil
 }
@@ -166,6 +194,12 @@ func (s *Server) SellingPoints(ctx context.Context, user, k, m int, prefix []int
 	}
 	if len(prefix) > 0 && m > 1 {
 		return pitex.Result{}, false, fmt.Errorf("serve: prefix and top-m cannot be combined")
+	}
+	// Mirror the engine's prefix checks before admission: a duplicate or
+	// oversized prefix must 400 immediately, not occupy a pool engine (or
+	// cache a per-arguments error under a malformed key).
+	if err := pitex.ValidatePrefix(prefix, k, s.numTags); err != nil {
+		return pitex.Result{}, false, err
 	}
 	key := Key{Kind: "query", Gen: s.generation.Load(), User: user, K: k, M: m, Tags: TagsKey(prefix)}
 	v, cached, err := s.cache.GetOrCompute(ctx, key, func() (any, error) {
@@ -254,35 +288,16 @@ const MaxTopM = 64
 // traffic has the pool saturated) are reported in BatchResult.Err without
 // failing the batch.
 func (s *Server) QueryBatch(ctx context.Context, users []int, k int) []pitex.BatchResult {
-	out := make([]pitex.BatchResult, len(users))
-	workers := s.pool.Load().Size()
-	if workers > len(users) {
-		workers = len(users)
-	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				// Finishing in-flight work for a gone client is fine (it
-				// lands in the cache); starting its remaining jobs is not.
-				if err := ctx.Err(); err != nil {
-					out[i] = pitex.BatchResult{User: users[i], Err: err}
-					continue
-				}
-				res, err := s.batchQuery(ctx, users[i], k)
-				out[i] = pitex.BatchResult{User: users[i], Result: res, Err: err}
-			}
-		}()
-	}
-	for i := range users {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	return out
+	// pitex.RunBatchCtx supplies the drain-on-cancellation fan-out shared
+	// with Engine.QueryAllCtx: a cancelled batch marks its remaining users
+	// with ctx.Err() and never leaks a worker. Each row still flows
+	// through the cache and pool (admission control included) rather than
+	// a raw engine clone.
+	return pitex.RunBatchCtx(ctx, users, s.pool.Load().Size(), func() pitex.BatchQueryFunc {
+		return func(ctx context.Context, user int) (pitex.Result, error) {
+			return s.batchQuery(ctx, user, k)
+		}
+	})
 }
 
 // batchQuery is one batch worker's SellingPoints call. Unlike single
@@ -315,6 +330,9 @@ type Stats struct {
 	Pool        PoolStats                    `json:"pool"`
 	Cache       CacheStats                   `json:"cache"`
 	Latency     map[string]HistogramSnapshot `json:"latency"`
+	// Jobs lists the analytics sweep jobs (progress, generation pinning,
+	// staleness); empty when none were started.
+	Jobs []analytics.JobStatus `json:"jobs,omitempty"`
 }
 
 // Stats snapshots every layer's counters (the pool and index snapshots
@@ -330,6 +348,7 @@ func (s *Server) Stats() Stats {
 		Pool:          pool.Stats(),
 		Cache:         s.cache.Stats(),
 		Latency:       s.metrics.Snapshot(),
+		Jobs:          s.jobs.List(),
 	}
 }
 
@@ -339,16 +358,24 @@ func (s *Server) Stats() Stats {
 //	/selling-points?users=1,2,3&k=3               — a batch
 //	/audience?user=12&tags=1,4[&m=10][&samples=5000]
 //	/admin/update  (POST, JSON)                   — live graph update
+//	/admin/jobs    (POST, JSON)                   — start a population sweep
+//	/admin/jobs    (GET)                          — list sweep jobs
+//	/admin/jobs/{id}  (GET)                       — progress/ETA + leaderboard
+//	/admin/jobs/{id}  (DELETE)                    — cancel
 //	/healthz
 //	/statsz
 //
-// /admin/update carries no authentication; expose it only on an internal
-// listener or behind a reverse proxy that does.
+// The /admin endpoints carry no authentication; expose them only on an
+// internal listener or behind a reverse proxy that does.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/selling-points", s.handleSellingPoints)
 	mux.HandleFunc("/audience", s.handleAudience)
 	mux.HandleFunc("/admin/update", s.handleAdminUpdate)
+	mux.HandleFunc("POST /admin/jobs", s.handleJobCreate)
+	mux.HandleFunc("GET /admin/jobs", s.handleJobList)
+	mux.HandleFunc("GET /admin/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /admin/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
 	return mux

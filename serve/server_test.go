@@ -184,6 +184,44 @@ func TestServerBadParams(t *testing.T) {
 	}
 }
 
+// TestServerPrefixValidationHTTP pins the query-validation fix over the
+// HTTP path: malformed prefixes must 400 with a descriptive error before
+// ever occupying a pool engine, mirroring Engine.QueryWithPrefixCtx.
+func TestServerPrefixValidationHTTP(t *testing.T) {
+	srv := newTestServer(t, pitex.ServeOptions{PoolSize: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name, url, wantErr string
+	}{
+		{"duplicate", "/selling-points?user=0&k=3&prefix=1,1", "duplicate prefix tag"},
+		{"duplicate later", "/selling-points?user=0&k=4&prefix=0,2,0", "duplicate prefix tag"},
+		{"oversized", "/selling-points?user=0&k=2&prefix=0,1,2", "exceeds k"},
+		{"out of range", "/selling-points?user=0&k=2&prefix=9", "outside [0,4)"},
+		{"negative", "/selling-points?user=0&k=2&prefix=-1", "outside [0,4)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := getJSON(t, ts.URL+tc.url, http.StatusBadRequest)
+			msg, _ := out["error"].(string)
+			if !strings.Contains(msg, tc.wantErr) {
+				t.Fatalf("error = %q, want it to contain %q", msg, tc.wantErr)
+			}
+		})
+	}
+	// None of the rejected requests may have reached an engine.
+	if served := srv.Stats().Pool.Served; served != 0 {
+		t.Fatalf("pool served %d requests for invalid prefixes", served)
+	}
+	// A well-formed prefix still answers (and does occupy the pool).
+	out := getJSON(t, ts.URL+"/selling-points?user=0&k=2&prefix=2", http.StatusOK)
+	ids := out["tag_ids"].([]any)
+	if len(ids) != 2 {
+		t.Fatalf("valid prefix answer tag_ids = %v", ids)
+	}
+}
+
 func TestServerHealthzAndClose(t *testing.T) {
 	srv := newTestServer(t, pitex.ServeOptions{PoolSize: 1})
 	ts := httptest.NewServer(srv.Handler())
