@@ -153,9 +153,35 @@ func queryEntries(lines []benchLine) []queryEntry {
 	return out
 }
 
-func run(in io.Reader, servePath, queryPath string) error {
-	if servePath == "" && queryPath == "" {
-		return fmt.Errorf("nothing to do: pass -serve and/or -query")
+// distribEntries extracts the BenchmarkDistrib* rows (the distributed
+// scatter-gather benchmarks) in the same row shape as -query, keyed by
+// the sub-benchmark name under a "Distrib/" namespace.
+func distribEntries(lines []benchLine) []queryEntry {
+	var out []queryEntry
+	for _, b := range lines {
+		if !strings.HasPrefix(b.Name, "BenchmarkDistrib") {
+			continue
+		}
+		key := strings.TrimPrefix(b.Name, "Benchmark")
+		e := queryEntry{
+			Name:     b.Name,
+			Strategy: procSuffix.ReplaceAllString(key, ""),
+			NsPerOp:  b.NsPerOp,
+		}
+		if v, ok := b.extra("B/op"); ok {
+			e.BytesPerOp = &v
+		}
+		if v, ok := b.extra("allocs/op"); ok {
+			e.AllocsPerOp = &v
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func run(in io.Reader, servePath, queryPath, distribPath string) error {
+	if servePath == "" && queryPath == "" && distribPath == "" {
+		return fmt.Errorf("nothing to do: pass -serve, -query and/or -distrib")
 	}
 	lines, err := parseBench(in)
 	if err != nil {
@@ -182,14 +208,28 @@ func run(in io.Reader, servePath, queryPath string) error {
 			return err
 		}
 	}
+	if distribPath != "" {
+		entries := distribEntries(lines)
+		if len(entries) == 0 {
+			return fmt.Errorf("no BenchmarkDistrib results in input")
+		}
+		data, err := json.MarshalIndent(entries, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(distribPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 func main() {
 	var (
-		in    = flag.String("in", "", "bench output file (default: stdin)")
-		serve = flag.String("serve", "", "write the full benchmark list here (BENCH_serve.json)")
-		query = flag.String("query", "", "write the per-strategy query rows here (BENCH_query.json)")
+		in      = flag.String("in", "", "bench output file (default: stdin)")
+		serve   = flag.String("serve", "", "write the full benchmark list here (BENCH_serve.json)")
+		query   = flag.String("query", "", "write the per-strategy query rows here (BENCH_query.json)")
+		distrib = flag.String("distrib", "", "write the BenchmarkDistrib* rows here (BENCH_distrib.json)")
 	)
 	flag.Parse()
 	var r io.Reader = os.Stdin
@@ -202,7 +242,7 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	if err := run(r, *serve, *query); err != nil {
+	if err := run(r, *serve, *query, *distrib); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

@@ -19,6 +19,7 @@ BenchmarkQuerySingle/DELAYMAT-S4    	       1	 9999999 ns/op	   32000 B/op	     
 BenchmarkSweep/INDEXEST+-W4-4       	       3	712345678 ns/op	        64.00 users/op	 2030051 B/op	   21333 allocs/op
 BenchmarkAblationLazyVsBernoulli/lazy-geometric-4 	       1	  501234 ns/op	        4096 edgevisits/op
 BenchmarkServe/cached-4             	12345678	     103.1 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDistribScatter/S3-4        	     100	  1234567 ns/op	   45678 B/op	     512 allocs/op
 PASS
 ok  	pitex	12.345s
 `
@@ -28,8 +29,8 @@ func TestParseBench(t *testing.T) {
 	if err != nil {
 		t.Fatalf("parseBench: %v", err)
 	}
-	if len(lines) != 7 {
-		t.Fatalf("parsed %d lines, want 7", len(lines))
+	if len(lines) != 8 {
+		t.Fatalf("parsed %d lines, want 8", len(lines))
 	}
 	if lines[0].Name != "BenchmarkQuerySingle/LAZY-4" || lines[0].NsPerOp != 18267846 {
 		t.Fatalf("first line parsed as %+v", lines[0])
@@ -76,7 +77,8 @@ func TestRunWritesValidJSON(t *testing.T) {
 	dir := t.TempDir()
 	servePath := filepath.Join(dir, "serve.json")
 	queryPath := filepath.Join(dir, "query.json")
-	if err := run(strings.NewReader(sampleBench), servePath, queryPath); err != nil {
+	distribPath := filepath.Join(dir, "distrib.json")
+	if err := run(strings.NewReader(sampleBench), servePath, queryPath, distribPath); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	var serveDoc []map[string]any
@@ -87,8 +89,8 @@ func TestRunWritesValidJSON(t *testing.T) {
 	if err := json.Unmarshal(data, &serveDoc); err != nil {
 		t.Fatalf("serve JSON invalid: %v\n%s", err, data)
 	}
-	if len(serveDoc) != 7 {
-		t.Fatalf("serve JSON has %d rows, want 7", len(serveDoc))
+	if len(serveDoc) != 8 {
+		t.Fatalf("serve JSON has %d rows, want 8", len(serveDoc))
 	}
 	if serveDoc[0]["ns_per_op"].(float64) != 18267846 {
 		t.Fatalf("serve row 0: %v", serveDoc[0])
@@ -107,13 +109,27 @@ func TestRunWritesValidJSON(t *testing.T) {
 	if len(queryDoc) != 5 || queryDoc[2].Strategy != "INDEXEST-S4" || queryDoc[4].Strategy != "Sweep/INDEXEST+-W4" {
 		t.Fatalf("query JSON rows: %+v", queryDoc)
 	}
+	var distribDoc []queryEntry
+	data, err = os.ReadFile(distribPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &distribDoc); err != nil {
+		t.Fatalf("distrib JSON invalid: %v", err)
+	}
+	if len(distribDoc) != 1 || distribDoc[0].Strategy != "DistribScatter/S3" {
+		t.Fatalf("distrib JSON rows: %+v", distribDoc)
+	}
+	if distribDoc[0].BytesPerOp == nil || *distribDoc[0].BytesPerOp != 45678 {
+		t.Fatalf("distrib row lost benchmem metrics: %+v", distribDoc[0])
+	}
 }
 
 func TestRunRejectsEmptyInput(t *testing.T) {
-	if err := run(strings.NewReader("no benchmarks here\n"), "", filepath.Join(t.TempDir(), "q.json")); err == nil {
+	if err := run(strings.NewReader("no benchmarks here\n"), "", filepath.Join(t.TempDir(), "q.json"), ""); err == nil {
 		t.Fatal("empty bench output accepted")
 	}
-	if err := run(strings.NewReader(sampleBench), "", ""); err == nil {
+	if err := run(strings.NewReader(sampleBench), "", "", ""); err == nil {
 		t.Fatal("no-output invocation accepted")
 	}
 }

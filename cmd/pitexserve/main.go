@@ -21,10 +21,12 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"pitex"
+	"pitex/distrib"
 	"pitex/serve"
 )
 
@@ -47,6 +49,9 @@ func main() {
 		cheap    = flag.Bool("cheap-bounds", true, "use one-BFS upper bounds in best-effort exploration")
 		maxK     = flag.Int("max-k", 10, "largest supported query size k")
 
+		shardsFl = flag.String("shards", "", "coordinator mode: shard-server groups, comma-separated; replicas within a group separated by '|' (e.g. 'h1:8501|h1b:8501,h2:8502')")
+		shardTO  = flag.Duration("shard-deadline", 2*time.Second, "per-shard-group fetch deadline in coordinator mode (hedges included)")
+
 		addr     = flag.String("addr", "localhost:8437", "listen address")
 		pool     = flag.Int("pool", 0, "engine pool size (0 = GOMAXPROCS)")
 		queue    = flag.Int("queue", 0, "admission queue depth beyond the pool (0 = 4x pool, negative = no queue)")
@@ -55,6 +60,7 @@ func main() {
 		cacheCap = flag.Int("cache", 4096, "result cache capacity in entries (negative disables)")
 		shards   = flag.Int("cache-shards", 16, "cache shard count")
 		sweepDir = flag.String("sweep-checkpoint-dir", "", "directory for POST /admin/jobs checkpoint files (empty rejects checkpointed jobs over HTTP)")
+		drainTO  = flag.Duration("drain-timeout", 10*time.Second, "max time to drain in-flight HTTP requests on shutdown")
 	)
 	flag.Parse()
 	srv, err := setup(buildConfig{
@@ -63,6 +69,7 @@ func main() {
 		seed: *seed, scale: *scale, strategy: *strategy,
 		epsilon: *epsilon, delta: *delta, maxSamples: *maxSamp,
 		maxIndexSamples: *maxIdx, indexShards: *idxShard, cheapBounds: *cheap, maxK: *maxK,
+		shards: *shardsFl, shardDeadline: *shardTO,
 	}, pitex.ServeOptions{
 		PoolSize: *pool, QueueDepth: *queue,
 		QueueTimeout: *queueTO, QueryTimeout: *queryTO,
@@ -85,7 +92,14 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		log.Println("shutting down")
-		_ = httpSrv.Shutdown(context.Background())
+		// A bounded drain: Shutdown with a background context would wait
+		// forever on a stuck client holding its connection open. Past the
+		// timeout, remaining connections are force-closed.
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			_ = httpSrv.Close()
+		}
+		cancel()
 		close(idle)
 	}()
 	log.Printf("listening on %s", *addr)
@@ -111,6 +125,11 @@ type buildConfig struct {
 	indexShards                    int
 	cheapBounds                    bool
 	maxK                           int
+	// shards switches setup into coordinator mode: a distrib client is
+	// dialed over the groups and the server scatters to them instead of
+	// holding a local index.
+	shards        string
+	shardDeadline time.Duration
 }
 
 // setup builds the engine (running or loading the offline phase) and wraps
@@ -171,6 +190,37 @@ func setup(cfg buildConfig, sopts pitex.ServeOptions, logf func(string, ...any))
 		CheapBounds:     cfg.cheapBounds,
 		TrackUpdates:    cfg.trackUpdates,
 	}
+	if cfg.shards != "" {
+		if cfg.index != "" || cfg.saveIndex != "" {
+			return nil, fmt.Errorf("-index/-save-index do not apply in coordinator mode (-shards)")
+		}
+		groups, err := parseShardGroups(cfg.shards)
+		if err != nil {
+			return nil, err
+		}
+		dialCtx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		client, err := distrib.Dial(dialCtx, groups, distrib.Options{ShardDeadline: cfg.shardDeadline})
+		if err != nil {
+			return nil, err
+		}
+		if got := client.Strategy(); got != strategy.String() {
+			return nil, fmt.Errorf("shard servers run strategy %s, coordinator asked for %s", got, strategy)
+		}
+		en, err := pitex.NewRemoteEngine(net, model, opts, client)
+		if err != nil {
+			return nil, err
+		}
+		srv, err := serve.NewCoordinator(en, client, sopts)
+		if err != nil {
+			return nil, err
+		}
+		eff := sopts.WithDefaults()
+		logf("coordinating %d index shards over %d groups; %d workers, queue depth %d, cache %d entries",
+			client.TotalShards(), len(groups), eff.PoolSize, eff.QueueDepth, eff.CacheCapacity)
+		return srv, nil
+	}
+
 	var en *pitex.Engine
 	if cfg.index != "" {
 		f, err := os.Open(cfg.index)
@@ -210,6 +260,27 @@ func setup(cfg buildConfig, sopts pitex.ServeOptions, logf func(string, ...any))
 	logf("serving %s with %d engine workers, queue depth %d, cache %d entries",
 		en.Strategy(), eff.PoolSize, eff.QueueDepth, eff.CacheCapacity)
 	return srv, nil
+}
+
+// parseShardGroups splits the -shards syntax: groups separated by commas,
+// replica endpoints within a group by '|'.
+func parseShardGroups(spec string) ([][]string, error) {
+	var groups [][]string
+	for _, g := range strings.Split(spec, ",") {
+		var reps []string
+		for _, r := range strings.Split(g, "|") {
+			if r = strings.TrimSpace(r); r != "" {
+				reps = append(reps, r)
+			}
+		}
+		if len(reps) > 0 {
+			groups = append(groups, reps)
+		}
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("-shards %q names no endpoints", spec)
+	}
+	return groups, nil
 }
 
 // saveIndexFile writes the engine's offline structure atomically enough

@@ -5,10 +5,12 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 	"time"
 
 	"pitex"
+	"pitex/serve"
 )
 
 func testServeOptions() pitex.ServeOptions {
@@ -190,5 +192,118 @@ func TestSetupValidation(t *testing.T) {
 	cfg.network, cfg.model, cfg.strategy = "/does/not/exist", "/nope", "lazy"
 	if _, err := setup(cfg, testServeOptions(), discardf); err == nil {
 		t.Error("missing files accepted")
+	}
+}
+
+func TestParseShardGroups(t *testing.T) {
+	cases := []struct {
+		in   string
+		want [][]string
+		ok   bool
+	}{
+		{"h1:8501", [][]string{{"h1:8501"}}, true},
+		{"h1:8501,h2:8502", [][]string{{"h1:8501"}, {"h2:8502"}}, true},
+		{"h1:8501|h1b:8501,h2:8502", [][]string{{"h1:8501", "h1b:8501"}, {"h2:8502"}}, true},
+		{" h1:8501 , , h2:8502 ", [][]string{{"h1:8501"}, {"h2:8502"}}, true},
+		{"", nil, false},
+		{",|,", nil, false},
+	}
+	for _, c := range cases {
+		got, err := parseShardGroups(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("parseShardGroups(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseShardGroups(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// coordinatorConfig is the fleet-matching flag set for coordinator tests
+// (the shard server below is built from the same dataset recipe).
+func coordinatorConfig(shards string) buildConfig {
+	return buildConfig{
+		dataset: "lastfm", seed: 1, scale: 0.02, strategy: "indexest+",
+		epsilon: 0.7, delta: 1000, maxSamples: 500, maxIndexSamples: 4000,
+		cheapBounds: true, maxK: 10,
+		shards: shards, shardDeadline: 2 * time.Second,
+	}
+}
+
+// TestSetupCoordinator dials a real in-process shard server and serves a
+// query through the scatter path end to end.
+func TestSetupCoordinator(t *testing.T) {
+	spec, err := pitex.BaseDatasetSpec("lastfm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, model, err := pitex.GenerateDatasetSpec(spec.Scaled(0.02), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := serve.NewShardServer(net, model, pitex.Options{
+		Strategy: pitex.StrategyIndexPruned, Epsilon: 0.7, Delta: 1000, MaxK: 10,
+		Seed: 1, MaxSamples: 500, MaxIndexSamples: 4000,
+	}, serve.ShardConfig{TotalShards: 1})
+	if err != nil {
+		t.Fatalf("NewShardServer: %v", err)
+	}
+	shard := httptest.NewServer(ss.Handler())
+	defer shard.Close()
+
+	srv, err := setup(coordinatorConfig(shard.URL), testServeOptions(), discardf)
+	if err != nil {
+		t.Fatalf("coordinator setup: %v", err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/selling-points?user=0&k=2")
+	if err != nil {
+		t.Fatalf("GET selling-points: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("scattered query = %d", resp.StatusCode)
+	}
+}
+
+func TestSetupCoordinatorErrors(t *testing.T) {
+	cfg := coordinatorConfig("localhost:1") // nothing listens on port 1
+	cfg.index = "index.bin"
+	if _, err := setup(cfg, testServeOptions(), discardf); err == nil {
+		t.Error("-index accepted in coordinator mode")
+	}
+	cfg = coordinatorConfig("")
+	cfg.shards = " , "
+	if _, err := setup(cfg, testServeOptions(), discardf); err == nil {
+		t.Error("empty -shards spec accepted")
+	}
+}
+
+// TestSetupCoordinatorStrategyMismatch: the fleet's strategy is part of
+// the wire contract; a coordinator asking for a different one must fail
+// fast at dial time.
+func TestSetupCoordinatorStrategyMismatch(t *testing.T) {
+	spec, err := pitex.BaseDatasetSpec("lastfm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, model, err := pitex.GenerateDatasetSpec(spec.Scaled(0.02), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := serve.NewShardServer(net, model, pitex.Options{
+		Strategy: pitex.StrategyIndex, Epsilon: 0.7, Delta: 1000, MaxK: 10,
+		Seed: 1, MaxSamples: 500, MaxIndexSamples: 4000,
+	}, serve.ShardConfig{TotalShards: 1})
+	if err != nil {
+		t.Fatalf("NewShardServer: %v", err)
+	}
+	shard := httptest.NewServer(ss.Handler())
+	defer shard.Close()
+	if _, err := setup(coordinatorConfig(shard.URL), testServeOptions(), discardf); err == nil {
+		t.Error("strategy mismatch accepted")
 	}
 }

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func discardf(string, ...any) {}
+
+func TestParseOwned(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		ok   bool
+	}{
+		{"", nil, true},
+		{"  ", nil, true},
+		{"0", []int{0}, true},
+		{"0,2,5", []int{0, 2, 5}, true},
+		{" 1 , 3 ", []int{1, 3}, true},
+		{"0,,2", []int{0, 2}, true},
+		{"x", nil, false},
+		{"0,two", nil, false},
+	}
+	for _, c := range cases {
+		got, err := parseOwned(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("parseOwned(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseOwned(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSetupAndServeShard(t *testing.T) {
+	ss, err := setup(shardConfig{
+		dataset: "lastfm", seed: 1, scale: 0.02, strategy: "indexest+",
+		epsilon: 0.7, delta: 1000, maxSamples: 500, maxIndexSamples: 4000,
+		indexShards: 2, maxK: 10, own: "0",
+	}, discardf)
+	if err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := ss.WaitReady(ctx); err != nil {
+		t.Fatalf("WaitReady: %v", err)
+	}
+
+	ts := httptest.NewServer(ss.Handler())
+	defer ts.Close()
+	for _, url := range []string{"/healthz", "/readyz", "/shard/info", "/statsz"} {
+		resp, err := ts.Client().Get(ts.URL + url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s = %d", url, resp.StatusCode)
+		}
+	}
+}
+
+func TestSetupErrors(t *testing.T) {
+	cases := map[string]shardConfig{
+		"no input":     {strategy: "indexest+", epsilon: 0.7, delta: 1000, maxK: 10},
+		"bad strategy": {dataset: "lastfm", scale: 0.02, strategy: "bogus", epsilon: 0.7, delta: 1000, maxK: 10},
+		"bad own":      {dataset: "lastfm", scale: 0.02, strategy: "indexest+", epsilon: 0.7, delta: 1000, maxK: 10, own: "zero"},
+		"own outside layout": {dataset: "lastfm", scale: 0.02, strategy: "indexest+",
+			epsilon: 0.7, delta: 1000, maxK: 10, indexShards: 2, own: "7"},
+		"online strategy": {dataset: "lastfm", scale: 0.02, strategy: "lazy",
+			epsilon: 0.7, delta: 1000, maxK: 10},
+	}
+	for name, cfg := range cases {
+		cfg.seed = 1
+		cfg.maxSamples = 500
+		cfg.maxIndexSamples = 4000
+		if _, err := setup(cfg, discardf); err == nil {
+			t.Errorf("%s: setup succeeded", name)
+		}
+	}
+}

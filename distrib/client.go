@@ -1,0 +1,704 @@
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"slices"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pitex"
+	"pitex/internal/rrindex"
+)
+
+// Options tunes the client's robustness machinery. The zero value is
+// usable; withDefaults fills the blanks.
+type Options struct {
+	// ShardDeadline bounds one group fetch end to end — all attempts,
+	// hedges included (default 2s). A group that cannot answer within it
+	// is reported missing and the gather degrades.
+	ShardDeadline time.Duration
+	// HedgeMin floors the hedge delay (default 20ms): a hedge is never
+	// sent sooner, even when the latency window says the group is faster.
+	HedgeMin time.Duration
+	// HedgeQuantile picks the latency-window quantile after which a
+	// fetch is hedged to the next replica (default 0.9).
+	HedgeQuantile float64
+	// FailureCooldown is the base endpoint cooldown after a failure,
+	// doubling per consecutive failure up to 2^5× (default 1s).
+	FailureCooldown time.Duration
+	// UpdateDeadline bounds one /shard/update fan-out call per endpoint
+	// (default 60s — repairs re-sample RR-Graphs and are much slower than
+	// queries).
+	UpdateDeadline time.Duration
+	// HTTPClient overrides the transport (default: a dedicated client
+	// with sane connection pooling).
+	HTTPClient *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.ShardDeadline <= 0 {
+		o.ShardDeadline = 2 * time.Second
+	}
+	if o.HedgeMin <= 0 {
+		o.HedgeMin = 20 * time.Millisecond
+	}
+	if o.HedgeQuantile <= 0 || o.HedgeQuantile >= 1 {
+		o.HedgeQuantile = 0.9
+	}
+	if o.FailureCooldown <= 0 {
+		o.FailureCooldown = time.Second
+	}
+	if o.UpdateDeadline <= 0 {
+		o.UpdateDeadline = 60 * time.Second
+	}
+	if o.HTTPClient == nil {
+		o.HTTPClient = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	return o
+}
+
+// endpoint is one shard-server address with failure bookkeeping.
+type endpoint struct {
+	url string
+
+	mu          sync.Mutex
+	consecFails int
+	coolUntil   time.Time
+}
+
+func (e *endpoint) fail(now time.Time, base time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.consecFails++
+	n := e.consecFails
+	if n > 6 {
+		n = 6
+	}
+	e.coolUntil = now.Add(base << uint(n-1))
+}
+
+func (e *endpoint) succeed() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.consecFails = 0
+	e.coolUntil = time.Time{}
+}
+
+func (e *endpoint) cooling(now time.Time) (bool, time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return now.Before(e.coolUntil), e.coolUntil
+}
+
+// latWindow is a small ring of recent group latencies for the hedge
+// quantile.
+type latWindow struct {
+	mu   sync.Mutex
+	buf  [64]time.Duration
+	n    int // filled entries, capped at len(buf)
+	next int
+}
+
+func (w *latWindow) add(d time.Duration) {
+	w.mu.Lock()
+	w.buf[w.next] = d
+	w.next = (w.next + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+	w.mu.Unlock()
+}
+
+// quantile returns the q-quantile of the window, or ok=false when empty.
+func (w *latWindow) quantile(q float64) (time.Duration, bool) {
+	w.mu.Lock()
+	n := w.n
+	tmp := make([]time.Duration, n)
+	copy(tmp, w.buf[:n])
+	w.mu.Unlock()
+	if n == 0 {
+		return 0, false
+	}
+	slices.Sort(tmp)
+	i := int(q * float64(n))
+	if i >= n {
+		i = n - 1
+	}
+	return tmp[i], true
+}
+
+// group is one replica set: every endpoint serves the same shard ids.
+type group struct {
+	endpoints []*endpoint
+	shards    []int
+	lat       latWindow
+}
+
+// candidates orders the group's endpoints for an attempt sequence:
+// healthy ones first (configured order), cooling ones last. When every
+// replica is cooling the full list comes back anyway — probing a cooling
+// endpoint is how it recovers.
+func (g *group) candidates(now time.Time) []*endpoint {
+	avail := make([]*endpoint, 0, len(g.endpoints))
+	var cooling []*endpoint
+	for _, ep := range g.endpoints {
+		if c, _ := ep.cooling(now); c {
+			cooling = append(cooling, ep)
+		} else {
+			avail = append(avail, ep)
+		}
+	}
+	return append(avail, cooling...)
+}
+
+// hedgeDelay derives the adaptive hedge trigger: the latency-window
+// quantile, clamped to [HedgeMin, ShardDeadline/2]. An empty window (cold
+// start) hedges aggressively at HedgeMin.
+func (g *group) hedgeDelay(o Options) time.Duration {
+	d, ok := g.lat.quantile(o.HedgeQuantile)
+	if !ok || d < o.HedgeMin {
+		d = o.HedgeMin
+	}
+	if max := o.ShardDeadline / 2; d > max {
+		d = max
+	}
+	return d
+}
+
+// Client is the coordinator-side handle on a shard-server fleet. It
+// implements pitex.RemoteEstimator and is safe for concurrent use.
+type Client struct {
+	opts   Options
+	http   *http.Client
+	groups []*group
+
+	generation  atomic.Uint64
+	totalShards int
+	strategy    string
+
+	// Last-known per-shard gather metadata, refreshed by every partial
+	// that flows through (θ grows under repairs, |V_s| under AddUsers) —
+	// the degraded gather's denominator and the achieved-ε report read
+	// these.
+	shardTheta []atomic.Int64
+	shardUsers []atomic.Int64
+
+	scatters  atomic.Int64
+	hedges    atomic.Int64
+	failovers atomic.Int64
+	degraded  atomic.Int64
+}
+
+// Dial connects to a fleet: groups[i] lists the replica endpoints (URL or
+// host:port) of one shard set. Dial polls each group's /shard/info until
+// a replica reports Ready (shard servers build their index slices
+// asynchronously) or ctx ends, then validates that the groups exactly
+// partition [0, TotalShards) and agree on layout, strategy and
+// generation.
+func Dial(ctx context.Context, groupAddrs [][]string, opts Options) (*Client, error) {
+	if len(groupAddrs) == 0 {
+		return nil, fmt.Errorf("distrib: no shard groups")
+	}
+	opts = opts.withDefaults()
+	c := &Client{opts: opts, http: opts.HTTPClient, totalShards: -1}
+	covered := make(map[int]int) // shard -> group index
+	type pending struct {
+		g    *group
+		info *InfoResponse
+	}
+	var infos []pending
+	for gi, addrs := range groupAddrs {
+		if len(addrs) == 0 {
+			return nil, fmt.Errorf("distrib: group %d has no endpoints", gi)
+		}
+		g := &group{}
+		for _, a := range addrs {
+			g.endpoints = append(g.endpoints, &endpoint{url: normalizeURL(a)})
+		}
+		info, err := c.awaitReady(ctx, g)
+		if err != nil {
+			return nil, fmt.Errorf("distrib: group %d (%s): %w", gi, strings.Join(addrs, ","), err)
+		}
+		if c.totalShards == -1 {
+			c.totalShards = info.TotalShards
+			c.strategy = info.Strategy
+			c.generation.Store(info.Generation)
+		} else {
+			switch {
+			case info.TotalShards != c.totalShards:
+				return nil, fmt.Errorf("distrib: group %d has %d total shards, group 0 has %d",
+					gi, info.TotalShards, c.totalShards)
+			case info.Strategy != c.strategy:
+				return nil, fmt.Errorf("distrib: group %d strategy %s, group 0 %s", gi, info.Strategy, c.strategy)
+			case info.Generation != c.generation.Load():
+				return nil, fmt.Errorf("distrib: group %d at generation %d, group 0 at %d",
+					gi, info.Generation, c.generation.Load())
+			}
+		}
+		for _, si := range info.Shards {
+			if si.Shard < 0 || si.Shard >= c.totalShards {
+				return nil, fmt.Errorf("distrib: group %d serves shard %d outside [0,%d)", gi, si.Shard, c.totalShards)
+			}
+			if prev, dup := covered[si.Shard]; dup {
+				return nil, fmt.Errorf("distrib: shard %d served by both group %d and %d", si.Shard, prev, gi)
+			}
+			covered[si.Shard] = gi
+			g.shards = append(g.shards, si.Shard)
+		}
+		slices.Sort(g.shards)
+		c.groups = append(c.groups, g)
+		infos = append(infos, pending{g, info})
+	}
+	if len(covered) != c.totalShards {
+		var missing []int
+		for s := 0; s < c.totalShards; s++ {
+			if _, ok := covered[s]; !ok {
+				missing = append(missing, s)
+			}
+		}
+		return nil, fmt.Errorf("distrib: shards %v not served by any group", missing)
+	}
+	c.shardTheta = make([]atomic.Int64, c.totalShards)
+	c.shardUsers = make([]atomic.Int64, c.totalShards)
+	for _, p := range infos {
+		for _, si := range p.info.Shards {
+			c.shardTheta[si.Shard].Store(si.Theta)
+			c.shardUsers[si.Shard].Store(int64(si.Users))
+		}
+	}
+	return c, nil
+}
+
+func normalizeURL(addr string) string {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/")
+}
+
+// awaitReady polls a group's endpoints for a Ready /shard/info.
+func (c *Client) awaitReady(ctx context.Context, g *group) (*InfoResponse, error) {
+	var lastErr error
+	for {
+		for _, ep := range g.endpoints {
+			info, err := c.getInfo(ctx, ep)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if info.Ready {
+				return info, nil
+			}
+			lastErr = fmt.Errorf("%s still building its shards", ep.url)
+		}
+		select {
+		case <-ctx.Done():
+			if lastErr != nil {
+				return nil, fmt.Errorf("%w (last: %v)", ctx.Err(), lastErr)
+			}
+			return nil, ctx.Err()
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+}
+
+func (c *Client) getInfo(ctx context.Context, ep *endpoint) (*InfoResponse, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.opts.ShardDeadline)
+	defer cancel()
+	body, err := c.roundTrip(ctx, http.MethodGet, ep.url+"/shard/info", nil)
+	if err != nil {
+		return nil, err
+	}
+	var info InfoResponse
+	if err := json.Unmarshal(body, &info); err != nil {
+		return nil, fmt.Errorf("bad info from %s: %w", ep.url, err)
+	}
+	return &info, nil
+}
+
+// roundTrip performs one HTTP exchange and returns the response body,
+// mapping non-2xx statuses to errors carrying the server's message.
+func (c *Client) roundTrip(ctx context.Context, method, url string, body []byte) ([]byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		msg := strings.TrimSpace(string(data))
+		if len(msg) > 200 {
+			msg = msg[:200]
+		}
+		return nil, fmt.Errorf("%s %s: status %d: %s", method, url, resp.StatusCode, msg)
+	}
+	return data, nil
+}
+
+// fetchGroup runs one hedged, failing-over fetch against a group: the
+// first candidate is tried immediately, the next one after the adaptive
+// hedge delay (straggler) or instantly on a hard error (dead replica),
+// and so on down the candidate list; the first success wins. The whole
+// sequence shares one ShardDeadline.
+func (c *Client) fetchGroup(ctx context.Context, g *group, method, path string, body []byte) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.opts.ShardDeadline)
+	defer cancel()
+	cands := g.candidates(time.Now())
+	type attempt struct {
+		data []byte
+		err  error
+		ep   *endpoint
+		dur  time.Duration
+	}
+	ch := make(chan attempt, len(cands))
+	launch := func(ep *endpoint) {
+		go func() {
+			t0 := time.Now()
+			data, err := c.roundTrip(ctx, method, ep.url+path, body)
+			ch <- attempt{data, err, ep, time.Since(t0)}
+		}()
+	}
+	launch(cands[0])
+	next, inFlight := 1, 1
+	hd := g.hedgeDelay(c.opts)
+	timer := time.NewTimer(hd)
+	defer timer.Stop()
+	var firstErr error
+	for inFlight > 0 {
+		select {
+		case a := <-ch:
+			inFlight--
+			if a.err == nil {
+				a.ep.succeed()
+				g.lat.add(a.dur)
+				return a.data, nil
+			}
+			a.ep.fail(time.Now(), c.opts.FailureCooldown)
+			if firstErr == nil {
+				firstErr = a.err
+			}
+			if next < len(cands) {
+				c.failovers.Add(1)
+				launch(cands[next])
+				next++
+				inFlight++
+			}
+		case <-timer.C:
+			if next < len(cands) {
+				c.hedges.Add(1)
+				launch(cands[next])
+				next++
+				inFlight++
+				timer.Reset(hd)
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return nil, firstErr
+}
+
+// noteShard refreshes the last-known gather metadata from a partial.
+func (c *Client) noteShard(p rrindex.Partial) {
+	if p.Shard >= 0 && p.Shard < len(c.shardTheta) {
+		c.shardTheta[p.Shard].Store(p.Theta)
+		c.shardUsers[p.Shard].Store(int64(p.Users))
+	}
+}
+
+func (c *Client) totalTheta() int64 {
+	var t int64
+	for i := range c.shardTheta {
+		t += c.shardTheta[i].Load()
+	}
+	return t
+}
+
+func (c *Client) totalUsers() int {
+	var u int64
+	for i := range c.shardUsers {
+		u += c.shardUsers[i].Load()
+	}
+	return int(u)
+}
+
+// EstimateRemote implements pitex.RemoteEstimator: scatter the probe to
+// every group, gather the partials. With every group responding the
+// result is byte-identical to the in-process sharded estimator
+// (rrindex.GatherPartials); with groups missing it degrades via
+// rrindex.GatherPartialsDegraded and reports which shards were absent.
+// It fails outright only when no shard at all responded.
+func (c *Client) EstimateRemote(ctx context.Context, user int, probe pitex.RemoteProbe) (pitex.RemoteEstimate, error) {
+	body, err := json.Marshal(EstimateRequest{User: user, Generation: c.generation.Load(), Probe: probe})
+	if err != nil {
+		return pitex.RemoteEstimate{}, err
+	}
+	c.scatters.Add(1)
+	type groupResult struct {
+		data []byte
+		err  error
+	}
+	results := make([]groupResult, len(c.groups))
+	var wg sync.WaitGroup
+	for i, g := range c.groups {
+		wg.Add(1)
+		go func(i int, g *group) {
+			defer wg.Done()
+			data, err := c.fetchGroup(ctx, g, http.MethodPost, "/shard/estimate", body)
+			results[i] = groupResult{data, err}
+		}(i, g)
+	}
+	wg.Wait()
+
+	var partials []rrindex.Partial
+	var missing []int
+	var firstErr error
+	for i, r := range results {
+		if r.err == nil {
+			var resp EstimateResponse
+			if e := json.Unmarshal(r.data, &resp); e != nil {
+				r.err = e
+			} else {
+				for _, p := range resp.Partials {
+					c.noteShard(p)
+					partials = append(partials, p)
+				}
+				continue
+			}
+		}
+		if firstErr == nil {
+			firstErr = r.err
+		}
+		missing = append(missing, c.groups[i].shards...)
+	}
+	if len(partials) == 0 {
+		return pitex.RemoteEstimate{}, fmt.Errorf("distrib: no shard responded: %w", firstErr)
+	}
+	if len(missing) == 0 {
+		r := rrindex.GatherPartials(partials)
+		return pitex.RemoteEstimate{
+			Influence: r.Influence, Samples: r.Samples, Theta: r.Theta, Reachable: r.Reachable,
+			RespondingTheta: r.Theta, TotalTheta: r.Theta,
+		}, nil
+	}
+	c.degraded.Add(1)
+	slices.Sort(missing)
+	r := rrindex.GatherPartialsDegraded(partials, c.totalUsers())
+	return pitex.RemoteEstimate{
+		Influence: r.Influence, Samples: r.Samples, Theta: r.Theta, Reachable: r.Reachable,
+		MissingShards: missing, RespondingTheta: r.Theta, TotalTheta: c.totalTheta(),
+	}, nil
+}
+
+// Counters scatters a counter lookup (RR-Graph containment counts, or
+// DelayMat counters under DELAYEST) and returns the summed count plus the
+// shards that did not respond.
+func (c *Client) Counters(ctx context.Context, user int) (int64, []int, error) {
+	path := fmt.Sprintf("/shard/counters?user=%d&generation=%d", user, c.generation.Load())
+	type groupResult struct {
+		data []byte
+		err  error
+	}
+	results := make([]groupResult, len(c.groups))
+	var wg sync.WaitGroup
+	for i, g := range c.groups {
+		wg.Add(1)
+		go func(i int, g *group) {
+			defer wg.Done()
+			data, err := c.fetchGroup(ctx, g, http.MethodGet, path, nil)
+			results[i] = groupResult{data, err}
+		}(i, g)
+	}
+	wg.Wait()
+	var total int64
+	var missing []int
+	var firstErr error
+	responded := false
+	for i, r := range results {
+		var resp CountersResponse
+		if r.err == nil {
+			r.err = json.Unmarshal(r.data, &resp)
+		}
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			missing = append(missing, c.groups[i].shards...)
+			continue
+		}
+		responded = true
+		for _, cnt := range resp.Counts {
+			total += cnt.Count
+		}
+	}
+	if !responded {
+		return 0, nil, fmt.Errorf("distrib: no shard responded: %w", firstErr)
+	}
+	slices.Sort(missing)
+	return total, missing, nil
+}
+
+// EndpointUpdate is one endpoint's outcome of an Update fan-out.
+type EndpointUpdate struct {
+	URL            string `json:"url"`
+	Generation     uint64 `json:"generation,omitempty"`
+	GraphsRepaired int    `json:"graphs_repaired"`
+	GraphsAppended int    `json:"graphs_appended"`
+	Error          string `json:"error,omitempty"`
+}
+
+// Update fans one staged batch to EVERY endpoint of every group (each
+// replica holds its own index copy and repairs it independently —
+// deterministically, so replicas stay byte-identical). Failed endpoints
+// are reported, not fatal: a replica that missed the update answers the
+// new generation with 409, fails health checks, and the fleet serves
+// degraded until it recovers. The caller advances SetGeneration only
+// after this returns.
+func (c *Client) Update(ctx context.Context, req UpdateRequest) ([]EndpointUpdate, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var eps []*endpoint
+	for _, g := range c.groups {
+		eps = append(eps, g.endpoints...)
+	}
+	out := make([]EndpointUpdate, len(eps))
+	var wg sync.WaitGroup
+	for i, ep := range eps {
+		wg.Add(1)
+		go func(i int, ep *endpoint) {
+			defer wg.Done()
+			ectx, cancel := context.WithTimeout(ctx, c.opts.UpdateDeadline)
+			defer cancel()
+			out[i] = EndpointUpdate{URL: ep.url}
+			data, err := c.roundTrip(ectx, http.MethodPost, ep.url+"/shard/update", body)
+			if err != nil {
+				ep.fail(time.Now(), c.opts.FailureCooldown)
+				out[i].Error = err.Error()
+				return
+			}
+			var resp UpdateResponse
+			if err := json.Unmarshal(data, &resp); err != nil {
+				out[i].Error = err.Error()
+				return
+			}
+			ep.succeed()
+			out[i].Generation = resp.Generation
+			out[i].GraphsRepaired = resp.GraphsRepaired
+			out[i].GraphsAppended = resp.GraphsAppended
+		}(i, ep)
+	}
+	wg.Wait()
+	failed := 0
+	for _, o := range out {
+		if o.Error != "" {
+			failed++
+		}
+	}
+	if failed == len(out) {
+		return out, fmt.Errorf("distrib: update failed on every endpoint (first: %s)", out[0].Error)
+	}
+	return out, nil
+}
+
+// SetGeneration advances the generation stamped on every subsequent
+// request. Call it after a successful Update fan-out.
+func (c *Client) SetGeneration(gen uint64) { c.generation.Store(gen) }
+
+// Generation returns the generation currently stamped on requests.
+func (c *Client) Generation() uint64 { return c.generation.Load() }
+
+// TotalShards returns the cluster layout's shard count S.
+func (c *Client) TotalShards() int { return c.totalShards }
+
+// Strategy returns the fleet's estimation strategy name.
+func (c *Client) Strategy() string { return c.strategy }
+
+// EndpointStatus is one endpoint's health row in Status.
+type EndpointStatus struct {
+	URL                 string `json:"url"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	CoolingMs           int64  `json:"cooling_ms,omitempty"`
+}
+
+// GroupStatus is one replica group's row in Status.
+type GroupStatus struct {
+	Shards       []int            `json:"shards"`
+	HedgeDelayMs float64          `json:"hedge_delay_ms"`
+	Endpoints    []EndpointStatus `json:"endpoints"`
+}
+
+// Status is the client's observability snapshot, exported by the
+// coordinator's /statsz.
+type Status struct {
+	Generation      uint64        `json:"generation"`
+	TotalShards     int           `json:"total_shards"`
+	TotalUsers      int           `json:"total_users"`
+	TotalTheta      int64         `json:"total_theta"`
+	Strategy        string        `json:"strategy"`
+	Scatters        int64         `json:"scatters"`
+	Hedges          int64         `json:"hedges"`
+	Failovers       int64         `json:"failovers"`
+	DegradedAnswers int64         `json:"degraded_answers"`
+	Groups          []GroupStatus `json:"groups"`
+}
+
+// Status snapshots the fleet view.
+func (c *Client) Status() Status {
+	now := time.Now()
+	st := Status{
+		Generation:      c.generation.Load(),
+		TotalShards:     c.totalShards,
+		TotalUsers:      c.totalUsers(),
+		TotalTheta:      c.totalTheta(),
+		Strategy:        c.strategy,
+		Scatters:        c.scatters.Load(),
+		Hedges:          c.hedges.Load(),
+		Failovers:       c.failovers.Load(),
+		DegradedAnswers: c.degraded.Load(),
+	}
+	for _, g := range c.groups {
+		gs := GroupStatus{
+			Shards:       append([]int(nil), g.shards...),
+			HedgeDelayMs: float64(g.hedgeDelay(c.opts)) / float64(time.Millisecond),
+		}
+		for _, ep := range g.endpoints {
+			es := EndpointStatus{URL: ep.url}
+			ep.mu.Lock()
+			es.ConsecutiveFailures = ep.consecFails
+			cool := ep.coolUntil
+			ep.mu.Unlock()
+			if cool.After(now) {
+				es.CoolingMs = int64(cool.Sub(now) / time.Millisecond)
+			}
+			gs.Endpoints = append(gs.Endpoints, es)
+		}
+		st.Groups = append(st.Groups, gs)
+	}
+	return st
+}

@@ -1,0 +1,337 @@
+package distrib
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pitex"
+	"pitex/internal/rrindex"
+)
+
+func TestEndpointCooldownDoubles(t *testing.T) {
+	ep := &endpoint{url: "http://x"}
+	now := time.Now()
+	base := time.Second
+	ep.fail(now, base)
+	if c, until := ep.cooling(now); !c || until.Sub(now) != base {
+		t.Fatalf("first failure cooldown = %v, want %v", until.Sub(now), base)
+	}
+	ep.fail(now, base)
+	if _, until := ep.cooling(now); until.Sub(now) != 2*base {
+		t.Fatalf("second failure cooldown = %v, want %v", until.Sub(now), 2*base)
+	}
+	for i := 0; i < 10; i++ {
+		ep.fail(now, base)
+	}
+	if _, until := ep.cooling(now); until.Sub(now) != base<<5 {
+		t.Fatalf("cooldown cap = %v, want %v", until.Sub(now), base<<5)
+	}
+	ep.succeed()
+	if c, _ := ep.cooling(now); c {
+		t.Fatal("success did not clear the cooldown")
+	}
+}
+
+func TestLatWindowQuantile(t *testing.T) {
+	var w latWindow
+	if _, ok := w.quantile(0.9); ok {
+		t.Fatal("empty window reported a quantile")
+	}
+	for i := 1; i <= 10; i++ {
+		w.add(time.Duration(i) * time.Millisecond)
+	}
+	if d, ok := w.quantile(0.9); !ok || d != 10*time.Millisecond {
+		t.Fatalf("p90 of 1..10ms = %v (%v)", d, ok)
+	}
+	if d, _ := w.quantile(0.5); d != 6*time.Millisecond {
+		t.Fatalf("p50 of 1..10ms = %v", d)
+	}
+	// Overflow the ring: only the last 64 entries count.
+	for i := 0; i < 200; i++ {
+		w.add(time.Hour)
+	}
+	if d, _ := w.quantile(0.5); d != time.Hour {
+		t.Fatalf("ring did not evict old samples: p50 = %v", d)
+	}
+}
+
+func TestHedgeDelayClamps(t *testing.T) {
+	o := Options{}.withDefaults()
+	g := &group{}
+	// Cold start: no latency samples → the floor.
+	if d := g.hedgeDelay(o); d != o.HedgeMin {
+		t.Fatalf("cold-start hedge delay = %v, want %v", d, o.HedgeMin)
+	}
+	// A slow window clamps to ShardDeadline/2.
+	for i := 0; i < 64; i++ {
+		g.lat.add(time.Minute)
+	}
+	if d := g.hedgeDelay(o); d != o.ShardDeadline/2 {
+		t.Fatalf("slow-window hedge delay = %v, want %v", d, o.ShardDeadline/2)
+	}
+}
+
+func TestCandidatesOrdering(t *testing.T) {
+	now := time.Now()
+	a, b, c := &endpoint{url: "a"}, &endpoint{url: "b"}, &endpoint{url: "c"}
+	g := &group{endpoints: []*endpoint{a, b, c}}
+	b.fail(now, time.Minute)
+	got := g.candidates(now)
+	if got[0] != a || got[1] != c || got[2] != b {
+		t.Fatalf("cooling endpoint not demoted: %v %v %v", got[0].url, got[1].url, got[2].url)
+	}
+	// All cooling: the full list still comes back (probing recovers them).
+	a.fail(now, time.Minute)
+	c.fail(now, time.Minute)
+	if got := g.candidates(now); len(got) != 3 {
+		t.Fatalf("all-cooling candidates = %d, want 3", len(got))
+	}
+}
+
+func TestNormalizeURL(t *testing.T) {
+	if got := normalizeURL("localhost:8501"); got != "http://localhost:8501" {
+		t.Fatalf("normalizeURL = %q", got)
+	}
+	if got := normalizeURL("https://h:1/"); got != "https://h:1" {
+		t.Fatalf("normalizeURL = %q", got)
+	}
+}
+
+func TestUpdateWireRoundTrip(t *testing.T) {
+	var b pitex.UpdateBatch
+	b.AddUsers(3)
+	b.InsertEdge(1, 2, pitex.TopicProb{Topic: 0, Prob: 0.5})
+	b.DeleteEdge(4, 5)
+	b.SetEdge(6, 7, pitex.TopicProb{Topic: 1, Prob: 0.25})
+	req := BatchToRequest(&b, 7)
+	if req.Generation != 7 || req.AddUsers != 3 {
+		t.Fatalf("header lost: %+v", req)
+	}
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded UpdateRequest
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := RequestToBatch(decoded)
+	if err != nil {
+		t.Fatalf("RequestToBatch: %v", err)
+	}
+	if b2.AddedUsers() != 3 {
+		t.Fatalf("AddedUsers = %d", b2.AddedUsers())
+	}
+	if !reflect.DeepEqual(b2.Inserts(), b.Inserts()) {
+		t.Fatalf("inserts differ: %+v vs %+v", b2.Inserts(), b.Inserts())
+	}
+	if !reflect.DeepEqual(b2.Deletes(), b.Deletes()) {
+		t.Fatalf("deletes differ: %+v vs %+v", b2.Deletes(), b.Deletes())
+	}
+	if !reflect.DeepEqual(b2.Retopics(), b.Retopics()) {
+		t.Fatalf("retopics differ: %+v vs %+v", b2.Retopics(), b.Retopics())
+	}
+	if _, err := RequestToBatch(UpdateRequest{Generation: 1}); err == nil {
+		t.Fatal("empty wire batch accepted")
+	}
+}
+
+// fakeShard serves a minimal /shard/* protocol for client tests: a fixed
+// info layout and canned estimate partials.
+func fakeShard(t *testing.T, shards []ShardInfo, totalShards, totalUsers int, partials []rrindex.Partial) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/shard/info", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(InfoResponse{
+			TotalShards: totalShards, TotalUsers: totalUsers,
+			Strategy: "INDEXEST+", Ready: true, Shards: shards,
+		})
+	})
+	mux.HandleFunc("/shard/estimate", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(EstimateResponse{Partials: partials})
+	})
+	mux.HandleFunc("/shard/counters", func(w http.ResponseWriter, r *http.Request) {
+		counts := make([]ShardCount, len(shards))
+		for i, s := range shards {
+			counts[i] = ShardCount{Shard: s.Shard, Count: int64(10 * (s.Shard + 1)), Theta: s.Theta, Users: s.Users}
+		}
+		json.NewEncoder(w).Encode(CountersResponse{Counts: counts})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func testProbe() pitex.RemoteProbe {
+	return pitex.RemoteProbe{Posterior: []float64{0.5, 0.5}}
+}
+
+func TestDialValidatesPartition(t *testing.T) {
+	s0 := fakeShard(t, []ShardInfo{{Shard: 0, Users: 100, Theta: 1000}}, 2, 150, nil)
+	s1 := fakeShard(t, []ShardInfo{{Shard: 1, Users: 50, Theta: 500}}, 2, 150, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	c, err := Dial(ctx, [][]string{{s0.URL}, {s1.URL}}, Options{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	if c.TotalShards() != 2 || c.Strategy() != "INDEXEST+" {
+		t.Fatalf("client state: S=%d strategy=%s", c.TotalShards(), c.Strategy())
+	}
+	st := c.Status()
+	if st.TotalUsers != 150 || st.TotalTheta != 1500 {
+		t.Fatalf("seeded totals: %+v", st)
+	}
+
+	// A hole in the partition is rejected.
+	if _, err := Dial(ctx, [][]string{{s0.URL}}, Options{}); err == nil {
+		t.Fatal("incomplete partition accepted")
+	}
+	// Overlap is rejected.
+	if _, err := Dial(ctx, [][]string{{s0.URL}, {s0.URL}}, Options{}); err == nil {
+		t.Fatal("overlapping partition accepted")
+	}
+	// No groups is rejected.
+	if _, err := Dial(ctx, nil, Options{}); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+}
+
+func TestEstimateRemoteHealthyAndDegraded(t *testing.T) {
+	p0 := []rrindex.Partial{{Shard: 0, Hits: 10, Samples: 20, Contained: 25, Theta: 1000, Users: 100}}
+	p1 := []rrindex.Partial{{Shard: 1, Hits: 5, Samples: 9, Contained: 12, Theta: 500, Users: 50}}
+	s0 := fakeShard(t, []ShardInfo{{Shard: 0, Users: 100, Theta: 1000}}, 2, 150, p0)
+	s1 := fakeShard(t, []ShardInfo{{Shard: 1, Users: 50, Theta: 500}}, 2, 150, p1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	c, err := Dial(ctx, [][]string{{s0.URL}, {s1.URL}}, Options{ShardDeadline: time.Second})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+
+	want := rrindex.GatherPartials([]rrindex.Partial{p0[0], p1[0]})
+	got, err := c.EstimateRemote(ctx, 3, testProbe())
+	if err != nil {
+		t.Fatalf("EstimateRemote: %v", err)
+	}
+	if got.Influence != want.Influence || got.Theta != want.Theta || len(got.MissingShards) != 0 {
+		t.Fatalf("healthy estimate %+v, want gather %+v", got, want)
+	}
+	if got.RespondingTheta != got.TotalTheta {
+		t.Fatalf("healthy estimate reports partial θ: %+v", got)
+	}
+
+	if n, missing, err := c.Counters(ctx, 3); err != nil || n != 10+20 || len(missing) != 0 {
+		t.Fatalf("Counters = %d missing %v err %v", n, missing, err)
+	}
+
+	// Kill shard 1's only server: the answer degrades and says so.
+	s1.Close()
+	degraded, err := c.EstimateRemote(ctx, 3, testProbe())
+	if err != nil {
+		t.Fatalf("degraded EstimateRemote: %v", err)
+	}
+	wantDeg := rrindex.GatherPartialsDegraded([]rrindex.Partial{p0[0]}, 150)
+	if degraded.Influence != wantDeg.Influence {
+		t.Fatalf("degraded influence = %v, want %v", degraded.Influence, wantDeg.Influence)
+	}
+	if len(degraded.MissingShards) != 1 || degraded.MissingShards[0] != 1 {
+		t.Fatalf("missing shards = %v, want [1]", degraded.MissingShards)
+	}
+	if degraded.RespondingTheta != 1000 || degraded.TotalTheta != 1500 {
+		t.Fatalf("degraded θ report: %+v", degraded)
+	}
+	if st := c.Status(); st.DegradedAnswers == 0 {
+		t.Fatal("degraded answer not counted")
+	}
+
+	// Both down: a hard error, not a silent floor estimate.
+	s0.Close()
+	if _, err := c.EstimateRemote(ctx, 3, testProbe()); err == nil {
+		t.Fatal("all-shards-down estimate succeeded")
+	}
+}
+
+func TestFetchGroupFailsOverToReplica(t *testing.T) {
+	p0 := []rrindex.Partial{{Shard: 0, Hits: 1, Samples: 1, Contained: 1, Theta: 100, Users: 10}}
+	good := fakeShard(t, []ShardInfo{{Shard: 0, Users: 10, Theta: 100}}, 1, 10, p0)
+	// The dead replica listens and immediately closes, producing instant
+	// hard errors (no hedge wait involved).
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	t.Cleanup(dead.Close)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	c, err := Dial(ctx, [][]string{{dead.URL, good.URL}}, Options{ShardDeadline: 2 * time.Second})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	got, err := c.EstimateRemote(ctx, 1, testProbe())
+	if err != nil {
+		t.Fatalf("EstimateRemote with dead primary: %v", err)
+	}
+	if len(got.MissingShards) != 0 {
+		t.Fatalf("failover still reported missing shards: %v", got.MissingShards)
+	}
+	st := c.Status()
+	if st.Failovers == 0 {
+		t.Fatal("failover not counted")
+	}
+	if st.Groups[0].Endpoints[0].ConsecutiveFailures == 0 {
+		t.Fatal("dead replica has no failure bookkeeping")
+	}
+}
+
+func TestHedgedRetryWinsOverSlowReplica(t *testing.T) {
+	p0 := []rrindex.Partial{{Shard: 0, Hits: 1, Samples: 1, Contained: 1, Theta: 100, Users: 10}}
+	var slowHit atomic.Int64
+	info := InfoResponse{TotalShards: 1, TotalUsers: 10, Strategy: "INDEXEST+", Ready: true,
+		Shards: []ShardInfo{{Shard: 0, Users: 10, Theta: 100}}}
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/shard/info" {
+			json.NewEncoder(w).Encode(info)
+			return
+		}
+		slowHit.Add(1)
+		time.Sleep(2 * time.Second) // stuck straggler, well past the hedge delay
+		json.NewEncoder(w).Encode(EstimateResponse{Partials: p0})
+	}))
+	t.Cleanup(slow.Close)
+	fast := fakeShard(t, info.Shards, 1, 10, p0)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	c, err := Dial(ctx, [][]string{{slow.URL, fast.URL}}, Options{
+		ShardDeadline: 5 * time.Second,
+		HedgeMin:      30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t0 := time.Now()
+	got, err := c.EstimateRemote(ctx, 1, testProbe())
+	if err != nil {
+		t.Fatalf("EstimateRemote: %v", err)
+	}
+	if elapsed := time.Since(t0); elapsed > 1500*time.Millisecond {
+		t.Fatalf("hedge did not rescue the query: took %v", elapsed)
+	}
+	if len(got.MissingShards) != 0 {
+		t.Fatalf("hedged answer degraded: %v", got.MissingShards)
+	}
+	if slowHit.Load() == 0 {
+		t.Fatal("slow primary was never tried — hedging untested")
+	}
+	if c.Status().Hedges == 0 {
+		t.Fatal("hedge not counted")
+	}
+}

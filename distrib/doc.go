@@ -1,0 +1,32 @@
+// Package distrib is the client half of pitex's distributed serving
+// plane: a scatter-gather coordinator over shard servers, each holding a
+// slice of the RR-Graph index (built with rrindex.BuildShard so the
+// fleet's union is byte-identical to the monolithic sharded index).
+//
+// Topology: shard servers are arranged in replica groups — the endpoints
+// of one group all serve the same shard set, and the groups together
+// partition [0, S). One query scatters a serialized edge prober
+// (pitex.RemoteProbe) to every group, each server answers with its
+// shards' partial hits plus the θ_s/|V_s| gather metadata, and the
+// client folds them with rrindex.GatherPartials: with every group
+// responding, the estimate is bit-for-bit the in-process
+// ShardedEstimator's.
+//
+// Robustness: every group fetch runs under a per-shard deadline; after
+// an adaptive hedge delay (a latency-window quantile, clamped to the
+// deadline) the fetch is hedged to the next replica, and a hard error
+// fails over immediately. Endpoints accumulate consecutive-failure
+// cooldowns so a dead replica stops being tried first. When a whole
+// group misses the deadline, the gather degrades instead of failing:
+// rrindex.GatherPartialsDegraded extrapolates over the responding
+// shards' |V_s| and the answer carries the missing shard list and the
+// achieved (weakened) ε — degraded but honest, never silently wrong.
+//
+// Updates ride the repair-routing delta path: the coordinator applies a
+// batch locally (graph only), fans the same batch to every endpoint
+// keyed by the next generation, and each server repairs only the owned
+// shards the routing decision (rrindex.RepairShard) says the batch
+// touched. Servers double-buffer the previous generation so queries
+// in flight across the swap still answer; the client's generation stamp
+// moves only after the fan-out completes.
+package distrib

@@ -1,0 +1,153 @@
+package distrib
+
+import (
+	"fmt"
+
+	"pitex"
+	"pitex/internal/rrindex"
+)
+
+// Wire types of the shard-server protocol (HTTP/JSON). Floats survive the
+// round-trip exactly — encoding/json emits the shortest representation
+// that parses back to the same float64 — so shipping posteriors and
+// gather partials as JSON loses no precision.
+
+// EstimateRequest asks a shard server for its shards' partial hits under
+// one serialized prober. Generation pins the index generation the
+// coordinator is serving; a server that matches neither its current nor
+// its previous generation answers 409 (the client counts its shards
+// missing rather than mixing generations).
+type EstimateRequest struct {
+	User       int               `json:"user"`
+	Generation uint64            `json:"generation"`
+	Probe      pitex.RemoteProbe `json:"probe"`
+}
+
+// EstimateResponse carries one partial per shard the server owns.
+type EstimateResponse struct {
+	Generation uint64            `json:"generation"`
+	Partials   []rrindex.Partial `json:"partials"`
+}
+
+// ShardInfo describes one owned shard in an InfoResponse.
+type ShardInfo struct {
+	Shard  int   `json:"shard"`
+	Users  int   `json:"users"`
+	Theta  int64 `json:"theta"`
+	Graphs int   `json:"graphs"`
+}
+
+// InfoResponse is GET /shard/info: the server's place in the cluster
+// layout. TotalShards and TotalUsers are layout-wide (every server holds
+// the full network, only the index is partitioned); Shards covers the
+// owned slice only.
+type InfoResponse struct {
+	Generation  uint64      `json:"generation"`
+	TotalShards int         `json:"total_shards"`
+	TotalUsers  int         `json:"total_users"`
+	Strategy    string      `json:"strategy"`
+	Ready       bool        `json:"ready"`
+	Shards      []ShardInfo `json:"shards"`
+}
+
+// ShardCount is one shard's counter row (RR-Graph containment count for
+// index strategies, DelayMat counter for DELAYEST).
+type ShardCount struct {
+	Shard int   `json:"shard"`
+	Count int64 `json:"count"`
+	Theta int64 `json:"theta"`
+	Users int   `json:"users"`
+}
+
+// CountersResponse is GET /shard/counters?user=N.
+type CountersResponse struct {
+	Generation uint64       `json:"generation"`
+	Counts     []ShardCount `json:"counts"`
+}
+
+// UpdateProb mirrors serve's /admin/update probability entry.
+type UpdateProb struct {
+	Topic int     `json:"topic"`
+	Prob  float64 `json:"prob"`
+}
+
+// UpdateEdge mirrors serve's /admin/update edge entry.
+type UpdateEdge struct {
+	From  int          `json:"from"`
+	To    int          `json:"to"`
+	Probs []UpdateProb `json:"probs,omitempty"`
+}
+
+// UpdateRequest is POST /shard/update: the coordinator fans one staged
+// batch to every shard server, keyed by the generation the cluster moves
+// to. A server applies it only when Generation == current+1 (409
+// otherwise), repairs the owned shards the routing decision selects, and
+// keeps the previous generation double-buffered for in-flight queries.
+type UpdateRequest struct {
+	Generation  uint64       `json:"generation"`
+	AddUsers    int          `json:"add_users,omitempty"`
+	InsertEdges []UpdateEdge `json:"insert_edges,omitempty"`
+	DeleteEdges []UpdateEdge `json:"delete_edges,omitempty"`
+	SetEdges    []UpdateEdge `json:"set_edges,omitempty"`
+}
+
+// UpdateResponse reports one server's repair outcome.
+type UpdateResponse struct {
+	Generation     uint64 `json:"generation"`
+	GraphsRepaired int    `json:"graphs_repaired"`
+	GraphsAppended int    `json:"graphs_appended"`
+	ElapsedNs      int64  `json:"elapsed_ns"`
+}
+
+// BatchToRequest serializes a staged update batch into the wire form,
+// stamped with the generation the cluster moves to.
+func BatchToRequest(b *pitex.UpdateBatch, generation uint64) UpdateRequest {
+	req := UpdateRequest{Generation: generation, AddUsers: b.AddedUsers()}
+	toProbs := func(ps []pitex.TopicProb) []UpdateProb {
+		out := make([]UpdateProb, len(ps))
+		for i, p := range ps {
+			out[i] = UpdateProb{Topic: p.Topic, Prob: p.Prob}
+		}
+		return out
+	}
+	for _, e := range b.Inserts() {
+		req.InsertEdges = append(req.InsertEdges, UpdateEdge{From: e.From, To: e.To, Probs: toProbs(e.Probs)})
+	}
+	for _, d := range b.Deletes() {
+		req.DeleteEdges = append(req.DeleteEdges, UpdateEdge{From: d[0], To: d[1]})
+	}
+	for _, e := range b.Retopics() {
+		req.SetEdges = append(req.SetEdges, UpdateEdge{From: e.From, To: e.To, Probs: toProbs(e.Probs)})
+	}
+	return req
+}
+
+// RequestToBatch re-stages a wire update on the receiving side. Staging
+// order matches serve's /admin/update handler (deletes, retopics,
+// inserts) so both paths resolve identically.
+func RequestToBatch(req UpdateRequest) (*pitex.UpdateBatch, error) {
+	var b pitex.UpdateBatch
+	if req.AddUsers != 0 {
+		b.AddUsers(req.AddUsers)
+	}
+	toProbs := func(ps []UpdateProb) []pitex.TopicProb {
+		out := make([]pitex.TopicProb, len(ps))
+		for i, p := range ps {
+			out[i] = pitex.TopicProb{Topic: p.Topic, Prob: p.Prob}
+		}
+		return out
+	}
+	for _, e := range req.DeleteEdges {
+		b.DeleteEdge(e.From, e.To)
+	}
+	for _, e := range req.SetEdges {
+		b.SetEdge(e.From, e.To, toProbs(e.Probs)...)
+	}
+	for _, e := range req.InsertEdges {
+		b.InsertEdge(e.From, e.To, toProbs(e.Probs)...)
+	}
+	if b.Empty() {
+		return nil, fmt.Errorf("distrib: empty update batch")
+	}
+	return &b, nil
+}

@@ -100,6 +100,37 @@
 //	srv, _ := serve.New(engine, pitex.ServeOptions{})
 //	http.ListenAndServe(":8437", srv.Handler())
 //
+// # Distributed serving
+//
+// When one machine can't hold or rebuild the index, the sharded layout
+// runs as a fleet: cmd/pitexshard servers each build and own a slice of
+// the IndexShards-way partition and answer per-shard probe work over
+// HTTP/JSON, returning raw partials (hits, θ_s, |V_s|) rather than
+// estimates; a coordinator — NewRemoteEngine plus serve.NewCoordinator,
+// or cmd/pitexserve -shards — runs the same best-first exploration as
+// the monolith but scatters every estimation to the fleet (via the
+// pitex/distrib client) and gathers the partials into the identical
+// unbiased sum, so all-healthy answers are byte-identical to the
+// in-process sharded engine at the same seeds. RemoteProbe serializes
+// both remotable probers (posterior tag sets and the best-effort
+// partial-set bound), and RemoteEstimator is the narrow interface a
+// transport must satisfy.
+//
+// Robustness: scatters carry per-shard deadlines with context
+// propagation; replicas within a shard group are hedged after the
+// group's observed latency quantile, with immediate failover on hard
+// errors and exponential endpoint cooldowns. When a whole group is
+// unreachable the gather re-normalizes over the responding |V_s| and
+// the Result carries a DegradedCoverage block reporting the missing
+// shards and the achieved ε = ε·√(θ_total/θ_resp) — honest about
+// precision instead of silently wrong; degraded answers are never
+// cached. Update batches route as deltas: the coordinator repairs its
+// local engine, fans the batch to every shard server's /shard/update
+// (each repairs only its own slice under a generation-derived RNG
+// stream, idempotent on retry), and bumps the cluster generation that
+// keys caches; shard servers double-buffer the previous generation so
+// in-flight queries drain across the swap.
+//
 // # Live graph updates
 //
 // The paper's offline structures assume a frozen network; production

@@ -40,6 +40,11 @@ type Result struct {
 	Alternatives []ScoredTagSet
 	// Elapsed is wall-clock query time.
 	Elapsed time.Duration
+	// Degraded is non-nil when a remote engine (see NewRemoteEngine)
+	// answered with one or more index shards unreachable: the estimate
+	// stands, extrapolated over the responding shards, at the weakened
+	// accuracy it reports. Always nil for local engines.
+	Degraded *DegradedCoverage
 	// FullSetsEstimated, PartialBoundsEstimated, PrunedUnsupported and
 	// PrunedByBound report the best-effort exploration work breakdown.
 	FullSetsEstimated      int64
@@ -67,6 +72,11 @@ type Engine struct {
 	// byte-for-byte.
 	index *rrindex.ShardedIndex
 	delay *rrindex.ShardedDelayMat
+
+	// remote, when set, replaces the offline structures entirely: the
+	// engine is a scatter-gather coordinator (see NewRemoteEngine) and
+	// every estimation is delegated to shard servers.
+	remote RemoteEstimator
 
 	// IndexBuildTime records the offline phase duration (Table 3).
 	IndexBuildTime time.Duration
@@ -148,6 +158,9 @@ func (en *Engine) samplingOptions(logSearchSpace float64) sampling.Options {
 
 // newEstimator instantiates the per-engine (non-shared) estimator state.
 func (en *Engine) newEstimator() bestfirst.Estimator {
+	if en.remote != nil {
+		return &remoteAdapter{en: en, remote: en.remote}
+	}
 	// Best-effort exploration examines up to φ_k tag sets; the paper's
 	// Eq. 12 uses ln φ_k in the union bound. We use ln φ_MaxK, valid for
 	// every supported k.
@@ -188,6 +201,7 @@ func (en *Engine) Clone() *Engine {
 		opts:           en.opts,
 		index:          en.index,
 		delay:          en.delay,
+		remote:         en.remote,
 		IndexBuildTime: en.IndexBuildTime,
 		generation:     en.generation,
 		posterior:      make([]float64, en.model.NumTopics()),
@@ -405,6 +419,12 @@ func (en *Engine) query(ctx context.Context, user int, prefix []int, k, m int) (
 		return Result{}, fmt.Errorf("pitex: k = %d exceeds MaxK = %d (rebuild the engine with a larger MaxK)", k, en.opts.MaxK)
 	}
 	start := time.Now()
+	// Remote engines accumulate per-query degradation evidence in their
+	// adapter; arm it with the query context and collect afterwards.
+	ra, _ := en.est.(*remoteAdapter)
+	if ra != nil {
+		ra.begin(ctx)
+	}
 	var res Result
 	switch {
 	case en.opts.DisableBestEffort:
@@ -435,6 +455,13 @@ func (en *Engine) query(ctx context.Context, user int, prefix []int, k, m int) (
 		if m == 1 {
 			res.Alternatives = nil
 		}
+	}
+	if ra != nil {
+		deg, err := ra.finish()
+		if err != nil {
+			return Result{}, err
+		}
+		res.Degraded = deg
 	}
 	res.Elapsed = time.Since(start)
 	res.TagNames = make([]string, len(res.Tags))
@@ -645,7 +672,16 @@ func (en *Engine) EstimateInfluence(user int, tags []int) (float64, error) {
 	if !en.model.m.PosteriorInto(toTagIDs(tags), en.posterior) {
 		return 1, nil // no topic generates this tag set: nothing propagates
 	}
+	ra, _ := en.est.(*remoteAdapter)
+	if ra != nil {
+		ra.begin(context.Background())
+	}
 	r := en.est.EstimateProber(graph.VertexID(user), sampling.PosteriorProber{G: en.net.g, Posterior: en.posterior})
+	if ra != nil {
+		if _, err := ra.finish(); err != nil {
+			return 0, err
+		}
+	}
 	return r.Influence, nil
 }
 

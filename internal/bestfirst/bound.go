@@ -181,6 +181,15 @@ type Prober struct {
 	b *Bounder
 }
 
+// Spec exposes the prepared per-topic bound state — the support mask and
+// pzBound weights — so the prober can be serialized and replayed remotely
+// (sampling.TopicBoundProber performs the identical Prob arithmetic from
+// this state). The returned slices alias the Bounder's buffers and are
+// valid until the next Prepare call; copy before retaining.
+func (p Prober) Spec() (supported []bool, weights []float64) {
+	return p.b.supported, p.b.pzBound
+}
+
 // Prob returns p+(e|W) = min( max_{z∈supp(W)} p(e|z),
 // Σ_{z∈supp(W)} p(e|z)·pzBound(z) ), clamped to [0,1].
 func (p Prober) Prob(e graph.EdgeID) float64 {

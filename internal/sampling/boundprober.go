@@ -1,0 +1,44 @@
+package sampling
+
+import (
+	"math"
+
+	"pitex/internal/graph"
+)
+
+// TopicBoundProber replays a serialized Lemma-8 upper-bound prober
+// (bestfirst.Prober) against a graph in another process: Supported and
+// Weights are the per-topic support mask p(z|W) > 0 and completion bound
+// pzBound(z) captured by bestfirst.Prober.Spec. Prob performs the exact
+// float operations of the original prober, in the same order, so a
+// remote shard probing with the shipped state produces bit-identical
+// edge probabilities — the property the distributed byte-identity
+// guarantee rests on.
+type TopicBoundProber struct {
+	G         *graph.Graph
+	Supported []bool
+	Weights   []float64
+}
+
+// Prob implements EdgeProber:
+// p+(e) = min( max_{z∈supp} p(e|z), Σ_{z∈supp} p(e|z)·Weights[z] ),
+// clamped to [0,1].
+func (p TopicBoundProber) Prob(e graph.EdgeID) float64 {
+	ids, probs := p.G.EdgeTopics(e)
+	maxTerm, sumTerm := 0.0, 0.0
+	for i, z := range ids {
+		if !p.Supported[z] {
+			continue
+		}
+		pez := probs[i]
+		if pez > maxTerm {
+			maxTerm = pez
+		}
+		sumTerm += pez * p.Weights[z]
+	}
+	bound := math.Min(maxTerm, sumTerm)
+	if bound > 1 {
+		bound = 1
+	}
+	return bound
+}

@@ -1,0 +1,62 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"pitex/internal/graph"
+	"pitex/internal/rng"
+)
+
+// TestTopicBoundProberMatchesManual checks Prob against a by-hand
+// evaluation of p+(e) = min(max-term, sum-term) clamped to [0,1], over
+// random graphs and random bound states — the arithmetic contract that
+// keeps remote replays bit-identical to bestfirst.Prober.
+func TestTopicBoundProberMatchesManual(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		r := rng.New(seed)
+		g, err := graph.ErdosRenyi(r, 12, 30, graph.TopicAssignment{
+			NumTopics: 3, TopicsPerEdge: 2, MaxProb: 0.8,
+		})
+		if err != nil {
+			t.Fatalf("generate: %v", err)
+		}
+		supported := make([]bool, 3)
+		weights := make([]float64, 3)
+		for z := range supported {
+			supported[z] = r.Intn(2) == 0
+			weights[z] = 3 * r.Float64() // >1 exercises the clamp
+		}
+		p := TopicBoundProber{G: g, Supported: supported, Weights: weights}
+		for e := 0; e < g.NumEdges(); e++ {
+			ids, probs := g.EdgeTopics(graph.EdgeID(e))
+			maxTerm, sumTerm := 0.0, 0.0
+			for i, z := range ids {
+				if !supported[z] {
+					continue
+				}
+				if probs[i] > maxTerm {
+					maxTerm = probs[i]
+				}
+				sumTerm += probs[i] * weights[z]
+			}
+			want := math.Min(maxTerm, sumTerm)
+			if want > 1 {
+				want = 1
+			}
+			if got := p.Prob(graph.EdgeID(e)); got != want {
+				t.Fatalf("seed %d edge %d: Prob = %v, want %v", seed, e, got, want)
+			}
+		}
+	}
+}
+
+func TestTopicBoundProberNoSupport(t *testing.T) {
+	g := graph.Chain(4, 0.5)
+	p := TopicBoundProber{G: g, Supported: []bool{false}, Weights: []float64{2}}
+	for e := 0; e < g.NumEdges(); e++ {
+		if got := p.Prob(graph.EdgeID(e)); got != 0 {
+			t.Fatalf("unsupported probe: Prob(%d) = %v, want 0", e, got)
+		}
+	}
+}

@@ -25,6 +25,11 @@ type Network struct {
 // NumUsers returns the number of users (vertices).
 func (n *Network) NumUsers() int { return n.g.NumVertices() }
 
+// Graph exposes the underlying graph for module-internal layers — shard
+// servers materialize probers and build index slices against it. The
+// internal type keeps it unusable outside this module.
+func (n *Network) Graph() *graph.Graph { return n.g }
+
 // NumEdges returns the number of follow/influence edges.
 func (n *Network) NumEdges() int { return n.g.NumEdges() }
 

@@ -1,0 +1,275 @@
+package pitex
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"slices"
+
+	"pitex/internal/bestfirst"
+	"pitex/internal/enumerate"
+	"pitex/internal/graph"
+	"pitex/internal/rrindex"
+	"pitex/internal/sampling"
+)
+
+// This file is the engine's seam for distributed serving: a coordinator
+// process keeps the full network and tag model (cheap — the graph is the
+// small part) and runs the ordinary best-first exploration, but every
+// influence estimation is delegated through a RemoteEstimator to shard
+// servers holding the RR-Graph index slices. The two prober kinds the
+// explorer uses — the Eq. 1 posterior prober and the Lemma 8 upper-bound
+// prober — are both pure functions of a per-topic float vector, so one
+// RemoteProbe ships either across the wire and the shard replays it
+// bit-identically (JSON round-trips float64 exactly in Go).
+
+// RemoteProbe is a serialized edge prober: exactly one of the two forms
+// is set. Posterior carries p(z|W) for the standard Eq. 1 prober;
+// BoundSupported/BoundWeights carry a prepared Lemma 8 bound prober
+// (see bestfirst.Prober.Spec and sampling.TopicBoundProber).
+type RemoteProbe struct {
+	Posterior      []float64 `json:"posterior,omitempty"`
+	BoundSupported []bool    `json:"bound_supported,omitempty"`
+	BoundWeights   []float64 `json:"bound_weights,omitempty"`
+}
+
+// Validate reports whether exactly one prober form is present.
+func (p RemoteProbe) Validate() error {
+	hasPost := len(p.Posterior) > 0
+	hasBound := len(p.BoundSupported) > 0 || len(p.BoundWeights) > 0
+	switch {
+	case hasPost == hasBound:
+		return fmt.Errorf("pitex: probe needs exactly one of posterior or bound state")
+	case hasBound && len(p.BoundSupported) != len(p.BoundWeights):
+		return fmt.Errorf("pitex: bound state lengths differ (%d supported, %d weights)",
+			len(p.BoundSupported), len(p.BoundWeights))
+	}
+	return nil
+}
+
+// Prober materializes the probe against a graph.
+func (p RemoteProbe) Prober(g *graph.Graph) (sampling.EdgeProber, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(p.Posterior) > 0 {
+		return sampling.PosteriorProber{G: g, Posterior: p.Posterior}, nil
+	}
+	return sampling.TopicBoundProber{G: g, Supported: p.BoundSupported, Weights: p.BoundWeights}, nil
+}
+
+// RemoteEstimate is one scatter-gather estimation's outcome. When every
+// shard responded, MissingShards is empty and the estimate is
+// byte-identical to the in-process sharded estimator; otherwise the
+// gather re-normalized over responding shards (see
+// rrindex.GatherPartialsDegraded) and the θ fields quantify the loss.
+type RemoteEstimate struct {
+	Influence float64
+	Samples   int64
+	Theta     int64
+	Reachable int
+	// MissingShards lists shard ids that contributed nothing (deadline,
+	// error, or generation skew), ascending.
+	MissingShards []int
+	// RespondingTheta and TotalTheta are Σθ_s over responding shards and
+	// over the whole layout; equal when nothing is missing.
+	RespondingTheta int64
+	TotalTheta      int64
+}
+
+// RemoteEstimator scatters one influence estimation across shard
+// holders and gathers the partial hits. Implementations must be safe for
+// concurrent use (engine clones share one).
+type RemoteEstimator interface {
+	EstimateRemote(ctx context.Context, user int, probe RemoteProbe) (RemoteEstimate, error)
+}
+
+// DegradedCoverage reports that a query was answered with one or more
+// index shards unreachable: the estimate is extrapolated from the
+// responding shards and the effective accuracy guarantee weakens from
+// TargetEpsilon to AchievedEpsilon ≈ ε·sqrt(θ_total/θ_responding) (the
+// Chernoff sample-size bound solved for ε at the sample count actually
+// consulted).
+type DegradedCoverage struct {
+	MissingShards   []int   `json:"missing_shards"`
+	TargetEpsilon   float64 `json:"target_epsilon"`
+	AchievedEpsilon float64 `json:"achieved_epsilon"`
+	RespondingTheta int64   `json:"responding_theta"`
+	TotalTheta      int64   `json:"total_theta"`
+}
+
+// NewRemoteEngine builds a coordinator engine: it validates and explores
+// like NewEngine but owns no offline index — every estimation goes
+// through remote. Only the index strategies distribute (INDEXEST,
+// INDEXEST+); online strategies have no shards to scatter to, and
+// DELAYEST's estimator consumes a persistent RNG stream whose state
+// cannot be replayed across processes.
+func NewRemoteEngine(net *Network, model *TagModel, opts Options, remote RemoteEstimator) (*Engine, error) {
+	if net == nil || model == nil {
+		return nil, fmt.Errorf("pitex: nil network or model")
+	}
+	if remote == nil {
+		return nil, fmt.Errorf("pitex: nil remote estimator")
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	if opts.Strategy != StrategyIndex && opts.Strategy != StrategyIndexPruned {
+		return nil, fmt.Errorf("pitex: remote serving supports %v and %v, not %v",
+			StrategyIndex, StrategyIndexPruned, opts.Strategy)
+	}
+	if net.NumTopics() != model.NumTopics() {
+		return nil, fmt.Errorf("pitex: network has %d topics, model has %d",
+			net.NumTopics(), model.NumTopics())
+	}
+	if err := model.m.Validate(); err != nil {
+		return nil, fmt.Errorf("pitex: %w", err)
+	}
+	en := &Engine{
+		net:       net,
+		model:     model,
+		opts:      opts,
+		remote:    remote,
+		posterior: make([]float64, model.NumTopics()),
+		probe:     sampling.NewProbeCache(net.g.NumEdges()),
+	}
+	en.est = en.newEstimator()
+	en.explorer = bestfirst.NewExplorer(net.g, model.m, en.est)
+	en.explorer.CheapBounds = opts.CheapBounds
+	return en, nil
+}
+
+// IndexBuildOptions derives the rrindex build parameters an engine with
+// these options would use, defaults applied — the contract a shard
+// server must follow so its BuildShard output is byte-identical to the
+// in-process engine's index. The model supplies the tag count entering
+// the ln φ_K search-space bound.
+func IndexBuildOptions(model *TagModel, opts Options) (rrindex.BuildOptions, error) {
+	if model == nil {
+		return rrindex.BuildOptions{}, fmt.Errorf("pitex: nil model")
+	}
+	if err := opts.Validate(); err != nil {
+		return rrindex.BuildOptions{}, err
+	}
+	opts = opts.withDefaults()
+	return rrindex.BuildOptions{
+		Accuracy: sampling.Options{
+			Epsilon:          opts.Epsilon,
+			Delta:            opts.Delta,
+			LogSearchSpace:   enumerate.LogPhiK(model.NumTags(), opts.MaxK),
+			MaxSamples:       opts.MaxSamples,
+			DisableEarlyStop: opts.DisableEarlyStop,
+		},
+		MaxIndexSamples: opts.MaxIndexSamples,
+		Seed:            opts.Seed,
+		TrackMembers:    opts.TrackUpdates,
+	}, nil
+}
+
+// RepairSeed derives the base repair seed for an update generation —
+// the same mix Engine.ApplyUpdates uses — so remote shard repairs draw
+// the identical streams an in-process repair would.
+func RepairSeed(seed, generation uint64) uint64 {
+	return seed + generation*0x9e3779b97f4a7c15
+}
+
+// remoteAdapter bridges the best-first explorer to a RemoteEstimator: it
+// is the engine's bestfirst.Estimator for remote engines, serializing
+// each prober and accumulating degradation evidence across the many
+// estimations of one query. Like every estimator it is per-engine scratch
+// state — not safe for concurrent use, reset by begin() per query.
+type remoteAdapter struct {
+	en     *Engine
+	remote RemoteEstimator
+
+	ctx       context.Context
+	err       error
+	missing   map[int]bool
+	respTheta int64
+	totTheta  int64
+}
+
+func (ra *remoteAdapter) begin(ctx context.Context) {
+	ra.ctx = ctx
+	ra.err = nil
+	ra.missing = nil
+	ra.respTheta = 0
+	ra.totTheta = 0
+}
+
+// finish returns the degradation report for the query just run (nil when
+// every scatter was complete), or the first remote error.
+func (ra *remoteAdapter) finish() (*DegradedCoverage, error) {
+	if ra.err != nil {
+		return nil, ra.err
+	}
+	if len(ra.missing) == 0 {
+		return nil, nil
+	}
+	deg := &DegradedCoverage{
+		TargetEpsilon:   ra.en.opts.Epsilon,
+		AchievedEpsilon: ra.en.opts.Epsilon,
+		RespondingTheta: ra.respTheta,
+		TotalTheta:      ra.totTheta,
+	}
+	for s := range ra.missing {
+		deg.MissingShards = append(deg.MissingShards, s)
+	}
+	slices.Sort(deg.MissingShards)
+	if ra.respTheta > 0 && ra.totTheta > ra.respTheta {
+		deg.AchievedEpsilon = ra.en.opts.Epsilon *
+			math.Sqrt(float64(ra.totTheta)/float64(ra.respTheta))
+	}
+	return deg, nil
+}
+
+// EstimateProber implements bestfirst.Estimator by scattering the probe.
+// After the first remote failure the adapter fast-fails every remaining
+// estimation of the query (influence 1 prunes nothing incorrectly — the
+// query is abandoned by finish anyway).
+func (ra *remoteAdapter) EstimateProber(u graph.VertexID, prober sampling.EdgeProber) sampling.Result {
+	if ra.err != nil {
+		return sampling.Result{Influence: 1}
+	}
+	var probe RemoteProbe
+	switch p := prober.(type) {
+	case sampling.PosteriorProber:
+		probe.Posterior = p.Posterior
+	case bestfirst.Prober:
+		probe.BoundSupported, probe.BoundWeights = p.Spec()
+	default:
+		ra.err = fmt.Errorf("pitex: prober %T is not remotable", prober)
+		return sampling.Result{Influence: 1}
+	}
+	ctx := ra.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	est, err := ra.remote.EstimateRemote(ctx, int(u), probe)
+	if err != nil {
+		ra.err = err
+		return sampling.Result{Influence: 1}
+	}
+	if len(est.MissingShards) > 0 {
+		if ra.missing == nil {
+			ra.missing = make(map[int]bool)
+		}
+		for _, s := range est.MissingShards {
+			ra.missing[s] = true
+		}
+		// Report the worst coverage seen across the query's estimations.
+		if ra.respTheta == 0 || est.RespondingTheta < ra.respTheta {
+			ra.respTheta = est.RespondingTheta
+		}
+	}
+	if est.TotalTheta > ra.totTheta {
+		ra.totTheta = est.TotalTheta
+	}
+	return sampling.Result{
+		Influence: est.Influence,
+		Samples:   est.Samples,
+		Theta:     est.Theta,
+		Reachable: est.Reachable,
+	}
+}

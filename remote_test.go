@@ -1,0 +1,277 @@
+package pitex
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"pitex/internal/graph"
+	"pitex/internal/rrindex"
+)
+
+// fakeRemote answers RemoteEstimate from in-process shard slices — the
+// transportless reference implementation of the distrib client, built
+// from the same BuildShard/GatherPartials primitives the real shard
+// servers use.
+type fakeRemote struct {
+	g      *graph.Graph
+	pruned bool
+	shards []*rrindex.Index
+	users  []int
+	theta  int64
+	total  int
+	drop   map[int]bool
+	err    error
+	calls  int
+}
+
+func newFakeRemote(t *testing.T, net *Network, model *TagModel, opts Options, S int) *fakeRemote {
+	t.Helper()
+	bo, err := IndexBuildOptions(model, opts)
+	if err != nil {
+		t.Fatalf("IndexBuildOptions: %v", err)
+	}
+	f := &fakeRemote{
+		g:      net.Graph(),
+		pruned: opts.Strategy == StrategyIndexPruned,
+		total:  net.NumUsers(),
+	}
+	for s := 0; s < S; s++ {
+		idx, users, err := rrindex.BuildShard(net.Graph(), bo, S, s)
+		if err != nil {
+			t.Fatalf("BuildShard(%d): %v", s, err)
+		}
+		f.shards = append(f.shards, idx)
+		f.users = append(f.users, users)
+		f.theta += idx.Theta()
+	}
+	return f
+}
+
+func (f *fakeRemote) EstimateRemote(_ context.Context, user int, probe RemoteProbe) (RemoteEstimate, error) {
+	f.calls++
+	if f.err != nil {
+		return RemoteEstimate{}, f.err
+	}
+	prober, err := probe.Prober(f.g)
+	if err != nil {
+		return RemoteEstimate{}, err
+	}
+	var partials []rrindex.Partial
+	var missing []int
+	for s, idx := range f.shards {
+		if f.drop[s] {
+			missing = append(missing, s)
+			continue
+		}
+		var p rrindex.Partial
+		if f.pruned {
+			p = rrindex.NewPrunedEstimator(idx).Partial(s, f.users[s], graph.VertexID(user), prober)
+		} else {
+			p = rrindex.NewEstimator(idx).Partial(s, f.users[s], graph.VertexID(user), prober)
+		}
+		partials = append(partials, p)
+	}
+	if len(missing) == 0 {
+		r := rrindex.GatherPartials(partials)
+		return RemoteEstimate{
+			Influence: r.Influence, Samples: r.Samples, Theta: r.Theta, Reachable: r.Reachable,
+			RespondingTheta: r.Theta, TotalTheta: r.Theta,
+		}, nil
+	}
+	r := rrindex.GatherPartialsDegraded(partials, f.total)
+	return RemoteEstimate{
+		Influence: r.Influence, Samples: r.Samples, Theta: r.Theta, Reachable: r.Reachable,
+		MissingShards: missing, RespondingTheta: r.Theta, TotalTheta: f.theta,
+	}, nil
+}
+
+// TestRemoteEngineMatchesLocal pins the tentpole invariant at the engine
+// layer: with every shard responding, a remote engine's answers are
+// byte-identical to the in-process sharded engine at the same seeds —
+// for both remotable strategies, so both prober wire forms (posterior
+// and best-first bound) cross the seam.
+func TestRemoteEngineMatchesLocal(t *testing.T) {
+	net, model := fig2Network(t)
+	for _, s := range []Strategy{StrategyIndex, StrategyIndexPruned} {
+		opts := testEngineOptions(s)
+		opts.IndexShards = 3
+		local, err := NewEngine(net, model, opts)
+		if err != nil {
+			t.Fatalf("%v: NewEngine: %v", s, err)
+		}
+		fake := newFakeRemote(t, net, model, opts, 3)
+		remote, err := NewRemoteEngine(net, model, opts, fake)
+		if err != nil {
+			t.Fatalf("%v: NewRemoteEngine: %v", s, err)
+		}
+		for u := 0; u < net.NumUsers(); u++ {
+			lres, err := local.Query(u, 2)
+			if err != nil {
+				t.Fatalf("%v: local Query(%d): %v", s, u, err)
+			}
+			rres, err := remote.Query(u, 2)
+			if err != nil {
+				t.Fatalf("%v: remote Query(%d): %v", s, u, err)
+			}
+			if rres.Influence != lres.Influence || !reflect.DeepEqual(rres.Tags, lres.Tags) {
+				t.Errorf("%v: user %d: remote (%v, %v) != local (%v, %v)",
+					s, u, rres.Tags, rres.Influence, lres.Tags, lres.Influence)
+			}
+			if rres.Degraded != nil {
+				t.Errorf("%v: user %d: healthy query reported degraded %+v", s, u, rres.Degraded)
+			}
+		}
+		if fake.calls == 0 {
+			t.Fatalf("%v: no estimation reached the remote", s)
+		}
+	}
+}
+
+func TestRemoteEngineDegraded(t *testing.T) {
+	net, model := fig2Network(t)
+	opts := testEngineOptions(StrategyIndexPruned)
+	opts.IndexShards = 3
+	fake := newFakeRemote(t, net, model, opts, 3)
+	fake.drop = map[int]bool{1: true}
+	en, err := NewRemoteEngine(net, model, opts, fake)
+	if err != nil {
+		t.Fatalf("NewRemoteEngine: %v", err)
+	}
+	res, err := en.Query(0, 2)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	deg := res.Degraded
+	if deg == nil {
+		t.Fatal("one-shard-down query reported no degradation")
+	}
+	if !reflect.DeepEqual(deg.MissingShards, []int{1}) {
+		t.Fatalf("MissingShards = %v, want [1]", deg.MissingShards)
+	}
+	if deg.TargetEpsilon != opts.Epsilon {
+		t.Fatalf("TargetEpsilon = %v, want %v", deg.TargetEpsilon, opts.Epsilon)
+	}
+	if deg.RespondingTheta <= 0 || deg.RespondingTheta >= deg.TotalTheta {
+		t.Fatalf("theta accounting: responding %d of total %d", deg.RespondingTheta, deg.TotalTheta)
+	}
+	want := opts.Epsilon * math.Sqrt(float64(deg.TotalTheta)/float64(deg.RespondingTheta))
+	if deg.AchievedEpsilon != want {
+		t.Fatalf("AchievedEpsilon = %v, want %v", deg.AchievedEpsilon, want)
+	}
+	if res.Influence < 1 {
+		t.Fatalf("degraded influence %v below clamp", res.Influence)
+	}
+}
+
+func TestRemoteEngineRemoteError(t *testing.T) {
+	net, model := fig2Network(t)
+	opts := testEngineOptions(StrategyIndex)
+	opts.IndexShards = 2
+	fake := newFakeRemote(t, net, model, opts, 2)
+	fake.err = errors.New("fleet on fire")
+	en, err := NewRemoteEngine(net, model, opts, fake)
+	if err != nil {
+		t.Fatalf("NewRemoteEngine: %v", err)
+	}
+	if _, err := en.Query(0, 2); err == nil || !errors.Is(err, fake.err) {
+		t.Fatalf("Query error = %v, want the remote failure", err)
+	}
+}
+
+func TestNewRemoteEngineValidation(t *testing.T) {
+	net, model := fig2Network(t)
+	opts := testEngineOptions(StrategyIndex)
+	fake := newFakeRemote(t, net, model, opts, 1)
+	if _, err := NewRemoteEngine(nil, model, opts, fake); err == nil {
+		t.Error("nil network accepted")
+	}
+	if _, err := NewRemoteEngine(net, model, opts, nil); err == nil {
+		t.Error("nil remote accepted")
+	}
+	if _, err := NewRemoteEngine(net, model, Options{Epsilon: 2}, fake); err == nil {
+		t.Error("invalid options accepted")
+	}
+	for _, s := range []Strategy{StrategyLazy, StrategyMC, StrategyRR, StrategyTIM, StrategyDelay} {
+		if _, err := NewRemoteEngine(net, model, testEngineOptions(s), fake); err == nil {
+			t.Errorf("%v accepted for remote serving", s)
+		}
+	}
+	other, err := NewTagModel(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRemoteEngine(net, other, opts, fake); err == nil {
+		t.Error("topic-count mismatch accepted")
+	}
+}
+
+func TestRemoteProbeValidateAndProber(t *testing.T) {
+	net, _ := fig2Network(t)
+	g := net.Graph()
+	cases := []struct {
+		name  string
+		probe RemoteProbe
+		ok    bool
+	}{
+		{"posterior", RemoteProbe{Posterior: []float64{0.2, 0.3, 0.5}}, true},
+		{"bound", RemoteProbe{BoundSupported: []bool{true, false}, BoundWeights: []float64{0.5, 0}}, true},
+		{"neither", RemoteProbe{}, false},
+		{"both", RemoteProbe{Posterior: []float64{1}, BoundSupported: []bool{true}, BoundWeights: []float64{1}}, false},
+		{"length mismatch", RemoteProbe{BoundSupported: []bool{true}, BoundWeights: []float64{0.5, 0.5}}, false},
+	}
+	for _, c := range cases {
+		err := c.probe.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate = %v, want ok=%v", c.name, err, c.ok)
+		}
+		prober, err := c.probe.Prober(g)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Prober err = %v, want ok=%v", c.name, err, c.ok)
+		}
+		if c.ok && prober == nil {
+			t.Errorf("%s: nil prober", c.name)
+		}
+	}
+}
+
+func TestIndexBuildOptions(t *testing.T) {
+	_, model := fig2Network(t)
+	opts := testEngineOptions(StrategyIndexPruned)
+	opts.TrackUpdates = true
+	bo, err := IndexBuildOptions(model, opts)
+	if err != nil {
+		t.Fatalf("IndexBuildOptions: %v", err)
+	}
+	if bo.Seed != opts.Seed || bo.MaxIndexSamples != opts.MaxIndexSamples || !bo.TrackMembers {
+		t.Fatalf("derived build options: %+v", bo)
+	}
+	if bo.Accuracy.Epsilon != opts.Epsilon || bo.Accuracy.Delta != opts.Delta {
+		t.Fatalf("derived accuracy: %+v", bo.Accuracy)
+	}
+	if bo.Accuracy.LogSearchSpace <= 0 {
+		t.Fatalf("LogSearchSpace = %v, want > 0", bo.Accuracy.LogSearchSpace)
+	}
+	if _, err := IndexBuildOptions(nil, opts); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := IndexBuildOptions(model, Options{Epsilon: -1}); err == nil {
+		t.Error("invalid options accepted")
+	}
+}
+
+func TestRepairSeed(t *testing.T) {
+	if got := RepairSeed(11, 0); got != 11 {
+		t.Fatalf("generation 0 seed = %d, want the base seed", got)
+	}
+	seen := map[uint64]bool{}
+	for gen := uint64(0); gen < 8; gen++ {
+		s := RepairSeed(11, gen)
+		if seen[s] {
+			t.Fatalf("seed collision at generation %d", gen)
+		}
+		seen[s] = true
+	}
+}

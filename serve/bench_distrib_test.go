@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"pitex"
+	"pitex/distrib"
+)
+
+// benchCluster assembles an in-process scatter-gather deployment over the
+// lastfm recipe: S single-shard servers behind httptest listeners and a
+// coordinator dialed over loopback HTTP. The numbers include the full
+// wire cost (JSON marshalling, HTTP round trips, hedging machinery), so
+// they sit well above the in-process sharded baseline — that gap is the
+// distribution tax BENCH_distrib.json tracks.
+func benchCluster(b *testing.B, S int) *Server {
+	b.Helper()
+	spec, err := pitex.BaseDatasetSpec("lastfm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, model, err := pitex.GenerateDatasetSpec(spec.Scaled(0.05), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := pitex.Options{
+		Strategy:        pitex.StrategyIndexPruned,
+		Seed:            1,
+		MaxSamples:      5000,
+		MaxIndexSamples: 50000,
+		IndexShards:     S,
+		CheapBounds:     true,
+	}
+	groups := make([][]string, S)
+	for s := 0; s < S; s++ {
+		ss, err := NewShardServer(net, model, opts, ShardConfig{TotalShards: S, Owned: []int{s}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(ss.Handler())
+		b.Cleanup(ts.Close)
+		groups[s] = []string{ts.URL}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	client, err := distrib.Dial(ctx, groups, distrib.Options{ShardDeadline: 10 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	en, err := pitex.NewRemoteEngine(net, model, opts, client)
+	if err != nil {
+		b.Fatal(err)
+	}
+	coord, err := NewCoordinator(en, client, pitex.ServeOptions{PoolSize: 2, CacheCapacity: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(coord.Close)
+	return coord
+}
+
+// BenchmarkDistribScatter measures one uncached selling-points query
+// through the full distributed path (coordinator exploration → HTTP
+// scatter → shard-server estimation → gather) at increasing shard counts.
+func BenchmarkDistribScatter(b *testing.B) {
+	for _, S := range []int{1, 3} {
+		b.Run(map[int]string{1: "S1", 3: "S3"}[S], func(b *testing.B) {
+			coord := benchCluster(b, S)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := coord.SellingPoints(context.Background(), 0, 2, 1, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"pitex"
 	"pitex/analytics"
+	"pitex/distrib"
 )
 
 // Server wires the serving stack — pool → cache → estimator — behind both
@@ -32,6 +33,11 @@ type Server struct {
 	updateMu sync.Mutex
 	proto    *pitex.Engine
 	closed   bool
+
+	// remote is the shard-fleet client of a coordinator (NewCoordinator);
+	// nil for a single-process server. ApplyUpdates fans batches through
+	// it, /statsz exports its health view.
+	remote *distrib.Client
 
 	cache   *Cache
 	metrics *Metrics
@@ -72,6 +78,25 @@ func New(en *pitex.Engine, opts pitex.ServeOptions) (*Server, error) {
 	}
 	s.pool.Store(NewPool(en, opts.PoolSize, opts.QueueDepth, opts.QueueTimeout))
 	s.generation.Store(en.Generation())
+	return s, nil
+}
+
+// NewCoordinator builds a Server in scatter-gather mode: en must be a
+// remote engine (pitex.NewRemoteEngine) whose RemoteEstimator is client,
+// so queries flow coordinator pool → best-first exploration → client
+// scatter → shard servers. On ApplyUpdates the coordinator applies the
+// batch locally (graph only — it holds no index), fans the same batch to
+// every shard endpoint, and advances the cluster generation only after
+// the fan-out, so generation-stamped shard requests never race the swap.
+func NewCoordinator(en *pitex.Engine, client *distrib.Client, opts pitex.ServeOptions) (*Server, error) {
+	if client == nil {
+		return nil, fmt.Errorf("serve: nil distrib client")
+	}
+	s, err := New(en, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.remote = client
 	return s, nil
 }
 
@@ -133,6 +158,22 @@ func (s *Server) ApplyUpdates(batch *pitex.UpdateBatch) (pitex.UpdateStats, erro
 	next, stats, err := s.proto.ApplyUpdates(batch)
 	if err != nil {
 		return stats, err
+	}
+	if s.remote != nil {
+		// Fan the batch to every shard endpoint BEFORE any local state
+		// moves: shard servers double-buffer the old generation, so
+		// queries stamped with it keep answering throughout, and requests
+		// never carry the new generation until every reachable endpoint
+		// has repaired. Endpoints that fail the fan-out stay one
+		// generation behind — their queries 409, the health tracker cools
+		// them, and the fleet serves degraded (never mixed-generation)
+		// answers until they recover. Only a fan-out that reaches no
+		// endpoint at all aborts the update.
+		if _, ferr := s.remote.Update(context.Background(),
+			distrib.BatchToRequest(batch, next.Generation())); ferr != nil {
+			return stats, ferr
+		}
+		s.remote.SetGeneration(next.Generation())
 	}
 	s.proto = next
 	old := s.pool.Swap(NewPool(next, s.opts.PoolSize, s.opts.QueueDepth, s.opts.QueueTimeout))
@@ -222,12 +263,36 @@ func (s *Server) SellingPoints(ctx context.Context, user, k, m int, prefix []int
 			}
 			return qerr
 		})
+		if err == nil && res.Degraded != nil {
+			// A degraded answer (shards were unreachable) must reach the
+			// caller but never the cache — the cache stores only
+			// nil-error results, and the moment the fleet heals an
+			// identical request deserves the exact answer. The sentinel
+			// error rides the flight to concurrent waiters too, so
+			// piggybacked requests share the degraded result without any
+			// of them caching it.
+			return res, &degradedErr{res: res}
+		}
 		return res, err
 	})
 	if err != nil {
+		var de *degradedErr
+		if errors.As(err, &de) {
+			return de.res, false, nil
+		}
 		return pitex.Result{}, false, err
 	}
 	return v.(pitex.Result), cached, nil
+}
+
+// degradedErr smuggles a degraded (uncacheable) result through the
+// cache's error path; SellingPoints unwraps it back into a success.
+type degradedErr struct {
+	res pitex.Result
+}
+
+func (e *degradedErr) Error() string {
+	return "serve: degraded result (not cached)"
 }
 
 // MaxAudienceSamples caps the per-request cascade count of Audience.
@@ -333,13 +398,22 @@ type Stats struct {
 	// Jobs lists the analytics sweep jobs (progress, generation pinning,
 	// staleness); empty when none were started.
 	Jobs []analytics.JobStatus `json:"jobs,omitempty"`
+	// Remote is the shard-fleet view of a coordinator (scatter/hedge
+	// counters, per-endpoint health); omitted for single-process servers.
+	Remote *distrib.Status `json:"remote,omitempty"`
 }
 
 // Stats snapshots every layer's counters (the pool and index snapshots
 // are the current generation's).
 func (s *Server) Stats() Stats {
 	pool := s.pool.Load()
+	var remote *distrib.Status
+	if s.remote != nil {
+		st := s.remote.Status()
+		remote = &st
+	}
 	return Stats{
+		Remote:        remote,
 		Strategy:      s.strategy,
 		Generation:    s.generation.Load(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
@@ -377,6 +451,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /admin/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /admin/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
 	return mux
 }
@@ -461,6 +536,12 @@ func (s *Server) handleSellingPoints(w http.ResponseWriter, r *http.Request) {
 		"influence": res.Influence,
 		"cached":    cached,
 		"elapsed":   res.Elapsed.String(),
+	}
+	if res.Degraded != nil {
+		// Degraded-but-honest: the estimate stands, extrapolated over the
+		// responding shards, and the payload says exactly how much
+		// accuracy was lost and which shards were absent.
+		out["degraded"] = res.Degraded
 	}
 	if m > 1 {
 		type alt struct {
@@ -611,6 +692,35 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"uptime_seconds": time.Since(s.start).Seconds(),
 		})
 	}
+}
+
+// handleReadyz is the serving-readiness probe, distinct from /healthz
+// liveness: it answers 200 only when the server can actually serve —
+// pool open, offline index resident (index strategies report their
+// footprint), and, on a coordinator, the shard fleet dialed. k8s-style
+// readiness gates and the distrib health tracker key on it to tell "up"
+// from "serving".
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	select {
+	case <-s.pool.Load().closed:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]any{"status": "closed"})
+		return
+	default:
+	}
+	out := map[string]any{
+		"status":     "ready",
+		"generation": s.generation.Load(),
+		"strategy":   s.strategy,
+	}
+	if bytes := s.pool.Load().IndexBytes(); bytes > 0 {
+		out["index_bytes"] = bytes
+	}
+	if s.remote != nil {
+		out["remote_shards"] = s.remote.TotalShards()
+	}
+	writeJSON(w, out)
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,522 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"slices"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pitex"
+	"pitex/distrib"
+	"pitex/internal/graph"
+	"pitex/internal/rrindex"
+)
+
+// ShardConfig places one ShardServer in a cluster layout: the server
+// builds and serves the Owned shards of an S = TotalShards sharded index
+// (rrindex.BuildShard), byte-identical to the corresponding slices of a
+// monolithic engine built with IndexShards = TotalShards and the same
+// options.
+type ShardConfig struct {
+	// TotalShards is the layout's S. Defaults to max(1, opts.IndexShards).
+	TotalShards int
+	// Owned lists the shard ids this server holds; default all of [0,S).
+	// Replica servers use identical Owned sets.
+	Owned []int
+	// Workers bounds concurrent estimations (default 4); QueueDepth and
+	// QueueTimeout bound the admission queue behind them (defaults 64,
+	// 100ms) — the same shed-fast discipline as the coordinator pool.
+	Workers      int
+	QueueDepth   int
+	QueueTimeout time.Duration
+}
+
+func (c ShardConfig) withDefaults(opts pitex.Options) ShardConfig {
+	if c.TotalShards < 1 {
+		c.TotalShards = opts.IndexShards
+	}
+	if c.TotalShards < 1 {
+		c.TotalShards = 1
+	}
+	if c.Workers < 1 {
+		c.Workers = 4
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 64
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 100 * time.Millisecond
+	}
+	return c
+}
+
+// shardState is one generation of a shard server's serving state. It is
+// immutable once published; updates build a new one and keep the
+// predecessor in prev (double buffering), so queries stamped with the
+// pre-update generation keep answering across the swap window while the
+// coordinator fans the update out.
+type shardState struct {
+	net        *pitex.Network
+	generation uint64
+	indexes    map[int]*rrindex.Index
+	delays     map[int]*rrindex.DelayMat
+	users      map[int]int // shard id -> |V_s|
+	prev       *shardState
+}
+
+// ShardServer serves a slice of the distributed RR-index over the
+// /shard/* HTTP protocol (see package distrib for the wire contract).
+// The index slices build asynchronously — the server answers /healthz
+// and /readyz immediately, /readyz turning 200 (and /shard/info Ready)
+// only once every owned shard is built. All methods are safe for
+// concurrent use.
+type ShardServer struct {
+	model    *pitex.TagModel
+	opts     pitex.Options
+	cfg      ShardConfig
+	strategy pitex.Strategy
+	// baseSeed is the defaulted engine seed; repair seeds derive from it
+	// per generation exactly as Engine.ApplyUpdates derives them.
+	baseSeed  uint64
+	buildOpts rrindex.BuildOptions
+
+	state    atomic.Pointer[shardState]
+	ready    chan struct{}
+	buildErr error // written before ready closes, read only after
+
+	updateMu sync.Mutex
+	metrics  *Metrics
+	start    time.Time
+
+	sem     chan struct{}
+	waiting atomic.Int64
+}
+
+// NewShardServer starts building the owned shards of the layout and
+// returns immediately; use WaitReady (or poll /readyz) before serving
+// estimates. net, model and opts must match the cluster's — every shard
+// server and the in-process reference engine derive the identical
+// rrindex build parameters from them (pitex.IndexBuildOptions).
+func NewShardServer(net *pitex.Network, model *pitex.TagModel, opts pitex.Options, cfg ShardConfig) (*ShardServer, error) {
+	if net == nil || model == nil {
+		return nil, fmt.Errorf("serve: nil network or model")
+	}
+	if !opts.Strategy.NeedsIndex() {
+		return nil, fmt.Errorf("serve: strategy %v keeps no offline index to shard", opts.Strategy)
+	}
+	bo, err := pitex.IndexBuildOptions(model, opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults(opts)
+	if len(cfg.Owned) == 0 {
+		for s := 0; s < cfg.TotalShards; s++ {
+			cfg.Owned = append(cfg.Owned, s)
+		}
+	}
+	owned := append([]int(nil), cfg.Owned...)
+	slices.Sort(owned)
+	owned = slices.Compact(owned)
+	for _, s := range owned {
+		if s < 0 || s >= cfg.TotalShards {
+			return nil, fmt.Errorf("serve: owned shard %d outside [0,%d)", s, cfg.TotalShards)
+		}
+	}
+	cfg.Owned = owned
+	ss := &ShardServer{
+		model:     model,
+		opts:      opts,
+		cfg:       cfg,
+		strategy:  opts.Strategy,
+		baseSeed:  bo.Seed,
+		buildOpts: bo,
+		ready:     make(chan struct{}),
+		metrics:   NewMetrics(),
+		start:     time.Now(),
+		sem:       make(chan struct{}, cfg.Workers),
+	}
+	go ss.build(net)
+	return ss, nil
+}
+
+func (ss *ShardServer) build(net *pitex.Network) {
+	defer close(ss.ready)
+	st := &shardState{
+		net:     net,
+		indexes: make(map[int]*rrindex.Index),
+		delays:  make(map[int]*rrindex.DelayMat),
+		users:   make(map[int]int),
+	}
+	for _, s := range ss.cfg.Owned {
+		var users int
+		var err error
+		if ss.strategy == pitex.StrategyDelay {
+			st.delays[s], users, err = rrindex.BuildDelayMatShard(net.Graph(), ss.buildOpts, ss.cfg.TotalShards, s)
+		} else {
+			st.indexes[s], users, err = rrindex.BuildShard(net.Graph(), ss.buildOpts, ss.cfg.TotalShards, s)
+		}
+		if err != nil {
+			ss.buildErr = fmt.Errorf("serve: building shard %d: %w", s, err)
+			return
+		}
+		st.users[s] = users
+	}
+	ss.state.Store(st)
+}
+
+// WaitReady blocks until every owned shard is built (returning any build
+// error) or ctx ends.
+func (ss *ShardServer) WaitReady(ctx context.Context) error {
+	select {
+	case <-ss.ready:
+		return ss.buildErr
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Generation returns the serving generation (0 until ready).
+func (ss *ShardServer) Generation() uint64 {
+	if st := ss.state.Load(); st != nil {
+		return st.generation
+	}
+	return 0
+}
+
+// acquire is the admission gate: a worker slot immediately when free, a
+// bounded queue wait otherwise, shedding with ErrOverloaded beyond
+// QueueDepth waiters.
+func (ss *ShardServer) acquire(ctx context.Context) (func(), error) {
+	select {
+	case ss.sem <- struct{}{}:
+		return func() { <-ss.sem }, nil
+	default:
+	}
+	if ss.waiting.Add(1) > int64(ss.cfg.QueueDepth) {
+		ss.waiting.Add(-1)
+		return nil, ErrOverloaded
+	}
+	defer ss.waiting.Add(-1)
+	t := time.NewTimer(ss.cfg.QueueTimeout)
+	defer t.Stop()
+	select {
+	case ss.sem <- struct{}{}:
+		return func() { <-ss.sem }, nil
+	case <-t.C:
+		return nil, ErrQueueTimeout
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// stateFor resolves the serving state a generation-stamped request runs
+// against: the current generation or, during an update swap window, the
+// double-buffered previous one.
+func (ss *ShardServer) stateFor(gen uint64, hasGen bool) (*shardState, error) {
+	st := ss.state.Load()
+	if st == nil {
+		if ss.buildErr != nil {
+			return nil, ss.buildErr
+		}
+		return nil, fmt.Errorf("serve: shards still building")
+	}
+	if !hasGen || gen == st.generation {
+		return st, nil
+	}
+	if st.prev != nil && st.prev.generation == gen {
+		return st.prev, nil
+	}
+	return nil, fmt.Errorf("serve: generation %d not served (current %d)", gen, st.generation)
+}
+
+// Handler returns the shard-server HTTP surface:
+//
+//	POST /shard/estimate  — partial hits for one serialized prober
+//	GET  /shard/info      — layout metadata + readiness
+//	GET  /shard/counters  — per-shard counter rows for one user
+//	POST /shard/update    — generation-keyed incremental repair
+//	GET  /healthz         — process liveness
+//	GET  /readyz          — serving readiness (shards built)
+//	GET  /statsz
+//
+// Like the coordinator's /admin endpoints, /shard/update carries no
+// authentication; keep the listener internal.
+func (ss *ShardServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /shard/estimate", ss.handleEstimate)
+	mux.HandleFunc("GET /shard/info", ss.handleInfo)
+	mux.HandleFunc("GET /shard/counters", ss.handleCounters)
+	mux.HandleFunc("POST /shard/update", ss.handleUpdate)
+	mux.HandleFunc("/healthz", ss.handleHealthz)
+	mux.HandleFunc("/readyz", ss.handleReadyz)
+	mux.HandleFunc("/statsz", ss.handleStatsz)
+	return mux
+}
+
+func (ss *ShardServer) observe(endpoint string, start time.Time) {
+	ss.metrics.Observe(endpoint+"/"+ss.strategy.String(), time.Since(start))
+}
+
+// maxEstimateBody bounds /shard/estimate bodies (posteriors are one
+// float per topic; 4 MiB covers hundreds of thousands of topics).
+const maxEstimateBody = 4 << 20
+
+func (ss *ShardServer) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	defer ss.observe("shard-estimate", time.Now())
+	if ss.strategy == pitex.StrategyDelay {
+		http.Error(w, `{"error":"DELAYEST serves counters only; its estimator state cannot be scattered"}`,
+			http.StatusNotImplemented)
+		return
+	}
+	var req distrib.EstimateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxEstimateBody))
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, fmt.Errorf("bad estimate body: %w", err))
+		return
+	}
+	st, err := ss.stateFor(req.Generation, true)
+	if err != nil {
+		writeShardError(w, http.StatusConflict, err)
+		return
+	}
+	if req.User < 0 || req.User >= st.net.NumUsers() {
+		httpError(w, fmt.Errorf("user %d outside [0,%d)", req.User, st.net.NumUsers()))
+		return
+	}
+	prober, err := req.Probe.Prober(st.net.Graph())
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	release, err := ss.acquire(r.Context())
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	defer release()
+	pruned := ss.strategy == pitex.StrategyIndexPruned
+	resp := distrib.EstimateResponse{Generation: st.generation}
+	for _, s := range ss.cfg.Owned {
+		var p rrindex.Partial
+		if pruned {
+			p = rrindex.NewPrunedEstimator(st.indexes[s]).Partial(s, st.users[s], graph.VertexID(req.User), prober)
+		} else {
+			p = rrindex.NewEstimator(st.indexes[s]).Partial(s, st.users[s], graph.VertexID(req.User), prober)
+		}
+		resp.Partials = append(resp.Partials, p)
+	}
+	writeJSON(w, resp)
+}
+
+func (ss *ShardServer) handleInfo(w http.ResponseWriter, r *http.Request) {
+	st := ss.state.Load()
+	if st == nil {
+		if ss.buildErr != nil {
+			writeShardError(w, http.StatusInternalServerError, ss.buildErr)
+			return
+		}
+		writeJSON(w, distrib.InfoResponse{
+			TotalShards: ss.cfg.TotalShards,
+			Strategy:    ss.strategy.String(),
+			Ready:       false,
+		})
+		return
+	}
+	writeJSON(w, ss.infoFor(st))
+}
+
+func (ss *ShardServer) infoFor(st *shardState) distrib.InfoResponse {
+	info := distrib.InfoResponse{
+		Generation:  st.generation,
+		TotalShards: ss.cfg.TotalShards,
+		TotalUsers:  st.net.NumUsers(),
+		Strategy:    ss.strategy.String(),
+		Ready:       true,
+	}
+	for _, s := range ss.cfg.Owned {
+		si := distrib.ShardInfo{Shard: s, Users: st.users[s]}
+		if dm := st.delays[s]; dm != nil {
+			si.Theta = dm.Theta()
+		} else if idx := st.indexes[s]; idx != nil {
+			si.Theta = idx.Theta()
+			si.Graphs = idx.NumGraphs()
+		}
+		info.Shards = append(info.Shards, si)
+	}
+	return info
+}
+
+func (ss *ShardServer) handleCounters(w http.ResponseWriter, r *http.Request) {
+	defer ss.observe("shard-counters", time.Now())
+	q := r.URL.Query()
+	user, err := intParam(q, "user", -1)
+	if err != nil || user < 0 {
+		httpError(w, fmt.Errorf("bad or missing user"))
+		return
+	}
+	gen, hasGen := uint64(0), false
+	if gArg := q.Get("generation"); gArg != "" {
+		gen, err = strconv.ParseUint(gArg, 10, 64)
+		if err != nil {
+			httpError(w, fmt.Errorf("bad generation: %q", gArg))
+			return
+		}
+		hasGen = true
+	}
+	st, err := ss.stateFor(gen, hasGen)
+	if err != nil {
+		writeShardError(w, http.StatusConflict, err)
+		return
+	}
+	if user >= st.net.NumUsers() {
+		httpError(w, fmt.Errorf("user %d outside [0,%d)", user, st.net.NumUsers()))
+		return
+	}
+	resp := distrib.CountersResponse{Generation: st.generation}
+	for _, s := range ss.cfg.Owned {
+		row := distrib.ShardCount{Shard: s, Users: st.users[s]}
+		if dm := st.delays[s]; dm != nil {
+			row.Count = dm.Count(graph.VertexID(user))
+			row.Theta = dm.Theta()
+		} else if idx := st.indexes[s]; idx != nil {
+			row.Count = int64(idx.NumContaining(graph.VertexID(user)))
+			row.Theta = idx.Theta()
+		}
+		resp.Counts = append(resp.Counts, row)
+	}
+	writeJSON(w, resp)
+}
+
+func (ss *ShardServer) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	defer ss.observe("shard-update", time.Now())
+	var req distrib.UpdateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUpdateBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, fmt.Errorf("bad update body: %w", err))
+		return
+	}
+	ss.updateMu.Lock()
+	defer ss.updateMu.Unlock()
+	st := ss.state.Load()
+	if st == nil {
+		writeShardError(w, http.StatusServiceUnavailable, fmt.Errorf("serve: shards still building"))
+		return
+	}
+	if req.Generation == st.generation {
+		// Idempotent retry of an already-applied fan-out.
+		writeJSON(w, distrib.UpdateResponse{Generation: st.generation})
+		return
+	}
+	if req.Generation != st.generation+1 {
+		writeShardError(w, http.StatusConflict,
+			fmt.Errorf("serve: update for generation %d, serving %d", req.Generation, st.generation))
+		return
+	}
+	batch, err := distrib.RequestToBatch(req)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	start := time.Now()
+	newNet, info, err := st.net.ApplyBatch(batch)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	bo := ss.buildOpts
+	bo.Seed = pitex.RepairSeed(ss.baseSeed, req.Generation)
+	next := &shardState{
+		net:        newNet,
+		generation: req.Generation,
+		indexes:    make(map[int]*rrindex.Index),
+		delays:     make(map[int]*rrindex.DelayMat),
+		users:      make(map[int]int),
+	}
+	resp := distrib.UpdateResponse{Generation: req.Generation}
+	for _, s := range ss.cfg.Owned {
+		var rs rrindex.RepairStats
+		var users int
+		switch {
+		case st.indexes[s] != nil:
+			next.indexes[s], rs, users, err = st.indexes[s].RepairShard(
+				newNet.Graph(), bo, ss.cfg.TotalShards, s, info.TouchedHeads, info.AddedVertices)
+		case st.delays[s] != nil && st.delays[s].CanRepair():
+			next.delays[s], rs, users, err = st.delays[s].RepairShard(
+				newNet.Graph(), bo, ss.cfg.TotalShards, s, info.TouchedHeads, info.AddedVertices)
+		default:
+			// DelayMat without member tracking: re-count this shard from
+			// scratch, mirroring the in-process fallback.
+			next.delays[s], users, err = rrindex.BuildDelayMatShard(newNet.Graph(), bo, ss.cfg.TotalShards, s)
+		}
+		if err != nil {
+			writeShardError(w, http.StatusInternalServerError, err)
+			return
+		}
+		next.users[s] = users
+		resp.GraphsRepaired += rs.Invalidated + rs.Retargeted
+		resp.GraphsAppended += rs.Appended
+	}
+	// Double-buffer exactly one generation back: queries in flight across
+	// the coordinator's swap window still resolve, without growing an
+	// unbounded chain.
+	prev := *st
+	prev.prev = nil
+	next.prev = &prev
+	ss.state.Store(next)
+	resp.ElapsedNs = int64(time.Since(start))
+	writeJSON(w, resp)
+}
+
+func (ss *ShardServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(ss.start).Seconds(),
+	})
+}
+
+func (ss *ShardServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := ss.state.Load()
+	switch {
+	case st != nil:
+		writeJSON(w, map[string]any{
+			"status":     "ready",
+			"generation": st.generation,
+			"shards":     ss.cfg.Owned,
+		})
+	case ss.buildErr != nil:
+		writeShardError(w, http.StatusServiceUnavailable, ss.buildErr)
+	default:
+		writeShardError(w, http.StatusServiceUnavailable, fmt.Errorf("building"))
+	}
+}
+
+func (ss *ShardServer) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	out := map[string]any{
+		"strategy":       ss.strategy.String(),
+		"total_shards":   ss.cfg.TotalShards,
+		"owned":          ss.cfg.Owned,
+		"uptime_seconds": time.Since(ss.start).Seconds(),
+		"inflight":       len(ss.sem),
+		"latency":        ss.metrics.Snapshot(),
+	}
+	if st := ss.state.Load(); st != nil {
+		out["generation"] = st.generation
+		out["shards"] = ss.infoFor(st).Shards
+	}
+	writeJSON(w, out)
+}
+
+// writeShardError emits a JSON error with an explicit status (the
+// /shard protocol uses 409 for generation skew, which httpError's
+// generic mapping cannot express).
+func writeShardError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -14,8 +14,10 @@ func fig2Engine(tb testing.TB, s pitex.Strategy) *pitex.Engine {
 	return fig2EngineSharded(tb, s, 0)
 }
 
-// fig2EngineSharded is fig2Engine with an explicit IndexShards setting.
-func fig2EngineSharded(tb testing.TB, s pitex.Strategy, shards int) *pitex.Engine {
+// fig2NetModel builds the Fig. 2 network and tag model; tests that need
+// the raw pieces (shard servers, remote engines) share the construction
+// with fig2Engine so the topologies are guaranteed identical.
+func fig2NetModel(tb testing.TB) (*pitex.Network, *pitex.TagModel) {
 	tb.Helper()
 	nb := pitex.NewNetworkBuilder(7, 3)
 	nb.AddEdge(0, 1, pitex.TopicProb{Topic: 0, Prob: 0.4})
@@ -44,7 +46,12 @@ func fig2EngineSharded(tb testing.TB, s pitex.Strategy, shards int) *pitex.Engin
 	for w, name := range []string{"w1", "w2", "w3", "w4"} {
 		model.SetTagName(w, name)
 	}
-	en, err := pitex.NewEngine(net, model, pitex.Options{
+	return net, model
+}
+
+// fig2Options is the option set every Fig. 2 engine runs under.
+func fig2Options(s pitex.Strategy, shards int) pitex.Options {
+	return pitex.Options{
 		Strategy:        s,
 		Epsilon:         0.15,
 		Delta:           200,
@@ -53,7 +60,14 @@ func fig2EngineSharded(tb testing.TB, s pitex.Strategy, shards int) *pitex.Engin
 		MaxSamples:      20000,
 		MaxIndexSamples: 20000,
 		IndexShards:     shards,
-	})
+	}
+}
+
+// fig2EngineSharded is fig2Engine with an explicit IndexShards setting.
+func fig2EngineSharded(tb testing.TB, s pitex.Strategy, shards int) *pitex.Engine {
+	tb.Helper()
+	net, model := fig2NetModel(tb)
+	en, err := pitex.NewEngine(net, model, fig2Options(s, shards))
 	if err != nil {
 		tb.Fatalf("NewEngine: %v", err)
 	}

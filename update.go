@@ -66,6 +66,39 @@ func (b *UpdateBatch) AddUsers(n int) {
 // fails.
 func (b *UpdateBatch) AddedUsers() int { return b.addUsers }
 
+// StagedEdge is one staged insert or retopic operation, in the form the
+// read accessors below expose so a coordinator can re-serialize a batch
+// when fanning it out to shard servers.
+type StagedEdge struct {
+	From, To int
+	Probs    []TopicProb
+}
+
+// Inserts returns the staged edge insertions in staging order. The Probs
+// slices are shared with the batch; treat them as read-only.
+func (b *UpdateBatch) Inserts() []StagedEdge {
+	out := make([]StagedEdge, len(b.inserts))
+	for i, ins := range b.inserts {
+		out[i] = StagedEdge{From: ins.from, To: ins.to, Probs: ins.probs}
+	}
+	return out
+}
+
+// Deletes returns the staged (from, to) edge deletions in staging order.
+func (b *UpdateBatch) Deletes() [][2]int {
+	return append([][2]int(nil), b.deletes...)
+}
+
+// Retopics returns the staged topic-probability changes in staging order.
+// The Probs slices are shared with the batch; treat them as read-only.
+func (b *UpdateBatch) Retopics() []StagedEdge {
+	out := make([]StagedEdge, len(b.retopics))
+	for i, rt := range b.retopics {
+		out[i] = StagedEdge{From: rt.from, To: rt.to, Probs: rt.probs}
+	}
+	return out
+}
+
 // Len returns the number of staged operations.
 func (b *UpdateBatch) Len() int {
 	n := len(b.inserts) + len(b.deletes) + len(b.retopics)
@@ -142,19 +175,17 @@ func (en *Engine) ApplyUpdates(b *UpdateBatch) (*Engine, UpdateStats, error) {
 	if b == nil || b.Empty() {
 		return nil, stats, fmt.Errorf("pitex: empty update batch")
 	}
-	delta, err := en.resolveBatch(b)
+	start := time.Now()
+	newNet, info, err := en.net.ApplyBatch(b)
 	if err != nil {
 		return nil, stats, err
 	}
-	start := time.Now()
-	newG, info, err := graph.ApplyDelta(en.net.g, delta)
-	if err != nil {
-		return nil, stats, fmt.Errorf("pitex: %w", err)
-	}
+	newG := newNet.g
 	next := &Engine{
-		net:        &Network{g: newG},
+		net:        newNet,
 		model:      en.model,
 		opts:       en.opts,
+		remote:     en.remote, // a coordinator engine stays remote across generations
 		generation: en.generation + 1,
 		posterior:  make([]float64, en.model.NumTopics()),
 		probe:      sampling.NewProbeCache(newG.NumEdges()),
@@ -171,7 +202,9 @@ func (en *Engine) ApplyUpdates(b *UpdateBatch) (*Engine, UpdateStats, error) {
 			MaxIndexSamples: en.opts.MaxIndexSamples,
 			// Mix the generation into the repair seed so successive
 			// repairs draw independent streams, deterministically.
-			Seed:         en.opts.Seed + next.generation*0x9e3779b97f4a7c15,
+			// RepairSeed is the exported face of this derivation; remote
+			// shard repairs must use the same one.
+			Seed:         RepairSeed(en.opts.Seed, next.generation),
 			TrackMembers: en.opts.TrackUpdates,
 		}
 		var rs rrindex.RepairStats
@@ -206,10 +239,31 @@ func (en *Engine) ApplyUpdates(b *UpdateBatch) (*Engine, UpdateStats, error) {
 	return next, stats, nil
 }
 
+// ApplyBatch resolves and applies an update batch to the network,
+// returning the updated network and what changed (including the touched
+// heads repair routing keys on). It is the network half of
+// Engine.ApplyUpdates, split out so processes that hold a network but no
+// engine — shard servers repairing their index slices — can track the
+// same mutations.
+func (n *Network) ApplyBatch(b *UpdateBatch) (*Network, *graph.DeltaInfo, error) {
+	if b == nil || b.Empty() {
+		return nil, nil, fmt.Errorf("pitex: empty update batch")
+	}
+	delta, err := n.resolveBatch(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	newG, info, err := graph.ApplyDelta(n.g, delta)
+	if err != nil {
+		return nil, nil, fmt.Errorf("pitex: %w", err)
+	}
+	return &Network{g: newG}, info, nil
+}
+
 // resolveBatch turns staged (from, to) operations into concrete edge IDs
-// against the engine's current network.
-func (en *Engine) resolveBatch(b *UpdateBatch) (graph.Delta, error) {
-	g := en.net.g
+// against the current network.
+func (n *Network) resolveBatch(b *UpdateBatch) (graph.Delta, error) {
+	g := n.g
 	oldUsers := g.NumVertices()
 	newUsers := oldUsers + b.addUsers
 	if b.addUsers < 0 {
