@@ -1,0 +1,111 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pitex/obsv"
+)
+
+// fakeFleet wires httptest servers that impersonate a coordinator and one
+// shard, sharing a trace ID so the propagation check has something real
+// to verify.
+func fakeFleet(t *testing.T, traceID string, shardHasTrace bool) (coord, shard string) {
+	t.Helper()
+	metrics := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprintln(w, "# TYPE pitex_build_info gauge")
+		fmt.Fprintln(w, `pitex_build_info{go_version="go1.24"} 1`)
+	}
+	cm := http.NewServeMux()
+	cm.HandleFunc("/metrics", metrics)
+	cm.HandleFunc("/selling-points", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"trace":{"trace_id":%q,"name":"selling-points","spans":[{"name":"shard-rpc","span_id":"aa"}]}}`, traceID)
+	})
+	cs := httptest.NewServer(cm)
+	t.Cleanup(cs.Close)
+
+	sm := http.NewServeMux()
+	sm.HandleFunc("/metrics", metrics)
+	sm.HandleFunc("/tracez", func(w http.ResponseWriter, _ *http.Request) {
+		id := traceID
+		if !shardHasTrace {
+			id = "ffffffffffffffff"
+		}
+		fmt.Fprintf(w, `{"traces":[{"trace_id":%q,"name":"shard-estimate","spans":[]}]}`, id)
+	})
+	ss := httptest.NewServer(sm)
+	t.Cleanup(ss.Close)
+	return strings.TrimPrefix(cs.URL, "http://"), strings.TrimPrefix(ss.URL, "http://")
+}
+
+func TestRunAllChecksPass(t *testing.T) {
+	coord, shard := fakeFleet(t, "deadbeefdeadbeef", true)
+	if err := run(coord, []string{shard}, 1, 2); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunDetectsMissingPropagation(t *testing.T) {
+	coord, shard := fakeFleet(t, "deadbeefdeadbeef", false)
+	err := run(coord, []string{shard}, 1, 2)
+	if err == nil || !strings.Contains(err.Error(), "not found in any shard /tracez") {
+		t.Fatalf("err = %v, want propagation failure", err)
+	}
+}
+
+func TestRunDetectsInvalidMetrics(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "pitex_orphan_bucket{le=\"1\"} 3") // bucket without TYPE
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	if err := run(strings.TrimPrefix(ts.URL, "http://"), nil, 1, 2); err == nil {
+		t.Fatal("malformed exposition accepted")
+	}
+}
+
+func TestScrapeMetricsRejectsWrongContentType(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, "{}")
+	}))
+	defer ts.Close()
+	if _, err := scrapeMetrics(http.DefaultClient, strings.TrimPrefix(ts.URL, "http://")); err == nil {
+		t.Fatal("JSON content-type accepted as Prometheus text")
+	}
+}
+
+func TestRunRequiresShardRPCSpan(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "# TYPE pitex_build_info gauge")
+		fmt.Fprintln(w, "pitex_build_info 1")
+	})
+	mux.HandleFunc("/selling-points", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, `{"trace":{"trace_id":"deadbeefdeadbeef","name":"q","spans":[{"name":"query","span_id":"aa"}]}}`)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	err := run(strings.TrimPrefix(ts.URL, "http://"), nil, 1, 2)
+	if err == nil || !strings.Contains(err.Error(), "no shard-rpc span") {
+		t.Fatalf("err = %v, want missing shard-rpc failure", err)
+	}
+}
+
+// Guard the parser the smoke test leans on: the strict obsv parser must
+// reject what client_golang's would.
+func TestStrictParserBaseline(t *testing.T) {
+	if _, err := obsv.ParseText("# TYPE x counter\nx 1\n"); err != nil {
+		t.Fatalf("minimal exposition rejected: %v", err)
+	}
+	if _, err := obsv.ParseText("# TYPE x bogus\nx 1\n"); err == nil {
+		t.Fatal("unknown family type accepted")
+	}
+}

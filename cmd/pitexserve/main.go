@@ -16,8 +16,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -debug-addr mux
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -27,6 +28,7 @@ import (
 
 	"pitex"
 	"pitex/distrib"
+	"pitex/obsv"
 	"pitex/serve"
 )
 
@@ -61,9 +63,21 @@ func main() {
 		shards   = flag.Int("cache-shards", 16, "cache shard count")
 		sweepDir = flag.String("sweep-checkpoint-dir", "", "directory for POST /admin/jobs checkpoint files (empty rejects checkpointed jobs over HTTP)")
 		drainTO  = flag.Duration("drain-timeout", 10*time.Second, "max time to drain in-flight HTTP requests on shutdown")
+
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty disables)")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
 	)
 	flag.Parse()
-	srv, err := setup(buildConfig{
+	logger, err := obsv.NewLogger(os.Stderr, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pitexserve:", err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
+	// All the work lives in run so cleanup (pool shutdown, job
+	// cancellation) executes on the error path too — os.Exit straight
+	// from main after ListenAndServe fails would skip it.
+	if err := run(logger, buildConfig{
 		dataset: *dataset, network: *network, model: *model, index: *index,
 		saveIndex: *saveIdx, trackUpdates: *track,
 		seed: *seed, scale: *scale, strategy: *strategy,
@@ -75,13 +89,33 @@ func main() {
 		QueueTimeout: *queueTO, QueryTimeout: *queryTO,
 		CacheCapacity: *cacheCap, CacheShards: *shards,
 		SweepCheckpointDir: *sweepDir,
-	}, log.Printf)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pitexserve:", err)
+	}, *debugAddr, *addr, *drainTO); err != nil {
+		logger.Error("exiting", "err", err)
 		os.Exit(1)
 	}
+}
+
+func run(logger *slog.Logger, cfg buildConfig, sopts pitex.ServeOptions, debugAddr, addr string, drainTO time.Duration) error {
+	logf := func(format string, args ...any) {
+		logger.Info(fmt.Sprintf(format, args...))
+	}
+	srv, err := setup(cfg, sopts, logf)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	if debugAddr != "" {
+		// The pprof import registers on http.DefaultServeMux; keep that
+		// mux off the main listener so profiling stays on its own port.
+		go func() {
+			logger.Info("debug server listening", "addr", debugAddr)
+			if err := http.ListenAndServe(debugAddr, nil); err != nil {
+				logger.Error("debug server failed", "err", err)
+			}
+		}()
+	}
 	httpSrv := &http.Server{
-		Addr:              *addr,
+		Addr:              addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -91,25 +125,24 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Println("shutting down")
+		logger.Info("shutting down")
 		// A bounded drain: Shutdown with a background context would wait
 		// forever on a stuck client holding its connection open. Past the
 		// timeout, remaining connections are force-closed.
-		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTO)
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			_ = httpSrv.Close()
 		}
 		cancel()
 		close(idle)
 	}()
-	log.Printf("listening on %s", *addr)
+	logger.Info("listening", "addr", addr)
 	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
-		srv.Close()
-		log.Fatal(err)
+		return err
 	}
 	<-idle
-	srv.Close()
-	log.Println("shutdown complete")
+	logger.Info("shutdown complete")
+	return nil
 }
 
 // buildConfig collects the engine-construction flags.

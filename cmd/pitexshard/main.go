@@ -20,8 +20,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -debug-addr mux
 	"os"
 	"os/signal"
 	"strconv"
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"pitex"
+	"pitex/obsv"
 	"pitex/serve"
 )
 
@@ -55,22 +57,50 @@ func main() {
 		queue   = flag.Int("queue", 0, "admission queue depth behind the workers (0 = default)")
 		queueTO = flag.Duration("queue-timeout", 0, "max wait for a free worker (0 = default)")
 		drainTO = flag.Duration("drain-timeout", 10*time.Second, "max time to drain in-flight HTTP requests on shutdown")
+
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty disables)")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
 	)
 	flag.Parse()
-	ss, err := setup(shardConfig{
+	logger, err := obsv.NewLogger(os.Stderr, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pitexshard:", err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
+	if err := run(logger, shardConfig{
 		dataset: *dataset, network: *network, model: *model,
 		trackUpdates: *track, seed: *seed, scale: *scale,
 		strategy: *strategy, epsilon: *epsilon, delta: *delta,
 		maxSamples: *maxSamp, maxIndexSamples: *maxIdx,
 		indexShards: *idxShard, maxK: *maxK, own: *own,
 		workers: *workers, queue: *queue, queueTimeout: *queueTO,
-	}, log.Printf)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pitexshard:", err)
+	}, *debugAddr, *addr, *drainTO); err != nil {
+		logger.Error("exiting", "err", err)
 		os.Exit(1)
 	}
+}
+
+func run(logger *slog.Logger, cfg shardConfig, debugAddr, addr string, drainTO time.Duration) error {
+	logf := func(format string, args ...any) {
+		logger.Info(fmt.Sprintf(format, args...))
+	}
+	ss, err := setup(cfg, logf)
+	if err != nil {
+		return err
+	}
+	if debugAddr != "" {
+		// The pprof import registers on http.DefaultServeMux; keep that
+		// mux off the main listener so profiling stays on its own port.
+		go func() {
+			logger.Info("debug server listening", "addr", debugAddr)
+			if err := http.ListenAndServe(debugAddr, nil); err != nil {
+				logger.Error("debug server failed", "err", err)
+			}
+		}()
+	}
 	httpSrv := &http.Server{
-		Addr:              *addr,
+		Addr:              addr,
 		Handler:           ss.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -79,22 +109,23 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Println("shutting down")
+		logger.Info("shutting down")
 		// Bounded drain, same as pitexserve: never let a stuck client
 		// hold shutdown hostage.
-		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTO)
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			_ = httpSrv.Close()
 		}
 		cancel()
 		close(idle)
 	}()
-	log.Printf("listening on %s", *addr)
+	logger.Info("listening", "addr", addr)
 	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		return err
 	}
 	<-idle
-	log.Println("shutdown complete")
+	logger.Info("shutdown complete")
+	return nil
 }
 
 type shardConfig struct {

@@ -17,6 +17,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strconv"
@@ -25,6 +26,7 @@ import (
 
 	"pitex"
 	"pitex/analytics"
+	"pitex/obsv"
 )
 
 func main() {
@@ -51,9 +53,17 @@ func main() {
 		resume   = flag.Bool("resume", false, "resume from -checkpoint if it exists")
 		out      = flag.String("out", "", "write the leaderboard JSON here (default stdout)")
 		progress = flag.Bool("progress", false, "log per-chunk progress to stderr")
+
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
 	)
 	flag.Parse()
-	if err := run(cfg{
+	logger, err := obsv.NewLogger(os.Stderr, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pitexsweep:", err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
+	if err := run(logger, cfg{
 		dataset: *dataset, network: *network, model: *model,
 		seed: *seed, scale: *scale, strategy: *strategy,
 		epsilon: *epsilon, delta: *delta, maxSamples: *maxSamp, maxIndexSamples: *maxIdx,
@@ -62,7 +72,7 @@ func main() {
 		users: *usersArg, checkpoint: *ckpt, resume: *resume,
 		out: *out, progress: *progress,
 	}); err != nil {
-		fmt.Fprintln(os.Stderr, "pitexsweep:", err)
+		logger.Error("exiting", "err", err)
 		os.Exit(1)
 	}
 }
@@ -85,7 +95,7 @@ type cfg struct {
 	progress                bool
 }
 
-func run(c cfg) error {
+func run(logger *slog.Logger, c cfg) error {
 	strategy, err := pitex.ParseStrategy(c.strategy)
 	if err != nil {
 		return err
@@ -152,8 +162,8 @@ func run(c cfg) error {
 		return err
 	}
 	if en.IndexBuildTime > 0 {
-		fmt.Fprintf(os.Stderr, "index built in %v (%.2f MB)\n", en.IndexBuildTime,
-			float64(en.IndexMemoryBytes())/(1<<20))
+		logger.Info("index built", "elapsed", en.IndexBuildTime.String(),
+			"mb", fmt.Sprintf("%.2f", float64(en.IndexMemoryBytes())/(1<<20)))
 	}
 
 	opts := analytics.Options{
@@ -167,8 +177,9 @@ func run(c cfg) error {
 	}
 	if c.progress {
 		opts.OnProgress = func(p analytics.Progress) {
-			fmt.Fprintf(os.Stderr, "progress: %d/%d chunks, %d/%d users\n",
-				p.ChunksDone, p.ChunksTotal, p.UsersDone, p.UsersTotal)
+			logger.Info("progress",
+				"chunks_done", p.ChunksDone, "chunks_total", p.ChunksTotal,
+				"users_done", p.UsersDone, "users_total", p.UsersTotal)
 		}
 	}
 

@@ -2,11 +2,17 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
 )
+
+func testLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
 
 func testCfg(dir string) cfg {
 	return cfg{
@@ -21,7 +27,7 @@ func testCfg(dir string) cfg {
 func TestRunSweepDeterministic(t *testing.T) {
 	dir := t.TempDir()
 	c := testCfg(dir)
-	if err := run(c); err != nil {
+	if err := run(testLogger(), c); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	first, err := os.ReadFile(c.out)
@@ -35,7 +41,7 @@ func TestRunSweepDeterministic(t *testing.T) {
 	c2 := c
 	c2.workers = 4
 	c2.out = filepath.Join(dir, "board2.json")
-	if err := run(c2); err != nil {
+	if err := run(testLogger(), c2); err != nil {
 		t.Fatalf("second run: %v", err)
 	}
 	second, err := os.ReadFile(c2.out)
@@ -50,7 +56,7 @@ func TestRunSweepDeterministic(t *testing.T) {
 func TestRunSweepResume(t *testing.T) {
 	dir := t.TempDir()
 	c := testCfg(dir)
-	if err := run(c); err != nil {
+	if err := run(testLogger(), c); err != nil {
 		t.Fatalf("baseline run: %v", err)
 	}
 	want, err := os.ReadFile(c.out)
@@ -61,12 +67,12 @@ func TestRunSweepResume(t *testing.T) {
 	// both must reproduce the baseline bytes.
 	c.checkpoint = filepath.Join(dir, "sweep.ckpt")
 	c.out = filepath.Join(dir, "board-ckpt.json")
-	if err := run(c); err != nil {
+	if err := run(testLogger(), c); err != nil {
 		t.Fatalf("checkpointed run: %v", err)
 	}
 	c.resume = true
 	c.out = filepath.Join(dir, "board-resumed.json")
-	if err := run(c); err != nil {
+	if err := run(testLogger(), c); err != nil {
 		t.Fatalf("resumed run: %v", err)
 	}
 	for _, path := range []string{filepath.Join(dir, "board-ckpt.json"), c.out} {
@@ -84,22 +90,22 @@ func TestRunSweepCohort(t *testing.T) {
 	dir := t.TempDir()
 	c := testCfg(dir)
 	c.users = "0,2,4-6"
-	if err := run(c); err != nil {
+	if err := run(testLogger(), c); err != nil {
 		t.Fatalf("cohort run: %v", err)
 	}
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run(cfg{strategy: "bogus"}); err == nil {
+	if err := run(testLogger(), cfg{strategy: "bogus"}); err == nil {
 		t.Fatal("bogus strategy accepted")
 	}
-	if err := run(cfg{strategy: "lazy"}); err == nil {
+	if err := run(testLogger(), cfg{strategy: "lazy"}); err == nil {
 		t.Fatal("missing dataset accepted")
 	}
-	if err := run(cfg{strategy: "lazy", users: "9-1"}); err == nil {
+	if err := run(testLogger(), cfg{strategy: "lazy", users: "9-1"}); err == nil {
 		t.Fatal("inverted range accepted")
 	}
-	if err := run(cfg{strategy: "lazy", users: "x"}); err == nil {
+	if err := run(testLogger(), cfg{strategy: "lazy", users: "x"}); err == nil {
 		t.Fatal("non-numeric cohort accepted")
 	}
 }

@@ -15,6 +15,7 @@ import (
 
 	"pitex"
 	"pitex/internal/rrindex"
+	"pitex/obsv"
 )
 
 // Options tunes the client's robustness machinery. The zero value is
@@ -193,10 +194,10 @@ type Client struct {
 	shardTheta []atomic.Int64
 	shardUsers []atomic.Int64
 
-	scatters  atomic.Int64
-	hedges    atomic.Int64
-	failovers atomic.Int64
-	degraded  atomic.Int64
+	scatters  *obsv.Counter
+	hedges    *obsv.Counter
+	failovers *obsv.Counter
+	degraded  *obsv.Counter
 }
 
 // Dial connects to a fleet: groups[i] lists the replica endpoints (URL or
@@ -210,7 +211,11 @@ func Dial(ctx context.Context, groupAddrs [][]string, opts Options) (*Client, er
 		return nil, fmt.Errorf("distrib: no shard groups")
 	}
 	opts = opts.withDefaults()
-	c := &Client{opts: opts, http: opts.HTTPClient, totalShards: -1}
+	c := &Client{
+		opts: opts, http: opts.HTTPClient, totalShards: -1,
+		scatters: obsv.NewCounter(), hedges: obsv.NewCounter(),
+		failovers: obsv.NewCounter(), degraded: obsv.NewCounter(),
+	}
 	covered := make(map[int]int) // shard -> group index
 	type pending struct {
 		g    *group
@@ -340,6 +345,11 @@ func (c *Client) roundTrip(ctx context.Context, method, url string, body []byte)
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Propagate the trace across the wire so a shard's spans join the
+	// coordinator's trace ID.
+	if tr := obsv.TraceFrom(ctx); tr != nil {
+		req.Header.Set(obsv.TraceHeader, obsv.FormatTraceHeader(tr.ID(), obsv.SpanFrom(ctx).ID()))
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, err
@@ -375,14 +385,24 @@ func (c *Client) fetchGroup(ctx context.Context, g *group, method, path string, 
 		dur  time.Duration
 	}
 	ch := make(chan attempt, len(cands))
-	launch := func(ep *endpoint) {
+	launch := func(ep *endpoint, hedged bool) {
 		go func() {
+			sp, sctx := obsv.StartSpan(ctx, "shard-rpc")
+			sp.SetAttr("endpoint", ep.url)
+			sp.SetAttr("path", path)
+			if hedged {
+				sp.SetAttr("hedge", true)
+			}
 			t0 := time.Now()
-			data, err := c.roundTrip(ctx, method, ep.url+path, body)
+			data, err := c.roundTrip(sctx, method, ep.url+path, body)
+			if err != nil {
+				sp.SetAttr("error", err.Error())
+			}
+			sp.End()
 			ch <- attempt{data, err, ep, time.Since(t0)}
 		}()
 	}
-	launch(cands[0])
+	launch(cands[0], false)
 	next, inFlight := 1, 1
 	hd := g.hedgeDelay(c.opts)
 	timer := time.NewTimer(hd)
@@ -403,14 +423,14 @@ func (c *Client) fetchGroup(ctx context.Context, g *group, method, path string, 
 			}
 			if next < len(cands) {
 				c.failovers.Add(1)
-				launch(cands[next])
+				launch(cands[next], false)
 				next++
 				inFlight++
 			}
 		case <-timer.C:
 			if next < len(cands) {
 				c.hedges.Add(1)
-				launch(cands[next])
+				launch(cands[next], true)
 				next++
 				inFlight++
 				timer.Reset(hd)
@@ -453,11 +473,15 @@ func (c *Client) totalUsers() int {
 // rrindex.GatherPartialsDegraded and reports which shards were absent.
 // It fails outright only when no shard at all responded.
 func (c *Client) EstimateRemote(ctx context.Context, user int, probe pitex.RemoteProbe) (pitex.RemoteEstimate, error) {
+	psp, _ := obsv.StartSpan(ctx, "probe-marshal")
 	body, err := json.Marshal(EstimateRequest{User: user, Generation: c.generation.Load(), Probe: probe})
+	psp.End()
 	if err != nil {
 		return pitex.RemoteEstimate{}, err
 	}
-	c.scatters.Add(1)
+	c.scatters.Inc()
+	ssp, ctx := obsv.StartSpan(ctx, "scatter")
+	ssp.SetAttr("groups", len(c.groups))
 	type groupResult struct {
 		data []byte
 		err  error
@@ -473,7 +497,10 @@ func (c *Client) EstimateRemote(ctx context.Context, user int, probe pitex.Remot
 		}(i, g)
 	}
 	wg.Wait()
+	ssp.End()
 
+	gsp, _ := obsv.StartSpan(ctx, "gather")
+	defer gsp.End()
 	var partials []rrindex.Partial
 	var missing []int
 	var firstErr error
@@ -505,8 +532,10 @@ func (c *Client) EstimateRemote(ctx context.Context, user int, probe pitex.Remot
 			RespondingTheta: r.Theta, TotalTheta: r.Theta,
 		}, nil
 	}
-	c.degraded.Add(1)
+	c.degraded.Inc()
 	slices.Sort(missing)
+	gsp.SetAttr("degraded", true)
+	gsp.SetAttr("missing_shards", missing)
 	r := rrindex.GatherPartialsDegraded(partials, c.totalUsers())
 	return pitex.RemoteEstimate{
 		Influence: r.Influence, Samples: r.Samples, Theta: r.Theta, Reachable: r.Reachable,
@@ -626,6 +655,29 @@ func (c *Client) Update(ctx context.Context, req UpdateRequest) ([]EndpointUpdat
 	return out, nil
 }
 
+// Register wires the client's robustness counters and fleet gauges into
+// a metrics registry, so the coordinator's /metrics covers the remote
+// path with no extra bookkeeping.
+func (c *Client) Register(reg *obsv.Registry) {
+	reg.RegisterCounter("pitex_remote_scatters_total",
+		"Scatter-gather estimations issued to the shard fleet.", c.scatters)
+	reg.RegisterCounter("pitex_remote_hedges_total",
+		"Hedged shard fetches fired after the adaptive delay.", c.hedges)
+	reg.RegisterCounter("pitex_remote_failovers_total",
+		"Shard fetches retried on the next replica after a hard error.", c.failovers)
+	reg.RegisterCounter("pitex_remote_degraded_answers_total",
+		"Estimations answered with one or more shard groups missing.", c.degraded)
+	reg.GaugeFunc("pitex_remote_generation",
+		"Index generation currently stamped on remote requests.",
+		func() float64 { return float64(c.generation.Load()) })
+	reg.GaugeFunc("pitex_remote_total_theta",
+		"Last-known Σθ_s across the fleet (the gather denominator).",
+		func() float64 { return float64(c.totalTheta()) })
+	reg.GaugeFunc("pitex_remote_total_users",
+		"Last-known Σ|V_s| across the fleet.",
+		func() float64 { return float64(c.totalUsers()) })
+}
+
 // SetGeneration advances the generation stamped on every subsequent
 // request. Call it after a successful Update fan-out.
 func (c *Client) SetGeneration(gen uint64) { c.generation.Store(gen) }
@@ -677,10 +729,10 @@ func (c *Client) Status() Status {
 		TotalUsers:      c.totalUsers(),
 		TotalTheta:      c.totalTheta(),
 		Strategy:        c.strategy,
-		Scatters:        c.scatters.Load(),
-		Hedges:          c.hedges.Load(),
-		Failovers:       c.failovers.Load(),
-		DegradedAnswers: c.degraded.Load(),
+		Scatters:        c.scatters.Value(),
+		Hedges:          c.hedges.Value(),
+		Failovers:       c.failovers.Value(),
+		DegradedAnswers: c.degraded.Value(),
 	}
 	for _, g := range c.groups {
 		gs := GroupStatus{

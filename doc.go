@@ -151,6 +151,20 @@
 // dynamic package documentation for the repair architecture and for when
 // a full rebuild is the better call.
 //
+// # Observability
+//
+// Query results carry Result.Explain, the per-query EXPLAIN: which
+// strategy ran, how many full sets and partial bounds the best-first
+// loop estimated, what was pruned (unsupported prefixes, Lemma 8
+// bounds), frontier expansions, samples drawn, edge probes evaluated
+// with the probe-cache hit ratio, and RR-graphs checked versus pruned.
+// The pitex/obsv subpackage supplies the plumbing shared by the serving
+// binaries: a dependency-free metrics registry with Prometheus text
+// exposition, nil-safe request tracing with cross-process propagation
+// (X-Pitex-Trace), build-info reporting, and slog helpers that stamp
+// records with the active trace ID. Package serve wires both into
+// /metrics, /tracez and the ?trace=1 / ?explain=1 query parameters.
+//
 // # Analytics sweeps
 //
 // Beyond per-query serving, the pitex/analytics subpackage runs the

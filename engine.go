@@ -51,6 +51,32 @@ type Result struct {
 	PartialBoundsEstimated int64
 	PrunedUnsupported      int64
 	PrunedByBound          int64
+	// Explain attributes the query's cost across the exploration and
+	// estimation layers. Always populated (the counters it reads are
+	// maintained unconditionally and cost single non-atomic increments);
+	// serving layers decide whether to surface it.
+	Explain Explain
+}
+
+// Explain is the per-query cost breakdown: what the best-first loop did
+// (expansions, estimations, prunes) and what the estimator underneath
+// spent doing it (samples, edge probes, cache behavior, RR-Graphs
+// consulted). Estimator-level fields are zero for strategies that do not
+// expose them.
+type Explain struct {
+	Strategy               string  `json:"strategy"`
+	FullSetsEstimated      int64   `json:"full_sets_estimated"`
+	PartialBoundsEstimated int64   `json:"partial_bounds_estimated"`
+	PrunedUnsupported      int64   `json:"pruned_unsupported"`
+	PrunedByBound          int64   `json:"pruned_by_bound"`
+	FrontierExpansions     int64   `json:"frontier_expansions"`
+	SamplesDrawn           int64   `json:"samples_drawn"`
+	ProbesEvaluated        int64   `json:"probes_evaluated"`
+	ProbeCacheHits         int64   `json:"probe_cache_hits"`
+	ProbeCacheMisses       int64   `json:"probe_cache_misses"`
+	ProbeCacheHitRatio     float64 `json:"probe_cache_hit_ratio"`
+	GraphsChecked          int64   `json:"graphs_checked"`
+	GraphsPruned           int64   `json:"graphs_pruned"`
 }
 
 // Engine answers PITEX queries over one network and tag model with a fixed
@@ -419,6 +445,19 @@ func (en *Engine) query(ctx context.Context, user int, prefix []int, k, m int) (
 		return Result{}, fmt.Errorf("pitex: k = %d exceeds MaxK = %d (rebuild the engine with a larger MaxK)", k, en.opts.MaxK)
 	}
 	start := time.Now()
+	// Estimator work counters are cumulative; diff lifetime snapshots
+	// around the query to attribute its cost. Both interfaces are
+	// optional — index estimators expose WorkStats, online samplers only
+	// an edge-visit count, remote adapters neither.
+	wsEst, _ := en.est.(interface{ WorkStats() sampling.WorkStats })
+	evEst, _ := en.est.(interface{ EdgeVisits() int64 })
+	var wsBefore sampling.WorkStats
+	var evBefore int64
+	if wsEst != nil {
+		wsBefore = wsEst.WorkStats()
+	} else if evEst != nil {
+		evBefore = evEst.EdgeVisits()
+	}
 	// Remote engines accumulate per-query degradation evidence in their
 	// adapter; arm it with the query context and collect afterwards.
 	ra, _ := en.est.(*remoteAdapter)
@@ -463,6 +502,24 @@ func (en *Engine) query(ctx context.Context, user int, prefix []int, k, m int) (
 		}
 		res.Degraded = deg
 	}
+	res.Explain.Strategy = en.opts.Strategy.String()
+	res.Explain.FullSetsEstimated = res.FullSetsEstimated
+	res.Explain.PartialBoundsEstimated = res.PartialBoundsEstimated
+	res.Explain.PrunedUnsupported = res.PrunedUnsupported
+	res.Explain.PrunedByBound = res.PrunedByBound
+	if wsEst != nil {
+		ws := wsEst.WorkStats().Sub(wsBefore)
+		res.Explain.ProbesEvaluated = ws.ProbesEvaluated
+		res.Explain.ProbeCacheHits = ws.ProbeCacheHits
+		res.Explain.ProbeCacheMisses = ws.ProbeCacheMisses
+		if ws.ProbesEvaluated > 0 {
+			res.Explain.ProbeCacheHitRatio = float64(ws.ProbeCacheHits) / float64(ws.ProbesEvaluated)
+		}
+		res.Explain.GraphsChecked = ws.GraphsChecked
+		res.Explain.GraphsPruned = ws.GraphsPruned
+	} else if evEst != nil {
+		res.Explain.ProbesEvaluated = evEst.EdgeVisits() - evBefore
+	}
 	res.Elapsed = time.Since(start)
 	res.TagNames = make([]string, len(res.Tags))
 	for i, w := range res.Tags {
@@ -481,6 +538,8 @@ func fromBestfirst(br bestfirst.Result, model *TagModel) Result {
 		PrunedUnsupported:      br.Stats.PrunedUnsupported,
 		PrunedByBound:          br.Stats.PrunedByBound,
 	}
+	res.Explain.FrontierExpansions = br.Stats.FrontierExpansions
+	res.Explain.SamplesDrawn = br.Stats.SamplesDrawn
 	for _, sc := range br.All {
 		ss := ScoredTagSet{Tags: toInts(sc.Tags), Influence: sc.Influence}
 		ss.TagNames = make([]string, len(ss.Tags))

@@ -34,6 +34,12 @@ type Stats struct {
 	PrunedUnsupported int64
 	// PrunedByBound counts branches discarded by the upper-bound test.
 	PrunedByBound int64
+	// FrontierExpansions is the number of heap entries expanded into
+	// children (the best-first loop's fan-out events).
+	FrontierExpansions int64
+	// SamplesDrawn totals the sample instances the estimator generated
+	// across every full-set and bound estimation of the query.
+	SamplesDrawn int64
 }
 
 // Scored is one candidate answer: a size-k tag set with its estimated
@@ -305,6 +311,7 @@ func (ex *Explorer) run(ctx context.Context, u graph.VertexID, prefix []topics.T
 			// like TIM are handed the raw prober — a cache layer would be
 			// all misses.
 			est := ex.est.EstimateProber(u, sampling.PosteriorProber{G: ex.g, Posterior: ex.posterior})
+			res.Stats.SamplesDrawn += est.Samples
 			record(ent.tags, est.Influence)
 			continue
 		}
@@ -321,7 +328,9 @@ func (ex *Explorer) run(ctx context.Context, u graph.VertexID, prefix []topics.T
 				ub = float64(ex.reachableUnder(u, prober))
 			} else {
 				res.Stats.PartialBoundsEstimated++
-				ub = ex.boundEst.EstimateProber(u, prober).Influence
+				bres := ex.boundEst.EstimateProber(u, prober)
+				res.Stats.SamplesDrawn += bres.Samples
+				ub = bres.Influence
 			}
 			if ub <= threshold() {
 				res.Stats.PrunedByBound++
@@ -332,6 +341,7 @@ func (ex *Explorer) run(ctx context.Context, u graph.VertexID, prefix []topics.T
 
 		// Expand with every non-prefix tag above the last appended tag
 		// (canonical order: each completion generated exactly once).
+		res.Stats.FrontierExpansions++
 		for w := ent.lastAdded + 1; int(w) < ex.m.NumTags(); w++ {
 			if inPrefix[w] {
 				continue

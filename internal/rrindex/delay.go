@@ -147,6 +147,9 @@ type DelayEstimator struct {
 	dm    *DelayMat
 	rng   *rng.Source
 	probe *sampling.ProbeCache
+	// graphsChecked counts recovered RR-Graphs whose reachability was
+	// verified (the delay analog of the materialized index's counter).
+	graphsChecked int64
 
 	// Shard scope: when numShards > 1 the estimator recovers RR-Graphs for
 	// one hash partition — cascades are accepted with |V'∩V_s|/|V_s| and
@@ -222,6 +225,7 @@ func (de *DelayEstimator) hitsProber(u graph.VertexID, prober sampling.EdgeProbe
 			hits++
 		}
 	}
+	de.graphsChecked += int64(len(de.cachedGraphs))
 	return hits, len(de.cachedGraphs)
 }
 

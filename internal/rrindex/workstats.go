@@ -1,0 +1,72 @@
+package rrindex
+
+import "pitex/internal/sampling"
+
+// This file implements the EXPLAIN-facing sampling.WorkStats accessor on
+// every index-backed estimator. The counters already exist (graph
+// verification counts, ProbeCache hit/miss tallies); WorkStats just
+// snapshots them in one shape so the engine can diff before/after a
+// query without knowing which strategy it is running.
+
+// WorkStats reports the estimator's cumulative work counters.
+func (est *Estimator) WorkStats() sampling.WorkStats {
+	hits, misses := est.probe.Stats()
+	return sampling.WorkStats{
+		ProbesEvaluated:  hits + misses,
+		ProbeCacheHits:   hits,
+		ProbeCacheMisses: misses,
+		GraphsChecked:    est.graphsChecked,
+	}
+}
+
+// WorkStats reports the estimator's cumulative work counters.
+func (pe *PrunedEstimator) WorkStats() sampling.WorkStats {
+	hits, misses := pe.probe.Stats()
+	return sampling.WorkStats{
+		ProbesEvaluated:  hits + misses,
+		ProbeCacheHits:   hits,
+		ProbeCacheMisses: misses,
+		GraphsChecked:    pe.graphsChecked,
+		GraphsPruned:     pe.graphsPruned,
+	}
+}
+
+// WorkStats reports the estimator's cumulative work counters. Recovered
+// RR-Graphs count as checked: the delay strategy's verification work is
+// proportional to recoveries, not to a materialized pool.
+func (de *DelayEstimator) WorkStats() sampling.WorkStats {
+	hits, misses := de.probe.Stats()
+	return sampling.WorkStats{
+		ProbesEvaluated:  hits + misses,
+		ProbeCacheHits:   hits,
+		ProbeCacheMisses: misses,
+		GraphsChecked:    de.graphsChecked,
+	}
+}
+
+// WorkStats sums the shards' cumulative work counters.
+func (se *ShardedEstimator) WorkStats() sampling.WorkStats {
+	var ws sampling.WorkStats
+	for _, sub := range se.subs {
+		ws.Add(sub.WorkStats())
+	}
+	return ws
+}
+
+// WorkStats sums the shards' cumulative work counters.
+func (pe *ShardedPrunedEstimator) WorkStats() sampling.WorkStats {
+	var ws sampling.WorkStats
+	for _, sub := range pe.subs {
+		ws.Add(sub.WorkStats())
+	}
+	return ws
+}
+
+// WorkStats sums the shards' cumulative work counters.
+func (de *ShardedDelayEstimator) WorkStats() sampling.WorkStats {
+	var ws sampling.WorkStats
+	for _, sub := range de.subs {
+		ws.Add(sub.WorkStats())
+	}
+	return ws
+}

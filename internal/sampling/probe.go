@@ -20,6 +20,10 @@ type ProbeCache struct {
 	vals     []float64
 	seen     []int64
 	epoch    int64
+	// hits/misses are plain counters — the cache is goroutine-local
+	// scratch, so atomics would only add cost. They feed EXPLAIN output.
+	hits   int64
+	misses int64
 }
 
 // NewProbeCache returns a cache for a graph with numEdges edges.
@@ -48,10 +52,21 @@ func (pc *ProbeCache) Begin(inner EdgeProber) EdgeProber {
 // scope.
 func (pc *ProbeCache) Prob(e graph.EdgeID) float64 {
 	if pc.seen[e] == pc.epoch {
+		pc.hits++
 		return pc.vals[e]
 	}
+	pc.misses++
 	v := pc.inner.Prob(e)
 	pc.seen[e] = pc.epoch
 	pc.vals[e] = v
 	return v
+}
+
+// Stats reports lifetime cache hits and misses (misses equal distinct
+// edges probed across all scopes).
+func (pc *ProbeCache) Stats() (hits, misses int64) {
+	if pc == nil {
+		return 0, 0
+	}
+	return pc.hits, pc.misses
 }

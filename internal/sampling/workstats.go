@@ -1,0 +1,43 @@
+package sampling
+
+// WorkStats describes how much work an estimator has performed over its
+// lifetime — the raw material of EXPLAIN output. Estimators that can
+// attribute their cost expose it via a `WorkStats() WorkStats` method
+// (an optional interface the engine discovers by type assertion, so
+// estimators that predate it keep working untouched).
+type WorkStats struct {
+	// ProbesEvaluated is the number of edge-probability evaluations
+	// (p(e|W) computations) the estimator issued, before caching.
+	ProbesEvaluated int64
+	// ProbeCacheHits / ProbeCacheMisses split ProbesEvaluated by whether
+	// the estimator's ProbeCache answered from memory.
+	ProbeCacheHits   int64
+	ProbeCacheMisses int64
+	// GraphsChecked is the number of pre-sampled RR graphs consulted
+	// (index strategies only).
+	GraphsChecked int64
+	// GraphsPruned is the number of RR graphs skipped by frequency
+	// pruning (pruned index strategies only).
+	GraphsPruned int64
+}
+
+// Add accumulates other into s.
+func (s *WorkStats) Add(other WorkStats) {
+	s.ProbesEvaluated += other.ProbesEvaluated
+	s.ProbeCacheHits += other.ProbeCacheHits
+	s.ProbeCacheMisses += other.ProbeCacheMisses
+	s.GraphsChecked += other.GraphsChecked
+	s.GraphsPruned += other.GraphsPruned
+}
+
+// Sub returns s minus other, the per-query delta between two lifetime
+// snapshots.
+func (s WorkStats) Sub(other WorkStats) WorkStats {
+	return WorkStats{
+		ProbesEvaluated:  s.ProbesEvaluated - other.ProbesEvaluated,
+		ProbeCacheHits:   s.ProbeCacheHits - other.ProbeCacheHits,
+		ProbeCacheMisses: s.ProbeCacheMisses - other.ProbeCacheMisses,
+		GraphsChecked:    s.GraphsChecked - other.GraphsChecked,
+		GraphsPruned:     s.GraphsPruned - other.GraphsPruned,
+	}
+}

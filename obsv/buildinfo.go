@@ -1,0 +1,62 @@
+package obsv
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo is the binary's provenance, surfaced in /statsz and as the
+// pitex_build_info metric.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Main      string `json:"main,omitempty"`
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+	Time      string `json:"time,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// GetBuildInfo reads the binary's embedded build metadata once and
+// caches it.
+func GetBuildInfo() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.Main = bi.Main.Path
+		buildInfo.Version = bi.Main.Version
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.time":
+				buildInfo.Time = s.Value
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// RegisterBuildInfo exposes the binary's provenance as the constant-1
+// pitex_build_info gauge whose labels carry the interesting values —
+// the Prometheus convention for stamping every scrape with a version.
+func RegisterBuildInfo(r *Registry) {
+	bi := GetBuildInfo()
+	labels := []Label{{"go_version", bi.GoVersion}}
+	if bi.Revision != "" {
+		labels = append(labels, Label{"revision", bi.Revision})
+	}
+	r.Gauge("pitex_build_info",
+		"Build provenance of this binary; value is always 1.",
+		labels...).Set(1)
+}

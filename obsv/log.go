@@ -1,0 +1,49 @@
+package obsv
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds a slog.Logger writing to w in the given format
+// ("text" or "json") whose records automatically carry a trace_id
+// attribute when the context holds a trace.
+func NewLogger(w io.Writer, format string) (*slog.Logger, error) {
+	var h slog.Handler
+	switch format {
+	case "", "text":
+		h = slog.NewTextHandler(w, nil)
+	case "json":
+		h = slog.NewJSONHandler(w, nil)
+	default:
+		return nil, fmt.Errorf("obsv: unknown log format %q (want text or json)", format)
+	}
+	return slog.New(&traceHandler{inner: h}), nil
+}
+
+// traceHandler decorates records with the context's trace ID so log
+// lines correlate with /tracez entries.
+type traceHandler struct {
+	inner slog.Handler
+}
+
+func (h *traceHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *traceHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if t := TraceFrom(ctx); t != nil {
+		rec.AddAttrs(slog.String("trace_id", t.ID()))
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h *traceHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &traceHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h *traceHandler) WithGroup(name string) slog.Handler {
+	return &traceHandler{inner: h.inner.WithGroup(name)}
+}

@@ -1,0 +1,242 @@
+package obsv
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	c := NewCounter()
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters only go up
+	c.Add(0)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+}
+
+func TestCounterNilSafe(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(7)
+	if got := c.Value(); got != 0 {
+		t.Fatalf("nil counter Value = %d, want 0", got)
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	g := NewGauge()
+	g.Set(2.5)
+	g.Add(1.5)
+	g.Add(-1)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("Value = %v, want 3", got)
+	}
+}
+
+func TestGaugeNilSafe(t *testing.T) {
+	var g *Gauge
+	g.Set(1)
+	g.Add(1)
+	if got := g.Value(); got != 0 {
+		t.Fatalf("nil gauge Value = %v, want 0", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	c := NewCounter()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("Value = %d, want %d", got, workers*per)
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	g := NewGauge()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != workers*per {
+		t.Fatalf("Value = %v, want %d", got, workers*per)
+	}
+}
+
+func TestRegistryIdempotentHandles(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("pitex_test_total", "help", Label{"k", "v"})
+	b := r.Counter("pitex_test_total", "help", Label{"k", "v"})
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	c := r.Counter("pitex_test_total", "help", Label{"k", "other"})
+	if a == c {
+		t.Fatal("distinct labels returned the same counter")
+	}
+	g1 := r.Gauge("pitex_test_gauge", "help")
+	g2 := r.Gauge("pitex_test_gauge", "help")
+	if g1 != g2 {
+		t.Fatal("same gauge identity returned distinct gauges")
+	}
+}
+
+func TestRegistryGather(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_last", "a counter").Add(3)
+	r.Gauge("aa_first", "a gauge").Set(1.5)
+	r.CounterFunc("mid_func", "from fn", func() int64 { return 9 })
+	r.GaugeFunc("mid_gauge_func", "from fn", func() float64 { return 0.5 })
+	ext := NewCounter()
+	ext.Add(11)
+	r.RegisterCounter("adopted_total", "adopted", ext)
+
+	fams := r.Gather()
+	byName := map[string]Family{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	for i := 1; i < len(fams); i++ {
+		if fams[i-1].Name > fams[i].Name {
+			t.Fatalf("families not sorted: %s > %s", fams[i-1].Name, fams[i].Name)
+		}
+	}
+	checks := []struct {
+		name string
+		typ  string
+		val  float64
+	}{
+		{"zz_last", "counter", 3},
+		{"aa_first", "gauge", 1.5},
+		{"mid_func", "counter", 9},
+		{"mid_gauge_func", "gauge", 0.5},
+		{"adopted_total", "counter", 11},
+	}
+	for _, c := range checks {
+		f, ok := byName[c.name]
+		if !ok {
+			t.Fatalf("family %s missing", c.name)
+		}
+		if f.Type != c.typ {
+			t.Errorf("%s type = %s, want %s", c.name, f.Type, c.typ)
+		}
+		if len(f.Samples) != 1 || f.Samples[0].Value != c.val {
+			t.Errorf("%s samples = %+v, want single value %v", c.name, f.Samples, c.val)
+		}
+	}
+}
+
+func TestRegistryCollectorMerge(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("shared_total", "static part").Inc()
+	r.RegisterCollector(func() []Family {
+		return []Family{
+			{Name: "shared_total", Type: "counter", Samples: []Sample{{Labels: []Label{{"src", "collector"}}, Value: 2}}},
+			{Name: "dynamic_only", Type: "gauge", Help: "collector-only", Samples: []Sample{{Value: 7}}},
+		}
+	})
+	fams := r.Gather()
+	var shared, dynamic *Family
+	for i := range fams {
+		switch fams[i].Name {
+		case "shared_total":
+			shared = &fams[i]
+		case "dynamic_only":
+			dynamic = &fams[i]
+		}
+	}
+	if shared == nil || len(shared.Samples) != 2 {
+		t.Fatalf("shared_total not merged: %+v", shared)
+	}
+	if dynamic == nil || dynamic.Samples[0].Value != 7 {
+		t.Fatalf("dynamic_only missing: %+v", dynamic)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Counter("pitex_conc_total", "h").Inc()
+				r.Gauge("pitex_conc_gauge", "h").Set(float64(j))
+				if j%10 == 0 {
+					_ = r.Gather()
+					var sb strings.Builder
+					_ = r.WriteText(&sb)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := r.Counter("pitex_conc_total", "h").Value(); got != 8*200 {
+		t.Fatalf("concurrent counter = %d, want %d", got, 8*200)
+	}
+}
+
+func TestValidNames(t *testing.T) {
+	valid := []string{"a", "pitex_requests_total", "ns:sub_metric", "_hidden", "A9"}
+	for _, s := range valid {
+		if !validMetricName(s) {
+			t.Errorf("validMetricName(%q) = false, want true", s)
+		}
+	}
+	invalid := []string{"", "9abc", "with-dash", "with space", "naïve"}
+	for _, s := range invalid {
+		if validMetricName(s) {
+			t.Errorf("validMetricName(%q) = true, want false", s)
+		}
+	}
+	if validLabelName("with:colon") {
+		t.Error("label names must not contain colons")
+	}
+	if !validLabelName("shard_id") {
+		t.Error("shard_id should be a valid label name")
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	RegisterBuildInfo(r)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseText(sb.String())
+	if err != nil {
+		t.Fatalf("build info exposition does not parse: %v", err)
+	}
+	f, ok := fams["pitex_build_info"]
+	if !ok || len(f.Samples) != 1 || f.Samples[0].Value != 1 {
+		t.Fatalf("pitex_build_info = %+v, want single sample of 1", f)
+	}
+	if f.Samples[0].Labels["go_version"] == "" {
+		t.Fatal("pitex_build_info missing go_version label")
+	}
+	if GetBuildInfo().GoVersion == "" {
+		t.Fatal("GetBuildInfo returned empty GoVersion")
+	}
+}

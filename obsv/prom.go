@@ -1,0 +1,390 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the Prometheus text exposition format (version
+// 0.0.4): WriteTo renders a registry for a /metrics endpoint, and
+// ParseText is a strict reader of the same format used by tests and the
+// CI obsv-smoke step to prove the fleet's output is actually scrapeable.
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func writeLabels(w io.Writer, labels []Label, extra ...Label) error {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return nil
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = l.Key + `="` + escapeLabelValue(l.Value) + `"`
+	}
+	_, err := fmt.Fprintf(w, "{%s}", strings.Join(parts, ","))
+	return err
+}
+
+// WriteFamilies renders families in the text exposition format. Families
+// failing validation (bad names, unknown types) are skipped rather than
+// corrupting the scrape.
+func WriteFamilies(w io.Writer, families []Family) error {
+	for _, f := range families {
+		if validateFamily(f) != nil {
+			continue
+		}
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Type); err != nil {
+			return err
+		}
+		for _, s := range f.Samples {
+			if err := writeSample(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSample(w io.Writer, f Family, s Sample) error {
+	if f.Type != "histogram" {
+		if _, err := io.WriteString(w, f.Name); err != nil {
+			return err
+		}
+		if err := writeLabels(w, s.Labels); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, " %s\n", formatValue(s.Value))
+		return err
+	}
+	h := s.Hist
+	if h == nil || len(h.Counts) != len(h.Bounds)+1 {
+		return nil
+	}
+	var cum int64
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		if _, err := io.WriteString(w, f.Name+"_bucket"); err != nil {
+			return err
+		}
+		if err := writeLabels(w, s.Labels, Label{"le", formatValue(bound)}); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, " %d\n", cum); err != nil {
+			return err
+		}
+	}
+	cum += h.Counts[len(h.Bounds)]
+	if _, err := io.WriteString(w, f.Name+"_bucket"); err != nil {
+		return err
+	}
+	if err := writeLabels(w, s.Labels, Label{"le", "+Inf"}); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, " %d\n", cum); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, f.Name+"_sum"); err != nil {
+		return err
+	}
+	if err := writeLabels(w, s.Labels); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, " %s\n", formatValue(h.Sum)); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, f.Name+"_count"); err != nil {
+		return err
+	}
+	if err := writeLabels(w, s.Labels); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, " %d\n", h.Count)
+	return err
+}
+
+// WriteText renders the registry's current state in the text exposition
+// format.
+func (r *Registry) WriteText(w io.Writer) error {
+	return WriteFamilies(w, r.Gather())
+}
+
+// Handler returns the /metrics HTTP handler.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}
+
+// ParsedSample is one sample line of a scraped exposition.
+type ParsedSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsedFamily is one metric family of a scraped exposition.
+type ParsedFamily struct {
+	Name    string
+	Type    string
+	Samples []ParsedSample
+}
+
+// ParseText strictly parses a Prometheus text-format exposition: every
+// sample must belong to a declared # TYPE, names and labels must be
+// well-formed, histogram buckets must carry le, be cumulative and end
+// in a +Inf bucket matching _count. It returns the families keyed by
+// name, or the first violation.
+func ParseText(data string) (map[string]*ParsedFamily, error) {
+	families := make(map[string]*ParsedFamily)
+	var lineNo int
+	for _, line := range strings.Split(data, "\n") {
+		lineNo++
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return nil, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: TYPE line missing type", lineNo)
+				}
+				typ := fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown type %q", lineNo, typ)
+				}
+				if _, dup := families[name]; dup {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				families[name] = &ParsedFamily{Name: name, Type: typ}
+			}
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := familyFor(families, s.Name)
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %s has no preceding # TYPE", lineNo, s.Name)
+		}
+		if fam.Type == "histogram" && strings.HasSuffix(s.Name, "_bucket") {
+			if _, ok := s.Labels["le"]; !ok {
+				return nil, fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+			}
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	for _, fam := range families {
+		if fam.Type == "histogram" {
+			if err := validateHistogram(fam); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return families, nil
+}
+
+// familyFor resolves a sample name to its declared family, accepting
+// the _bucket/_sum/_count suffixes of histograms and summaries.
+func familyFor(families map[string]*ParsedFamily, name string) *ParsedFamily {
+	if f, ok := families[name]; ok {
+		return f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if f, ok := families[base]; ok && (f.Type == "histogram" || f.Type == "summary") {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+func parseSampleLine(line string) (ParsedSample, error) {
+	s := ParsedSample{Labels: make(map[string]string)}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		var err error
+		rest, err = parseLabels(rest[1:], s.Labels)
+		if err != nil {
+			return s, err
+		}
+	}
+	valueStr := strings.TrimSpace(rest)
+	// An optional timestamp may trail the value.
+	if j := strings.IndexByte(valueStr, ' '); j >= 0 {
+		ts := strings.TrimSpace(valueStr[j+1:])
+		if _, err := strconv.ParseInt(ts, 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", ts)
+		}
+		valueStr = valueStr[:j]
+	}
+	v, err := strconv.ParseFloat(valueStr, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q", valueStr)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels consumes `name="value",...}` and returns the remainder
+// after the closing brace.
+func parseLabels(rest string, into map[string]string) (string, error) {
+	for {
+		rest = strings.TrimLeft(rest, " ")
+		if strings.HasPrefix(rest, "}") {
+			return rest[1:], nil
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return "", fmt.Errorf("malformed labels near %q", rest)
+		}
+		name := strings.TrimSpace(rest[:eq])
+		if !validLabelName(name) {
+			return "", fmt.Errorf("invalid label name %q", name)
+		}
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return "", fmt.Errorf("label %s value not quoted", name)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		for {
+			if rest == "" {
+				return "", fmt.Errorf("unterminated label value for %s", name)
+			}
+			c := rest[0]
+			rest = rest[1:]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if rest == "" {
+					return "", fmt.Errorf("dangling escape in label %s", name)
+				}
+				switch rest[0] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return "", fmt.Errorf("bad escape \\%c in label %s", rest[0], name)
+				}
+				rest = rest[1:]
+				continue
+			}
+			val.WriteByte(c)
+		}
+		if _, dup := into[name]; dup {
+			return "", fmt.Errorf("duplicate label %s", name)
+		}
+		into[name] = val.String()
+		rest = strings.TrimLeft(rest, " ")
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+			continue
+		}
+		if strings.HasPrefix(rest, "}") {
+			return rest[1:], nil
+		}
+		return "", fmt.Errorf("malformed labels near %q", rest)
+	}
+}
+
+// validateHistogram checks one histogram family's bucket discipline per
+// label set: cumulative counts, a +Inf bucket, and _count equal to it.
+func validateHistogram(fam *ParsedFamily) error {
+	type series struct {
+		lastCum  float64
+		infCum   float64
+		hasInf   bool
+		count    float64
+		hasCount bool
+	}
+	bySig := make(map[string]*series)
+	sig := func(labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			b.WriteString(k + "\x00" + labels[k] + "\x00")
+		}
+		return b.String()
+	}
+	for _, s := range fam.Samples {
+		key := sig(s.Labels)
+		se := bySig[key]
+		if se == nil {
+			se = &series{}
+			bySig[key] = se
+		}
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			if s.Value < se.lastCum {
+				return fmt.Errorf("histogram %s: non-cumulative buckets", fam.Name)
+			}
+			se.lastCum = s.Value
+			if s.Labels["le"] == "+Inf" {
+				se.infCum, se.hasInf = s.Value, true
+			}
+		case strings.HasSuffix(s.Name, "_count"):
+			se.count, se.hasCount = s.Value, true
+		}
+	}
+	for _, se := range bySig {
+		if !se.hasInf {
+			return fmt.Errorf("histogram %s: missing +Inf bucket", fam.Name)
+		}
+		if se.hasCount && se.count != se.infCum {
+			return fmt.Errorf("histogram %s: _count %v != +Inf bucket %v", fam.Name, se.count, se.infCum)
+		}
+	}
+	return nil
+}

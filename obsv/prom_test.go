@@ -1,0 +1,145 @@
+package obsv
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteTextRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pitex_requests_total", "Requests served.", Label{"endpoint", "selling-points"}, Label{"strategy", "RR"}).Add(42)
+	r.Gauge("pitex_pool_in_use", "Engines checked out.").Set(3)
+	r.RegisterCollector(func() []Family {
+		return []Family{{
+			Name: "pitex_request_duration_seconds",
+			Help: "Latency.",
+			Type: "histogram",
+			Samples: []Sample{{
+				Labels: []Label{{"endpoint", "audience"}},
+				Hist: &HistogramData{
+					Bounds: []float64{0.001, 0.01, 0.1},
+					Counts: []int64{5, 3, 1, 2}, // non-cumulative, +Inf last
+					Sum:    0.75,
+					Count:  11,
+				},
+			}},
+		}}
+	})
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+
+	fams, err := ParseText(text)
+	if err != nil {
+		t.Fatalf("own output does not parse: %v\n%s", err, text)
+	}
+	if f := fams["pitex_requests_total"]; f == nil || f.Samples[0].Value != 42 {
+		t.Fatalf("counter round-trip failed: %+v", f)
+	}
+	if f := fams["pitex_requests_total"]; f.Samples[0].Labels["strategy"] != "RR" {
+		t.Fatalf("label round-trip failed: %+v", f.Samples[0].Labels)
+	}
+	h := fams["pitex_request_duration_seconds"]
+	if h == nil || h.Type != "histogram" {
+		t.Fatalf("histogram family missing: %+v", h)
+	}
+	// 3 finite buckets + +Inf + sum + count = 6 samples.
+	if len(h.Samples) != 6 {
+		t.Fatalf("histogram samples = %d, want 6", len(h.Samples))
+	}
+	wantCum := map[string]float64{"0.001": 5, "0.01": 8, "0.1": 9, "+Inf": 11}
+	for _, s := range h.Samples {
+		if le, ok := s.Labels["le"]; ok {
+			if s.Value != wantCum[le] {
+				t.Errorf("bucket le=%s value = %v, want %v", le, s.Value, wantCum[le])
+			}
+		}
+		if strings.HasSuffix(s.Name, "_count") && s.Value != 11 {
+			t.Errorf("_count = %v, want 11", s.Value)
+		}
+		if strings.HasSuffix(s.Name, "_sum") && s.Value != 0.75 {
+			t.Errorf("_sum = %v, want 0.75", s.Value)
+		}
+	}
+}
+
+func TestWriteLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "h", Label{"path", `a\b"c` + "\nd"}).Inc()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseText(sb.String())
+	if err != nil {
+		t.Fatalf("escaped output does not parse: %v\n%s", err, sb.String())
+	}
+	got := fams["esc_total"].Samples[0].Labels["path"]
+	if want := `a\b"c` + "\nd"; got != want {
+		t.Fatalf("escape round-trip: got %q, want %q", got, want)
+	}
+}
+
+func TestParseTextRejections(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":          "orphan_metric 1\n",
+		"bad comment":      "# NOPE foo bar\n",
+		"unknown type":     "# TYPE m widget\nm 1\n",
+		"duplicate TYPE":   "# TYPE m counter\n# TYPE m counter\nm 1\n",
+		"bad name":         "# TYPE 9bad counter\n9bad 1\n",
+		"bad value":        "# TYPE m counter\nm notanumber\n",
+		"bad label":        "# TYPE m counter\nm{k=unquoted} 1\n",
+		"duplicate label":  "# TYPE m counter\nm{k=\"a\",k=\"b\"} 1\n",
+		"bucket sans le":   "# TYPE h histogram\nh_bucket 1\nh_sum 1\nh_count 1\n",
+		"no inf bucket":    "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"non-cumulative":   "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"count mismatch":   "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n",
+		"bad timestamp":    "# TYPE m counter\nm 1 notatime\n",
+		"dangling escape":  "# TYPE m counter\nm{k=\"a\\\"} 1\n",
+		"unknown escape":   "# TYPE m counter\nm{k=\"a\\t\"} 1\n",
+		"colon label name": "# TYPE m counter\nm{a:b=\"v\"} 1\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseText(text); err == nil {
+			t.Errorf("%s: ParseText accepted %q", name, text)
+		}
+	}
+}
+
+func TestParseTextAccepts(t *testing.T) {
+	text := "# HELP m A counter.\n" +
+		"# TYPE m counter\n" +
+		"m{a=\"x\"} 1 1700000000\n" + // optional timestamp
+		"m 2.5e3\n" +
+		"# TYPE g gauge\n" +
+		"g -0.25\n"
+	fams, err := ParseText(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams["m"].Samples) != 2 {
+		t.Fatalf("m samples = %+v", fams["m"].Samples)
+	}
+	if fams["m"].Samples[1].Value != 2500 {
+		t.Fatalf("scientific value = %v", fams["m"].Samples[1].Value)
+	}
+	if fams["g"].Samples[0].Value != -0.25 {
+		t.Fatalf("gauge = %v", fams["g"].Samples[0].Value)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pitex_up", "h").Inc()
+	srv := newTestServer(t, r.Handler())
+	resp := srv.get(t, "/")
+	if got := resp.header.Get("Content-Type"); !strings.HasPrefix(got, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", got)
+	}
+	if _, err := ParseText(resp.body); err != nil {
+		t.Fatalf("handler body does not parse: %v", err)
+	}
+}

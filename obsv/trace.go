@@ -1,0 +1,288 @@
+package obsv
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TraceHeader is the wire header carrying "traceID-spanID" from the
+// coordinator to shard servers, so one query's spans correlate across
+// processes.
+const TraceHeader = "X-Pitex-Trace"
+
+// FormatTraceHeader renders the header value. spanID may be empty.
+func FormatTraceHeader(traceID, spanID string) string {
+	if spanID == "" {
+		return traceID
+	}
+	return traceID + "-" + spanID
+}
+
+// ParseTraceHeader splits a header value back into its IDs. IDs are hex
+// strings, so the separator is unambiguous.
+func ParseTraceHeader(v string) (traceID, spanID string, ok bool) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return "", "", false
+	}
+	traceID, spanID, _ = strings.Cut(v, "-")
+	if !validHexID(traceID) || (spanID != "" && !validHexID(spanID)) {
+		return "", "", false
+	}
+	return traceID, spanID, true
+}
+
+func validHexID(s string) bool {
+	if s == "" || len(s) > 32 {
+		return false
+	}
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// newID mints a 64-bit random hex ID.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero ID still
+		// traces, it just won't be unique.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// maxSpansPerTrace bounds one trace's span list: a best-first query can
+// run hundreds of estimations, each with scatter/RPC children, and an
+// unbounded trace would turn a slow query into a memory problem. Spans
+// past the cap are counted, not recorded.
+const maxSpansPerTrace = 512
+
+// Span is one timed stage of a trace. A nil *Span is a valid no-op
+// receiver, so un-traced code paths cost one pointer check.
+type Span struct {
+	tr     *Trace
+	name   string
+	id     string
+	parent string
+	start  time.Time
+
+	mu    sync.Mutex
+	dur   time.Duration
+	ended bool
+	attrs map[string]any
+}
+
+// SetAttr attaches one key/value to the span (last write per key wins).
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]any, 4)
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// End records the span's duration; only the first End counts.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+	}
+	s.mu.Unlock()
+}
+
+// ID returns the span's hex ID ("" for nil).
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
+// StartChild opens a child span.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.startSpan(name, s.id)
+}
+
+// Trace is one request's span collection. Create one with
+// Tracer.StartTrace (or Join, on the receiving side of a propagated
+// header); a nil *Trace no-ops every method.
+type Trace struct {
+	id     string
+	name   string
+	start  time.Time
+	tracer *Tracer
+
+	mu      sync.Mutex
+	spans   []*Span
+	dropped int
+	done    bool
+}
+
+// ID returns the trace's hex ID ("" for nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// StartSpan opens a root-level span.
+func (t *Trace) StartSpan(name string) *Span {
+	return t.startSpan(name, "")
+}
+
+func (t *Trace) startSpan(name, parent string) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{tr: t, name: name, id: newID(), parent: parent, start: time.Now()}
+	t.mu.Lock()
+	if len(t.spans) >= maxSpansPerTrace {
+		t.dropped++
+		t.mu.Unlock()
+		return nil
+	}
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+	return sp
+}
+
+// SpanData is the exported (JSON) form of a span.
+type SpanData struct {
+	Name          string         `json:"name"`
+	SpanID        string         `json:"span_id"`
+	ParentID      string         `json:"parent_id,omitempty"`
+	StartUnixNano int64          `json:"start_unix_nano"`
+	DurationNs    int64          `json:"duration_ns"`
+	Attrs         map[string]any `json:"attrs,omitempty"`
+}
+
+// TraceData is the exported (JSON) form of a finished trace, the shape
+// /tracez serves and ?trace=1 inlines.
+type TraceData struct {
+	TraceID       string     `json:"trace_id"`
+	Name          string     `json:"name"`
+	StartUnixNano int64      `json:"start_unix_nano"`
+	DurationNs    int64      `json:"duration_ns"`
+	DroppedSpans  int        `json:"dropped_spans,omitempty"`
+	Spans         []SpanData `json:"spans"`
+}
+
+// Finish seals the trace, records it into its tracer's ring and returns
+// the exported form. Only the first Finish records; later calls return
+// the same data. Unended spans are closed at the trace's end time.
+func (t *Trace) Finish() TraceData {
+	if t == nil {
+		return TraceData{}
+	}
+	t.mu.Lock()
+	first := !t.done
+	t.done = true
+	td := TraceData{
+		TraceID:       t.id,
+		Name:          t.name,
+		StartUnixNano: t.start.UnixNano(),
+		DurationNs:    int64(time.Since(t.start)),
+		DroppedSpans:  t.dropped,
+		Spans:         make([]SpanData, 0, len(t.spans)),
+	}
+	spans := t.spans
+	t.mu.Unlock()
+	for _, sp := range spans {
+		sp.mu.Lock()
+		if !sp.ended {
+			sp.ended = true
+			sp.dur = time.Since(sp.start)
+		}
+		sd := SpanData{
+			Name:          sp.name,
+			SpanID:        sp.id,
+			ParentID:      sp.parent,
+			StartUnixNano: sp.start.UnixNano(),
+			DurationNs:    int64(sp.dur),
+		}
+		if len(sp.attrs) > 0 {
+			sd.Attrs = make(map[string]any, len(sp.attrs))
+			for k, v := range sp.attrs {
+				sd.Attrs[k] = v
+			}
+		}
+		sp.mu.Unlock()
+		td.Spans = append(td.Spans, sd)
+	}
+	if first && t.tracer != nil {
+		t.tracer.record(td)
+	}
+	return td
+}
+
+type traceCtxKey struct{}
+type spanCtxKey struct{}
+
+// ContextWithTrace attaches a trace to ctx; it survives
+// context.WithoutCancel, so serving layers that decouple estimation
+// from client cancellation keep their correlation.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, t)
+}
+
+// TraceFrom returns the trace attached to ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return t
+}
+
+// SpanFrom returns the current span attached to ctx, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a span as a child of ctx's current span (root-level
+// when there is none) and returns the span plus a derived context with
+// it as current. When ctx carries no trace it returns (nil, ctx)
+// unchanged — zero cost on un-traced paths.
+func StartSpan(ctx context.Context, name string) (*Span, context.Context) {
+	t := TraceFrom(ctx)
+	if t == nil {
+		return nil, ctx
+	}
+	var sp *Span
+	if parent := SpanFrom(ctx); parent != nil {
+		sp = parent.StartChild(name)
+	} else {
+		sp = t.StartSpan(name)
+	}
+	if sp == nil {
+		return nil, ctx
+	}
+	return sp, context.WithValue(ctx, spanCtxKey{}, sp)
+}

@@ -29,13 +29,35 @@
 //
 // # Endpoints
 //
-//	/selling-points?user=12&k=3[&m=5][&prefix=1,4][&users=1,2,3]
-//	/audience?user=12&tags=1,4[&m=10][&samples=5000]
+//	/selling-points?user=12&k=3[&m=5][&prefix=1,4][&users=1,2,3][&trace=1][&explain=1]
+//	/audience?user=12&tags=1,4[&m=10][&samples=5000][&trace=1]
 //	/admin/update (POST, JSON)
 //	/admin/jobs (POST to start a population sweep, GET to list)
 //	/admin/jobs/{id} (GET progress/ETA/leaderboard, DELETE to cancel)
 //	/healthz
 //	/statsz
+//	/metrics (Prometheus text format)
+//	/tracez (JSON ring of recent traces)
+//
+// # Observability
+//
+// The metrics plane is unified in Metrics: the latency histograms plus an
+// obsv.Registry of counters and gauges (pool admission, cache traffic,
+// hot-swap and repair counts, estimator work totals, build info, and — on
+// a coordinator — the distrib client's scatter/hedge/failover/degraded
+// counters), all rendered together on /metrics in Prometheus text format.
+//
+// Every query runs under a lightweight trace (package obsv): the handler
+// opens cache → admission → query spans, a coordinator adds
+// probe-marshal, scatter, per-endpoint shard-rpc and gather spans, and
+// the trace ID propagates to shard servers over the X-Pitex-Trace header
+// so the same ID shows up in their /tracez rings. The last traces are
+// kept in a ring on /tracez; ?trace=1 inlines the finished span tree
+// into the response, and ?explain=1 attaches the engine's per-query cost
+// breakdown (Result.Explain: probes evaluated, probe-cache hit ratio,
+// RR-graphs checked and pruned, frontier expansions, samples drawn).
+// When no trace is attached the span helpers are nil-receiver no-ops, so
+// un-traced serving pays nothing.
 //
 // # Population sweeps
 //

@@ -1,10 +1,15 @@
 package serve
 
 import (
+	"io"
 	"math"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"pitex/obsv"
 )
 
 // histogram bucket layout: geometric upper bounds 50µs·2^i, i in
@@ -94,17 +99,101 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
-// Metrics is a registry of labelled latency histograms (label convention:
-// "endpoint/STRATEGY", e.g. "selling-points/INDEXEST+"). Safe for
-// concurrent use; Observe on a hot label is a read-lock plus atomics.
+// Export converts the histogram to the exposition shape: per-bucket
+// counts under upper bounds in seconds. Like Snapshot, counts may lag
+// each other by in-flight observations.
+func (h *Histogram) Export() obsv.HistogramData {
+	d := obsv.HistogramData{
+		Bounds: make([]float64, histOverflow),
+		Counts: make([]int64, histBuckets),
+	}
+	for i := 0; i < histOverflow; i++ {
+		d.Bounds[i] = bucketBound(i).Seconds()
+		d.Counts[i] = h.buckets[i].Load()
+	}
+	d.Counts[histOverflow] = h.buckets[histOverflow].Load()
+	for _, c := range d.Counts {
+		d.Count += c
+	}
+	d.Sum = float64(h.sumNanos.Load()) / 1e9
+	return d
+}
+
+// Metrics is the unified metrics plane of a server: labelled latency
+// histograms (label convention: "endpoint/STRATEGY", e.g.
+// "selling-points/INDEXEST+") plus an obsv.Registry of counters and
+// gauges, all exposed together through the Prometheus /metrics handler.
+// Safe for concurrent use; Observe on a hot label is a read-lock plus
+// atomics.
 type Metrics struct {
 	mu   sync.RWMutex
 	hist map[string]*Histogram
+	reg  *obsv.Registry
 }
 
-// NewMetrics returns an empty registry.
+// NewMetrics returns an empty registry. The latency histograms are
+// pre-wired into the exposition as pitex_request_duration_seconds with
+// the serve label split into endpoint/strategy dimensions.
 func NewMetrics() *Metrics {
-	return &Metrics{hist: make(map[string]*Histogram)}
+	m := &Metrics{hist: make(map[string]*Histogram), reg: obsv.NewRegistry()}
+	m.reg.RegisterCollector(m.collectHistograms)
+	return m
+}
+
+// Registry returns the underlying counter/gauge registry, for wiring
+// subsystem-owned counters (distrib client, pool, cache) into the same
+// exposition.
+func (m *Metrics) Registry() *obsv.Registry { return m.reg }
+
+// Counter returns (creating on first use) a counter in the server's
+// exposition.
+func (m *Metrics) Counter(name, help string, labels ...obsv.Label) *obsv.Counter {
+	return m.reg.Counter(name, help, labels...)
+}
+
+// Gauge returns (creating on first use) a gauge in the server's
+// exposition.
+func (m *Metrics) Gauge(name, help string, labels ...obsv.Label) *obsv.Gauge {
+	return m.reg.Gauge(name, help, labels...)
+}
+
+// WriteProm renders the whole plane — histograms, counters, gauges — in
+// Prometheus text format.
+func (m *Metrics) WriteProm(w io.Writer) error {
+	return m.reg.WriteText(w)
+}
+
+// collectHistograms exports every labelled latency histogram as one
+// pitex_request_duration_seconds family, splitting the serve-layer
+// "endpoint/STRATEGY" label into proper dimensions.
+func (m *Metrics) collectHistograms() []obsv.Family {
+	m.mu.RLock()
+	labels := make([]string, 0, len(m.hist))
+	hists := make(map[string]*Histogram, len(m.hist))
+	for l, h := range m.hist {
+		labels = append(labels, l)
+		hists[l] = h
+	}
+	m.mu.RUnlock()
+	if len(labels) == 0 {
+		return nil
+	}
+	sort.Strings(labels)
+	fam := obsv.Family{
+		Name: "pitex_request_duration_seconds",
+		Help: "Request latency by endpoint and strategy.",
+		Type: "histogram",
+	}
+	for _, l := range labels {
+		endpoint, strategy, _ := strings.Cut(l, "/")
+		lbls := []obsv.Label{{Key: "endpoint", Value: endpoint}}
+		if strategy != "" {
+			lbls = append(lbls, obsv.Label{Key: "strategy", Value: strategy})
+		}
+		hd := hists[l].Export()
+		fam.Samples = append(fam.Samples, obsv.Sample{Labels: lbls, Hist: &hd})
+	}
+	return []obsv.Family{fam}
 }
 
 // Observe records a latency sample under the given label, creating the

@@ -1,9 +1,12 @@
 package serve
 
 import (
+	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"pitex/obsv"
 )
 
 func TestHistogramSnapshot(t *testing.T) {
@@ -75,5 +78,79 @@ func TestMetricsConcurrentObserve(t *testing.T) {
 	}
 	if total != 800 {
 		t.Errorf("total observations = %d, want 800", total)
+	}
+}
+
+func TestHistogramExport(t *testing.T) {
+	var h Histogram
+	h.Observe(100 * time.Microsecond)
+	h.Observe(10 * time.Millisecond)
+	h.Observe(time.Hour) // overflow
+	d := h.Export()
+	if len(d.Bounds) != histOverflow || len(d.Counts) != histBuckets {
+		t.Fatalf("shape = %d bounds, %d counts", len(d.Bounds), len(d.Counts))
+	}
+	if d.Count != 3 {
+		t.Fatalf("count = %d, want 3", d.Count)
+	}
+	if d.Counts[histOverflow] != 1 {
+		t.Errorf("overflow count = %d, want 1", d.Counts[histOverflow])
+	}
+	want := (100*time.Microsecond + 10*time.Millisecond + time.Hour).Seconds()
+	if diff := d.Sum - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("sum = %v, want %v", d.Sum, want)
+	}
+	for i := 1; i < len(d.Bounds); i++ {
+		if d.Bounds[i] <= d.Bounds[i-1] {
+			t.Fatalf("bounds not ascending at %d", i)
+		}
+	}
+}
+
+// TestMetricsConcurrentSnapshotExport hammers Observe while concurrent
+// readers take Snapshots and render the Prometheus exposition; run under
+// -race this is the data-race contract of the metrics plane.
+func TestMetricsConcurrentSnapshotExport(t *testing.T) {
+	m := NewMetrics()
+	ctr := m.Counter("pitex_test_events_total", "test counter")
+	g := m.Gauge("pitex_test_level", "test gauge")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				m.Observe("load/X", time.Duration(j%5)*time.Millisecond)
+				ctr.Inc()
+				g.Set(float64(j))
+				// Write-then-check: at least one observation lands even if
+				// the readers finish before this goroutine is scheduled.
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 50; i++ {
+		m.Snapshot()
+		var sb strings.Builder
+		if err := m.WriteProm(&sb); err != nil {
+			t.Errorf("WriteProm: %v", err)
+		}
+		if _, err := obsv.ParseText(sb.String()); err != nil {
+			t.Errorf("exposition invalid mid-load: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	snap := m.Snapshot()
+	if snap["load/X"].Count == 0 {
+		t.Fatal("no observations recorded")
+	}
+	if ctr.Value() == 0 {
+		t.Fatal("counter never incremented")
 	}
 }

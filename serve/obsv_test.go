@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"pitex"
+	"pitex/distrib"
+	"pitex/obsv"
+)
+
+// scrape fetches url and strictly parses it as Prometheus text.
+func scrape(t *testing.T, url string) map[string]*obsv.ParsedFamily {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obsv.ParseText(string(body))
+	if err != nil {
+		t.Fatalf("%s is not valid Prometheus text: %v\n%s", url, err, body)
+	}
+	return fams
+}
+
+func TestServerMetricsEndpoint(t *testing.T) {
+	srv, err := New(fig2Engine(t, pitex.StrategyIndexPruned), pitex.ServeOptions{PoolSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// A query first, so the request-duration histogram has samples.
+	if st, _ := getDoc(t, ts.URL+"/selling-points?user=1&k=2"); st != http.StatusOK {
+		t.Fatalf("query status %d", st)
+	}
+	fams := scrape(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"pitex_build_info",
+		"pitex_uptime_seconds",
+		"pitex_request_duration_seconds",
+		"pitex_pool_served_total",
+		"pitex_cache_misses_total",
+		"pitex_estimator_probes_total",
+	} {
+		if _, ok := fams[want]; !ok {
+			t.Errorf("/metrics missing family %s", want)
+		}
+	}
+	hist, ok := fams["pitex_request_duration_seconds"]
+	if !ok {
+		t.Fatal("no request duration family")
+	}
+	if hist.Type != "histogram" {
+		t.Fatalf("request duration type = %s", hist.Type)
+	}
+	var sawEndpoint bool
+	for _, s := range hist.Samples {
+		if s.Labels["endpoint"] == "selling-points" {
+			sawEndpoint = true
+		}
+	}
+	if !sawEndpoint {
+		t.Error("histogram carries no selling-points endpoint label")
+	}
+}
+
+func TestShardServerMetricsEndpoint(t *testing.T) {
+	_, ts := startFig2ShardServer(t, 0, 2)
+	fams := scrape(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"pitex_build_info",
+		"pitex_uptime_seconds",
+		"pitex_index_generation",
+		"pitex_shards_owned",
+	} {
+		if _, ok := fams[want]; !ok {
+			t.Errorf("shard /metrics missing family %s", want)
+		}
+	}
+}
+
+func TestTraceInlineAndTracez(t *testing.T) {
+	srv, err := New(fig2Engine(t, pitex.StrategyIndexPruned), pitex.ServeOptions{PoolSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	st, doc := getDoc(t, ts.URL+"/selling-points?user=1&k=2&trace=1")
+	if st != http.StatusOK {
+		t.Fatalf("status %d: %v", st, doc)
+	}
+	raw, ok := doc["trace"]
+	if !ok {
+		t.Fatal("?trace=1 response has no trace field")
+	}
+	blob, _ := json.Marshal(raw)
+	var td obsv.TraceData
+	if err := json.Unmarshal(blob, &td); err != nil {
+		t.Fatalf("trace decode: %v", err)
+	}
+	if td.TraceID == "" || len(td.Spans) == 0 {
+		t.Fatalf("trace = %+v", td)
+	}
+	names := map[string]bool{}
+	for _, sp := range td.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"cache", "admission", "query"} {
+		if !names[want] {
+			t.Errorf("trace has no %q span (got %v)", want, names)
+		}
+	}
+	if _, ok := doc["explain"]; !ok {
+		t.Error("?trace=1 response has no explain field")
+	}
+
+	// The same trace must be in the ring.
+	resp, err := http.Get(ts.URL + "/tracez")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var tz struct {
+		Traces []obsv.TraceData `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tz); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tr := range tz.Traces {
+		if tr.TraceID == td.TraceID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("trace %s not in /tracez ring", td.TraceID)
+	}
+}
+
+func TestExplainInline(t *testing.T) {
+	srv, err := New(fig2Engine(t, pitex.StrategyIndexPruned), pitex.ServeOptions{PoolSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// User 0 has real verification work (user 1's containing graphs are
+	// all direct hits, so its probe counters are legitimately zero).
+	st, doc := getDoc(t, ts.URL+"/selling-points?user=0&k=2&explain=1")
+	if st != http.StatusOK {
+		t.Fatalf("status %d: %v", st, doc)
+	}
+	ex, ok := doc["explain"].(map[string]any)
+	if !ok {
+		t.Fatalf("explain field missing or wrong shape: %v", doc["explain"])
+	}
+	if ex["strategy"] != pitex.StrategyIndexPruned.String() {
+		t.Errorf("explain strategy = %v", ex["strategy"])
+	}
+	if v, _ := ex["probes_evaluated"].(float64); v <= 0 {
+		t.Errorf("explain probes_evaluated = %v, want > 0", ex["probes_evaluated"])
+	}
+	// Plain responses must not carry the diagnostics.
+	st, doc = getDoc(t, ts.URL+"/selling-points?user=0&k=2")
+	if st != http.StatusOK {
+		t.Fatal("plain query failed")
+	}
+	if _, ok := doc["explain"]; ok {
+		t.Error("explain leaked into an un-flagged response")
+	}
+	if _, ok := doc["trace"]; ok {
+		t.Error("trace leaked into an un-flagged response")
+	}
+}
+
+// TestTracePropagatesToShards is the acceptance criterion of the PR: a
+// traced coordinator query produces shard-rpc spans, and the shard
+// servers' /tracez rings hold the same trace ID — proof the header
+// crossed the wire.
+func TestTracePropagatesToShards(t *testing.T) {
+	const S = 2
+	groups := make([][]string, S)
+	shardURLs := make([]string, S)
+	for s := 0; s < S; s++ {
+		_, ts := startFig2ShardServer(t, s, S)
+		groups[s] = []string{ts.URL}
+		shardURLs[s] = ts.URL
+	}
+	// Cache disabled so the query scatters instead of replaying.
+	coord, _ := dialFig2Coordinator(t, groups, distrib.Options{},
+		pitex.ServeOptions{PoolSize: 2, CacheCapacity: -1})
+	ct := httptest.NewServer(coord.Handler())
+	defer ct.Close()
+
+	st, doc := getDoc(t, ct.URL+"/selling-points?user=1&k=2&trace=1")
+	if st != http.StatusOK {
+		t.Fatalf("status %d: %v", st, doc)
+	}
+	blob, _ := json.Marshal(doc["trace"])
+	var td obsv.TraceData
+	if err := json.Unmarshal(blob, &td); err != nil {
+		t.Fatalf("trace decode: %v", err)
+	}
+	var rpcSpans int
+	for _, sp := range td.Spans {
+		if sp.Name == "shard-rpc" {
+			rpcSpans++
+		}
+	}
+	if rpcSpans < S {
+		t.Fatalf("trace has %d shard-rpc spans, want >= %d (%+v)", rpcSpans, S, td.Spans)
+	}
+
+	for _, u := range shardURLs {
+		resp, err := http.Get(u + "/tracez")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tz struct {
+			Traces []obsv.TraceData `json:"traces"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&tz)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, tr := range tz.Traces {
+			if tr.TraceID == td.TraceID {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("shard %s /tracez does not hold trace %s", u, td.TraceID)
+		}
+	}
+	// The coordinator /metrics includes the distrib client's counters.
+	fams := scrape(t, ct.URL+"/metrics")
+	if _, ok := fams["pitex_remote_scatters_total"]; !ok {
+		t.Error("coordinator /metrics missing pitex_remote_scatters_total")
+	}
+}

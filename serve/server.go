@@ -15,6 +15,7 @@ import (
 	"pitex"
 	"pitex/analytics"
 	"pitex/distrib"
+	"pitex/obsv"
 )
 
 // Server wires the serving stack — pool → cache → estimator — behind both
@@ -41,6 +42,23 @@ type Server struct {
 
 	cache   *Cache
 	metrics *Metrics
+	// tracer retains the last N finished request traces for /tracez;
+	// every HTTP query runs under one (spans cost microseconds against
+	// millisecond queries).
+	tracer *obsv.Tracer
+	// Update-plane counters, exposed via /metrics.
+	updatesApplied *obsv.Counter
+	graphsRepaired *obsv.Counter
+	poolSwaps      *obsv.Counter
+	// Estimator-work aggregates, accumulated from each fresh query's
+	// Explain so the registry tracks fleet-wide EXPLAIN totals.
+	samplesDrawn *obsv.Counter
+	probesEval   *obsv.Counter
+	probeHits    *obsv.Counter
+	probeMisses  *obsv.Counter
+	frontierExp  *obsv.Counter
+	boundPrunes  *obsv.Counter
+	fullSets     *obsv.Counter
 	// jobs runs population-analytics sweeps (POST /admin/jobs): each job
 	// is pinned to the generation it started on and marked stale by
 	// ApplyUpdates once the serving engine moves past it.
@@ -78,7 +96,75 @@ func New(en *pitex.Engine, opts pitex.ServeOptions) (*Server, error) {
 	}
 	s.pool.Store(NewPool(en, opts.PoolSize, opts.QueueDepth, opts.QueueTimeout))
 	s.generation.Store(en.Generation())
+	s.tracer = obsv.NewTracer(0)
+	s.registerMetrics()
 	return s, nil
+}
+
+// registerMetrics wires every serving layer into the unified registry:
+// owned counters for the update and estimator planes, plus read-at-scrape
+// bridges over the pool, cache and job subsystems (which keep their own
+// atomics for /statsz).
+func (s *Server) registerMetrics() {
+	reg := s.metrics.Registry()
+	obsv.RegisterBuildInfo(reg)
+	s.updatesApplied = reg.Counter("pitex_updates_applied_total",
+		"Update batches applied through ApplyUpdates.")
+	s.graphsRepaired = reg.Counter("pitex_graphs_repaired_total",
+		"RR-Graphs incrementally repaired across all applied updates.")
+	s.poolSwaps = reg.Counter("pitex_pool_swaps_total",
+		"Engine-pool hot swaps performed by updates.")
+	s.samplesDrawn = reg.Counter("pitex_estimator_samples_total",
+		"Sample instances drawn by estimators across all fresh queries.")
+	s.probesEval = reg.Counter("pitex_estimator_probes_total",
+		"Edge-probability evaluations issued across all fresh queries.")
+	s.probeHits = reg.Counter("pitex_probe_cache_hits_total",
+		"ProbeCache hits across all fresh queries.")
+	s.probeMisses = reg.Counter("pitex_probe_cache_misses_total",
+		"ProbeCache misses across all fresh queries.")
+	s.frontierExp = reg.Counter("pitex_frontier_expansions_total",
+		"Best-first frontier expansions across all fresh queries.")
+	s.boundPrunes = reg.Counter("pitex_bound_prunes_total",
+		"Branches pruned by the Lemma 8 upper-bound test across all fresh queries.")
+	s.fullSets = reg.Counter("pitex_full_sets_estimated_total",
+		"Full size-k tag sets estimated across all fresh queries.")
+
+	reg.GaugeFunc("pitex_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	reg.GaugeFunc("pitex_index_generation", "Engine generation currently serving queries.",
+		func() float64 { return float64(s.generation.Load()) })
+	reg.GaugeFunc("pitex_index_bytes", "Offline-index footprint of the serving generation.",
+		func() float64 { return float64(s.pool.Load().IndexBytes()) })
+	reg.GaugeFunc("pitex_pool_in_use", "Pool engines currently checked out.",
+		func() float64 { return float64(s.pool.Load().Stats().InUse) })
+	reg.GaugeFunc("pitex_pool_waiting", "Requests queued for a pool engine.",
+		func() float64 { return float64(s.pool.Load().Stats().Waiting) })
+	reg.CounterFunc("pitex_pool_served_total", "Requests admitted and served by the pool.",
+		func() int64 { return s.pool.Load().Stats().Served })
+	reg.CounterFunc("pitex_pool_rejected_total", "Requests shed by admission control.",
+		func() int64 { return s.pool.Load().Stats().Rejected })
+	reg.CounterFunc("pitex_pool_timeouts_total", "Requests that timed out waiting in the queue.",
+		func() int64 { return s.pool.Load().Stats().Timeouts })
+	reg.CounterFunc("pitex_cache_hits_total", "Result-cache hits.",
+		func() int64 { return s.cache.Stats().Hits })
+	reg.CounterFunc("pitex_cache_misses_total", "Result-cache misses.",
+		func() int64 { return s.cache.Stats().Misses })
+	reg.CounterFunc("pitex_cache_deduped_total", "Requests deduplicated onto an in-flight computation.",
+		func() int64 { return s.cache.Stats().Deduped })
+	reg.CounterFunc("pitex_cache_evictions_total", "Result-cache evictions.",
+		func() int64 { return s.cache.Stats().Evictions })
+	reg.GaugeFunc("pitex_cache_entries", "Result-cache resident entries.",
+		func() float64 { return float64(s.cache.Stats().Entries) })
+	reg.GaugeFunc("pitex_jobs_running", "Analytics sweep jobs currently running.",
+		func() float64 {
+			var n int
+			for _, j := range s.jobs.List() {
+				if j.State == analytics.JobRunning {
+					n++
+				}
+			}
+			return float64(n)
+		})
 }
 
 // NewCoordinator builds a Server in scatter-gather mode: en must be a
@@ -97,6 +183,9 @@ func NewCoordinator(en *pitex.Engine, client *distrib.Client, opts pitex.ServeOp
 		return nil, err
 	}
 	s.remote = client
+	// The client's scatter/hedge/failover counters join the coordinator's
+	// exposition, so one scrape covers the remote path too.
+	client.Register(s.metrics.Registry())
 	return s, nil
 }
 
@@ -188,6 +277,9 @@ func (s *Server) ApplyUpdates(batch *pitex.UpdateBatch) (pitex.UpdateStats, erro
 	// GET /admin/jobs/{id} reports the population moved on.
 	s.jobs.MarkStale(next.Generation())
 	old.DrainAndClose(s.drainGrace())
+	s.updatesApplied.Inc()
+	s.graphsRepaired.Add(int64(stats.GraphsRepaired))
+	s.poolSwaps.Inc()
 	return stats, nil
 }
 
@@ -243,8 +335,13 @@ func (s *Server) SellingPoints(ctx context.Context, user, k, m int, prefix []int
 		return pitex.Result{}, false, err
 	}
 	key := Key{Kind: "query", Gen: s.generation.Load(), User: user, K: k, M: m, Tags: TagsKey(prefix)}
+	csp, ctx := obsv.StartSpan(ctx, "cache")
+	defer csp.End()
 	v, cached, err := s.cache.GetOrCompute(ctx, key, func() (any, error) {
 		var res pitex.Result
+		// Admission span: from entering the compute to an engine checkout.
+		asp, _ := obsv.StartSpan(ctx, "admission")
+		asp.SetAttr("queue_depth", s.pool.Load().Stats().Waiting)
 		// The queue wait honors the caller's ctx (a dead client must not
 		// hold an admission token), but once an engine is checked out the
 		// estimation is decoupled from that caller's cancellation:
@@ -253,16 +350,35 @@ func (s *Server) SellingPoints(ctx context.Context, user, k, m int, prefix []int
 		// estimation is cached either way. QueryTimeout (default 30s)
 		// bounds work orphaned by disconnections.
 		err := s.do(ctx, func(en *pitex.Engine) error {
+			asp.End()
 			qctx, cancel := s.queryCtx(context.WithoutCancel(ctx))
 			defer cancel()
+			qsp, qctx := obsv.StartSpan(qctx, "query")
+			defer qsp.End()
+			qsp.SetAttr("user", user)
+			qsp.SetAttr("k", k)
+			qsp.SetAttr("m", m)
+			qsp.SetAttr("strategy", s.strategy)
 			var qerr error
 			if len(prefix) > 0 {
 				res, qerr = en.QueryWithPrefixCtx(qctx, user, prefix, k)
 			} else {
 				res, qerr = en.QueryTopCtx(qctx, user, k, m)
 			}
+			if qerr == nil {
+				s.noteExplain(res.Explain)
+				if res.Degraded != nil {
+					// Degraded answers carry their accuracy loss into the
+					// trace: achieved ε and the shards that were absent.
+					qsp.SetAttr("degraded", true)
+					qsp.SetAttr("achieved_epsilon", res.Degraded.AchievedEpsilon)
+					qsp.SetAttr("target_epsilon", res.Degraded.TargetEpsilon)
+					qsp.SetAttr("missing_shards", res.Degraded.MissingShards)
+				}
+			}
 			return qerr
 		})
+		asp.End() // no-op if the checkout ended it; covers rejected admissions
 		if err == nil && res.Degraded != nil {
 			// A degraded answer (shards were unreachable) must reach the
 			// caller but never the cache — the cache stores only
@@ -275,6 +391,7 @@ func (s *Server) SellingPoints(ctx context.Context, user, k, m int, prefix []int
 		}
 		return res, err
 	})
+	csp.SetAttr("hit", cached)
 	if err != nil {
 		var de *degradedErr
 		if errors.As(err, &de) {
@@ -283,6 +400,18 @@ func (s *Server) SellingPoints(ctx context.Context, user, k, m int, prefix []int
 		return pitex.Result{}, false, err
 	}
 	return v.(pitex.Result), cached, nil
+}
+
+// noteExplain folds one fresh query's cost breakdown into the registry's
+// fleet-wide estimator aggregates.
+func (s *Server) noteExplain(ex pitex.Explain) {
+	s.samplesDrawn.Add(ex.SamplesDrawn)
+	s.probesEval.Add(ex.ProbesEvaluated)
+	s.probeHits.Add(ex.ProbeCacheHits)
+	s.probeMisses.Add(ex.ProbeCacheMisses)
+	s.frontierExp.Add(ex.FrontierExpansions)
+	s.boundPrunes.Add(ex.PrunedByBound)
+	s.fullSets.Add(ex.FullSetsEstimated)
 }
 
 // degradedErr smuggles a degraded (uncacheable) result through the
@@ -321,16 +450,27 @@ func (s *Server) Audience(ctx context.Context, user int, tags []int, m int, samp
 		samples = MaxAudienceSamples
 	}
 	key := Key{Kind: "audience", Gen: s.generation.Load(), User: user, M: m, Samples: samples, Tags: TagsKey(tags)}
+	csp, ctx := obsv.StartSpan(ctx, "cache")
+	defer csp.End()
 	v, cached, err := s.cache.GetOrCompute(ctx, key, func() (any, error) {
 		var aud []pitex.InfluencedUser
+		asp, _ := obsv.StartSpan(ctx, "admission")
+		asp.SetAttr("queue_depth", s.pool.Load().Stats().Waiting)
 		// Queue wait cancellable, sampling run not — see SellingPoints.
 		err := s.do(ctx, func(en *pitex.Engine) error {
+			asp.End()
+			qsp, _ := obsv.StartSpan(ctx, "sample")
+			defer qsp.End()
+			qsp.SetAttr("user", user)
+			qsp.SetAttr("samples", samples)
 			var qerr error
 			aud, qerr = en.Audience(user, tags, m, samples)
 			return qerr
 		})
+		asp.End()
 		return aud, err
 	})
+	csp.SetAttr("hit", cached)
 	if err != nil {
 		return nil, false, err
 	}
@@ -384,6 +524,8 @@ type Stats struct {
 	Strategy      string  `json:"strategy"`
 	Generation    uint64  `json:"generation"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Build is the binary's provenance (Go version, VCS revision).
+	Build obsv.BuildInfo `json:"build"`
 	// IndexBytes is the current generation's offline-index footprint (the
 	// Table 3 metric, O(1) to read), so operators can watch index RSS
 	// across live updates. 0 for online strategies.
@@ -417,6 +559,7 @@ func (s *Server) Stats() Stats {
 		Strategy:      s.strategy,
 		Generation:    s.generation.Load(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		Build:         obsv.GetBuildInfo(),
 		IndexBytes:    pool.IndexBytes(),
 		IndexShards:   pool.ShardStats(),
 		Pool:          pool.Stats(),
@@ -438,6 +581,11 @@ func (s *Server) Stats() Stats {
 //	/admin/jobs/{id}  (DELETE)                    — cancel
 //	/healthz
 //	/statsz
+//	/metrics  (GET)                               — Prometheus text exposition
+//	/tracez   (GET)                               — last N request traces, JSON
+//
+// Queries accept &trace=1 (inline the request's span tree into the
+// response) and &explain=1 (inline the estimator cost breakdown).
 //
 // The /admin endpoints carry no authentication; expose them only on an
 // internal listener or behind a reverse proxy that does.
@@ -453,6 +601,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
+	mux.Handle("GET /metrics", s.metrics.Registry().Handler())
+	mux.Handle("GET /tracez", s.tracer.Handler())
 	return mux
 }
 
@@ -523,7 +673,13 @@ func (s *Server) handleSellingPoints(w http.ResponseWriter, r *http.Request) {
 		httpError(w, fmt.Errorf("bad or missing user"))
 		return
 	}
-	res, cached, err := s.SellingPoints(r.Context(), user, k, m, prefix)
+	// Every single query runs under a trace (spans cost microseconds
+	// against millisecond estimations); ?trace=1 additionally inlines the
+	// finished span tree into the response.
+	tr := s.tracer.StartTrace("selling-points")
+	ctx := obsv.ContextWithTrace(r.Context(), tr)
+	res, cached, err := s.SellingPoints(ctx, user, k, m, prefix)
+	td := tr.Finish()
 	if err != nil {
 		httpError(w, err)
 		return
@@ -542,6 +698,12 @@ func (s *Server) handleSellingPoints(w http.ResponseWriter, r *http.Request) {
 		// responding shards, and the payload says exactly how much
 		// accuracy was lost and which shards were absent.
 		out["degraded"] = res.Degraded
+	}
+	if q.Get("trace") == "1" {
+		out["trace"] = td
+	}
+	if q.Get("explain") == "1" || q.Get("trace") == "1" {
+		out["explain"] = res.Explain
 	}
 	if m > 1 {
 		type alt struct {
@@ -565,6 +727,9 @@ func (s *Server) handleAudience(w http.ResponseWriter, r *http.Request) {
 		httpError(w, fmt.Errorf("bad or missing user"))
 		return
 	}
+	tr := s.tracer.StartTrace("audience")
+	ctx := obsv.ContextWithTrace(r.Context(), tr)
+	defer tr.Finish()
 	tags, err := parseIntList(q.Get("tags"))
 	if err != nil {
 		httpError(w, fmt.Errorf("bad tags: %w", err))
@@ -582,7 +747,7 @@ func (s *Server) handleAudience(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
-	aud, cached, err := s.Audience(r.Context(), user, tags, m, int64(samples))
+	aud, cached, err := s.Audience(ctx, user, tags, m, int64(samples))
 	if err != nil {
 		httpError(w, err)
 		return

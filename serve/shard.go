@@ -15,6 +15,7 @@ import (
 	"pitex/distrib"
 	"pitex/internal/graph"
 	"pitex/internal/rrindex"
+	"pitex/obsv"
 )
 
 // ShardConfig places one ShardServer in a cluster layout: the server
@@ -91,6 +92,7 @@ type ShardServer struct {
 
 	updateMu sync.Mutex
 	metrics  *Metrics
+	tracer   *obsv.Tracer
 	start    time.Time
 
 	sem     chan struct{}
@@ -137,11 +139,30 @@ func NewShardServer(net *pitex.Network, model *pitex.TagModel, opts pitex.Option
 		buildOpts: bo,
 		ready:     make(chan struct{}),
 		metrics:   NewMetrics(),
+		tracer:    obsv.NewTracer(0),
 		start:     time.Now(),
 		sem:       make(chan struct{}, cfg.Workers),
 	}
+	ss.registerMetrics()
 	go ss.build(net)
 	return ss, nil
+}
+
+// registerMetrics wires the shard server's serving state into its
+// /metrics exposition.
+func (ss *ShardServer) registerMetrics() {
+	reg := ss.metrics.Registry()
+	obsv.RegisterBuildInfo(reg)
+	reg.GaugeFunc("pitex_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(ss.start).Seconds() })
+	reg.GaugeFunc("pitex_index_generation", "Index generation currently served.",
+		func() float64 { return float64(ss.Generation()) })
+	reg.GaugeFunc("pitex_shard_inflight", "Estimations currently holding a worker slot.",
+		func() float64 { return float64(len(ss.sem)) })
+	reg.GaugeFunc("pitex_shard_waiting", "Requests queued for a worker slot.",
+		func() float64 { return float64(ss.waiting.Load()) })
+	reg.GaugeFunc("pitex_shards_owned", "Shard slices this server holds.",
+		func() float64 { return float64(len(ss.cfg.Owned)) })
 }
 
 func (ss *ShardServer) build(net *pitex.Network) {
@@ -255,6 +276,8 @@ func (ss *ShardServer) Handler() http.Handler {
 	mux.HandleFunc("/healthz", ss.handleHealthz)
 	mux.HandleFunc("/readyz", ss.handleReadyz)
 	mux.HandleFunc("/statsz", ss.handleStatsz)
+	mux.Handle("GET /metrics", ss.metrics.Registry().Handler())
+	mux.Handle("GET /tracez", ss.tracer.Handler())
 	return mux
 }
 
@@ -273,6 +296,12 @@ func (ss *ShardServer) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			http.StatusNotImplemented)
 		return
 	}
+	// Adopt the coordinator's trace ID when the request carries one, so
+	// this server's /tracez correlates with the coordinator's span tree;
+	// un-headered requests get a local trace.
+	tid, _, _ := obsv.ParseTraceHeader(r.Header.Get(obsv.TraceHeader))
+	str := ss.tracer.Join(tid, "shard-estimate")
+	defer str.Finish()
 	var req distrib.EstimateRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxEstimateBody))
 	if err := dec.Decode(&req); err != nil {
@@ -293,12 +322,20 @@ func (ss *ShardServer) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
+	asp := str.StartSpan("acquire")
+	asp.SetAttr("waiting", ss.waiting.Load())
 	release, err := ss.acquire(r.Context())
+	asp.End()
 	if err != nil {
 		httpError(w, err)
 		return
 	}
 	defer release()
+	psp := str.StartSpan("partials")
+	psp.SetAttr("user", req.User)
+	psp.SetAttr("generation", st.generation)
+	psp.SetAttr("owned", len(ss.cfg.Owned))
+	defer psp.End()
 	pruned := ss.strategy == pitex.StrategyIndexPruned
 	resp := distrib.EstimateResponse{Generation: st.generation}
 	for _, s := range ss.cfg.Owned {
@@ -502,6 +539,7 @@ func (ss *ShardServer) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		"total_shards":   ss.cfg.TotalShards,
 		"owned":          ss.cfg.Owned,
 		"uptime_seconds": time.Since(ss.start).Seconds(),
+		"build":          obsv.GetBuildInfo(),
 		"inflight":       len(ss.sem),
 		"latency":        ss.metrics.Snapshot(),
 	}
