@@ -197,7 +197,19 @@ func (m *Manager) Start(en *pitex.Engine, opts Options) (*Job, error) {
 		}
 	}
 	go func() {
-		lb, err := Run(ctx, en, opts)
+		// Panic barrier: a sweep that dies outside the chunk workers'
+		// own recovery must fail this one job, not the whole process.
+		lb, err := func() (lb *Leaderboard, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					if opts.OnPanic != nil {
+						opts.OnPanic(r)
+					}
+					lb, err = nil, fmt.Errorf("analytics: sweep panicked: %v", r)
+				}
+			}()
+			return Run(ctx, en, opts)
+		}()
 		j.mu.Lock()
 		j.elapsed = time.Since(j.start)
 		switch {

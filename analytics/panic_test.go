@@ -1,0 +1,25 @@
+package analytics
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestRunChunkRecoversPanic: the chunk barrier converts a panicking
+// estimation into a failed chunk (and notifies OnPanic) instead of
+// killing the process and every sibling sweep.
+func TestRunChunkRecoversPanic(t *testing.T) {
+	var observed any
+	opts := Options{ChunkSize: 1, K: 2, TopN: 1, OnPanic: func(v any) { observed = v }}
+	st := &sweepState{opts: opts, users: []int{0}, numChunks: 1}
+	// A nil prototype engine makes Clone panic — a stand-in for any bug
+	// inside the estimation pipeline.
+	_, err := runChunk(context.Background(), nil, st, 0, opts)
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v, want a recovered-panic error", err)
+	}
+	if observed == nil {
+		t.Fatal("OnPanic was not notified")
+	}
+}

@@ -53,6 +53,10 @@ type Options struct {
 	// up front). Called with the collector lock held: keep it fast and
 	// never call back into the sweep from it.
 	OnProgress func(Progress)
+	// OnPanic, when non-nil, observes a recovered panic from a chunk
+	// worker before the sweep fails with it. Not part of the checkpoint
+	// fingerprint. Servers hook a panic counter here; every call is a bug.
+	OnPanic func(v any)
 }
 
 // Progress is a point-in-time view of a running sweep.
@@ -261,7 +265,7 @@ func Run(ctx context.Context, en *pitex.Engine, opts Options) (*Leaderboard, err
 				if runCtx.Err() != nil {
 					continue
 				}
-				cr, err := processChunk(runCtx, en, st.chunkUsers(c), c, opts)
+				cr, err := runChunk(runCtx, en, st, c, opts)
 				if err != nil {
 					// Only context errors abort a chunk; an external
 					// cancellation is reported as ctx.Err() below, and an
@@ -374,6 +378,21 @@ func (st *sweepState) reportProgressLocked() {
 		UsersDone:   st.doneUsers,
 		UsersTotal:  len(st.users),
 	})
+}
+
+// runChunk is processChunk behind a panic barrier: a panicking
+// estimator fails the sweep with a descriptive error (after notifying
+// opts.OnPanic) instead of crashing the process and every sibling job.
+func runChunk(ctx context.Context, proto *pitex.Engine, st *sweepState, chunk int, opts Options) (cr chunkResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if opts.OnPanic != nil {
+				opts.OnPanic(r)
+			}
+			cr, err = chunkResult{}, fmt.Errorf("analytics: chunk %d panicked: %v", chunk, r)
+		}
+	}()
+	return processChunk(ctx, proto, st.chunkUsers(chunk), chunk, opts)
 }
 
 // processChunk answers one query per chunk user on a fresh engine clone

@@ -28,6 +28,7 @@ import (
 
 	"pitex"
 	"pitex/distrib"
+	"pitex/internal/faultinject"
 	"pitex/obsv"
 	"pitex/serve"
 )
@@ -53,6 +54,8 @@ func main() {
 
 		shardsFl = flag.String("shards", "", "coordinator mode: shard-server groups, comma-separated; replicas within a group separated by '|' (e.g. 'h1:8501|h1b:8501,h2:8502')")
 		shardTO  = flag.Duration("shard-deadline", 2*time.Second, "per-shard-group fetch deadline in coordinator mode (hedges included)")
+		horizon  = flag.Int("journal-horizon", 0, "update-journal depth in generations for endpoint catch-up replay (0 = default)")
+		healIntv = flag.Duration("reconcile-interval", 0, "anti-entropy reconciler poll interval (0 = default, negative disables)")
 
 		addr     = flag.String("addr", "localhost:8437", "listen address")
 		pool     = flag.Int("pool", 0, "engine pool size (0 = GOMAXPROCS)")
@@ -66,6 +69,9 @@ func main() {
 
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty disables)")
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
+
+		faults    = flag.String("faults", "", "deterministic fault-injection spec for chaos testing, e.g. 'distrib/roundtrip:latency=50ms:p=0.1' (never enable in production)")
+		faultSeed = flag.Uint64("fault-seed", 1, "seed of the fault-injection schedule (with -faults)")
 	)
 	flag.Parse()
 	logger, err := obsv.NewLogger(os.Stderr, *logFormat)
@@ -74,6 +80,17 @@ func main() {
 		os.Exit(1)
 	}
 	slog.SetDefault(logger)
+	if *faults != "" {
+		rules, err := faultinject.Parse(*faults)
+		if err == nil {
+			err = faultinject.Enable(*faultSeed, rules)
+		}
+		if err != nil {
+			logger.Error("bad -faults", "err", err)
+			os.Exit(1)
+		}
+		logger.Warn("fault injection ENABLED", "spec", *faults, "seed", *faultSeed)
+	}
 	// All the work lives in run so cleanup (pool shutdown, job
 	// cancellation) executes on the error path too — os.Exit straight
 	// from main after ListenAndServe fails would skip it.
@@ -84,6 +101,7 @@ func main() {
 		epsilon: *epsilon, delta: *delta, maxSamples: *maxSamp,
 		maxIndexSamples: *maxIdx, indexShards: *idxShard, cheapBounds: *cheap, maxK: *maxK,
 		shards: *shardsFl, shardDeadline: *shardTO,
+		journalHorizon: *horizon, reconcileInterval: *healIntv,
 	}, pitex.ServeOptions{
 		PoolSize: *pool, QueueDepth: *queue,
 		QueueTimeout: *queueTO, QueryTimeout: *queryTO,
@@ -161,8 +179,10 @@ type buildConfig struct {
 	// shards switches setup into coordinator mode: a distrib client is
 	// dialed over the groups and the server scatters to them instead of
 	// holding a local index.
-	shards        string
-	shardDeadline time.Duration
+	shards            string
+	shardDeadline     time.Duration
+	journalHorizon    int
+	reconcileInterval time.Duration
 }
 
 // setup builds the engine (running or loading the offline phase) and wraps
@@ -233,7 +253,12 @@ func setup(cfg buildConfig, sopts pitex.ServeOptions, logf func(string, ...any))
 		}
 		dialCtx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 		defer cancel()
-		client, err := distrib.Dial(dialCtx, groups, distrib.Options{ShardDeadline: cfg.shardDeadline})
+		client, err := distrib.Dial(dialCtx, groups, distrib.Options{
+			ShardDeadline:     cfg.shardDeadline,
+			JournalHorizon:    cfg.journalHorizon,
+			ReconcileInterval: cfg.reconcileInterval,
+			JitterSeed:        cfg.seed,
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"pitex"
+	"pitex/internal/faultinject"
 	"pitex/obsv"
 	"pitex/serve"
 )
@@ -60,6 +61,9 @@ func main() {
 
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty disables)")
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
+
+		faults    = flag.String("faults", "", "deterministic fault-injection spec for chaos testing, e.g. 'serve/shard/estimate:error:p=0.05' (never enable in production)")
+		faultSeed = flag.Uint64("fault-seed", 1, "seed of the fault-injection schedule (with -faults)")
 	)
 	flag.Parse()
 	logger, err := obsv.NewLogger(os.Stderr, *logFormat)
@@ -68,6 +72,17 @@ func main() {
 		os.Exit(1)
 	}
 	slog.SetDefault(logger)
+	if *faults != "" {
+		rules, err := faultinject.Parse(*faults)
+		if err == nil {
+			err = faultinject.Enable(*faultSeed, rules)
+		}
+		if err != nil {
+			logger.Error("bad -faults", "err", err)
+			os.Exit(1)
+		}
+		logger.Warn("fault injection ENABLED", "spec", *faults, "seed", *faultSeed)
+	}
 	if err := run(logger, shardConfig{
 		dataset: *dataset, network: *network, model: *model,
 		trackUpdates: *track, seed: *seed, scale: *scale,

@@ -4,16 +4,21 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"slices"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pitex"
+	"pitex/internal/faultinject"
+	"pitex/internal/rng"
 	"pitex/internal/rrindex"
 	"pitex/obsv"
 )
@@ -41,6 +46,23 @@ type Options struct {
 	// HTTPClient overrides the transport (default: a dedicated client
 	// with sane connection pooling).
 	HTTPClient *http.Client
+	// JitterSeed seeds the per-endpoint backoff jitter (default 1).
+	// Endpoints that failed together would otherwise cool down in
+	// lockstep and retry as a thundering herd; the jitter spreads their
+	// recovery probes while staying deterministic per (seed, URL).
+	JitterSeed uint64
+	// ReconcileInterval is the cadence of the background anti-entropy
+	// reconciler that heals lagging endpoints (default 500ms; negative
+	// disables the reconciler entirely).
+	ReconcileInterval time.Duration
+	// JournalHorizon bounds the per-generation update journal the
+	// reconciler replays from (default 32 generations). An endpoint whose
+	// gap reaches past the horizon is healed via /shard/resync instead.
+	JournalHorizon int
+	// HealBackoff is the base delay between failed heal attempts on one
+	// endpoint (default 500ms), doubling per consecutive failure up to
+	// 2^5× with the same per-endpoint jitter as the cooldown.
+	HealBackoff time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -65,6 +87,18 @@ func (o Options) withDefaults() Options {
 			IdleConnTimeout:     90 * time.Second,
 		}}
 	}
+	if o.JitterSeed == 0 {
+		o.JitterSeed = 1
+	}
+	if o.ReconcileInterval == 0 {
+		o.ReconcileInterval = 500 * time.Millisecond
+	}
+	if o.JournalHorizon <= 0 {
+		o.JournalHorizon = 32
+	}
+	if o.HealBackoff <= 0 {
+		o.HealBackoff = 500 * time.Millisecond
+	}
 	return o
 }
 
@@ -72,9 +106,29 @@ func (o Options) withDefaults() Options {
 type endpoint struct {
 	url string
 
+	// gen is the endpoint's last-known applied generation, maintained by
+	// the update fan-out and the reconciler. An endpoint with gen behind
+	// the coordinator head is lagging: it would answer head-stamped
+	// requests with 409, so the scatter path skips it until it heals.
+	gen atomic.Uint64
+
 	mu          sync.Mutex
 	consecFails int
 	coolUntil   time.Time
+	jit         *rng.Source // backoff jitter stream; nil = no jitter
+	healFails   int
+	nextHeal    time.Time
+}
+
+// jitterLocked scales d by a uniform factor in [1, 1.5) drawn from the
+// endpoint's own seeded stream, so replicas that failed together do not
+// retry in lockstep. Without a stream (zero-value endpoints in tests) the
+// delay stays exact. Caller holds e.mu.
+func (e *endpoint) jitterLocked(d time.Duration) time.Duration {
+	if e.jit == nil {
+		return d
+	}
+	return time.Duration(float64(d) * (1 + 0.5*e.jit.Float64()))
 }
 
 func (e *endpoint) fail(now time.Time, base time.Duration) {
@@ -85,7 +139,7 @@ func (e *endpoint) fail(now time.Time, base time.Duration) {
 	if n > 6 {
 		n = 6
 	}
-	e.coolUntil = now.Add(base << uint(n-1))
+	e.coolUntil = now.Add(e.jitterLocked(base << uint(n-1)))
 }
 
 func (e *endpoint) succeed() {
@@ -99,6 +153,32 @@ func (e *endpoint) cooling(now time.Time) (bool, time.Time) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return now.Before(e.coolUntil), e.coolUntil
+}
+
+// healDue reports whether the reconciler may attempt a heal now (heal
+// failures back off like fetch failures, with jitter).
+func (e *endpoint) healDue(now time.Time) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return !now.Before(e.nextHeal)
+}
+
+func (e *endpoint) healFailed(now time.Time, base time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.healFails++
+	n := e.healFails
+	if n > 6 {
+		n = 6
+	}
+	e.nextHeal = now.Add(e.jitterLocked(base << uint(n-1)))
+}
+
+func (e *endpoint) healedOK() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.healFails = 0
+	e.nextHeal = time.Time{}
 }
 
 // latWindow is a small ring of recent group latencies for the hedge
@@ -146,18 +226,28 @@ type group struct {
 }
 
 // candidates orders the group's endpoints for an attempt sequence:
-// healthy ones first (configured order), cooling ones last. When every
-// replica is cooling the full list comes back anyway — probing a cooling
-// endpoint is how it recovers.
-func (g *group) candidates(now time.Time) []*endpoint {
+// healthy ones first (configured order), cooling ones last. Endpoints
+// lagging behind the head generation are excluded outright — they would
+// answer a head-stamped request with 409, so attempting them wastes the
+// hedge budget; the reconciler heals them off the query path. When every
+// replica is lagging or cooling the full list comes back anyway (lagging
+// last) — probing is how a group recovers.
+func (g *group) candidates(now time.Time, head uint64) []*endpoint {
 	avail := make([]*endpoint, 0, len(g.endpoints))
-	var cooling []*endpoint
+	var cooling, lagging []*endpoint
 	for _, ep := range g.endpoints {
-		if c, _ := ep.cooling(now); c {
+		c, _ := ep.cooling(now)
+		switch {
+		case ep.gen.Load() < head:
+			lagging = append(lagging, ep)
+		case c:
 			cooling = append(cooling, ep)
-		} else {
+		default:
 			avail = append(avail, ep)
 		}
+	}
+	if len(avail)+len(cooling) == 0 {
+		return lagging
 	}
 	return append(avail, cooling...)
 }
@@ -194,10 +284,22 @@ type Client struct {
 	shardTheta []atomic.Int64
 	shardUsers []atomic.Int64
 
-	scatters  *obsv.Counter
-	hedges    *obsv.Counter
-	failovers *obsv.Counter
-	degraded  *obsv.Counter
+	scatters       *obsv.Counter
+	hedges         *obsv.Counter
+	failovers      *obsv.Counter
+	degraded       *obsv.Counter
+	journalReplays *obsv.Counter
+	resyncs        *obsv.Counter
+	healFailures   *obsv.Counter
+
+	// Self-healing machinery: the journal retains recent update bodies
+	// for replay; the reconciler goroutine retries lagging endpoints.
+	journal    *journal
+	stop       chan struct{}
+	wg         sync.WaitGroup
+	healCtx    context.Context
+	healCancel context.CancelFunc
+	closed     atomic.Bool
 }
 
 // Dial connects to a fleet: groups[i] lists the replica endpoints (URL or
@@ -215,7 +317,12 @@ func Dial(ctx context.Context, groupAddrs [][]string, opts Options) (*Client, er
 		opts: opts, http: opts.HTTPClient, totalShards: -1,
 		scatters: obsv.NewCounter(), hedges: obsv.NewCounter(),
 		failovers: obsv.NewCounter(), degraded: obsv.NewCounter(),
+		journalReplays: obsv.NewCounter(), resyncs: obsv.NewCounter(),
+		healFailures: obsv.NewCounter(),
+		journal:      newJournal(opts.JournalHorizon),
+		stop:         make(chan struct{}),
 	}
+	c.healCtx, c.healCancel = context.WithCancel(context.Background())
 	covered := make(map[int]int) // shard -> group index
 	type pending struct {
 		g    *group
@@ -228,7 +335,13 @@ func Dial(ctx context.Context, groupAddrs [][]string, opts Options) (*Client, er
 		}
 		g := &group{}
 		for _, a := range addrs {
-			g.endpoints = append(g.endpoints, &endpoint{url: normalizeURL(a)})
+			u := normalizeURL(a)
+			ep := &endpoint{url: u}
+			// Per-endpoint deterministic jitter stream keyed on (seed, URL).
+			h := fnv.New64a()
+			h.Write([]byte(u))
+			ep.jit = rng.New(rng.Mix(opts.JitterSeed, h.Sum64()))
+			g.endpoints = append(g.endpoints, ep)
 		}
 		info, err := c.awaitReady(ctx, g)
 		if err != nil {
@@ -281,7 +394,31 @@ func Dial(ctx context.Context, groupAddrs [][]string, opts Options) (*Client, er
 			c.shardUsers[si.Shard].Store(int64(si.Users))
 		}
 	}
+	// Every endpoint starts presumed-current; the fan-out, 409 responses
+	// and the reconciler's probes keep the view honest from here on.
+	for _, g := range c.groups {
+		for _, ep := range g.endpoints {
+			ep.gen.Store(c.generation.Load())
+		}
+	}
+	if c.opts.ReconcileInterval > 0 {
+		c.wg.Add(1)
+		go c.reconcileLoop()
+	}
 	return c, nil
+}
+
+// Close stops the background reconciler and releases idle connections.
+// In-flight calls finish; further heals are abandoned. Safe to call more
+// than once.
+func (c *Client) Close() {
+	if c.closed.Swap(true) {
+		return
+	}
+	close(c.stop)
+	c.healCancel()
+	c.wg.Wait()
+	c.http.CloseIdleConnections()
 }
 
 func normalizeURL(addr string) string {
@@ -331,9 +468,35 @@ func (c *Client) getInfo(ctx context.Context, ep *endpoint) (*InfoResponse, erro
 	return &info, nil
 }
 
+// statusError is a non-2xx response, kept typed so callers can react to
+// specific statuses (409 marks an endpoint's generation view stale).
+type statusError struct {
+	method, url string
+	code        int
+	msg         string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("%s %s: status %d: %s", e.method, e.url, e.code, e.msg)
+}
+
+// responseStatus extracts the HTTP status behind err, or 0 when err is
+// not a status error (transport failure, context end, injected fault).
+func responseStatus(err error) int {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code
+	}
+	return 0
+}
+
 // roundTrip performs one HTTP exchange and returns the response body,
 // mapping non-2xx statuses to errors carrying the server's message.
 func (c *Client) roundTrip(ctx context.Context, method, url string, body []byte) ([]byte, error) {
+	out := faultinject.Eval(ctx, faultinject.PointRoundTrip)
+	if out.Err != nil {
+		return nil, out.Err
+	}
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -345,6 +508,16 @@ func (c *Client) roundTrip(ctx context.Context, method, url string, body []byte)
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Ship the remaining deadline budget: context deadlines do not cross
+	// HTTP, and the shard's admission control wants to shed requests
+	// whose caller will have hung up before a worker frees up.
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		req.Header.Set(DeadlineHeader, strconv.FormatInt(ms, 10))
+	}
 	// Propagate the trace across the wire so a shard's spans join the
 	// coordinator's trace ID.
 	if tr := obsv.TraceFrom(ctx); tr != nil {
@@ -355,7 +528,7 @@ func (c *Client) roundTrip(ctx context.Context, method, url string, body []byte)
 		return nil, err
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
 	if err != nil {
 		return nil, err
 	}
@@ -364,10 +537,18 @@ func (c *Client) roundTrip(ctx context.Context, method, url string, body []byte)
 		if len(msg) > 200 {
 			msg = msg[:200]
 		}
-		return nil, fmt.Errorf("%s %s: status %d: %s", method, url, resp.StatusCode, msg)
+		return nil, &statusError{method: method, url: url, code: resp.StatusCode, msg: msg}
+	}
+	if out.Corrupt {
+		data = faultinject.CorruptBytes(data)
 	}
 	return data, nil
 }
+
+// maxResponseBytes caps a shard response read. Resync snapshots carry
+// whole index slices, so the cap is far above the 16MB that bounds every
+// other message type.
+const maxResponseBytes = 256 << 20
 
 // fetchGroup runs one hedged, failing-over fetch against a group: the
 // first candidate is tried immediately, the next one after the adaptive
@@ -377,7 +558,10 @@ func (c *Client) roundTrip(ctx context.Context, method, url string, body []byte)
 func (c *Client) fetchGroup(ctx context.Context, g *group, method, path string, body []byte) ([]byte, error) {
 	ctx, cancel := context.WithTimeout(ctx, c.opts.ShardDeadline)
 	defer cancel()
-	cands := g.candidates(time.Now())
+	cands := g.candidates(time.Now(), c.generation.Load())
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("distrib: group has no endpoints")
+	}
 	type attempt struct {
 		data []byte
 		err  error
@@ -418,6 +602,13 @@ func (c *Client) fetchGroup(ctx context.Context, g *group, method, path string, 
 				return a.data, nil
 			}
 			a.ep.fail(time.Now(), c.opts.FailureCooldown)
+			if responseStatus(a.err) == http.StatusConflict {
+				// The endpoint rejected our generation: its index view is
+				// stale (or ahead after a lost fan-out ack). Zero the
+				// cached generation so the reconciler probes and heals it
+				// and the scatter path stops picking it meanwhile.
+				a.ep.gen.Store(0)
+			}
 			if firstErr == nil {
 				firstErr = a.err
 			}
@@ -612,6 +803,11 @@ func (c *Client) Update(ctx context.Context, req UpdateRequest) ([]EndpointUpdat
 	if err != nil {
 		return nil, err
 	}
+	// Journal the batch before delivery: whatever subset of endpoints
+	// misses this fan-out, the reconciler replays the exact same body, so
+	// replicas converge byte-identically. Re-staging the same generation
+	// after a failed fan-out replaces the entry.
+	c.journal.put(req.Generation, body)
 	var eps []*endpoint
 	for _, g := range c.groups {
 		eps = append(eps, g.endpoints...)
@@ -625,9 +821,17 @@ func (c *Client) Update(ctx context.Context, req UpdateRequest) ([]EndpointUpdat
 			ectx, cancel := context.WithTimeout(ctx, c.opts.UpdateDeadline)
 			defer cancel()
 			out[i] = EndpointUpdate{URL: ep.url}
+			if fo := faultinject.Eval(ectx, faultinject.PointUpdateFanout); fo.Err != nil {
+				ep.fail(time.Now(), c.opts.FailureCooldown)
+				out[i].Error = fo.Err.Error()
+				return
+			}
 			data, err := c.roundTrip(ectx, http.MethodPost, ep.url+"/shard/update", body)
 			if err != nil {
 				ep.fail(time.Now(), c.opts.FailureCooldown)
+				if responseStatus(err) == http.StatusConflict {
+					ep.gen.Store(0)
+				}
 				out[i].Error = err.Error()
 				return
 			}
@@ -637,6 +841,7 @@ func (c *Client) Update(ctx context.Context, req UpdateRequest) ([]EndpointUpdat
 				return
 			}
 			ep.succeed()
+			ep.gen.Store(resp.Generation)
 			out[i].Generation = resp.Generation
 			out[i].GraphsRepaired = resp.GraphsRepaired
 			out[i].GraphsAppended = resp.GraphsAppended
@@ -667,6 +872,29 @@ func (c *Client) Register(reg *obsv.Registry) {
 		"Shard fetches retried on the next replica after a hard error.", c.failovers)
 	reg.RegisterCounter("pitex_remote_degraded_answers_total",
 		"Estimations answered with one or more shard groups missing.", c.degraded)
+	reg.RegisterCounter("pitex_remote_journal_replays_total",
+		"Missed update batches replayed to lagging endpoints from the journal.", c.journalReplays)
+	reg.RegisterCounter("pitex_remote_resyncs_total",
+		"Full-state /shard/resync transfers to endpoints behind the journal horizon.", c.resyncs)
+	reg.RegisterCounter("pitex_remote_heal_failures_total",
+		"Failed heal attempts on lagging endpoints (retried with backoff).", c.healFailures)
+	reg.GaugeFunc("pitex_remote_lagging_endpoints",
+		"Endpoints currently behind the head generation.",
+		func() float64 { return float64(c.laggingCount()) })
+	for _, g := range c.groups {
+		for _, ep := range g.endpoints {
+			ep := ep
+			reg.GaugeFunc("pitex_remote_endpoint_lag",
+				"Generations this endpoint is behind the coordinator head.",
+				func() float64 {
+					head := c.generation.Load()
+					if g := ep.gen.Load(); g < head {
+						return float64(head - g)
+					}
+					return 0
+				}, obsv.Label{Key: "endpoint", Value: ep.url})
+		}
+	}
 	reg.GaugeFunc("pitex_remote_generation",
 		"Index generation currently stamped on remote requests.",
 		func() float64 { return float64(c.generation.Load()) })
@@ -691,9 +919,25 @@ func (c *Client) TotalShards() int { return c.totalShards }
 // Strategy returns the fleet's estimation strategy name.
 func (c *Client) Strategy() string { return c.strategy }
 
+// laggingCount is the number of endpoints behind the head generation.
+func (c *Client) laggingCount() int {
+	head := c.generation.Load()
+	n := 0
+	for _, g := range c.groups {
+		for _, ep := range g.endpoints {
+			if ep.gen.Load() < head {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // EndpointStatus is one endpoint's health row in Status.
 type EndpointStatus struct {
 	URL                 string `json:"url"`
+	Generation          uint64 `json:"generation"`
+	Lagging             bool   `json:"lagging,omitempty"`
 	ConsecutiveFailures int    `json:"consecutive_failures"`
 	CoolingMs           int64  `json:"cooling_ms,omitempty"`
 }
@@ -717,6 +961,11 @@ type Status struct {
 	Hedges          int64         `json:"hedges"`
 	Failovers       int64         `json:"failovers"`
 	DegradedAnswers int64         `json:"degraded_answers"`
+	JournalReplays  int64         `json:"journal_replays"`
+	Resyncs         int64         `json:"resyncs"`
+	HealFailures    int64         `json:"heal_failures"`
+	LaggingCount    int           `json:"lagging_endpoints"`
+	JournalSize     int           `json:"journal_size"`
 	Groups          []GroupStatus `json:"groups"`
 }
 
@@ -733,6 +982,11 @@ func (c *Client) Status() Status {
 		Hedges:          c.hedges.Value(),
 		Failovers:       c.failovers.Value(),
 		DegradedAnswers: c.degraded.Value(),
+		JournalReplays:  c.journalReplays.Value(),
+		Resyncs:         c.resyncs.Value(),
+		HealFailures:    c.healFailures.Value(),
+		LaggingCount:    c.laggingCount(),
+		JournalSize:     c.journal.size(),
 	}
 	for _, g := range c.groups {
 		gs := GroupStatus{
@@ -740,7 +994,8 @@ func (c *Client) Status() Status {
 			HedgeDelayMs: float64(g.hedgeDelay(c.opts)) / float64(time.Millisecond),
 		}
 		for _, ep := range g.endpoints {
-			es := EndpointStatus{URL: ep.url}
+			es := EndpointStatus{URL: ep.url, Generation: ep.gen.Load()}
+			es.Lagging = es.Generation < st.Generation
 			ep.mu.Lock()
 			es.ConsecutiveFailures = ep.consecFails
 			cool := ep.coolUntil

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"pitex"
+	"pitex/internal/rng"
 	"pitex/internal/rrindex"
 )
 
@@ -82,15 +83,62 @@ func TestCandidatesOrdering(t *testing.T) {
 	a, b, c := &endpoint{url: "a"}, &endpoint{url: "b"}, &endpoint{url: "c"}
 	g := &group{endpoints: []*endpoint{a, b, c}}
 	b.fail(now, time.Minute)
-	got := g.candidates(now)
+	got := g.candidates(now, 0)
 	if got[0] != a || got[1] != c || got[2] != b {
 		t.Fatalf("cooling endpoint not demoted: %v %v %v", got[0].url, got[1].url, got[2].url)
 	}
 	// All cooling: the full list still comes back (probing recovers them).
 	a.fail(now, time.Minute)
 	c.fail(now, time.Minute)
-	if got := g.candidates(now); len(got) != 3 {
+	if got := g.candidates(now, 0); len(got) != 3 {
 		t.Fatalf("all-cooling candidates = %d, want 3", len(got))
+	}
+}
+
+func TestCandidatesExcludeLagging(t *testing.T) {
+	now := time.Now()
+	a, b, c := &endpoint{url: "a"}, &endpoint{url: "b"}, &endpoint{url: "c"}
+	g := &group{endpoints: []*endpoint{a, b, c}}
+	a.gen.Store(2)
+	b.gen.Store(1) // behind head: would 409 a head-stamped request
+	c.gen.Store(2)
+	got := g.candidates(now, 2)
+	if len(got) != 2 || got[0] != a || got[1] != c {
+		t.Fatalf("lagging endpoint not excluded: got %d candidates", len(got))
+	}
+	// A whole group behind still returns its endpoints — refusing to try
+	// anything would turn one missed fan-out into a permanent outage.
+	a.gen.Store(1)
+	c.gen.Store(1)
+	if got := g.candidates(now, 2); len(got) != 3 {
+		t.Fatalf("all-lagging candidates = %d, want 3", len(got))
+	}
+}
+
+func TestCooldownJitterIsDeterministicPerSeed(t *testing.T) {
+	cool := func(seed uint64) []time.Duration {
+		ep := &endpoint{url: "http://x", jit: rng.New(rng.Mix(seed, 42))}
+		now := time.Now()
+		var out []time.Duration
+		for i := 0; i < 4; i++ {
+			ep.fail(now, time.Second)
+			_, until := ep.cooling(now)
+			out = append(out, until.Sub(now))
+		}
+		return out
+	}
+	a, b := cool(7), cool(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed gave different jitter: %v vs %v", a, b)
+		}
+		base := time.Second << uint(i)
+		if a[i] < base || a[i] >= base+base/2 {
+			t.Fatalf("jittered cooldown %d = %v outside [%v, %v)", i, a[i], base, base+base/2)
+		}
+	}
+	if c := cool(8); reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds gave identical jitter: %v", a)
 	}
 }
 
@@ -182,6 +230,7 @@ func TestDialValidatesPartition(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Dial: %v", err)
 	}
+	t.Cleanup(c.Close)
 	if c.TotalShards() != 2 || c.Strategy() != "INDEXEST+" {
 		t.Fatalf("client state: S=%d strategy=%s", c.TotalShards(), c.Strategy())
 	}
@@ -215,6 +264,7 @@ func TestEstimateRemoteHealthyAndDegraded(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Dial: %v", err)
 	}
+	t.Cleanup(c.Close)
 
 	want := rrindex.GatherPartials([]rrindex.Partial{p0[0], p1[0]})
 	got, err := c.EstimateRemote(ctx, 3, testProbe())
@@ -275,6 +325,7 @@ func TestFetchGroupFailsOverToReplica(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Dial: %v", err)
 	}
+	t.Cleanup(c.Close)
 	got, err := c.EstimateRemote(ctx, 1, testProbe())
 	if err != nil {
 		t.Fatalf("EstimateRemote with dead primary: %v", err)
@@ -317,6 +368,7 @@ func TestHedgedRetryWinsOverSlowReplica(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Dial: %v", err)
 	}
+	t.Cleanup(c.Close)
 	t0 := time.Now()
 	got, err := c.EstimateRemote(ctx, 1, testProbe())
 	if err != nil {

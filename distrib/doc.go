@@ -29,4 +29,30 @@
 // touched. Servers double-buffer the previous generation so queries
 // in flight across the swap still answer; the client's generation stamp
 // moves only after the fan-out completes.
+//
+// Self-healing: the client journals every applied delta body for the
+// last Options.JournalHorizon generations, and a background reconciler
+// (Options.ReconcileInterval) continuously compares each endpoint's
+// generation to the head. An endpoint a few generations behind is
+// replayed the exact missed bodies in order — because shard repair is a
+// deterministic function of (state, body, generation), replay leaves the
+// replica byte-identical to its siblings. An endpoint behind the journal
+// horizon is healed by full-state transfer instead: the reconciler
+// copies a serialized snapshot (GET /shard/resync) from an in-group
+// sibling already at head and installs it on the straggler
+// (POST /shard/resync) — a copy of healthy state, never a rebuild, so
+// byte-identity holds there too. While lagging, an endpoint is excluded
+// from scatter candidacy so queries never mix generations; heal attempts
+// back off with capped exponential growth plus seeded jitter
+// (Options.HealBackoff, Options.JitterSeed). Status and the Prometheus
+// registration expose journal replays, resyncs, heal failures, and
+// per-endpoint lag.
+//
+// Failure contract, end to end: a query answer is exact (all groups
+// responded at one generation) or carries an explicit degraded block
+// with the achieved ε — never silently wrong; and a fleet that stops
+// failing converges back to the head generation without operator
+// intervention or restarts. The internal/faultinject failpoints wired
+// through roundTrip and the update fan-out (see cmd/pitexchaos) exist to
+// prove both properties deterministically.
 package distrib

@@ -1,0 +1,101 @@
+package distrib
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"pitex/internal/faultinject"
+)
+
+// TestRoundTripFaultInjection covers the client-side failpoint: error
+// rules fail the call before any bytes move, corrupt rules mangle the
+// response payload (so decode hardening downstream is exercised), and
+// disabling restores clean traffic.
+func TestRoundTripFaultInjection(t *testing.T) {
+	var hits int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"generation":7}`))
+	}))
+	t.Cleanup(srv.Close)
+	c := &Client{http: srv.Client(), opts: Options{}.withDefaults()}
+	ctx := context.Background()
+
+	// Error rule: the request never reaches the wire.
+	if err := faultinject.Enable(1, []faultinject.Rule{
+		{Point: faultinject.PointRoundTrip, Mode: faultinject.ModeError, Count: 1},
+	}); err != nil {
+		t.Fatalf("Enable: %v", err)
+	}
+	t.Cleanup(faultinject.Disable)
+	_, err := c.roundTrip(ctx, http.MethodGet, srv.URL+"/shard/info", nil)
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if hits != 0 {
+		t.Fatalf("injected error still reached the server (%d hits)", hits)
+	}
+	// The Count:1 schedule is spent: the next call goes through clean.
+	data, err := c.roundTrip(ctx, http.MethodGet, srv.URL+"/shard/info", nil)
+	if err != nil || !json.Valid(data) {
+		t.Fatalf("post-schedule call: err=%v data=%q", err, data)
+	}
+
+	// Corrupt rule: the response arrives, but mangled — a JSON decode
+	// downstream must fail rather than trust the payload.
+	if err := faultinject.Enable(1, []faultinject.Rule{
+		{Point: faultinject.PointRoundTrip, Mode: faultinject.ModeCorrupt, Count: 1},
+	}); err != nil {
+		t.Fatalf("Enable corrupt: %v", err)
+	}
+	data, err = c.roundTrip(ctx, http.MethodGet, srv.URL+"/shard/info", nil)
+	if err != nil {
+		t.Fatalf("corrupt round trip errored instead of mangling: %v", err)
+	}
+	if json.Valid(data) {
+		t.Fatalf("corrupt fault produced valid JSON: %q", data)
+	}
+
+	faultinject.Disable()
+	data, err = c.roundTrip(ctx, http.MethodGet, srv.URL+"/shard/info", nil)
+	if err != nil || !json.Valid(data) {
+		t.Fatalf("post-disable call: err=%v data=%q", err, data)
+	}
+}
+
+// TestRoundTripShipsDeadlineHeader: a context deadline crosses the wire
+// as X-Pitex-Deadline-Ms so shard-side admission can act on it.
+func TestRoundTripShipsDeadlineHeader(t *testing.T) {
+	var got string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = r.Header.Get(DeadlineHeader)
+		_, _ = w.Write([]byte(`{}`))
+	}))
+	t.Cleanup(srv.Close)
+	c := &Client{http: srv.Client(), opts: Options{}.withDefaults()}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer cancel()
+	if _, err := c.roundTrip(ctx, http.MethodGet, srv.URL+"/shard/info", nil); err != nil {
+		t.Fatalf("roundTrip: %v", err)
+	}
+	ms, err := strconv.ParseInt(got, 10, 64)
+	if err != nil || ms < 1 || ms > 250 {
+		t.Fatalf("deadline header = %q, want an integer in (0, 250]", got)
+	}
+
+	got = "unset"
+	if _, err := c.roundTrip(context.Background(), http.MethodGet, srv.URL+"/shard/info", nil); err != nil {
+		t.Fatalf("roundTrip: %v", err)
+	}
+	if got != "" {
+		t.Fatalf("deadline-free request carried header %q", got)
+	}
+}

@@ -1,0 +1,79 @@
+package distrib
+
+import "sync"
+
+// journal is the coordinator's bounded per-generation log of applied
+// update batches (marshaled UpdateRequest bodies), the replay source for
+// endpoints that missed a fan-out. Entries are contiguous in generation;
+// once an endpoint's gap reaches past the oldest retained entry it can no
+// longer be healed by replay and falls back to /shard/resync.
+type journal struct {
+	mu      sync.Mutex
+	horizon int // max retained generations
+	entries []journalEntry
+}
+
+type journalEntry struct {
+	gen  uint64
+	body []byte
+}
+
+func newJournal(horizon int) *journal {
+	if horizon < 1 {
+		horizon = 1
+	}
+	return &journal{horizon: horizon}
+}
+
+// put records the batch staged for gen. Re-staging the same generation
+// (a fan-out that failed everywhere gets rebuilt and retried under the
+// same number) replaces the entry; a gap in the sequence resets the
+// journal, since replay through a hole is impossible anyway.
+func (j *journal) put(gen uint64, body []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := len(j.entries)
+	switch {
+	case n > 0 && gen == j.entries[n-1].gen:
+		j.entries[n-1].body = body
+	case n > 0 && gen == j.entries[n-1].gen+1, n == 0:
+		j.entries = append(j.entries, journalEntry{gen, body})
+	default:
+		j.entries = append(j.entries[:0], journalEntry{gen, body})
+	}
+	if len(j.entries) > j.horizon {
+		j.entries = append(j.entries[:0], j.entries[len(j.entries)-j.horizon:]...)
+	}
+}
+
+// get returns the recorded body for gen.
+func (j *journal) get(gen uint64) ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for i := range j.entries {
+		if j.entries[i].gen == gen {
+			return j.entries[i].body, true
+		}
+	}
+	return nil, false
+}
+
+// covers reports whether every generation in [from, to] is retained,
+// i.e. a replay can walk the whole gap.
+func (j *journal) covers(from, to uint64) bool {
+	if from > to {
+		return true
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.entries) == 0 {
+		return false
+	}
+	return j.entries[0].gen <= from && to <= j.entries[len(j.entries)-1].gen
+}
+
+func (j *journal) size() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}

@@ -59,6 +59,7 @@ func TestUpdateFansToEveryEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Dial: %v", err)
 	}
+	t.Cleanup(c.Close)
 	if c.Generation() != 0 {
 		t.Fatalf("fresh client generation = %d", c.Generation())
 	}
@@ -108,6 +109,7 @@ func TestUpdateAllEndpointsFailing(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Dial: %v", err)
 	}
+	t.Cleanup(c.Close)
 	if _, err := c.Update(ctx, UpdateRequest{Generation: 1}); err == nil {
 		t.Fatal("update that reached no endpoint reported success")
 	}

@@ -91,6 +91,41 @@ type UpdateRequest struct {
 	SetEdges    []UpdateEdge `json:"set_edges,omitempty"`
 }
 
+// DeadlineHeader carries the caller's remaining deadline budget in
+// integer milliseconds across the wire (context deadlines do not survive
+// HTTP). Shard servers bound their handler context by it and reject
+// requests whose budget is already spent before occupying a worker.
+const DeadlineHeader = "X-Pitex-Deadline-Ms"
+
+// ResyncShard is one owned shard slice inside a ResyncState snapshot:
+// the serialized RR-index (index strategies) or DelayMat (DELAYEST)
+// bytes plus the slice's user count.
+type ResyncShard struct {
+	Shard int    `json:"shard"`
+	Users int    `json:"users"`
+	Index []byte `json:"index,omitempty"`
+	Delay []byte `json:"delay,omitempty"`
+}
+
+// ResyncState is the full-state transfer of GET/POST /shard/resync: a
+// byte-exact snapshot of one shard server's current network and owned
+// index slices at Generation. The reconciler copies it replica-to-replica
+// when an endpoint has fallen behind the coordinator's journal horizon —
+// a rebuild would be statistically valid but not byte-identical to its
+// replicas, so recovery always transfers state from a caught-up sibling.
+type ResyncState struct {
+	Generation  uint64        `json:"generation"`
+	TotalShards int           `json:"total_shards"`
+	Strategy    string        `json:"strategy"`
+	Network     []byte        `json:"network"`
+	Shards      []ResyncShard `json:"shards"`
+}
+
+// ResyncResponse acknowledges a POST /shard/resync install.
+type ResyncResponse struct {
+	Generation uint64 `json:"generation"`
+}
+
 // UpdateResponse reports one server's repair outcome.
 type UpdateResponse struct {
 	Generation     uint64 `json:"generation"`

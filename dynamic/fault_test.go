@@ -1,0 +1,47 @@
+package dynamic
+
+import (
+	"errors"
+	"testing"
+
+	"pitex"
+	"pitex/internal/faultinject"
+)
+
+// TestCommitFailpointLeavesStateIntact: an injected commit failure must
+// behave exactly like a validation failure — nothing published, the
+// serving engine untouched, and the overlay's speculative users rolled
+// back so the fleet never observes a half-applied generation.
+func TestCommitFailpointLeavesStateIntact(t *testing.T) {
+	_, _, en := fig2(t, pitex.StrategyIndexPruned)
+	u, err := NewUpdater(en)
+	if err != nil {
+		t.Fatalf("NewUpdater: %v", err)
+	}
+	if err := faultinject.Enable(7, []faultinject.Rule{
+		{Point: faultinject.PointDynamicCommit, Mode: faultinject.ModeError, Count: 1},
+	}); err != nil {
+		t.Fatalf("Enable: %v", err)
+	}
+	t.Cleanup(faultinject.Disable)
+
+	var b pitex.UpdateBatch
+	b.SetEdge(2, 3, pitex.TopicProb{Topic: 2, Prob: 0.5})
+	_, err = u.Apply(&b)
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Apply err = %v, want ErrInjected", err)
+	}
+	if u.Generation() != 0 || u.Engine() != en {
+		t.Fatal("failed commit mutated published state")
+	}
+
+	// The schedule is spent: the same batch applies cleanly now.
+	var b2 pitex.UpdateBatch
+	b2.SetEdge(2, 3, pitex.TopicProb{Topic: 2, Prob: 0.5})
+	if _, err := u.Apply(&b2); err != nil {
+		t.Fatalf("post-schedule Apply: %v", err)
+	}
+	if u.Generation() != 1 {
+		t.Fatalf("generation = %d, want 1", u.Generation())
+	}
+}

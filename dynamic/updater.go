@@ -1,11 +1,13 @@
 package dynamic
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"pitex"
+	"pitex/internal/faultinject"
 )
 
 // Updater owns the live engine of a mutating network: Apply repairs the
@@ -59,6 +61,12 @@ func (u *Updater) Apply(b *pitex.UpdateBatch) (pitex.UpdateStats, error) {
 }
 
 func (u *Updater) applyLocked(b *pitex.UpdateBatch) (pitex.UpdateStats, error) {
+	// Failpoint: a commit that dies before the swap. Nothing is published,
+	// the overlay rolls back its speculative users — exactly the invariant
+	// the chaos harness probes.
+	if out := faultinject.Eval(context.Background(), faultinject.PointDynamicCommit); out.Err != nil {
+		return pitex.UpdateStats{}, out.Err
+	}
 	old := u.cur.Load()
 	next, stats, err := old.ApplyUpdates(b)
 	if err != nil {

@@ -1,0 +1,199 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestEvalDisabledIsZero(t *testing.T) {
+	Disable()
+	out := Eval(context.Background(), PointRoundTrip)
+	if out.Err != nil || out.Corrupt {
+		t.Fatalf("disabled Eval returned %+v, want zero outcome", out)
+	}
+}
+
+func TestAfterCountSchedule(t *testing.T) {
+	defer Disable()
+	if err := Enable(1, []Rule{{Point: "p", Mode: ModeError, After: 2, Count: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	var fired []int
+	for i := 1; i <= 6; i++ {
+		if out := Eval(context.Background(), "p"); out.Err != nil {
+			fired = append(fired, i)
+			if !errors.Is(out.Err, ErrInjected) {
+				t.Fatalf("hit %d: error %v does not wrap ErrInjected", i, out.Err)
+			}
+		}
+	}
+	if len(fired) != 2 || fired[0] != 3 || fired[1] != 4 {
+		t.Fatalf("fired on hits %v, want [3 4]", fired)
+	}
+}
+
+func TestProbScheduleDeterministic(t *testing.T) {
+	defer Disable()
+	run := func(seed uint64) []int {
+		if err := Enable(seed, []Rule{{Point: "p", Mode: ModeDrop, Prob: 0.5}}); err != nil {
+			t.Fatal(err)
+		}
+		var fired []int
+		for i := 1; i <= 64; i++ {
+			if out := Eval(context.Background(), "p"); out.Err != nil {
+				fired = append(fired, i)
+				if !errors.Is(out.Err, ErrDropped) {
+					t.Fatalf("hit %d: %v does not wrap ErrDropped", i, out.Err)
+				}
+			}
+		}
+		return fired
+	}
+	a, b := run(7), run(7)
+	if len(a) == 0 || len(a) == 64 {
+		t.Fatalf("p=0.5 fired %d/64 times, schedule looks degenerate", len(a))
+	}
+	for i := range a {
+		if b[i] != a[i] {
+			t.Fatalf("same seed produced different schedules: %v vs %v", a, b)
+		}
+	}
+	c := run(8)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatalf("seeds 7 and 8 produced identical 64-hit schedules %v", a)
+	}
+}
+
+func TestStallHonorsContext(t *testing.T) {
+	defer Disable()
+	if err := Enable(1, []Rule{{Point: "p", Mode: ModeStall}}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	out := Eval(ctx, "p")
+	if out.Err == nil || !errors.Is(out.Err, context.DeadlineExceeded) {
+		t.Fatalf("stall outcome %+v, want deadline-exceeded error", out)
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatal("stall returned before the context deadline")
+	}
+}
+
+func TestLatencyDelays(t *testing.T) {
+	defer Disable()
+	if err := Enable(1, []Rule{{Point: "p", Mode: ModeLatency, Latency: 20 * time.Millisecond}}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if out := Eval(context.Background(), "p"); out.Err != nil || out.Corrupt {
+		t.Fatalf("latency outcome %+v, want clean proceed", out)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("latency rule did not delay")
+	}
+}
+
+func TestCorruptBytes(t *testing.T) {
+	defer Disable()
+	if err := Enable(1, []Rule{{Point: "p", Mode: ModeCorrupt}}); err != nil {
+		t.Fatal(err)
+	}
+	out := Eval(context.Background(), "p")
+	if out.Err != nil || !out.Corrupt {
+		t.Fatalf("corrupt outcome %+v, want Corrupt=true", out)
+	}
+	orig := []byte(`{"generation":3}`)
+	keep := append([]byte(nil), orig...)
+	got := CorruptBytes(orig)
+	if !bytes.Equal(orig, keep) {
+		t.Fatal("CorruptBytes modified its input")
+	}
+	if bytes.Equal(got, orig) {
+		t.Fatal("CorruptBytes left the payload unchanged")
+	}
+	if !bytes.Equal(got, CorruptBytes(keep)) {
+		t.Fatal("CorruptBytes is not deterministic")
+	}
+}
+
+func TestPointsAreIndependent(t *testing.T) {
+	defer Disable()
+	if err := Enable(1, []Rule{{Point: "a", Mode: ModeError}}); err != nil {
+		t.Fatal(err)
+	}
+	if out := Eval(context.Background(), "b"); out.Err != nil || out.Corrupt {
+		t.Fatalf("rule on point a fired at point b: %+v", out)
+	}
+	if out := Eval(context.Background(), "a"); out.Err == nil {
+		t.Fatal("rule on point a did not fire at point a")
+	}
+}
+
+func TestParse(t *testing.T) {
+	rules, err := Parse("distrib/roundtrip:error:after=10:count=3; serve/shard/estimate:latency=50ms:p=0.2;x:drop;y:stall;z:corrupt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Point: "distrib/roundtrip", Mode: ModeError, After: 10, Count: 3},
+		{Point: "serve/shard/estimate", Mode: ModeLatency, Latency: 50 * time.Millisecond, Prob: 0.2},
+		{Point: "x", Mode: ModeDrop},
+		{Point: "y", Mode: ModeStall},
+		{Point: "z", Mode: ModeCorrupt},
+	}
+	if len(rules) != len(want) {
+		t.Fatalf("parsed %d rules, want %d", len(rules), len(want))
+	}
+	for i := range want {
+		if rules[i] != want[i] {
+			t.Fatalf("rule %d = %+v, want %+v", i, rules[i], want[i])
+		}
+	}
+	for _, bad := range []string{
+		"", "point-only", "p:wiggle", "p:latency=xyz", "p:error:after=q",
+		"p:error:p=q", "p:error:count", "p:error:nope=1", ":error",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestEnableRejectsInvalidRules(t *testing.T) {
+	defer Disable()
+	for _, r := range []Rule{
+		{Point: "", Mode: ModeError},
+		{Point: "p", Mode: 0},
+		{Point: "p", Mode: ModeLatency},
+		{Point: "p", Mode: ModeError, After: -1},
+	} {
+		if err := Enable(1, []Rule{r}); err == nil {
+			t.Fatalf("Enable accepted invalid rule %+v", r)
+		}
+	}
+}
+
+func BenchmarkEvalDisabled(b *testing.B) {
+	Disable()
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if out := Eval(ctx, PointRoundTrip); out.Err != nil {
+			b.Fatal(out.Err)
+		}
+	}
+}

@@ -67,6 +67,15 @@ func (s *Server) StartSweep(opts analytics.Options) (*analytics.Job, error) {
 	if s.closed {
 		return nil, ErrPoolClosed
 	}
+	// Count recovered sweep panics in pitex_panics_total alongside query
+	// panics, chaining any observer the caller installed.
+	userPanic := opts.OnPanic
+	opts.OnPanic = func(v any) {
+		s.panics.Inc()
+		if userPanic != nil {
+			userPanic(v)
+		}
+	}
 	return s.jobs.Start(s.proto, opts)
 }
 

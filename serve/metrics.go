@@ -229,3 +229,26 @@ func (m *Metrics) Snapshot() map[string]HistogramSnapshot {
 	}
 	return out
 }
+
+// p50MinSamples is how many observations a histogram needs before its
+// median is trusted for admission decisions; colder histograms report
+// ok=false and admission stays open.
+const p50MinSamples = 64
+
+// P50 reports the median latency observed under label once enough
+// samples back it. Deadline-aware admission compares a request's
+// remaining budget against this: a caller that cannot possibly receive
+// its answer in time is shed before it occupies a worker.
+func (m *Metrics) P50(label string) (time.Duration, bool) {
+	m.mu.RLock()
+	h := m.hist[label]
+	m.mu.RUnlock()
+	if h == nil {
+		return 0, false
+	}
+	s := h.Snapshot()
+	if s.Count < p50MinSamples {
+		return 0, false
+	}
+	return s.P50, true
+}

@@ -59,6 +59,10 @@ type Server struct {
 	frontierExp  *obsv.Counter
 	boundPrunes  *obsv.Counter
 	fullSets     *obsv.Counter
+	// panics counts recovered panics from query execution and sweep
+	// jobs: each one is a bug answered with a 500 instead of a dead
+	// process, and the counter is the alarm that finds it.
+	panics *obsv.Counter
 	// jobs runs population-analytics sweeps (POST /admin/jobs): each job
 	// is pinned to the generation it started on and marked stale by
 	// ApplyUpdates once the serving engine moves past it.
@@ -128,6 +132,8 @@ func (s *Server) registerMetrics() {
 		"Branches pruned by the Lemma 8 upper-bound test across all fresh queries.")
 	s.fullSets = reg.Counter("pitex_full_sets_estimated_total",
 		"Full size-k tag sets estimated across all fresh queries.")
+	s.panics = reg.Counter("pitex_panics_total",
+		"Panics recovered from query execution and sweep jobs (each is a bug).")
 
 	reg.GaugeFunc("pitex_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
@@ -201,6 +207,12 @@ func (s *Server) Close() {
 	s.closed = true
 	s.jobs.Shutdown()
 	s.pool.Load().Close()
+	if s.remote != nil {
+		// A coordinator owns its fleet client: stop the anti-entropy
+		// reconciler and idle connections with the server (Close is
+		// idempotent, so a caller closing the client too is harmless).
+		s.remote.Close()
+	}
 }
 
 // Generation returns the engine generation currently serving queries.
@@ -309,6 +321,45 @@ func (s *Server) queryCtx(ctx context.Context) (context.Context, context.CancelF
 	return ctx, func() {}
 }
 
+// ErrDeadlineBudget reports a request shed by deadline-aware admission:
+// its remaining context budget was below the endpoint's observed median
+// latency, so the answer could not possibly arrive in time — rejecting
+// before admission keeps a doomed request from occupying a worker.
+// Mapped to 503 with a Retry-After header.
+var ErrDeadlineBudget = errors.New("serve: remaining deadline below observed median latency")
+
+// admitBudget is deadline-aware admission: reject a request whose
+// context is already expired, or whose remaining budget is below the
+// observed p50 for this endpoint, before it occupies a pool worker. Both
+// verdicts are wrapped caller-specific (errWaitAborted) — a deduplicated
+// follower with a healthier deadline retries rather than inheriting them.
+func (s *Server) admitBudget(ctx context.Context, label string) error {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return nil
+	}
+	remain := time.Until(dl)
+	if remain <= 0 {
+		return fmt.Errorf("%w: %w", errWaitAborted, context.DeadlineExceeded)
+	}
+	if p50, ok := s.metrics.P50(label); ok && remain < p50 {
+		return fmt.Errorf("%w: %w (%v left, p50 %v)", errWaitAborted, ErrDeadlineBudget, remain, p50)
+	}
+	return nil
+}
+
+// recoverQuery converts a panic in query execution into an error (500 at
+// the HTTP layer) plus a pitex_panics_total tick, instead of a dead
+// process. Deferred inside the pool-worker closures: net/http's own
+// recover only saves the one goroutine, and batch/pool goroutines have
+// no recover above them at all.
+func (s *Server) recoverQuery(what string, err *error) {
+	if r := recover(); r != nil {
+		s.panics.Inc()
+		*err = fmt.Errorf("%w: %s panicked: %v", errComputeAborted, what, r)
+	}
+}
+
 // SellingPoints answers one PITEX query through the cache and pool: the m
 // best size-k tag sets for user, optionally constrained to contain prefix
 // (prefix queries require m == 1, as in Engine.QueryWithPrefix). The
@@ -349,7 +400,12 @@ func (s *Server) SellingPoints(ctx context.Context, user, k, m int, prefix []int
 		// client's disconnect must not fail theirs — and a completed
 		// estimation is cached either way. QueryTimeout (default 30s)
 		// bounds work orphaned by disconnections.
-		err := s.do(ctx, func(en *pitex.Engine) error {
+		if berr := s.admitBudget(ctx, "selling-points/"+s.strategy); berr != nil {
+			asp.End()
+			return pitex.Result{}, berr
+		}
+		err := s.do(ctx, func(en *pitex.Engine) (qret error) {
+			defer s.recoverQuery("query", &qret)
 			asp.End()
 			qctx, cancel := s.queryCtx(context.WithoutCancel(ctx))
 			defer cancel()
@@ -457,7 +513,12 @@ func (s *Server) Audience(ctx context.Context, user int, tags []int, m int, samp
 		asp, _ := obsv.StartSpan(ctx, "admission")
 		asp.SetAttr("queue_depth", s.pool.Load().Stats().Waiting)
 		// Queue wait cancellable, sampling run not — see SellingPoints.
-		err := s.do(ctx, func(en *pitex.Engine) error {
+		if berr := s.admitBudget(ctx, "audience/"+s.strategy); berr != nil {
+			asp.End()
+			return nil, berr
+		}
+		err := s.do(ctx, func(en *pitex.Engine) (qret error) {
+			defer s.recoverQuery("audience", &qret)
 			asp.End()
 			qsp, _ := obsv.StartSpan(ctx, "sample")
 			defer qsp.End()
@@ -512,6 +573,7 @@ func (s *Server) QueryBatch(ctx context.Context, users []int, k int) []pitex.Bat
 func (s *Server) batchQuery(ctx context.Context, user, k int) (res pitex.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			s.panics.Inc()
 			err = fmt.Errorf("serve: query for user %d panicked: %v", user, r)
 		}
 	}()
@@ -677,7 +739,11 @@ func (s *Server) handleSellingPoints(w http.ResponseWriter, r *http.Request) {
 	// against millisecond estimations); ?trace=1 additionally inlines the
 	// finished span tree into the response.
 	tr := s.tracer.StartTrace("selling-points")
-	ctx := obsv.ContextWithTrace(r.Context(), tr)
+	// Bind the per-query deadline to the request context up front, so
+	// deadline-aware admission can shed a query whose budget cannot cover
+	// the observed median latency before it occupies a pool engine.
+	ctx, cancel := s.queryCtx(obsv.ContextWithTrace(r.Context(), tr))
+	defer cancel()
 	res, cached, err := s.SellingPoints(ctx, user, k, m, prefix)
 	td := tr.Finish()
 	if err != nil {
@@ -728,7 +794,8 @@ func (s *Server) handleAudience(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tr := s.tracer.StartTrace("audience")
-	ctx := obsv.ContextWithTrace(r.Context(), tr)
+	ctx, cancel := s.queryCtx(obsv.ContextWithTrace(r.Context(), tr))
+	defer cancel()
 	defer tr.Finish()
 	tags, err := parseIntList(q.Get("tags"))
 	if err != nil {
@@ -899,6 +966,7 @@ func httpError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	switch {
 	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrQueueTimeout),
+		errors.Is(err, ErrDeadlineBudget),
 		errors.Is(err, ErrPoolClosed), errors.Is(err, context.Canceled):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
@@ -906,6 +974,12 @@ func httpError(w http.ResponseWriter, err error) {
 	case errors.Is(err, errComputeAborted):
 		// A server-side fault (panicked estimation), not a client error.
 		status = http.StatusInternalServerError
+	}
+	if status == http.StatusServiceUnavailable {
+		// Shed load is transient by construction (queue full, admission
+		// shed, budget too thin): tell well-behaved clients when to come
+		// back instead of letting them hammer the queue.
+		w.Header().Set("Retry-After", "1")
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)

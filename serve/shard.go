@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 
 	"pitex"
 	"pitex/distrib"
+	"pitex/internal/faultinject"
 	"pitex/internal/graph"
 	"pitex/internal/rrindex"
 	"pitex/obsv"
@@ -97,6 +99,8 @@ type ShardServer struct {
 
 	sem     chan struct{}
 	waiting atomic.Int64
+	closed  atomic.Bool
+	panics  *obsv.Counter
 }
 
 // NewShardServer starts building the owned shards of the layout and
@@ -163,6 +167,8 @@ func (ss *ShardServer) registerMetrics() {
 		func() float64 { return float64(ss.waiting.Load()) })
 	reg.GaugeFunc("pitex_shards_owned", "Shard slices this server holds.",
 		func() float64 { return float64(len(ss.cfg.Owned)) })
+	ss.panics = reg.Counter("pitex_panics_total",
+		"Panics recovered from request execution (each is a bug).")
 }
 
 func (ss *ShardServer) build(net *pitex.Network) {
@@ -188,6 +194,26 @@ func (ss *ShardServer) build(net *pitex.Network) {
 		st.users[s] = users
 	}
 	ss.state.Store(st)
+}
+
+// Close marks the server draining — subsequent /shard requests are
+// refused with 503 — and blocks until the background shard build (if
+// still running) has finished, so no goroutine outlives the call. Safe
+// to call more than once.
+func (ss *ShardServer) Close() {
+	if ss.closed.Swap(true) {
+		return
+	}
+	<-ss.ready
+}
+
+// refuseClosed sheds a request on a draining server.
+func (ss *ShardServer) refuseClosed(w http.ResponseWriter) bool {
+	if !ss.closed.Load() {
+		return false
+	}
+	writeShardError(w, http.StatusServiceUnavailable, fmt.Errorf("serve: shard server draining"))
+	return true
 }
 
 // WaitReady blocks until every owned shard is built (returning any build
@@ -261,6 +287,8 @@ func (ss *ShardServer) stateFor(gen uint64, hasGen bool) (*shardState, error) {
 //	GET  /shard/info      — layout metadata + readiness
 //	GET  /shard/counters  — per-shard counter rows for one user
 //	POST /shard/update    — generation-keyed incremental repair
+//	GET  /shard/resync    — full-state snapshot (anti-entropy source)
+//	POST /shard/resync    — install a snapshot taken from a replica
 //	GET  /healthz         — process liveness
 //	GET  /readyz          — serving readiness (shards built)
 //	GET  /statsz
@@ -273,6 +301,8 @@ func (ss *ShardServer) Handler() http.Handler {
 	mux.HandleFunc("GET /shard/info", ss.handleInfo)
 	mux.HandleFunc("GET /shard/counters", ss.handleCounters)
 	mux.HandleFunc("POST /shard/update", ss.handleUpdate)
+	mux.HandleFunc("GET /shard/resync", ss.handleResyncGet)
+	mux.HandleFunc("POST /shard/resync", ss.handleResyncPost)
 	mux.HandleFunc("/healthz", ss.handleHealthz)
 	mux.HandleFunc("/readyz", ss.handleReadyz)
 	mux.HandleFunc("/statsz", ss.handleStatsz)
@@ -291,6 +321,14 @@ const maxEstimateBody = 4 << 20
 
 func (ss *ShardServer) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	defer ss.observe("shard-estimate", time.Now())
+	if ss.refuseClosed(w) {
+		return
+	}
+	fault := faultinject.Eval(r.Context(), faultinject.PointShardEstimate)
+	if fault.Err != nil {
+		writeShardError(w, http.StatusInternalServerError, fault.Err)
+		return
+	}
 	if ss.strategy == pitex.StrategyDelay {
 		http.Error(w, `{"error":"DELAYEST serves counters only; its estimator state cannot be scattered"}`,
 			http.StatusNotImplemented)
@@ -322,9 +360,27 @@ func (ss *ShardServer) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err)
 		return
 	}
+	// Deadline-aware admission: the coordinator forwards its remaining
+	// budget in a header (context deadlines do not cross HTTP). A request
+	// whose budget is already below this server's observed median latency
+	// would only occupy a worker to miss its deadline — shed it up front.
+	ctx := r.Context()
+	if ms := r.Header.Get(distrib.DeadlineHeader); ms != "" {
+		n, perr := strconv.ParseInt(ms, 10, 64)
+		if perr == nil && n > 0 {
+			budget := time.Duration(n) * time.Millisecond
+			if p50, ok := ss.metrics.P50("shard-estimate/" + ss.strategy.String()); ok && budget < p50 {
+				httpError(w, fmt.Errorf("%w (%v budget, p50 %v)", ErrDeadlineBudget, budget, p50))
+				return
+			}
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, budget)
+			defer cancel()
+		}
+	}
 	asp := str.StartSpan("acquire")
 	asp.SetAttr("waiting", ss.waiting.Load())
-	release, err := ss.acquire(r.Context())
+	release, err := ss.acquire(ctx)
 	asp.End()
 	if err != nil {
 		httpError(w, err)
@@ -338,16 +394,50 @@ func (ss *ShardServer) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	defer psp.End()
 	pruned := ss.strategy == pitex.StrategyIndexPruned
 	resp := distrib.EstimateResponse{Generation: st.generation}
-	for _, s := range ss.cfg.Owned {
-		var p rrindex.Partial
-		if pruned {
-			p = rrindex.NewPrunedEstimator(st.indexes[s]).Partial(s, st.users[s], graph.VertexID(req.User), prober)
-		} else {
-			p = rrindex.NewEstimator(st.indexes[s]).Partial(s, st.users[s], graph.VertexID(req.User), prober)
+	err = func() (qret error) {
+		defer ss.recoverPanic("estimate", &qret)
+		for _, s := range ss.cfg.Owned {
+			var p rrindex.Partial
+			if pruned {
+				p = rrindex.NewPrunedEstimator(st.indexes[s]).Partial(s, st.users[s], graph.VertexID(req.User), prober)
+			} else {
+				p = rrindex.NewEstimator(st.indexes[s]).Partial(s, st.users[s], graph.VertexID(req.User), prober)
+			}
+			resp.Partials = append(resp.Partials, p)
 		}
-		resp.Partials = append(resp.Partials, p)
+		return nil
+	}()
+	if err != nil {
+		writeShardError(w, http.StatusInternalServerError, err)
+		return
 	}
-	writeJSON(w, resp)
+	writeShardJSON(w, resp, fault.Corrupt)
+}
+
+// recoverPanic converts a panic in request execution into an error and
+// counts it; a panicking estimator must not take the whole server down.
+func (ss *ShardServer) recoverPanic(what string, err *error) {
+	if r := recover(); r != nil {
+		ss.panics.Inc()
+		*err = fmt.Errorf("serve: %s panicked: %v", what, r)
+	}
+}
+
+// writeShardJSON is writeJSON plus the corrupt-payload fault: when a
+// faultinject rule asked for corruption, the marshaled body is bit-
+// flipped before it leaves, exercising client-side decode hardening.
+func writeShardJSON(w http.ResponseWriter, v any, corrupt bool) {
+	if !corrupt {
+		writeJSON(w, v)
+		return
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		writeShardError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(faultinject.CorruptBytes(data))
 }
 
 func (ss *ShardServer) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -431,6 +521,13 @@ func (ss *ShardServer) handleCounters(w http.ResponseWriter, r *http.Request) {
 
 func (ss *ShardServer) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	defer ss.observe("shard-update", time.Now())
+	if ss.refuseClosed(w) {
+		return
+	}
+	if out := faultinject.Eval(r.Context(), faultinject.PointShardUpdate); out.Err != nil {
+		writeShardError(w, http.StatusInternalServerError, out.Err)
+		return
+	}
 	var req distrib.UpdateRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUpdateBody))
 	dec.DisallowUnknownFields()
@@ -510,6 +607,147 @@ func (ss *ShardServer) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// maxResyncBody bounds /shard/resync installs: a snapshot carries the
+// whole network plus every owned index slice.
+const maxResyncBody = 256 << 20
+
+// handleResyncGet serializes the current serving state as a snapshot a
+// lagging replica in the same group can install verbatim. Copying —
+// never rebuilding — is what keeps replicas byte-identical: the snapshot
+// is the source's exact index bytes, so after install the pair would
+// serialize identically again.
+func (ss *ShardServer) handleResyncGet(w http.ResponseWriter, r *http.Request) {
+	defer ss.observe("shard-resync", time.Now())
+	if ss.refuseClosed(w) {
+		return
+	}
+	if out := faultinject.Eval(r.Context(), faultinject.PointShardResync); out.Err != nil {
+		writeShardError(w, http.StatusInternalServerError, out.Err)
+		return
+	}
+	st := ss.state.Load()
+	if st == nil {
+		writeShardError(w, http.StatusServiceUnavailable, fmt.Errorf("serve: shards still building"))
+		return
+	}
+	snap := distrib.ResyncState{
+		Generation:  st.generation,
+		TotalShards: ss.cfg.TotalShards,
+		Strategy:    ss.strategy.String(),
+	}
+	var nb bytes.Buffer
+	if err := st.net.Write(&nb); err != nil {
+		writeShardError(w, http.StatusInternalServerError, err)
+		return
+	}
+	snap.Network = nb.Bytes()
+	for _, s := range ss.cfg.Owned {
+		sh := distrib.ResyncShard{Shard: s, Users: st.users[s]}
+		var sb bytes.Buffer
+		switch {
+		case st.indexes[s] != nil:
+			if err := rrindex.WriteIndex(&sb, st.indexes[s]); err != nil {
+				writeShardError(w, http.StatusInternalServerError, err)
+				return
+			}
+			sh.Index = sb.Bytes()
+		case st.delays[s] != nil:
+			if err := rrindex.WriteDelayMat(&sb, st.delays[s]); err != nil {
+				writeShardError(w, http.StatusInternalServerError, err)
+				return
+			}
+			sh.Delay = sb.Bytes()
+		}
+		snap.Shards = append(snap.Shards, sh)
+	}
+	writeJSON(w, snap)
+}
+
+// handleResyncPost installs a snapshot taken from a caught-up replica,
+// replacing this server's state wholesale. Generations at or below the
+// serving one are acknowledged idempotently; the snapshot's layout and
+// strategy must match this server's exactly.
+func (ss *ShardServer) handleResyncPost(w http.ResponseWriter, r *http.Request) {
+	defer ss.observe("shard-resync", time.Now())
+	if ss.refuseClosed(w) {
+		return
+	}
+	if out := faultinject.Eval(r.Context(), faultinject.PointShardResync); out.Err != nil {
+		writeShardError(w, http.StatusInternalServerError, out.Err)
+		return
+	}
+	var snap distrib.ResyncState
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxResyncBody))
+	if err := dec.Decode(&snap); err != nil {
+		httpError(w, fmt.Errorf("bad resync body: %w", err))
+		return
+	}
+	ss.updateMu.Lock()
+	defer ss.updateMu.Unlock()
+	st := ss.state.Load()
+	if st == nil {
+		writeShardError(w, http.StatusServiceUnavailable, fmt.Errorf("serve: shards still building"))
+		return
+	}
+	if snap.Generation <= st.generation {
+		// Stale or duplicate snapshot; the server already serves newer state.
+		writeJSON(w, distrib.ResyncResponse{Generation: st.generation})
+		return
+	}
+	if snap.TotalShards != ss.cfg.TotalShards || snap.Strategy != ss.strategy.String() {
+		writeShardError(w, http.StatusConflict,
+			fmt.Errorf("serve: snapshot layout %d/%s does not match %d/%s",
+				snap.TotalShards, snap.Strategy, ss.cfg.TotalShards, ss.strategy))
+		return
+	}
+	net, err := pitex.ReadNetwork(bytes.NewReader(snap.Network))
+	if err != nil {
+		httpError(w, fmt.Errorf("bad snapshot network: %w", err))
+		return
+	}
+	next := &shardState{
+		net:        net,
+		generation: snap.Generation,
+		indexes:    make(map[int]*rrindex.Index),
+		delays:     make(map[int]*rrindex.DelayMat),
+		users:      make(map[int]int),
+	}
+	for _, sh := range snap.Shards {
+		if !slices.Contains(ss.cfg.Owned, sh.Shard) {
+			writeShardError(w, http.StatusConflict,
+				fmt.Errorf("serve: snapshot carries shard %d, not owned here", sh.Shard))
+			return
+		}
+		switch {
+		case len(sh.Index) > 0:
+			next.indexes[sh.Shard], err = rrindex.ReadIndex(bytes.NewReader(sh.Index), net.Graph())
+		case len(sh.Delay) > 0:
+			next.delays[sh.Shard], err = rrindex.ReadDelayMat(bytes.NewReader(sh.Delay), net.Graph())
+		default:
+			err = fmt.Errorf("serve: snapshot shard %d carries no payload", sh.Shard)
+		}
+		if err != nil {
+			httpError(w, fmt.Errorf("bad snapshot shard %d: %w", sh.Shard, err))
+			return
+		}
+		next.users[sh.Shard] = sh.Users
+	}
+	for _, s := range ss.cfg.Owned {
+		if next.indexes[s] == nil && next.delays[s] == nil {
+			writeShardError(w, http.StatusConflict,
+				fmt.Errorf("serve: snapshot missing owned shard %d", s))
+			return
+		}
+	}
+	// Keep the pre-resync state double-buffered, mirroring handleUpdate:
+	// queries stamped with the old generation finish across the swap.
+	prev := *st
+	prev.prev = nil
+	next.prev = &prev
+	ss.state.Store(next)
+	writeJSON(w, distrib.ResyncResponse{Generation: snap.Generation})
+}
+
 func (ss *ShardServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{
 		"status":         "ok",
@@ -555,6 +793,9 @@ func (ss *ShardServer) handleStatsz(w http.ResponseWriter, r *http.Request) {
 // generic mapping cannot express).
 func writeShardError(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
