@@ -1,0 +1,238 @@
+// Command doclint fails CI when the repository's documentation decays:
+//
+//	doclint -root . README.md ARCHITECTURE.md
+//
+// Two families of checks, both fast enough to run on every push:
+//
+//   - Go doc comments. Every exported function, method (on an exported
+//     receiver), type, constant and variable outside _test.go files must
+//     carry a doc comment, and every package must have a package comment
+//     in at least one of its files. This is the subset of staticcheck's
+//     ST1000/ST1020/ST1021 that go vet does not cover, without pulling
+//     the full stylecheck set into the build.
+//
+//   - Markdown links. Every relative link in the markdown files given as
+//     arguments must resolve to an existing file, and a fragment into a
+//     markdown file (README.md#benchmarking) must match one of that
+//     file's heading anchors under GitHub's slug rules. External links
+//     (http, https, mailto) are not fetched.
+//
+// Violations print one per line as path:line: message; the exit status
+// is 1 when anything is found. Directories named .git, .github, testdata
+// and bench-artifacts are skipped.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root to lint")
+	flag.Parse()
+	n := run(*root, flag.Args(), os.Stdout)
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d violation(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// run performs every check under root and returns the violation count.
+// mdFiles are markdown paths relative to root whose links are verified.
+func run(root string, mdFiles []string, out io.Writer) int {
+	viol := lintGo(root)
+	for _, md := range mdFiles {
+		viol = append(viol, lintMarkdown(root, md)...)
+	}
+	sort.Strings(viol)
+	for _, v := range viol {
+		fmt.Fprintln(out, v)
+	}
+	return len(viol)
+}
+
+var skipDirs = map[string]bool{
+	".git": true, ".github": true, "testdata": true, "bench-artifacts": true,
+}
+
+// lintGo walks every non-test .go file under root and reports exported
+// identifiers without doc comments plus packages without a package
+// comment.
+func lintGo(root string) []string {
+	fset := token.NewFileSet()
+	pkgDoc := map[string]bool{} // dir -> any file carries a package comment
+	var viol []string
+	filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if skipDirs[d.Name()] {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			viol = append(viol, fmt.Sprintf("%s: parse: %v", path, err))
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if f.Doc != nil {
+			pkgDoc[dir] = true
+		} else if _, seen := pkgDoc[dir]; !seen {
+			pkgDoc[dir] = false
+		}
+		viol = append(viol, lintDecls(fset, f)...)
+		return nil
+	})
+	for dir, ok := range pkgDoc {
+		if !ok {
+			viol = append(viol, dir+": package has no package comment")
+		}
+	}
+	return viol
+}
+
+// lintDecls reports the undocumented exported declarations of one file.
+func lintDecls(fset *token.FileSet, f *ast.File) []string {
+	var viol []string
+	at := func(pos token.Pos) string {
+		p := fset.Position(pos)
+		return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil || !exportedRecv(d) {
+				continue
+			}
+			viol = append(viol, fmt.Sprintf("%s: exported func %s has no doc comment", at(d.Pos()), d.Name.Name))
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					if sp.Name.IsExported() && sp.Doc == nil && d.Doc == nil {
+						viol = append(viol, fmt.Sprintf("%s: exported type %s has no doc comment", at(sp.Pos()), sp.Name.Name))
+					}
+				case *ast.ValueSpec:
+					for _, n := range sp.Names {
+						if n.IsExported() && sp.Doc == nil && d.Doc == nil && sp.Comment == nil {
+							viol = append(viol, fmt.Sprintf("%s: exported %s %s has no doc comment", at(sp.Pos()), d.Tok, n.Name))
+						}
+					}
+				}
+			}
+		}
+	}
+	return viol
+}
+
+// exportedRecv reports whether a function is free-standing or its
+// receiver type is exported — methods on unexported types are internal
+// API regardless of the method name's case.
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	if se, ok := t.(*ast.StarExpr); ok {
+		t = se.X
+	}
+	switch t := t.(type) {
+	case *ast.Ident:
+		return t.IsExported()
+	case *ast.IndexExpr: // generic receiver
+		if id, ok := t.X.(*ast.Ident); ok {
+			return id.IsExported()
+		}
+	case *ast.IndexListExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			return id.IsExported()
+		}
+	}
+	return true
+}
+
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// lintMarkdown verifies every relative link of one markdown file:
+// the target file must exist, and a #fragment into a markdown file must
+// match one of its heading slugs.
+func lintMarkdown(root, md string) []string {
+	path := filepath.Join(root, md)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", path, err)}
+	}
+	var viol []string
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			file, frag, _ := strings.Cut(target, "#")
+			if file == "" { // same-document anchor
+				file = md
+			}
+			resolved := filepath.Join(filepath.Dir(path), file)
+			if _, err := os.Stat(resolved); err != nil {
+				viol = append(viol, fmt.Sprintf("%s:%d: link target %s does not exist", path, i+1, target))
+				continue
+			}
+			if frag != "" && strings.HasSuffix(file, ".md") && !hasAnchor(resolved, frag) {
+				viol = append(viol, fmt.Sprintf("%s:%d: no heading matches anchor #%s in %s", path, i+1, frag, file))
+			}
+		}
+	}
+	return viol
+}
+
+// hasAnchor reports whether a markdown file contains a heading whose
+// GitHub slug equals frag.
+func hasAnchor(path, frag string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		if slugify(strings.TrimLeft(line, "# ")) == frag {
+			return true
+		}
+	}
+	return false
+}
+
+// slugify reduces a heading to its GitHub anchor: lowercase, spaces to
+// hyphens, everything but letters, digits, hyphens and underscores
+// dropped.
+func slugify(h string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(h) {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

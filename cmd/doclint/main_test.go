@@ -1,0 +1,134 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, root, rel, content string) {
+	t.Helper()
+	path := filepath.Join(root, rel)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFlagsGoViolations(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "bad/bad.go", `package bad
+
+func Exported() {}
+
+type Thing struct{}
+
+const Answer = 42
+
+func (Thing) Method() {}
+
+type hidden struct{}
+
+// internal receivers may stay quiet regardless of method case.
+func (hidden) Loud() {}
+
+type gen[T any] struct{}
+
+func (g *gen[T]) Quiet() {}
+
+// Box is a documented generic type.
+type Box[K comparable, V any] struct{}
+
+func (b Box[K, V]) Get() {}
+`)
+	write(t, root, "good/good.go", `// Package good is fully documented.
+package good
+
+// Exported is documented.
+func Exported() {}
+
+const (
+	// A is documented above.
+	A = 1
+	B = 2 // B is documented inline.
+)
+`)
+	write(t, root, "testdata/skipme.go", `package skipme
+func AlsoExported() {}
+`)
+	var out strings.Builder
+	n := run(root, nil, &out)
+	got := out.String()
+	for _, want := range []string{
+		"exported func Exported has no doc comment",
+		"exported type Thing has no doc comment",
+		"exported const Answer has no doc comment",
+		"exported func Method has no doc comment",
+		"exported func Get has no doc comment",
+		"package has no package comment",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "Loud") || strings.Contains(got, "Quiet") ||
+		strings.Contains(got, "skipme") || strings.Contains(got, "good.go") {
+		t.Errorf("flagged something it should skip:\n%s", got)
+	}
+	if n != 6 {
+		t.Errorf("run returned %d violations, want 6:\n%s", n, got)
+	}
+}
+
+func TestRunFlagsMarkdownViolations(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "README.md", `# Top
+
+See [docs](DESIGN.md), [a section](DESIGN.md#the-good-part),
+[missing](GONE.md), [bad anchor](DESIGN.md#nope),
+[here](#top), [external](https://example.com/x#y).
+`)
+	write(t, root, "DESIGN.md", `# Design
+
+## The good part
+
+Words.
+`)
+	var out strings.Builder
+	n := run(root, []string{"README.md"}, &out)
+	got := out.String()
+	if !strings.Contains(got, "GONE.md does not exist") {
+		t.Errorf("missing-file link not flagged:\n%s", got)
+	}
+	if !strings.Contains(got, "anchor #nope") {
+		t.Errorf("bad anchor not flagged:\n%s", got)
+	}
+	if n != 2 {
+		t.Errorf("run returned %d violations, want 2:\n%s", n, got)
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	for in, want := range map[string]string{
+		"The estimation hot path":                   "the-estimation-hot-path",
+		"Generation lifecycle: update, hot-swap":    "generation-lifecycle-update-hot-swap",
+		"Life of a query":                           "life-of-a-query",
+		"snake_case_stays":                          "snake_case_stays",
+		"Números y MAYÚSCULAS":                      "números-y-mayúsculas",
+		"punctuation!? (mostly) [vanishes] `quite`": "punctuation-mostly-vanishes-quite",
+	} {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRepositoryIsClean(t *testing.T) {
+	var out strings.Builder
+	if n := run("../..", []string{"README.md", "ARCHITECTURE.md"}, &out); n != 0 {
+		t.Errorf("repository has %d doc violations:\n%s", n, out.String())
+	}
+}

@@ -1,0 +1,70 @@
+package distrib
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestJournalPutGetCovers(t *testing.T) {
+	j := newJournal(3)
+	if _, ok := j.get(1); ok {
+		t.Fatal("empty journal returned an entry")
+	}
+	if j.covers(1, 1) {
+		t.Fatal("empty journal claims coverage")
+	}
+	if !j.covers(5, 4) {
+		t.Fatal("empty range must be trivially covered")
+	}
+
+	j.put(1, []byte("a"))
+	j.put(2, []byte("b"))
+	j.put(3, []byte("c"))
+	for gen, want := range map[uint64]string{1: "a", 2: "b", 3: "c"} {
+		body, ok := j.get(gen)
+		if !ok || !bytes.Equal(body, []byte(want)) {
+			t.Fatalf("get(%d) = %q, %v; want %q", gen, body, ok, want)
+		}
+	}
+	if !j.covers(1, 3) || !j.covers(2, 2) {
+		t.Fatal("contiguous range not covered")
+	}
+
+	// Re-staging the newest generation replaces its body in place.
+	j.put(3, []byte("c2"))
+	if body, ok := j.get(3); !ok || string(body) != "c2" {
+		t.Fatalf("re-staged gen 3 = %q, %v", body, ok)
+	}
+	if j.size() != 3 {
+		t.Fatalf("size = %d after re-stage, want 3", j.size())
+	}
+
+	// The horizon evicts the oldest entry; replay past it is impossible.
+	j.put(4, []byte("d"))
+	if _, ok := j.get(1); ok {
+		t.Fatal("gen 1 survived past the horizon")
+	}
+	if j.covers(1, 4) {
+		t.Fatal("covers(1,4) true after gen 1 eviction")
+	}
+	if !j.covers(2, 4) {
+		t.Fatal("retained window [2,4] not covered")
+	}
+
+	// A gap resets the journal: replay through a hole is impossible.
+	j.put(9, []byte("z"))
+	if j.size() != 1 {
+		t.Fatalf("size = %d after gap reset, want 1", j.size())
+	}
+	if _, ok := j.get(4); ok {
+		t.Fatal("pre-gap entry survived the reset")
+	}
+	if body, ok := j.get(9); !ok || string(body) != "z" {
+		t.Fatalf("get(9) = %q, %v", body, ok)
+	}
+
+	// A degenerate horizon clamps to one retained entry.
+	if one := newJournal(0); one.horizon != 1 {
+		t.Fatalf("horizon 0 clamped to %d, want 1", one.horizon)
+	}
+}

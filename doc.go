@@ -33,6 +33,48 @@
 // NewEngine and answer queries orders of magnitude faster. All strategies
 // run under best-effort exploration (Sec. 5.2) unless disabled.
 //
+// # Query execution
+//
+// A query is a best-first search (the paper's Algo 5) over partial tag
+// sets: a max-heap ordered by the Lemma 8 upper bound pops the most
+// promising prefix, expands it by one tag, and admits each child only if
+// its bound still beats the k-th best full set found so far. Full-size
+// children of one expansion are frontier-batched: the whole sibling group
+// goes to the estimator in a single call, which lets index strategies
+// share per-edge probability rows across siblings
+// (sampling.FrontierProbeCache), answer up to 64 siblings per RR-graph
+// traversal with uint64 membership-word bitsets, and terminate a
+// sibling's posting-list scan early once a Hoeffding confidence bound
+// proves it cannot beat the pruning threshold (sequential stopping, with
+// the skipped tail replaced by an unbiased extrapolation). With
+// CheapBounds, partial-set bounds collapse to masked reachability
+// counts, memoized per live-topic mask for the duration of the query:
+// children are bounded eagerly at expansion (so beaten branches never
+// enter the heap), sibling masks resolve together in one word-parallel
+// BFS, and deeper masks reuse memoized supersets as dominance bounds
+// (reach counts are monotone in the mask) without any BFS at all.
+// Result.Explain itemizes all of it per query — full sets estimated,
+// bounds pruned, probe-cache hits, early stops, graphs skipped.
+//
+// # Performance model
+//
+// The approximation guarantee prices every estimate: an online
+// estimation draws θ_W = λ/⌈I(u|W)⌉ samples with
+// λ = (2+ε)/ε² · (ln δ + ln φ_K + ln 2), where φ_K counts the candidate
+// sets the union bound must cover; the offline index samples θ RR-graphs
+// the same way once, and every query afterwards only scans the target's
+// posting list (Eq. 7). Query cost for index strategies is therefore
+// O(|postings(u)| · scan cost), shrunk in practice by frequency pruning
+// (INDEXEST+), frontier batching and sequential stopping — the stopping
+// budget reuses the same ln δ + ln φ_K + ln 2 union-bound term, so early
+// stops stay inside the query's (ε, δ) guarantee. Three knobs trade the
+// formal guarantee for latency: MaxSamples / MaxIndexSamples cap the
+// theoretical budgets, CheapBounds swaps sampled Lemma 8 bounds for
+// looser one-BFS bounds, and DisableEarlyStop turns stopping off
+// (making index estimates byte-identical to exhaustive scans). Measured
+// numbers per PR live in BENCH_query.json; the repository-level design
+// is documented in ARCHITECTURE.md.
+//
 // # Performance layout
 //
 // The offline RR-Graph index is arena-flattened: the θ sampled graphs are

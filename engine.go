@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"slices"
 	"sync"
 	"time"
@@ -77,6 +78,15 @@ type Explain struct {
 	ProbeCacheHitRatio     float64 `json:"probe_cache_hit_ratio"`
 	GraphsChecked          int64   `json:"graphs_checked"`
 	GraphsPruned           int64   `json:"graphs_pruned"`
+	// EarlyStops counts frontier siblings whose sampling was terminated by
+	// the sequential stopping rule; GraphsSkipped is the RR-Graph scans
+	// those terminations avoided. Both are zero when stopping is disabled
+	// or the strategy does not batch frontiers.
+	EarlyStops    int64 `json:"early_stops"`
+	GraphsSkipped int64 `json:"graphs_skipped"`
+	// BoundCacheHits counts CheapBounds evaluations answered from the
+	// explorer's live-topic-mask memo instead of a fresh reachability BFS.
+	BoundCacheHits int64 `json:"bound_cache_hits"`
 }
 
 // Engine answers PITEX queries over one network and tag model with a fixed
@@ -165,9 +175,27 @@ func NewEngine(net *Network, model *TagModel, opts Options) (*Engine, error) {
 	}
 
 	en.est = en.newEstimator()
-	en.explorer = bestfirst.NewExplorer(net.g, model.m, en.est)
-	en.explorer.CheapBounds = opts.CheapBounds
+	en.explorer = en.newExplorer()
 	return en, nil
+}
+
+// newExplorer builds the best-first explorer over the engine's estimator,
+// wiring the exploration options. Unless the early-stop ablation disables
+// it, the explorer is armed with the sequential-stopping confidence budget
+// ln δ + ln φ_MaxK + ln 2 — the same union-bound term that sizes θ
+// (Eq. 12) — so stopping a frontier sibling early spends no failure
+// probability beyond the existing (ε,δ) guarantee.
+func (en *Engine) newExplorer() *bestfirst.Explorer {
+	ex := bestfirst.NewExplorer(en.net.g, en.model.m, en.est)
+	ex.CheapBounds = en.opts.CheapBounds
+	if !en.opts.DisableEarlyStop {
+		lss := enumerate.LogPhiK(en.model.NumTags(), en.opts.MaxK)
+		if math.IsInf(lss, -1) {
+			lss = 0
+		}
+		ex.StopLogInvDelta = math.Log(en.opts.Delta) + lss + math.Ln2
+	}
+	return ex
 }
 
 // samplingOptions assembles the shared accuracy parameters with the given
@@ -234,8 +262,7 @@ func (en *Engine) Clone() *Engine {
 		probe:          sampling.NewProbeCache(en.net.g.NumEdges()),
 	}
 	c.est = c.newEstimator()
-	c.explorer = bestfirst.NewExplorer(c.net.g, c.model.m, c.est)
-	c.explorer.CheapBounds = c.opts.CheapBounds
+	c.explorer = c.newExplorer()
 	return c
 }
 
@@ -294,8 +321,7 @@ func NewEngineWithIndex(net *Network, model *TagModel, opts Options, r io.Reader
 	}
 	en.IndexBuildTime = time.Since(start)
 	en.est = en.newEstimator()
-	en.explorer = bestfirst.NewExplorer(net.g, model.m, en.est)
-	en.explorer.CheapBounds = opts.CheapBounds
+	en.explorer = en.newExplorer()
 	return en, nil
 }
 
@@ -517,6 +543,8 @@ func (en *Engine) query(ctx context.Context, user int, prefix []int, k, m int) (
 		}
 		res.Explain.GraphsChecked = ws.GraphsChecked
 		res.Explain.GraphsPruned = ws.GraphsPruned
+		res.Explain.EarlyStops = ws.EarlyStops
+		res.Explain.GraphsSkipped = ws.GraphsSkipped
 	} else if evEst != nil {
 		res.Explain.ProbesEvaluated = evEst.EdgeVisits() - evBefore
 	}
@@ -540,6 +568,7 @@ func fromBestfirst(br bestfirst.Result, model *TagModel) Result {
 	}
 	res.Explain.FrontierExpansions = br.Stats.FrontierExpansions
 	res.Explain.SamplesDrawn = br.Stats.SamplesDrawn
+	res.Explain.BoundCacheHits = br.Stats.BoundCacheHits
 	for _, sc := range br.All {
 		ss := ScoredTagSet{Tags: toInts(sc.Tags), Influence: sc.Influence}
 		ss.TagNames = make([]string, len(ss.Tags))

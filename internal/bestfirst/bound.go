@@ -1,15 +1,8 @@
-// Package bestfirst implements the paper's best-effort exploration
-// (Sec. 5.2, Appendix C): a best-first search over partial tag sets that
-// prunes every size-k completion of a partial set whose influence upper
-// bound cannot beat the best solution found so far. The per-edge upper
-// bound p+(e|W) is Lemma 8's, combining a sparse branch (the maximum
-// topic-wise probability among topics still supported by W) and a dense
-// branch (a Jensen-inequality bound on the best achievable posterior mass
-// of each topic over all k-completions of W).
 package bestfirst
 
 import (
 	"math"
+	"slices"
 	"sort"
 
 	"pitex/internal/graph"
@@ -105,15 +98,25 @@ func NewBounder(g *graph.Graph, m *topics.Model, k int) *Bounder {
 // a defined posterior, in which case every completion has influence exactly
 // 1 and the branch can be pruned outright.
 func (b *Bounder) Prepare(w []topics.TagID) (Prober, bool) {
-	Z := b.m.NumTopics()
-	inW := make(map[topics.TagID]bool, len(w))
-	for _, t := range w {
-		inW[t] = true
-	}
 	// Partial posterior support: p(z|W) > 0.
 	if !b.m.PosteriorInto(w, b.scratch) {
 		return Prober{}, false
 	}
+	return b.prepared(w)
+}
+
+// PreparePosterior is Prepare for a caller that already holds p(z|W) —
+// typically extended incrementally from a parent set with
+// topics.Model.PosteriorExtendInto. post must be the length-NumTopics
+// posterior of w; it is copied, so it may be caller scratch.
+func (b *Bounder) PreparePosterior(w []topics.TagID, post []float64) (Prober, bool) {
+	copy(b.scratch, post)
+	return b.prepared(w)
+}
+
+// prepared finishes Prepare from the posterior already in b.scratch.
+func (b *Bounder) prepared(w []topics.TagID) (Prober, bool) {
+	Z := b.m.NumTopics()
 	anySupported := false
 	for z := 0; z < Z; z++ {
 		b.supported[z] = b.scratch[z] > 0
@@ -145,7 +148,7 @@ func (b *Bounder) Prepare(w []topics.TagID) (Prober, bool) {
 			if taken == need {
 				break
 			}
-			if inW[cand] {
+			if slices.Contains(w, cand) { // |w| < k: a scan beats a map
 				continue
 			}
 			lf := b.logF[z][cand]
@@ -188,6 +191,28 @@ type Prober struct {
 // valid until the next Prepare call; copy before retaining.
 func (p Prober) Spec() (supported []bool, weights []float64) {
 	return p.b.supported, p.b.pzBound
+}
+
+// LiveTopics packs the prepared bound state into a topic bitmask: bit z
+// is set when pzBound[z] > 0 (which implies z is supported). The mask
+// characterizes edge positivity exactly — Prob(e) > 0 if and only if e
+// carries some topic z with p(e|z) > 0 and bit z set: the sum term needs
+// such a z directly, and that z, being supported, also makes the max
+// term positive. Sibling partial sets frequently share the mask, so it
+// doubles as a memoization key for any quantity that depends only on
+// which edges are positive (the CheapBounds reachable-set size). ok is
+// false when the model has more than 64 topics.
+func (p Prober) LiveTopics() (mask uint64, ok bool) {
+	Z := p.b.m.NumTopics()
+	if Z > 64 {
+		return 0, false
+	}
+	for z := 0; z < Z; z++ {
+		if p.b.pzBound[z] > 0 {
+			mask |= 1 << z
+		}
+	}
+	return mask, true
 }
 
 // Prob returns p+(e|W) = min( max_{z∈supp(W)} p(e|z),

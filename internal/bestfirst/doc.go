@@ -1,0 +1,49 @@
+// Package bestfirst implements the paper's best-effort exploration
+// (Sec. 5.2, Appendix C, Algo 5): a best-first search over partial tag
+// sets that prunes every size-k completion of a partial set whose
+// influence upper bound cannot beat the m-th best solution found so far.
+//
+// # Bound derivation
+//
+// The per-edge upper bound p+(e|W) is Lemma 8's, combining a sparse
+// branch (the maximum topic-wise probability among topics still
+// supported by W) and a dense branch (a Jensen-inequality bound on the
+// best achievable posterior mass of each topic over all k-completions
+// of W): p+(e|W) = min(max_{z∈supp(W)} p(e|z), Σ_z p(e|z)·pzBound(z)).
+// Because p+(e|W) ≥ p(e|W') for every completion W' ⊇ W, any influence
+// estimate under p+ upper-bounds every completion's influence, which is
+// what licenses pruning. The Bounder precomputes the per-(tag, topic)
+// log factors once per query size so Prepare is a top-`need` scan.
+//
+// # Prober contract and bound memoization
+//
+// Prepare returns a Prober valid until the next Prepare call; it
+// satisfies sampling.EdgeProber, so the same estimators score real tag
+// sets and bound graphs. With CheapBounds the bound is the reachable-set
+// size under positive p+(e|W) edges — and since Prober.LiveTopics
+// characterizes edge positivity by a single topic bitmask, the explorer
+// memoizes that BFS per distinct mask: sibling partial sets overwhelmingly
+// share masks, collapsing hundreds of bound traversals per query into a
+// handful. The masked BFS tests edges with one AND against a precomputed
+// per-edge topic mask instead of evaluating Lemma 8 arithmetic.
+//
+// # Frontier batching
+//
+// When the estimator also implements FrontierEstimator, the explorer
+// groups the full-size children of each expansion into one batch,
+// evaluated lazily when its first member is popped — pop order, record
+// order and (with stopping disabled) every estimate are identical to the
+// sequential path, because Algo 5 estimates every popped full set
+// unconditionally. The batch hands the estimator all sibling posteriors
+// at once plus a sampling.StopRule carrying the current pruning
+// threshold, enabling frontier-scoped probe caching, bitset hit-testing
+// and sequential stopping inside the index estimators (see
+// internal/rrindex).
+//
+// # Determinism
+//
+// The explorer itself is deterministic: the heap orders by bound with
+// deterministic tie-breaking via canonical (increasing-tag) generation,
+// and all randomness lives in the estimators' seeded PRNGs. An Explorer
+// is single-goroutine scratch; clone one per worker.
+package bestfirst

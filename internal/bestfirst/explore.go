@@ -3,6 +3,8 @@ package bestfirst
 import (
 	"context"
 	"fmt"
+	"math"
+	"math/bits"
 	"slices"
 	"sort"
 
@@ -18,6 +20,19 @@ type Estimator interface {
 	// EstimateProber estimates E[I(u|·)] under an arbitrary
 	// edge-probability source.
 	EstimateProber(u graph.VertexID, prober sampling.EdgeProber) sampling.Result
+}
+
+// FrontierEstimator is an optional Estimator capability: estimating a
+// whole frontier of sibling tag sets for one user in a single call. The
+// explorer batches the full-size children of each expansion and hands
+// their posteriors over together, letting the estimator share per-edge
+// probe work across siblings (frontier-scoped probe caching, bitset
+// hit-testing) and stop sampling a sibling early once stop proves it
+// cannot beat the pruning threshold. Results are positional:
+// Result[i] scores posteriors[i]. With stopping disabled the results
+// must be identical to per-sibling EstimateProber calls.
+type FrontierEstimator interface {
+	EstimateFrontier(u graph.VertexID, posteriors [][]float64, stop sampling.StopRule) []sampling.Result
 }
 
 // Stats reports how much work a query performed; the Fig. 11/12 discussion
@@ -40,6 +55,10 @@ type Stats struct {
 	// SamplesDrawn totals the sample instances the estimator generated
 	// across every full-set and bound estimation of the query.
 	SamplesDrawn int64
+	// BoundCacheHits counts CheapBounds evaluations answered from the
+	// per-query live-topic-mask memo instead of a fresh BFS (sibling
+	// partial sets overwhelmingly share the mask).
+	BoundCacheHits int64
 }
 
 // Scored is one candidate answer: a size-k tag set with its estimated
@@ -75,6 +94,17 @@ type Explorer struct {
 	// bounds the influence at one BFS instead of a sampling run. Looser
 	// but far cheaper; the ablation benchmark compares both.
 	CheapBounds bool
+	// StopLogInvDelta, when positive, arms sequential stopping inside
+	// frontier batches: each batch carries StopRule{threshold(), this},
+	// so the estimator may stop sampling a sibling once a Hoeffding
+	// upper confidence bound at confidence exp(-StopLogInvDelta) proves
+	// it cannot reach the current pruning threshold. Zero keeps batched
+	// estimates byte-identical to the sequential path.
+	StopLogInvDelta float64
+
+	// fest is est's frontier-batching capability, detected at
+	// construction; nil keeps the one-call-per-full-set path.
+	fest FrontierEstimator
 
 	posterior []float64
 	reachMark []bool
@@ -86,6 +116,44 @@ type Explorer struct {
 	tags       tagArena
 	reachStack []graph.VertexID
 	reached    []graph.VertexID
+
+	// CheapBounds memoization: partial sets sharing a live-topic mask
+	// have identical positive-edge sets, hence identical reachable-set
+	// bounds. boundMemo caches |R_{p+}(u)| per mask for the current
+	// query; edgeTopicMask[e] (bit z set when p(e|z) > 0) is built once
+	// per explorer and lets the masked BFS test edge liveness with one
+	// AND instead of Lemma 8 arithmetic.
+	boundMemo     map[uint64]float64
+	edgeTopicMask []uint64
+	// maskList mirrors boundMemo in insertion order for the dominance
+	// scans (reach counts are monotone in the mask: supersets bound
+	// subsets from above); maxReach is the all-topics reach count,
+	// computed lazily once per query (-1 until then).
+	maskList []maskVal
+	maxReach float64
+	// Batch-bounding scratch: one expansion's surviving children before
+	// their masks are resolved (pend), the deduped unresolved masks
+	// (pendMasks), and the word-parallel BFS buffers — a reach word per
+	// vertex, an allowed word per edge, and the touched-vertex list for
+	// sparse reset.
+	pend         []pendChild
+	pendMasks    []uint64
+	batchReach   []uint64
+	batchAllowed []uint64
+	batchInQueue []bool
+	batchTouched []graph.VertexID
+
+	// Incremental-posterior scratch: the expanding set's posterior and
+	// the one-tag-extended child posterior handed to PreparePosterior.
+	parentPost []float64
+	childPost  []float64
+
+	// Frontier-batch scratch: posterior rows for one batch evaluation
+	// (arena + row headers + member index per row), reused across
+	// batches — the estimator only reads rows during EstimateFrontier.
+	postArena []float64
+	postRows  [][]float64
+	postIdx   []int32
 }
 
 // tagArena hands out small tag-set slices from chunked backing arrays
@@ -123,7 +191,7 @@ func (a *tagArena) reset() {
 // NewExplorer builds an explorer using est for full tag sets and for
 // Lemma 8 upper-bound graphs.
 func NewExplorer(g *graph.Graph, m *topics.Model, est Estimator) *Explorer {
-	return &Explorer{
+	ex := &Explorer{
 		g:         g,
 		m:         m,
 		est:       est,
@@ -131,16 +199,52 @@ func NewExplorer(g *graph.Graph, m *topics.Model, est Estimator) *Explorer {
 		posterior: make([]float64, m.NumTopics()),
 		reachMark: make([]bool, g.NumVertices()),
 	}
+	ex.fest, _ = est.(FrontierEstimator)
+	return ex
 }
 
-// heapEntry orders partial solutions by their (parent's) bound, descending.
-// lastAdded is the largest tag appended after the fixed prefix (-1 when
-// only the prefix is present); children only append larger tags so each
-// completion is generated exactly once.
+// heapEntry orders partial solutions by bound, descending: the entry's
+// own CheapBounds value when it was computed eagerly at expansion
+// (bounded), the parent's otherwise. lastAdded is the largest tag
+// appended after the fixed prefix (-1 when only the prefix is present);
+// children only append larger tags so each completion is generated
+// exactly once. Full-size entries spawned by the same expansion share a
+// frontierBatch; fbIdx is the entry's slot in it.
 type heapEntry struct {
 	tags      []topics.TagID
 	lastAdded topics.TagID
 	bound     float64
+	bounded   bool
+	fb        *frontierBatch
+	fbIdx     int32
+}
+
+// maskVal is one memoized CheapBounds evaluation: the live-topic mask
+// and its reachable-set count (or a proven upper bound on it, for
+// dominance-derived deep-level entries — every consumer treats the
+// value as an upper bound, so looseness is safe).
+type maskVal struct {
+	mask uint64
+	val  float64
+}
+
+// pendChild is one expansion child awaiting its batch-resolved bound.
+type pendChild struct {
+	tags      []topics.TagID
+	lastAdded topics.TagID
+	mask      uint64
+}
+
+// frontierBatch groups the size-k children of one expansion for a single
+// FrontierEstimator call. It is evaluated lazily when its first member is
+// popped: Algo 5 estimates every popped full set unconditionally, so
+// deferring to first pop changes neither pop order nor recorded results,
+// while the then-current pruning threshold arms sequential stopping for
+// the whole batch.
+type frontierBatch struct {
+	tags [][]topics.TagID // member tag sets, arena-backed
+	inf  []float64        // per-member influence, valid once done
+	done bool
 }
 
 // maxHeap is a hand-rolled binary max-heap on bound. container/heap moves
@@ -282,6 +386,13 @@ func (ex *Explorer) run(ctx context.Context, u graph.VertexID, prefix []topics.T
 	}
 
 	ex.tags.reset()
+	if ex.boundMemo == nil {
+		ex.boundMemo = make(map[uint64]float64)
+	} else {
+		clear(ex.boundMemo) // reachability depends on u; memo is per-query
+	}
+	ex.maskList = ex.maskList[:0]
+	ex.maxReach = -1
 	h := &ex.heap
 	*h = (*h)[:0]
 	root := heapEntry{
@@ -300,6 +411,13 @@ func (ex *Explorer) run(ctx context.Context, u graph.VertexID, prefix []topics.T
 		}
 		ent := h.pop()
 		if len(ent.tags) == k {
+			if ent.fb != nil {
+				if !ent.fb.done {
+					ex.evalFrontier(u, ent.fb, threshold(), &res.Stats)
+				}
+				record(ent.tags, ent.fb.inf[ent.fbIdx])
+				continue
+			}
 			if !ex.m.PosteriorInto(ent.tags, ex.posterior) {
 				// Undefined posterior: influence is exactly 1.
 				record(ent.tags, 1)
@@ -316,32 +434,76 @@ func (ex *Explorer) run(ctx context.Context, u graph.VertexID, prefix []topics.T
 			continue
 		}
 
-		// Partial set: bound, prune, or expand.
+		// Partial set: bound (unless expansion already did), prune, or
+		// expand.
 		if len(ent.tags) > 0 {
-			prober, ok := bounder.Prepare(ent.tags)
-			if !ok {
-				res.Stats.PrunedUnsupported++
-				continue
-			}
-			var ub float64
-			if ex.CheapBounds {
-				ub = float64(ex.reachableUnder(u, prober))
+			if ent.bounded {
+				if ent.bound <= threshold() {
+					res.Stats.PrunedByBound++
+					continue
+				}
 			} else {
-				res.Stats.PartialBoundsEstimated++
-				bres := ex.boundEst.EstimateProber(u, prober)
-				res.Stats.SamplesDrawn += bres.Samples
-				ub = bres.Influence
+				prober, ok := bounder.Prepare(ent.tags)
+				if !ok {
+					res.Stats.PrunedUnsupported++
+					continue
+				}
+				var ub float64
+				if ex.CheapBounds {
+					if mask, ok := prober.LiveTopics(); ok {
+						var resolved bool
+						ub, resolved = ex.boundFor(u, mask, threshold(), &res.Stats, false)
+						if !resolved {
+							ub = float64(ex.reachableMasked(u, mask))
+							ex.memoizeBound(mask, ub)
+						}
+					} else {
+						ub = float64(ex.reachableUnder(u, prober))
+					}
+				} else {
+					res.Stats.PartialBoundsEstimated++
+					bres := ex.boundEst.EstimateProber(u, prober)
+					res.Stats.SamplesDrawn += bres.Samples
+					ub = bres.Influence
+				}
+				if ub <= threshold() {
+					res.Stats.PrunedByBound++
+					continue
+				}
+				ent.bound = ub
 			}
-			if ub <= threshold() {
-				res.Stats.PrunedByBound++
-				continue
-			}
-			ent.bound = ub
 		}
 
 		// Expand with every non-prefix tag above the last appended tag
 		// (canonical order: each completion generated exactly once).
 		res.Stats.FrontierExpansions++
+		var fb *frontierBatch
+		batching := ex.fest != nil && len(ent.tags)+1 == k
+		// Partial children are bounded eagerly under CheapBounds:
+		// Prepare and the masked bound run at expansion, so unsupported
+		// or already-beaten children never enter the heap and survivors
+		// carry their own (tighter) bound as heap key. Shallow children
+		// (whose subtrees are large) get exact counts, batched into one
+		// word-parallel BFS per expansion; deepest-level children (whose
+		// children are the cheaply frontier-batched full sets) settle
+		// for the dominance upper bound — no BFS at all. The
+		// sampled-bound path stays lazy: eager sampling would reorder
+		// RNG consumption.
+		eager := ex.CheapBounds && len(ent.tags)+1 < k
+		deepest := len(ent.tags)+1 == k-1
+		ex.pend = ex.pend[:0]
+		ex.pendMasks = ex.pendMasks[:0]
+		// Every eager child shares the parent posterior, so materialize it
+		// once and derive each child's by a single-tag extension instead of
+		// re-multiplying the whole set per child.
+		haveParent := false
+		if eager {
+			if ex.parentPost == nil {
+				ex.parentPost = make([]float64, ex.m.NumTopics())
+				ex.childPost = make([]float64, ex.m.NumTopics())
+			}
+			haveParent = ex.m.PosteriorInto(ent.tags, ex.parentPost)
+		}
 		for w := ent.lastAdded + 1; int(w) < ex.m.NumTags(); w++ {
 			if inPrefix[w] {
 				continue
@@ -349,7 +511,73 @@ func (ex *Explorer) run(ctx context.Context, u graph.VertexID, prefix []topics.T
 			child := ex.tags.alloc(len(ent.tags) + 1)
 			copy(child, ent.tags)
 			child[len(ent.tags)] = w
-			h.push(heapEntry{tags: child, lastAdded: w, bound: ent.bound})
+			ce := heapEntry{tags: child, lastAdded: w, bound: ent.bound}
+			if batching {
+				if fb == nil {
+					fb = &frontierBatch{}
+				}
+				ce.fb, ce.fbIdx = fb, int32(len(fb.tags))
+				fb.tags = append(fb.tags, child)
+			} else if eager {
+				var prober Prober
+				var ok bool
+				if haveParent {
+					if !ex.m.PosteriorExtendInto(ex.parentPost, w, ex.childPost) {
+						res.Stats.PrunedUnsupported++
+						continue
+					}
+					prober, ok = bounder.PreparePosterior(child, ex.childPost)
+				} else {
+					prober, ok = bounder.Prepare(child)
+				}
+				if !ok {
+					res.Stats.PrunedUnsupported++
+					continue
+				}
+				mask, mok := prober.LiveTopics()
+				if !mok {
+					// Mask too wide to pack: push unbounded; the pop
+					// path falls back to reachableUnder.
+					h.push(ce)
+					continue
+				}
+				ub, resolved := ex.boundFor(u, mask, threshold(), &res.Stats, deepest)
+				if !resolved && deepest {
+					// A deepest-level mask with no usable superset (a
+					// prefix root, or k == 2): resolve it exactly.
+					ub = float64(ex.reachableMasked(u, mask))
+					ex.memoizeBound(mask, ub)
+					resolved = true
+				}
+				if resolved {
+					if ub <= threshold() {
+						res.Stats.PrunedByBound++
+						continue
+					}
+					ce.bound, ce.bounded = ub, true
+					h.push(ce)
+					continue
+				}
+				// Unresolved shallow mask: hold the child back for the
+				// expansion's batch BFS.
+				ex.pend = append(ex.pend, pendChild{tags: child, lastAdded: w, mask: mask})
+				if !slices.Contains(ex.pendMasks, mask) {
+					ex.pendMasks = append(ex.pendMasks, mask)
+				}
+				continue
+			}
+			h.push(ce)
+		}
+		if len(ex.pendMasks) > 0 {
+			ex.resolveMaskBatch(u)
+			for _, pc := range ex.pend {
+				ub := ex.boundMemo[pc.mask]
+				if ub <= threshold() {
+					res.Stats.PrunedByBound++
+					continue
+				}
+				h.push(heapEntry{tags: pc.tags, lastAdded: pc.lastAdded, bound: ub, bounded: true})
+			}
 		}
 	}
 
@@ -402,4 +630,231 @@ func (ex *Explorer) reachableUnder(u graph.VertexID, prober sampling.EdgeProber)
 	}
 	ex.reachStack, ex.reached = stack, reached
 	return len(reached)
+}
+
+// boundFor answers one CheapBounds evaluation for a live-topic mask
+// without running a BFS: (ub, true) when the memo or a dominance
+// shortcut yields a usable upper bound on |R_{p+}(u)|, (0, false) when
+// the mask is unresolved and the caller must compute it (singly or in a
+// batch). Dominance exploits monotonicity of reach in the mask: a
+// memoized subset that already matches the all-topics count pins this
+// mask to the same count, and any memoized superset's value
+// upper-bounds this mask's. A superset value at or below thr resolves
+// the entry (the caller will prune on it); with deep set, any superset
+// value resolves it — deepest-level entries trade bound tightness for
+// skipping the BFS entirely, which is safe because every value is only
+// ever used as an upper bound.
+func (ex *Explorer) boundFor(u graph.VertexID, mask uint64, thr float64, stats *Stats, deep bool) (float64, bool) {
+	if v, hit := ex.boundMemo[mask]; hit {
+		stats.BoundCacheHits++
+		return v, true
+	}
+	if ex.maxReach < 0 {
+		ex.maxReach = float64(ex.reachableMasked(u, ^uint64(0)))
+	}
+	super := math.Inf(1)
+	for _, mv := range ex.maskList {
+		if mv.mask&^mask == 0 && mv.val == ex.maxReach {
+			stats.BoundCacheHits++
+			ex.memoizeBound(mask, ex.maxReach)
+			return ex.maxReach, true
+		}
+		if mv.mask&mask == mask && mv.val < super {
+			super = mv.val
+		}
+	}
+	if super <= thr || (deep && !math.IsInf(super, 1)) {
+		stats.BoundCacheHits++
+		ex.memoizeBound(mask, super)
+		return super, true
+	}
+	return 0, false
+}
+
+// memoizeBound records one computed mask count in both memo shapes.
+func (ex *Explorer) memoizeBound(mask uint64, v float64) {
+	ex.boundMemo[mask] = v
+	ex.maskList = append(ex.maskList, maskVal{mask, v})
+}
+
+// resolveMaskBatch computes |R_{p+}(u)| for every pending mask (at most
+// 64 per pass) in one word-parallel traversal and memoizes the counts.
+// Bit j of a vertex's reach word means "reachable from u under
+// pendMasks[j]"; an edge propagates exactly the mask bits it carries a
+// live topic for, so a worklist fixed-point over reach words replaces
+// one BFS per mask — the same kernel the rrindex posting scans use for
+// sibling hit-testing.
+func (ex *Explorer) resolveMaskBatch(u graph.VertexID) {
+	if ex.edgeTopicMask == nil {
+		ex.buildEdgeTopicMasks()
+	}
+	g := ex.g
+	if ex.batchReach == nil {
+		ex.batchReach = make([]uint64, g.NumVertices())
+		ex.batchAllowed = make([]uint64, g.NumEdges())
+		ex.batchInQueue = make([]bool, g.NumVertices())
+	}
+	for start := 0; start < len(ex.pendMasks); start += 64 {
+		masks := ex.pendMasks[start:min(start+64, len(ex.pendMasks))]
+		// topicWord[z]: which masks carry topic z. LiveTopics only packs
+		// models with <= 64 topics, so the table is complete.
+		var topicWord [64]uint64
+		for j, m := range masks {
+			for m != 0 {
+				z := bits.TrailingZeros64(m)
+				topicWord[z] |= 1 << uint(j)
+				m &= m - 1
+			}
+		}
+		allowed := ex.batchAllowed
+		for e, em := range ex.edgeTopicMask {
+			var w uint64
+			for t := em; t != 0; t &= t - 1 {
+				w |= topicWord[bits.TrailingZeros64(t)]
+			}
+			allowed[e] = w
+		}
+		full := ^uint64(0) >> uint(64-len(masks))
+		reach := ex.batchReach
+		touched := append(ex.batchTouched[:0], u)
+		reach[u] = full
+		// Deduplicated FIFO worklist: a vertex re-enters only when its
+		// word grows while it is not already queued, so each fixpoint
+		// round costs at most one scan per live vertex (an undeduped
+		// stack degrades to one re-scan per word bit).
+		queue := append(ex.reachStack[:0], u)
+		inQueue := ex.batchInQueue
+		inQueue[u] = true
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			inQueue[v] = false
+			rv := reach[v]
+			edges := g.OutEdges(v)
+			nbrs := g.OutNeighbors(v)
+			for i, e := range edges {
+				add := rv & allowed[e]
+				if add == 0 {
+					continue
+				}
+				t := nbrs[i]
+				if add &^= reach[t]; add == 0 {
+					continue
+				}
+				if reach[t] == 0 {
+					touched = append(touched, t)
+				}
+				reach[t] |= add
+				if !inQueue[t] {
+					inQueue[t] = true
+					queue = append(queue, t)
+				}
+			}
+		}
+		var counts [64]int
+		for _, v := range touched {
+			for w := reach[v]; w != 0; w &= w - 1 {
+				counts[bits.TrailingZeros64(w)]++
+			}
+			reach[v] = 0
+		}
+		ex.reachStack, ex.batchTouched = queue[:0], touched
+		for j, m := range masks {
+			ex.memoizeBound(m, float64(counts[j]))
+		}
+	}
+}
+
+// reachableMasked is reachableUnder specialized to a live-topic mask: an
+// edge has positive p+(e|W) exactly when it carries a topic in the mask
+// (see Prober.LiveTopics), so the BFS tests one AND per edge against the
+// precomputed edgeTopicMask instead of running Lemma 8 arithmetic.
+func (ex *Explorer) reachableMasked(u graph.VertexID, mask uint64) int {
+	if ex.edgeTopicMask == nil {
+		ex.buildEdgeTopicMasks()
+	}
+	em := ex.edgeTopicMask
+	g := ex.g
+	mark := ex.reachMark
+	stack := append(ex.reachStack[:0], u)
+	mark[u] = true
+	reached := append(ex.reached[:0], u)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		edges := g.OutEdges(v)
+		nbrs := g.OutNeighbors(v)
+		for i, e := range edges {
+			if em[e]&mask == 0 {
+				continue
+			}
+			if t := nbrs[i]; !mark[t] {
+				mark[t] = true
+				reached = append(reached, t)
+				stack = append(stack, t)
+			}
+		}
+	}
+	for _, v := range reached {
+		mark[v] = false
+	}
+	ex.reachStack, ex.reached = stack, reached
+	return len(reached)
+}
+
+// buildEdgeTopicMasks fills edgeTopicMask: bit z of entry e is set when
+// p(e|z) > 0. Graph-only state, built once per explorer on the first
+// masked bound. Only reachableMasked consults it, and LiveTopics already
+// refuses models with more than 64 topics, so truncation cannot occur.
+func (ex *Explorer) buildEdgeTopicMasks() {
+	em := make([]uint64, ex.g.NumEdges())
+	for e := range em {
+		ids, probs := ex.g.EdgeTopics(graph.EdgeID(e))
+		var m uint64
+		for i, z := range ids {
+			if probs[i] > 0 {
+				m |= 1 << uint(z)
+			}
+		}
+		em[e] = m
+	}
+	ex.edgeTopicMask = em
+}
+
+// evalFrontier evaluates a lazily-deferred frontier batch: posteriors for
+// every member are materialized into reused scratch rows, undefined
+// members score exactly 1 without touching the estimator, and the rest go
+// to the FrontierEstimator in one call carrying the current pruning
+// threshold as the stop rule.
+func (ex *Explorer) evalFrontier(u graph.VertexID, fb *frontierBatch, thr float64, stats *Stats) {
+	n := len(fb.tags)
+	Z := ex.m.NumTopics()
+	if cap(ex.postArena) < n*Z {
+		ex.postArena = make([]float64, n*Z)
+	}
+	arena := ex.postArena[:n*Z]
+	rows := ex.postRows[:0]
+	idx := ex.postIdx[:0]
+	fb.inf = make([]float64, n)
+	for i, tags := range fb.tags {
+		row := arena[len(rows)*Z : (len(rows)+1)*Z]
+		if !ex.m.PosteriorInto(tags, row) {
+			fb.inf[i] = 1 // undefined posterior: influence is exactly 1
+			continue
+		}
+		rows = append(rows, row)
+		idx = append(idx, int32(i))
+	}
+	if len(rows) > 0 {
+		stats.FullSetsEstimated += int64(len(rows))
+		results := ex.fest.EstimateFrontier(u, rows, sampling.StopRule{
+			Threshold:   thr,
+			LogInvDelta: ex.StopLogInvDelta,
+		})
+		for j, r := range results {
+			fb.inf[idx[j]] = r.Influence
+			stats.SamplesDrawn += r.Samples
+		}
+	}
+	ex.postArena, ex.postRows, ex.postIdx = arena, rows, idx
+	fb.done = true
 }

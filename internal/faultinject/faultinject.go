@@ -73,6 +73,7 @@ const (
 	ModeDrop
 )
 
+// String names the mode as it appears in schedule specs and logs.
 func (m Mode) String() string {
 	switch m {
 	case ModeError:

@@ -197,3 +197,35 @@ func BenchmarkEvalDisabled(b *testing.B) {
 		}
 	}
 }
+
+func TestModeString(t *testing.T) {
+	for mode, want := range map[Mode]string{
+		ModeError:   "error",
+		ModeLatency: "latency",
+		ModeStall:   "stall",
+		ModeCorrupt: "corrupt",
+		ModeDrop:    "drop",
+		Mode(200):   "mode(200)",
+	} {
+		if got := mode.String(); got != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", uint8(mode), got, want)
+		}
+	}
+}
+
+func TestEnabledTracksArmedPlan(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("Enabled() true with no plan armed")
+	}
+	if err := Enable(1, []Rule{{Point: "p", Mode: ModeError}}); err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() {
+		t.Fatal("Enabled() false with a plan armed")
+	}
+	Disable()
+	if Enabled() {
+		t.Fatal("Enabled() true after Disable")
+	}
+}

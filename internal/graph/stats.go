@@ -8,8 +8,11 @@ import "sort"
 type Group int
 
 const (
+	// GroupHigh is the top 1% of users by out-degree.
 	GroupHigh Group = iota
+	// GroupMid is the top 1-10% band.
 	GroupMid
+	// GroupLow is everyone else with at least one out-edge.
 	GroupLow
 )
 

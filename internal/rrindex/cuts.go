@@ -184,13 +184,22 @@ type PrunedEstimator struct {
 	visited []int64
 	dfs     []int32
 	stamp   int64
-	// candStamp deduplicates candidate positions during filtering.
+	// candStamp deduplicates candidate positions during filtering;
+	// candSlot maps a deduplicated position to its index in cands (the
+	// frontier batch path keeps per-candidate sibling masks there).
 	candStamp []int64
+	candSlot  []int32
 	candIter  int64
 	cands     []int32
 
 	graphsChecked int64
 	graphsPruned  int64
+
+	// Frontier-batch state (frontier.go).
+	fc            *sampling.FrontierProbeCache
+	fsc           frontierScratch
+	earlyStops    int64
+	graphsSkipped int64
 }
 
 // NewPrunedEstimator creates an IndexEst+ evaluator over idx.

@@ -174,6 +174,12 @@ type DelayEstimator struct {
 	// 8θ rejected cascades per recovery would otherwise each allocate).
 	live      []liveEdge
 	activated []graph.VertexID
+
+	// Frontier-batch state (frontier.go).
+	fc            *sampling.FrontierProbeCache
+	fsc           frontierScratch
+	earlyStops    int64
+	graphsSkipped int64
 }
 
 // liveEdge is one live edge of a forward cascade during Algo 4 recovery.

@@ -238,6 +238,13 @@ type Estimator struct {
 	// graphsChecked counts RR-Graphs whose reachability was verified, the
 	// work metric that the cut-pruning layer reduces.
 	graphsChecked int64
+
+	// Frontier-batch state (frontier.go): the frontier-scoped probe
+	// cache, masked-scan scratch, and sequential-stopping counters.
+	fc            *sampling.FrontierProbeCache
+	fsc           frontierScratch
+	earlyStops    int64
+	graphsSkipped int64
 }
 
 // NewEstimator creates an estimator over idx.

@@ -52,6 +52,23 @@ type Partial struct {
 	Theta int64 `json:"theta"`
 	// Users is |V_s|, the shard's target-pool size.
 	Users int `json:"users"`
+	// EstHits and Stopped carry the sequential-stopping outcome of a
+	// frontier-batched scatter (PartialFrontier): when Stopped is true
+	// the shard terminated the scan early and EstHits holds the unbiased
+	// (h/n)·N extrapolation the gather should use instead of Hits. Both
+	// are zero-valued on the classic per-candidate path, keeping the v1
+	// wire rows byte-identical.
+	EstHits float64 `json:"est_hits,omitempty"`
+	Stopped bool    `json:"stopped,omitempty"`
+}
+
+// effectiveHits returns the hit count a gather should normalize: the
+// exact count, or the extrapolation recorded by an early-stopped scan.
+func (p Partial) effectiveHits() float64 {
+	if p.Stopped {
+		return p.EstHits
+	}
+	return float64(p.Hits)
 }
 
 // shardLayout recomputes the deterministic (pools, θ apportionment) of a
@@ -251,6 +268,51 @@ func (pe *PrunedEstimator) Partial(shard, users int, u graph.VertexID, prober sa
 	}
 }
 
+// packPartialFrontier converts one chunk's frontierHits into wire rows.
+func packPartialFrontier(fhs []frontierHits, shard, users int, theta int64, out []Partial) {
+	for i, fh := range fhs {
+		out[i] = Partial{
+			Shard: shard, Hits: fh.Hits,
+			Samples: fh.Samples, Contained: fh.Contained,
+			Theta: theta, Users: users,
+		}
+		if fh.Stopped {
+			out[i].EstHits = fh.Est
+			out[i].Stopped = true
+		}
+	}
+}
+
+// PartialFrontier is the frontier-batched scatter side: one wire row per
+// sibling posterior, decided in a single masked pass over this shard's
+// postings. totalUsers is the cluster's full |V| (the stopping threshold
+// is apportioned by θ_s/|V|); stop follows the StopRule contract. With
+// stopping disabled each row is byte-identical to a Partial call for
+// that sibling.
+func (est *Estimator) PartialFrontier(shard, users, totalUsers int, u graph.VertexID, posteriors [][]float64, stop sampling.StopRule) []Partial {
+	hitsThr, shl := stopParams(stop, est.idx.theta, totalUsers)
+	out := make([]Partial, len(posteriors))
+	for off := 0; off < len(posteriors); off += maxFrontierWidth {
+		chunk := posteriors[off:min(off+maxFrontierWidth, len(posteriors))]
+		fhs := est.hitsFrontier(u, chunk, hitsThr, shl)
+		packPartialFrontier(fhs, shard, users, est.idx.theta, out[off:])
+	}
+	return out
+}
+
+// PartialFrontier is Estimator.PartialFrontier with the cut-pruning
+// layer in front of verification.
+func (pe *PrunedEstimator) PartialFrontier(shard, users, totalUsers int, u graph.VertexID, posteriors [][]float64, stop sampling.StopRule) []Partial {
+	hitsThr, shl := stopParams(stop, pe.idx.theta, totalUsers)
+	out := make([]Partial, len(posteriors))
+	for off := 0; off < len(posteriors); off += maxFrontierWidth {
+		chunk := posteriors[off:min(off+maxFrontierWidth, len(posteriors))]
+		fhs := pe.hitsFrontier(u, chunk, hitsThr, shl)
+		packPartialFrontier(fhs, shard, users, pe.idx.theta, out[off:])
+	}
+	return out
+}
+
 // sortPartials orders parts ascending by shard id — the gather iteration
 // order the in-process ShardedIndex.gather uses, which fixes the float
 // summation order.
@@ -285,6 +347,43 @@ func GatherPartials(parts []Partial) sampling.Result {
 		Theta:     totTheta,
 		Reachable: contained,
 	}
+}
+
+// GatherFrontierPartials folds per-shard PartialFrontier row sets —
+// parts[s][i] is shard s's row for sibling i, every shard covering the
+// same sibling list — into one Result per sibling, with the identical
+// float operations and shard order as GatherPartials. Early-stopped rows
+// contribute their extrapolated hit counts.
+func GatherFrontierPartials(parts [][]Partial) []sampling.Result {
+	if len(parts) == 0 {
+		return nil
+	}
+	width := len(parts[0])
+	out := make([]sampling.Result, width)
+	for i := 0; i < width; i++ {
+		var inf float64
+		var totSamples, totTheta int64
+		contained := 0
+		for s := range parts {
+			p := parts[s][i]
+			totSamples += p.Samples
+			totTheta += p.Theta
+			contained += p.Contained
+			if p.Theta > 0 {
+				inf += p.effectiveHits() / float64(p.Theta) * float64(p.Users)
+			}
+		}
+		if inf < 1 {
+			inf = 1
+		}
+		out[i] = sampling.Result{
+			Influence: inf,
+			Samples:   totSamples,
+			Theta:     totTheta,
+			Reachable: contained,
+		}
+	}
+	return out
 }
 
 // GatherPartialsDegraded folds an INCOMPLETE set of partials — some

@@ -453,6 +453,8 @@ type ShardedEstimator struct {
 	subs    []*Estimator
 	hits    []int64
 	samples []int64
+	// fparts holds per-shard frontier-batch rows (frontier.go).
+	fparts [][]frontierHits
 }
 
 // NewShardedEstimator creates a scatter-gather estimator over si.
@@ -508,6 +510,8 @@ type ShardedPrunedEstimator struct {
 	subs    []*PrunedEstimator
 	hits    []int64
 	samples []int64
+	// fparts holds per-shard frontier-batch rows (frontier.go).
+	fparts [][]frontierHits
 }
 
 // NewShardedPrunedEstimator creates a scatter-gather IndexEst+ evaluator.
@@ -786,6 +790,8 @@ type ShardedDelayEstimator struct {
 	subs      []*DelayEstimator
 	hits      []int64
 	recovered []int64
+	// fparts holds per-shard frontier-batch rows (frontier.go).
+	fparts [][]frontierHits
 }
 
 // NewShardedDelayEstimator creates a scatter-gather DelayMat evaluator.

@@ -4,30 +4,39 @@ import "pitex/internal/sampling"
 
 // This file implements the EXPLAIN-facing sampling.WorkStats accessor on
 // every index-backed estimator. The counters already exist (graph
-// verification counts, ProbeCache hit/miss tallies); WorkStats just
-// snapshots them in one shape so the engine can diff before/after a
-// query without knowing which strategy it is running.
+// verification counts, ProbeCache/FrontierProbeCache hit/miss tallies,
+// sequential-stopping tallies); WorkStats just snapshots them in one
+// shape so the engine can diff before/after a query without knowing
+// which strategy it is running.
 
 // WorkStats reports the estimator's cumulative work counters.
 func (est *Estimator) WorkStats() sampling.WorkStats {
 	hits, misses := est.probe.Stats()
+	fhits, fmisses := est.fc.Stats()
+	hits, misses = hits+fhits, misses+fmisses
 	return sampling.WorkStats{
 		ProbesEvaluated:  hits + misses,
 		ProbeCacheHits:   hits,
 		ProbeCacheMisses: misses,
 		GraphsChecked:    est.graphsChecked,
+		EarlyStops:       est.earlyStops,
+		GraphsSkipped:    est.graphsSkipped,
 	}
 }
 
 // WorkStats reports the estimator's cumulative work counters.
 func (pe *PrunedEstimator) WorkStats() sampling.WorkStats {
 	hits, misses := pe.probe.Stats()
+	fhits, fmisses := pe.fc.Stats()
+	hits, misses = hits+fhits, misses+fmisses
 	return sampling.WorkStats{
 		ProbesEvaluated:  hits + misses,
 		ProbeCacheHits:   hits,
 		ProbeCacheMisses: misses,
 		GraphsChecked:    pe.graphsChecked,
 		GraphsPruned:     pe.graphsPruned,
+		EarlyStops:       pe.earlyStops,
+		GraphsSkipped:    pe.graphsSkipped,
 	}
 }
 
@@ -36,11 +45,15 @@ func (pe *PrunedEstimator) WorkStats() sampling.WorkStats {
 // proportional to recoveries, not to a materialized pool.
 func (de *DelayEstimator) WorkStats() sampling.WorkStats {
 	hits, misses := de.probe.Stats()
+	fhits, fmisses := de.fc.Stats()
+	hits, misses = hits+fhits, misses+fmisses
 	return sampling.WorkStats{
 		ProbesEvaluated:  hits + misses,
 		ProbeCacheHits:   hits,
 		ProbeCacheMisses: misses,
 		GraphsChecked:    de.graphsChecked,
+		EarlyStops:       de.earlyStops,
+		GraphsSkipped:    de.graphsSkipped,
 	}
 }
 

@@ -1,11 +1,3 @@
-// Package sampling implements the online influence estimators of the paper:
-// Monte-Carlo forward sampling (MC), reverse-reachable-set sampling (RR),
-// and lazy propagation sampling (Lazy, Sec. 5.1), together with the
-// Chernoff-derived sample sizes of Lemmas 2-3 (Eq. 2) and the martingale
-// early-stopping rule of Algo 2 line 17.
-//
-// Estimators are stateful (they own scratch buffers and a PRNG) and are not
-// safe for concurrent use; derive one per goroutine.
 package sampling
 
 import (

@@ -19,6 +19,14 @@ type WorkStats struct {
 	// GraphsPruned is the number of RR graphs skipped by frequency
 	// pruning (pruned index strategies only).
 	GraphsPruned int64
+	// EarlyStops is the number of (candidate set, shard) scans the
+	// sequential stopping rule terminated before exhausting the posting
+	// list (frontier-batched index strategies only).
+	EarlyStops int64
+	// GraphsSkipped is the number of RR-graph verdicts those early stops
+	// avoided; the skipped tail is replaced by the unbiased (h/n)·N
+	// extrapolation.
+	GraphsSkipped int64
 }
 
 // Add accumulates other into s.
@@ -28,6 +36,8 @@ func (s *WorkStats) Add(other WorkStats) {
 	s.ProbeCacheMisses += other.ProbeCacheMisses
 	s.GraphsChecked += other.GraphsChecked
 	s.GraphsPruned += other.GraphsPruned
+	s.EarlyStops += other.EarlyStops
+	s.GraphsSkipped += other.GraphsSkipped
 }
 
 // Sub returns s minus other, the per-query delta between two lifetime
@@ -39,5 +49,7 @@ func (s WorkStats) Sub(other WorkStats) WorkStats {
 		ProbeCacheMisses: s.ProbeCacheMisses - other.ProbeCacheMisses,
 		GraphsChecked:    s.GraphsChecked - other.GraphsChecked,
 		GraphsPruned:     s.GraphsPruned - other.GraphsPruned,
+		EarlyStops:       s.EarlyStops - other.EarlyStops,
+		GraphsSkipped:    s.GraphsSkipped - other.GraphsSkipped,
 	}
 }

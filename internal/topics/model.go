@@ -175,6 +175,36 @@ func (m *Model) PosteriorInto(w []TagID, dst []float64) (ok bool) {
 	return true
 }
 
+// PosteriorExtendInto computes p(z|W∪{t}) from an already-computed
+// p(z|W): the extended posterior is proportional to base[z]·p(t|z), so
+// one rescale-and-renormalize replaces the full product over W∪{t}.
+// base need not be normalized (the constant folds into the
+// normalization) and may alias dst. Reports ok=false, zeroing dst, when
+// the extended posterior is undefined.
+func (m *Model) PosteriorExtendInto(base []float64, t TagID, dst []float64) (ok bool) {
+	if len(base) != m.numTopics || len(dst) != m.numTopics {
+		panic(fmt.Sprintf("topics: posterior extend has %d/%d entries, want %d", len(base), len(dst), m.numTopics))
+	}
+	row := m.tagTopic[int(t)*m.numTopics : (int(t)+1)*m.numTopics]
+	sum := 0.0
+	for z, b := range base {
+		v := b * row[z]
+		dst[z] = v
+		sum += v
+	}
+	if sum <= 0 {
+		for z := range dst {
+			dst[z] = 0
+		}
+		return false
+	}
+	inv := 1 / sum
+	for z := range dst {
+		dst[z] *= inv
+	}
+	return true
+}
+
 // Posterior is PosteriorInto with a fresh slice.
 func (m *Model) Posterior(w []TagID) ([]float64, bool) {
 	dst := make([]float64, m.numTopics)

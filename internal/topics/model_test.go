@@ -251,3 +251,83 @@ func TestPosteriorIntoPanicsOnBadLength(t *testing.T) {
 	m := MustNewModel(2, 3)
 	m.PosteriorInto(nil, make([]float64, 2))
 }
+
+// TestPosteriorExtendMatchesFull is the incremental-posterior property:
+// extending p(z|W) by one tag must agree with the full PosteriorInto
+// product over W∪{t} — same support pattern, values equal to rounding —
+// for random models, random base sets and every candidate tag,
+// including the undefined (all-zero) extension and an unnormalized
+// base.
+func TestPosteriorExtendMatchesFull(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		m := GenerateRandom(r, 10, 4, 2)
+		base := make([]float64, 4)
+		ext := make([]float64, 4)
+		full := make([]float64, 4)
+		w := []TagID{TagID(r.Intn(10))}
+		if r.Intn(2) == 0 {
+			w = append(w, TagID(r.Intn(10)))
+		}
+		if !m.PosteriorInto(w, base) {
+			return true // undefined base: nothing to extend
+		}
+		for tag := 0; tag < 10; tag++ {
+			okExt := m.PosteriorExtendInto(base, TagID(tag), ext)
+			okFull := m.PosteriorInto(append(w[:len(w):len(w)], TagID(tag)), full)
+			if okExt != okFull {
+				return false
+			}
+			for z := range ext {
+				if math.Abs(ext[z]-full[z]) > 1e-12 {
+					return false
+				}
+				if !okExt && ext[z] != 0 {
+					return false // undefined extension must zero dst
+				}
+			}
+		}
+		// An unnormalized base must yield the identical posterior: the
+		// scale folds into the normalization constant.
+		for z := range base {
+			base[z] *= 7.5
+		}
+		if m.PosteriorExtendInto(base, 3, ext) != m.PosteriorInto(append(w[:len(w):len(w)], 3), full) {
+			return false
+		}
+		for z := range ext {
+			if math.Abs(ext[z]-full[z]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPosteriorExtendIntoPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for wrong-length base")
+		}
+	}()
+	m := MustNewModel(4, 2)
+	m.PosteriorExtendInto(make([]float64, 3), 0, make([]float64, 2))
+}
+
+// TestTagRowAliasesModel: the row view must expose exactly the p(w|z)
+// entries of the tag.
+func TestTagRowAliasesModel(t *testing.T) {
+	m := fig2Model(t)
+	row := m.TagRow(2)
+	if len(row) != m.NumTopics() {
+		t.Fatalf("row length %d, want %d", len(row), m.NumTopics())
+	}
+	for z := range row {
+		if row[z] != m.TagTopic(2, int32(z)) {
+			t.Fatalf("TagRow(2)[%d] = %v, want %v", z, row[z], m.TagTopic(2, int32(z)))
+		}
+	}
+}

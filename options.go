@@ -152,8 +152,12 @@ type Options struct {
 	// CheapBounds replaces sampled Lemma 8 upper bounds with one-BFS
 	// reachability bounds: looser pruning, much cheaper per partial set.
 	CheapBounds bool
-	// DisableEarlyStop turns off the Algo-2 martingale stopping rule in
-	// online samplers (ablation knob).
+	// DisableEarlyStop turns off adaptive stopping (ablation knob): the
+	// Algo-2 martingale rule in online samplers, and the sequential
+	// Hoeffding stopping the index strategies apply inside frontier
+	// batches (terminating a sibling's scan once its confidence bound
+	// proves it cannot beat the pruning threshold). Disabling it makes
+	// index-strategy estimates byte-identical to exhaustive scans.
 	DisableEarlyStop bool
 	// TrackUpdates prepares the offline structures for incremental repair
 	// by Engine.ApplyUpdates. The RR-Graph index strategies are always

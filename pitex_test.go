@@ -689,3 +689,24 @@ func TestReadNetworkEdgeList(t *testing.T) {
 		t.Fatal("empty edge list accepted")
 	}
 }
+
+func TestEngineAccessors(t *testing.T) {
+	net, model := fig2Network(t)
+	en, err := NewEngine(net, model, testEngineOptions(StrategyIndexPruned))
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	if got := en.Strategy(); got != StrategyIndexPruned {
+		t.Errorf("Strategy() = %v, want %v", got, StrategyIndexPruned)
+	}
+	opts := en.Options()
+	if opts.Strategy != StrategyIndexPruned || opts.Seed != 11 || opts.Epsilon != 0.15 {
+		t.Errorf("Options() lost fields: %+v", opts)
+	}
+	if en.Network() != net {
+		t.Error("Network() is not the engine's network")
+	}
+	if en.Model() != model {
+		t.Error("Model() is not the engine's model")
+	}
+}

@@ -52,13 +52,16 @@ type Server struct {
 	poolSwaps      *obsv.Counter
 	// Estimator-work aggregates, accumulated from each fresh query's
 	// Explain so the registry tracks fleet-wide EXPLAIN totals.
-	samplesDrawn *obsv.Counter
-	probesEval   *obsv.Counter
-	probeHits    *obsv.Counter
-	probeMisses  *obsv.Counter
-	frontierExp  *obsv.Counter
-	boundPrunes  *obsv.Counter
-	fullSets     *obsv.Counter
+	samplesDrawn  *obsv.Counter
+	probesEval    *obsv.Counter
+	probeHits     *obsv.Counter
+	probeMisses   *obsv.Counter
+	frontierExp   *obsv.Counter
+	boundPrunes   *obsv.Counter
+	fullSets      *obsv.Counter
+	earlyStops    *obsv.Counter
+	graphsSkipped *obsv.Counter
+	boundMemoHits *obsv.Counter
 	// panics counts recovered panics from query execution and sweep
 	// jobs: each one is a bug answered with a 500 instead of a dead
 	// process, and the counter is the alarm that finds it.
@@ -132,6 +135,12 @@ func (s *Server) registerMetrics() {
 		"Branches pruned by the Lemma 8 upper-bound test across all fresh queries.")
 	s.fullSets = reg.Counter("pitex_full_sets_estimated_total",
 		"Full size-k tag sets estimated across all fresh queries.")
+	s.earlyStops = reg.Counter("pitex_estimator_early_stops_total",
+		"Posting-list scans terminated by the sequential stopping rule across all fresh queries.")
+	s.graphsSkipped = reg.Counter("pitex_estimator_graphs_skipped_total",
+		"RR-graph verdicts avoided by early stops across all fresh queries.")
+	s.boundMemoHits = reg.Counter("pitex_bound_memo_hits_total",
+		"Upper-bound evaluations answered from the explorer's live-topic-mask memo across all fresh queries.")
 	s.panics = reg.Counter("pitex_panics_total",
 		"Panics recovered from query execution and sweep jobs (each is a bug).")
 
@@ -468,6 +477,9 @@ func (s *Server) noteExplain(ex pitex.Explain) {
 	s.frontierExp.Add(ex.FrontierExpansions)
 	s.boundPrunes.Add(ex.PrunedByBound)
 	s.fullSets.Add(ex.FullSetsEstimated)
+	s.earlyStops.Add(ex.EarlyStops)
+	s.graphsSkipped.Add(ex.GraphsSkipped)
+	s.boundMemoHits.Add(ex.BoundCacheHits)
 }
 
 // degradedErr smuggles a degraded (uncacheable) result through the
