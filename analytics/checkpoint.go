@@ -111,7 +111,7 @@ func (st *sweepState) writeCheckpointLocked() error {
 		return fmt.Errorf("analytics: checkpoint: %w", err)
 	}
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("analytics: checkpoint: %w", err)
 	}

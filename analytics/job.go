@@ -110,6 +110,7 @@ func (j *Job) Status() JobStatus {
 	}
 	elapsed := j.elapsed
 	if j.state == JobRunning {
+		//pitexlint:allow detrand -- operator-facing elapsed/ETA display; sweep results never read it
 		elapsed = time.Since(j.start)
 		// Chunks completed by THIS run (not restored ones) per elapsed
 		// second extrapolate the remainder.
@@ -171,9 +172,10 @@ func (m *Manager) Start(en *pitex.Engine, opts Options) (*Job, error) {
 		seq:        m.nextID,
 		generation: en.Generation(),
 		cancel:     cancel,
-		start:      time.Now(),
-		state:      JobRunning,
-		doneCh:     make(chan struct{}),
+		//pitexlint:allow detrand -- wall-clock job start time feeds only progress/ETA reporting
+		start:  time.Now(),
+		state:  JobRunning,
+		doneCh: make(chan struct{}),
 	}
 	m.jobs[j.id] = j
 	m.evictLocked()
@@ -211,6 +213,7 @@ func (m *Manager) Start(en *pitex.Engine, opts Options) (*Job, error) {
 			return Run(ctx, en, opts)
 		}()
 		j.mu.Lock()
+		//pitexlint:allow detrand -- final wall-clock runtime for the status API; never in sweep output
 		j.elapsed = time.Since(j.start)
 		switch {
 		case err == nil:
@@ -294,6 +297,7 @@ func (m *Manager) Shutdown() {
 	m.mu.Lock()
 	jobs := make([]*Job, 0, len(m.jobs))
 	for _, j := range m.jobs {
+		//pitexlint:allow detrand -- cancellation fan-out; Shutdown waits on all jobs, order is irrelevant
 		jobs = append(jobs, j)
 	}
 	m.mu.Unlock()

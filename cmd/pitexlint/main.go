@@ -1,0 +1,84 @@
+// Command pitexlint runs the repository's static-analysis suite
+// (internal/analysis): five analyzers that machine-check the
+// determinism, RNG, context, metrics and error-flow invariants the
+// serving guarantees rest on.
+//
+//	pitexlint ./...                  # lint the whole module
+//	pitexlint -only detrand,ctxflow ./serve/... ./distrib/...
+//	pitexlint -list                  # show the suite
+//
+// Diagnostics print one per line as file:line:col: analyzer: message;
+// the exit status is 1 when anything is found, 2 on a usage or load
+// error. A finding that is intentional is suppressed in place with
+//
+//	//pitexlint:allow <analyzer>[,<analyzer>...] -- reason
+//
+// on the offending line or the line above it; the reason is mandatory.
+// CI runs the suite over ./... and separately asserts that the seeded
+// violations under internal/analysis/testdata still fail, proving the
+// gate works.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"pitex/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable driver body: parse flags, load packages, apply the
+// (possibly restricted) suite, print findings.
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("pitexlint", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	dir := fs.String("dir", ".", "directory whose module the package patterns resolve in")
+	only := fs.String("only", "", "comma-separated subset of analyzers to run")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	suite := analysis.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(out, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		var picked []*analysis.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(errw, "pitexlint: unknown analyzer %q (see -list)\n", name)
+				return 2
+			}
+			picked = append(picked, a)
+		}
+		suite = picked
+	}
+	pkgs, err := analysis.Load(*dir, fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(errw, err)
+		return 2
+	}
+	diags := analysis.RunAnalyzers(pkgs, suite)
+	for _, d := range diags {
+		fmt.Fprintln(out, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(errw, "pitexlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

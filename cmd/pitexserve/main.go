@@ -351,7 +351,7 @@ func saveIndexFile(en *pitex.Engine, path string) error {
 		return err
 	}
 	if err := en.SaveIndex(f); err != nil {
-		f.Close()
+		_ = f.Close()
 		os.Remove(f.Name())
 		return err
 	}

@@ -294,9 +294,10 @@ type Client struct {
 
 	// Self-healing machinery: the journal retains recent update bodies
 	// for replay; the reconciler goroutine retries lagging endpoints.
-	journal    *journal
-	stop       chan struct{}
-	wg         sync.WaitGroup
+	journal *journal
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	//pitexlint:allow ctxflow -- background reconciler lifetime, cancelled by Close; not a request context
 	healCtx    context.Context
 	healCancel context.CancelFunc
 	closed     atomic.Bool
@@ -322,6 +323,7 @@ func Dial(ctx context.Context, groupAddrs [][]string, opts Options) (*Client, er
 		journal:      newJournal(opts.JournalHorizon),
 		stop:         make(chan struct{}),
 	}
+	//pitexlint:allow ctxflow -- the healer must outlive Dial's ctx: it runs until Close, not until dialing ends
 	c.healCtx, c.healCancel = context.WithCancel(context.Background())
 	covered := make(map[int]int) // shard -> group index
 	type pending struct {

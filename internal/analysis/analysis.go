@@ -1,0 +1,279 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker. The shape deliberately
+// mirrors golang.org/x/tools/go/analysis so a later migration is
+// mechanical (see the package comment).
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow comments.
+	Name string
+	// Doc is a one-paragraph description of the invariant it guards.
+	Doc string
+	// AppliesTo reports whether the analyzer runs on the package with
+	// the given import path. A nil AppliesTo runs everywhere.
+	AppliesTo func(pkgPath string) bool
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// A Diagnostic is one finding, positioned for `file:line:col` output.
+type Diagnostic struct {
+	// Pos locates the finding in the analyzed source.
+	Pos token.Position
+	// Analyzer names the reporting analyzer ("pitexlint" for findings
+	// about the allow comments themselves).
+	Analyzer string
+	// Message states the violated invariant at this site.
+	Message string
+}
+
+// String formats the diagnostic the way CI prints it.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	// Analyzer is the analyzer this pass belongs to.
+	Analyzer *Analyzer
+	// PkgPath is the package's import path.
+	PkgPath string
+	// Fset maps token positions for Files.
+	Fset *token.FileSet
+	// Files holds the package's parsed non-test sources.
+	Files []*ast.File
+	// Pkg is the type-checked package object.
+	Pkg *types.Package
+	// Info carries the type-checker's expression and object facts.
+	Info *types.Info
+
+	allows *allowIndex
+	out    *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless an allow comment for this
+// analyzer covers the position's line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allows != nil && p.allows.covers(p.Analyzer.Name, position) {
+		return
+	}
+	*p.out = append(*p.out, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// AllowTag is the comment prefix of the suppression grammar:
+//
+//	//pitexlint:allow name1,name2 -- reason
+const AllowTag = "//pitexlint:allow"
+
+// allowEntry is one parsed allow comment.
+type allowEntry struct {
+	analyzers map[string]bool
+	line      int // the comment's own line; coverage extends one line down
+	file      string
+}
+
+// allowIndex indexes every allow comment of one package by file.
+type allowIndex struct {
+	entries map[string][]allowEntry // file -> entries
+}
+
+// covers reports whether an allow comment for analyzer covers pos:
+// the comment's own line (trailing form) or the next line (standalone).
+func (ai *allowIndex) covers(analyzer string, pos token.Position) bool {
+	for _, e := range ai.entries[pos.Filename] {
+		if (pos.Line == e.line || pos.Line == e.line+1) && e.analyzers[analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// parseAllows indexes allow comments across files and reports malformed
+// ones (unknown analyzer names, missing ` -- reason`) as diagnostics
+// under the "pitexlint" name, so a reasonless suppression fails CI.
+func parseAllows(fset *token.FileSet, files []*ast.File, known map[string]bool, out *[]Diagnostic) *allowIndex {
+	ai := &allowIndex{entries: map[string][]allowEntry{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, AllowTag) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, AllowTag)
+				if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+					continue // e.g. //pitexlint:allowed — not the tag
+				}
+				names, reason, ok := strings.Cut(rest, " -- ")
+				if !ok || strings.TrimSpace(reason) == "" {
+					*out = append(*out, Diagnostic{
+						Pos:      pos,
+						Analyzer: "pitexlint",
+						Message:  "allow comment must carry a reason: //pitexlint:allow name -- reason",
+					})
+					continue
+				}
+				entry := allowEntry{analyzers: map[string]bool{}, line: pos.Line, file: pos.Filename}
+				for _, n := range strings.Split(strings.TrimSpace(names), ",") {
+					n = strings.TrimSpace(n)
+					if n == "" {
+						continue
+					}
+					if !known[n] {
+						*out = append(*out, Diagnostic{
+							Pos:      pos,
+							Analyzer: "pitexlint",
+							Message:  fmt.Sprintf("allow comment names unknown analyzer %q", n),
+						})
+						continue
+					}
+					entry.analyzers[n] = true
+				}
+				if len(entry.analyzers) > 0 {
+					ai.entries[entry.file] = append(ai.entries[entry.file], entry)
+				}
+			}
+		}
+	}
+	return ai
+}
+
+// RunAnalyzers applies every analyzer to every loaded package (honoring
+// AppliesTo) and returns the surviving diagnostics sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	// The whole suite's names stay valid in allow comments even when the
+	// run is restricted with -only: a comment allowing an analyzer that
+	// simply isn't running is not a grammar error.
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allows := parseAllows(pkg.Fset, pkg.Files, known, &out)
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.PkgPath) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				PkgPath:  pkg.PkgPath,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				allows:   allows,
+				out:      &out,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Detrand, RngStream, CtxFlow, ObsvReg, ErrFlow}
+}
+
+// pathIn reports whether pkgPath is one of the listed repo packages,
+// matching the path itself or any suffix after a module prefix — so the
+// rule list works both for the real module ("pitex/internal/rrindex")
+// and for testdata modules ("pitexlint.example/internal/rrindex").
+func pathIn(pkgPath string, suffixes ...string) bool {
+	for _, s := range suffixes {
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (package function or method), or nil for builtins, conversions, and
+// calls through function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isFuncNamed reports whether fn is the package-level function
+// pkgSuffix.name (pkgSuffix matched per pathIn, so stdlib paths like
+// "time" match exactly).
+func isFuncNamed(fn *types.Func, pkgSuffix, name string) bool {
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil {
+		return false
+	}
+	return pathIn(fn.Pkg().Path(), pkgSuffix)
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// funcHasCtxParam reports whether the function type carries a
+// context.Context parameter and, if so, its index.
+func funcHasCtxParam(info *types.Info, ft *ast.FuncType) (int, bool) {
+	if ft == nil || ft.Params == nil {
+		return 0, false
+	}
+	idx := 0
+	for _, field := range ft.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok {
+			idx += max(1, len(field.Names))
+			continue
+		}
+		if isContextType(tv.Type) {
+			return idx, true
+		}
+		idx += max(1, len(field.Names))
+	}
+	return 0, false
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// wantRe extracts the quoted regexps of a want comment; both double
+// quotes and backticks delimit, as in x/tools analysistest.
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// lineKey identifies one source line across the loaded file set.
+type lineKey struct {
+	file string
+	line int
+}
+
+// CheckWant runs one analyzer over the packages and verifies its
+// diagnostics against `// want "regexp"` annotations in the sources —
+// the same contract as x/tools' analysistest: every diagnostic must land
+// on a line annotated with a matching regexp, and every annotation must
+// be matched by exactly one diagnostic. It returns a list of mismatch
+// descriptions, empty on success. (A plain func rather than a *testing.T
+// helper so cmd/pitexlint's tests can reuse it.)
+func CheckWant(pkgs []*Package, a *Analyzer) []string {
+	diags := RunAnalyzers(pkgs, []*Analyzer{a})
+
+	type wantEntry struct {
+		re      *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	wants := map[lineKey][]*wantEntry{}
+	var problems []string
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					idx := strings.Index(c.Text, "// want ")
+					if idx < 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := lineKey{pos.Filename, pos.Line}
+					for _, m := range wantRe.FindAllStringSubmatch(c.Text[idx:], -1) {
+						raw := m[1]
+						if m[2] != "" {
+							raw = m[2]
+						}
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							problems = append(problems, fmt.Sprintf("%s: bad want regexp %q: %v", pos, raw, err))
+							continue
+						}
+						wants[key] = append(wants[key], &wantEntry{re: re, raw: raw})
+					}
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		key := lineKey{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for key, entries := range wants {
+		for _, w := range entries {
+			if !w.matched {
+				problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matching %q", key.file, key.line, w.raw))
+			}
+		}
+	}
+	return problems
+}
+
+// inspectFuncs walks every function body in the file — declarations and
+// literals — handing each to fn with its type. Analyzers that reason
+// about "the enclosing function" share this traversal.
+func inspectFuncs(file *ast.File, fn func(ft *ast.FuncType, body *ast.BlockStmt, decl *ast.FuncDecl)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncDecl:
+			if node.Body != nil {
+				fn(node.Type, node.Body, node)
+			}
+		case *ast.FuncLit:
+			fn(node.Type, node.Body, nil)
+		}
+		return true
+	})
+}
+
+// posWithin reports whether pos falls inside node's source range.
+func posWithin(pos token.Pos, node ast.Node) bool {
+	return node != nil && pos >= node.Pos() && pos <= node.End()
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detrandPackages are the determinism-critical packages: everything that
+// feeds byte-identical estimates, serialized indexes, or kill/resume
+// checkpoint output.
+var detrandPackages = []string{
+	"internal/rrindex",
+	"internal/sampling",
+	"internal/bestfirst",
+	"internal/topics",
+	"internal/graph",
+	"analytics",
+}
+
+// Detrand flags nondeterminism sources in determinism-critical packages:
+// wall-clock reads, the global math/rand stream, and map iteration that
+// feeds append-ordered output without a subsequent sort. See the package
+// comment for the invariant's provenance.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc: "forbid wall clocks, global math/rand, and unsorted map-ordered output " +
+		"in determinism-critical packages",
+	AppliesTo: func(pkgPath string) bool { return pathIn(pkgPath, detrandPackages...) },
+	Run:       runDetrand,
+}
+
+func runDetrand(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if fn.Name() == "Now" || fn.Name() == "Since" {
+					pass.Reportf(call.Pos(),
+						"time.%s in determinism-critical package %s: wall-clock reads break replayability",
+						fn.Name(), pass.PkgPath)
+				}
+			case "math/rand", "math/rand/v2":
+				// Top-level functions draw from the shared global source;
+				// methods on an explicit *rand.Rand are rngstream's domain.
+				if fn.Type().(*types.Signature).Recv() == nil {
+					pass.Reportf(call.Pos(),
+						"global math/rand.%s in determinism-critical package %s: use a seeded internal/rng stream",
+						fn.Name(), pass.PkgPath)
+				}
+			}
+			return true
+		})
+		inspectFuncs(file, func(ft *ast.FuncType, body *ast.BlockStmt, decl *ast.FuncDecl) {
+			checkMapOrderedAppends(pass, body)
+		})
+	}
+}
+
+// checkMapOrderedAppends flags `x = append(x, ...)` inside a
+// range-over-map when x is declared outside the loop and no sort call
+// mentioning x follows the loop in the same function body. The appended
+// slice inherits the map's random iteration order; sorting afterwards
+// (analytics.Manager.List is the repo's idiom) restores determinism.
+func checkMapOrderedAppends(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			assign, ok := m.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+				return true
+			}
+			lhs, ok := ast.Unparen(assign.Lhs[0]).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			callRhs, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+			if !ok || len(callRhs.Args) == 0 {
+				return true
+			}
+			fun, ok := ast.Unparen(callRhs.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if b, isBuiltin := pass.Info.Uses[fun].(*types.Builtin); !isBuiltin || b.Name() != "append" {
+				return true
+			}
+			obj := pass.Info.Uses[lhs]
+			if obj == nil {
+				obj = pass.Info.Defs[lhs]
+			}
+			if obj == nil || posWithin(obj.Pos(), rng) {
+				return true // loop-local accumulator: scope ends with the loop
+			}
+			if sortedAfter(pass, body, obj, rng) {
+				return true
+			}
+			pass.Reportf(assign.Pos(),
+				"append to %q under map iteration without a following sort: output order is nondeterministic",
+				lhs.Name)
+			return true
+		})
+		return true
+	})
+}
+
+// sortedAfter reports whether a sort/slices call that mentions obj
+// appears in body after the range statement ends.
+func sortedAfter(pass *Pass, body *ast.BlockStmt, obj types.Object, rng *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rng.End() {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			mentions := false
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+					mentions = true
+					return false
+				}
+				return true
+			})
+			if mentions {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,66 @@
+// Package analysis is the repository's static-analysis suite: five
+// analyzers that machine-check the invariants every determinism and
+// serving guarantee in this reproduction rests on. They run in CI through
+// cmd/pitexlint and must report zero unsuppressed diagnostics on the
+// whole tree.
+//
+// The analyzers and the invariants they guard:
+//
+//   - detrand: determinism-critical packages (internal/rrindex,
+//     internal/sampling, internal/bestfirst, internal/topics,
+//     internal/graph, analytics) must not read wall clocks (time.Now,
+//     time.Since), must not draw from the global math/rand source, and
+//     must not iterate a map into append-ordered output without sorting
+//     afterwards. These are exactly the operations that would break the
+//     byte-identical estimate guarantees pinned since PR 3/4/9 and the
+//     kill/resume-identical checkpoints of PR 5.
+//
+//   - rngstream: every randomness stream in estimator, build, repair and
+//     sweep code must derive from a propagated seed or rng.Mix — never a
+//     compile-time literal, never a package-level shared source, never
+//     math/rand. Literal seeds silently correlate streams that the
+//     unbiasedness proofs assume independent (the PR 5 Audience bug).
+//
+//   - ctxflow: in request-path packages (serve, distrib, the root engine)
+//     a function that receives a context must thread it — calling
+//     context.Background or context.TODO there severs cancellation and
+//     deadline propagation. Context parameters come first, and contexts
+//     are not stored in struct fields.
+//
+//   - obsvreg: metric names handed to an obsv registry must match the
+//     Prometheus data-model regex, the same unlabeled name must not be
+//     registered twice in one function, and registration must not happen
+//     inside request handlers (it would leak family entries per request).
+//
+//   - errflow: an error returned by Close, Flush, Sync or Encode must not
+//     be silently dropped in a plain statement. Checkpoint and index
+//     serialization correctness (atomic temp-file renames, PR 5)
+//     depends on the Close error reaching the caller; an intentional
+//     drop must say so with `_ =` or a deferred call.
+//
+// # Why not golang.org/x/tools/go/analysis
+//
+// The framework mirrors the x/tools go/analysis API (Analyzer, Pass,
+// testdata packages with `// want` annotations) but is built on the
+// standard library's go/ast, go/types and go/importer only, keeping the
+// module dependency-free: packages are loaded through `go list -export
+// -deps -json` and type-checked against the compiler's export data, so
+// pitexlint needs nothing outside the Go toolchain itself. Swapping an
+// analyzer onto x/tools later is mechanical — Run functions only consume
+// (*Pass).Files/TypesInfo and call Reportf.
+//
+// # Suppressing a diagnostic
+//
+// A finding that is intentional — legitimate wall-clock ETA reporting,
+// a background context that must outlive its caller — is suppressed
+// in place with an allow comment that names the analyzer and must carry
+// a reason:
+//
+//	//pitexlint:allow detrand -- operator-facing ETA; never feeds estimates
+//	start := time.Now()
+//
+// The comment covers its own line and the line directly below it, and
+// several analyzers may be listed comma-separated. An allow comment
+// without the ` -- reason` tail is itself a diagnostic: the reason is
+// the reviewable artifact.
+package analysis

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errDropMethods are the flush-like methods whose error result carries
+// the write's real outcome: a checkpoint or index file whose Close error
+// vanishes may be truncated with no one the wiser.
+var errDropMethods = map[string]bool{
+	"Close":  true,
+	"Flush":  true,
+	"Sync":   true,
+	"Encode": true,
+}
+
+// ErrFlow flags statements that silently drop the error of Close, Flush,
+// Sync or Encode. A deliberate drop must be visible: assign to _, or
+// defer the call (the cleanup-on-error idiom, where the primary error is
+// already being returned).
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc: "no silently dropped errors from Close/Flush/Sync/Encode: " +
+		"assign to _ (or defer) to acknowledge an intentional drop",
+	Run: runErrFlow,
+}
+
+func runErrFlow(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || !errDropMethods[fn.Name()] {
+				return true
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			if sig == nil || sig.Recv() == nil || !lastResultIsError(sig) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s error silently dropped: handle it or write `_ = %s()` to acknowledge the drop",
+				fn.Name(), fn.Name())
+			return true
+		})
+	}
+}
+
+// lastResultIsError reports whether sig's final result is type error.
+func lastResultIsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	named, ok := res.At(res.Len() - 1).Type().(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}

@@ -1,0 +1,37 @@
+// Package errflow seeds dropped-error violations proving the errflow
+// gate can fail.
+package errflow
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// WriteAll exercises every dropped-error rule.
+func WriteAll(f *os.File, bw *bufio.Writer, enc *json.Encoder, rc io.ReadCloser, v any) error {
+	f.Close()     // want `Close error silently dropped`
+	bw.Flush()    // want `Flush error silently dropped`
+	f.Sync()      // want `Sync error silently dropped`
+	enc.Encode(v) // want `Encode error silently dropped`
+	_ = f.Close() // acknowledged drop: ok
+	defer rc.Close()
+	//pitexlint:allow errflow -- error-path cleanup; the primary error is already returning
+	f.Close()
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// quietCloser's Close returns nothing, so dropping it drops no error.
+type quietCloser struct{}
+
+// Close is the no-error variant.
+func (quietCloser) Close() {}
+
+// QuietOK is not flagged: there is no error to drop.
+func QuietOK(q quietCloser) {
+	q.Close()
+}

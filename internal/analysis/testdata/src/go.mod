@@ -1,0 +1,3 @@
+module pitexlint.example
+
+go 1.24

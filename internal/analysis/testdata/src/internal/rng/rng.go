@@ -1,0 +1,18 @@
+// Package rng is a stub of the repository's internal/rng for analyzer
+// testdata: same call surface, no behavior.
+package rng
+
+// Source is a stub deterministic generator.
+type Source struct{}
+
+// New returns a stub Source for the given seed.
+func New(seed uint64) *Source { _ = seed; return &Source{} }
+
+// Mix folds parts into one seed (stub).
+func Mix(parts ...uint64) uint64 {
+	var h uint64
+	for _, p := range parts {
+		h ^= p
+	}
+	return h
+}

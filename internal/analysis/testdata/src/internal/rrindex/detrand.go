@@ -1,0 +1,55 @@
+// Package rrindex mirrors a determinism-critical package path; every
+// seeded violation in this file proves the detrand gate can fail.
+package rrindex
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Timestamps exercises the wall-clock checks.
+func Timestamps() time.Duration {
+	start := time.Now() // want `time.Now in determinism-critical package`
+	//pitexlint:allow detrand -- operator-facing ETA, never feeds estimates
+	allowed := time.Now()
+	_ = allowed
+	return time.Since(start) // want `time.Since in determinism-critical package`
+}
+
+// GlobalRand exercises the shared math/rand source check.
+func GlobalRand() int {
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand.Shuffle in determinism-critical package`
+	return rand.Intn(10)               // want `global math/rand.Intn in determinism-critical package`
+}
+
+// MapOrder exercises the map-iteration-order checks.
+func MapOrder(m map[int]string) []string {
+	var bad []string
+	for _, v := range m {
+		bad = append(bad, v) // want `append to "bad" under map iteration without a following sort`
+	}
+	var good []string
+	for _, v := range m {
+		good = append(good, v)
+	}
+	sort.Strings(good)
+	for _, v := range m {
+		local := []string{}
+		local = append(local, v) // loop-local accumulator: order dies with the iteration
+		_ = local
+	}
+	var allowed []string
+	for _, v := range m {
+		//pitexlint:allow detrand -- feeds an unordered set, not output
+		allowed = append(allowed, v)
+	}
+	return append(bad, allowed...)
+}
+
+// BadAllows exercises the allow-comment grammar diagnostics.
+func BadAllows() {
+	//pitexlint:allow detrand // want `allow comment must carry a reason`
+	//pitexlint:allow nosuchanalyzer -- a reason // want `unknown analyzer "nosuchanalyzer"`
+	_ = 0
+}

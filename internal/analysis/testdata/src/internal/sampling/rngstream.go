@@ -1,0 +1,35 @@
+// Package sampling mirrors an estimator package path; the seeded
+// violations prove the rngstream gate can fail.
+package sampling
+
+import (
+	mrand "math/rand"
+
+	"pitexlint.example/internal/rng"
+)
+
+// sharedSeed is the package-level shared seed the analyzer must reject.
+var sharedSeed uint64 = 42
+
+// Opts carries a propagated seed, the approved source of streams.
+type Opts struct {
+	Seed uint64
+}
+
+// Streams exercises every seed-derivation rule.
+func Streams(o Opts, worker uint64) {
+	_ = rng.New(42)                      // want `rng.New with constant seed`
+	_ = rng.New(0xbeef + 1)              // want `rng.New with constant seed`
+	_ = rng.New(uint64(7))               // want `rng.New with constant seed`
+	_ = rng.New(sharedSeed)              // want `rng.New seeded from package-level "sharedSeed"`
+	_ = rng.New(o.Seed)                  // propagated: ok
+	_ = rng.New(o.Seed + 7919)           // propagated with a domain offset: ok
+	_ = rng.New(rng.Mix(o.Seed, worker)) // the preferred derivation: ok
+	//pitexlint:allow rngstream -- fixture stream, never feeds estimates
+	_ = rng.New(1)
+}
+
+// GlobalRand exercises the math/rand ban in sampling code.
+func GlobalRand() float64 {
+	return mrand.Float64() // want `math/rand.Float64 in sampling code`
+}

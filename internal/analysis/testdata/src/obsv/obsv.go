@@ -1,0 +1,45 @@
+// Package obsv is a stub of the repository's obsv metrics surface for
+// analyzer testdata: same registration signatures, no behavior.
+package obsv
+
+// Label is one name/value metric label.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Counter is a stub counter.
+type Counter struct{}
+
+// Gauge is a stub gauge.
+type Gauge struct{}
+
+// Registry is a stub metric registry.
+type Registry struct{}
+
+// Counter registers and returns a stub counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	_, _, _ = name, help, labels
+	return &Counter{}
+}
+
+// Gauge registers and returns a stub gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	_, _, _ = name, help, labels
+	return &Gauge{}
+}
+
+// CounterFunc registers a stub callback counter.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
+	_, _, _, _ = name, help, fn, labels
+}
+
+// GaugeFunc registers a stub callback gauge.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	_, _, _, _ = name, help, fn, labels
+}
+
+// RegisterCounter registers an existing stub counter.
+func (r *Registry) RegisterCounter(name, help string, c *Counter, labels ...Label) {
+	_, _, _, _ = name, help, c, labels
+}

@@ -1,0 +1,44 @@
+// Package obsvreg seeds metric-registration violations proving the
+// obsvreg gate can fail.
+package obsvreg
+
+import (
+	"net/http"
+
+	"pitexlint.example/obsv"
+)
+
+// Setup registers metrics at construction time — the approved place —
+// with one bad name and one duplicate seeded in.
+func Setup(reg *obsv.Registry) {
+	_ = reg.Counter("pitex_good_total", "a well-formed name")
+	_ = reg.Counter("bad-name", "dashes are not Prometheus") // want `metric name "bad-name" does not match the Prometheus grammar`
+	_ = reg.Counter("pitex_dup_total", "first registration")
+	_ = reg.Counter("pitex_dup_total", "second registration") // want `unlabeled metric "pitex_dup_total" registered twice in one function`
+	_ = reg.Counter("pitex_labeled_total", "per-endpoint", obsv.Label{Name: "endpoint", Value: "a"})
+	_ = reg.Counter("pitex_labeled_total", "per-endpoint", obsv.Label{Name: "endpoint", Value: "b"})
+	reg.GaugeFunc("pitex_depth", "callback gauge", func() float64 { return 0 })
+	reg.RegisterCounter("pitex_extern_total", "pre-built counter", &obsv.Counter{})
+}
+
+// handleStats is a request handler; registering inside it leaks a
+// family entry per request.
+func handleStats(w http.ResponseWriter, r *http.Request, reg *obsv.Registry) {
+	_ = reg.Counter("pitex_requests_total", "per request!?") // want `metric registration inside request handler handleStats`
+	_, _ = w, r
+}
+
+// statsHandler exercises the ServeHTTP form of the handler check.
+type statsHandler struct {
+	reg *obsv.Registry
+}
+
+// ServeHTTP registers per request — flagged.
+func (h statsHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	_ = h.reg.Gauge("pitex_inflight", "per request!?") // want `metric registration inside request handler ServeHTTP`
+	_, _ = w, r
+}
+
+// use keeps the seeded declarations referenced.
+var _ = handleStats
+var _ = statsHandler{}

@@ -1,0 +1,55 @@
+// Package serve mirrors a request-path package; the seeded violations
+// prove the ctxflow gate can fail.
+package serve
+
+import "context"
+
+// Holder stores a context — the anti-pattern ctxflow rejects.
+type Holder struct {
+	ctx context.Context // want `context.Context stored in a struct field`
+}
+
+// Allowed stores a context with a recorded reason.
+type Allowed struct {
+	//pitexlint:allow ctxflow -- healer loop must outlive the dialing request
+	ctx context.Context
+}
+
+// Use keeps the stored fields referenced so the package compiles.
+func Use(h Holder, a Allowed) (context.Context, context.Context) {
+	return h.ctx, a.ctx
+}
+
+// Detached drops its caller's context on the floor.
+func Detached(ctx context.Context) {
+	_ = context.Background() // want `context.Background inside a function that receives a context`
+	_ = context.TODO()       // want `context.TODO inside a function that receives a context`
+	_ = ctx
+}
+
+// Late takes its context in the wrong position.
+func Late(q string, ctx context.Context) { // want `context.Context is parameter 2 of Late`
+	_, _ = q, ctx
+}
+
+// Wrapper has no context parameter, so Background is the documented
+// convenience-wrapper idiom and stays quiet.
+func Wrapper() context.Context {
+	return context.Background()
+}
+
+// Spawn detaches inside a function literal — a deliberate
+// goroutine-scoped context, not flagged.
+func Spawn(ctx context.Context) {
+	go func() {
+		_ = context.Background()
+	}()
+	_ = ctx
+}
+
+// AllowedDetach records why it detaches.
+func AllowedDetach(ctx context.Context) {
+	//pitexlint:allow ctxflow -- update fan-out must finish even if the request dies
+	_ = context.Background()
+	_ = ctx
+}

@@ -1,0 +1,165 @@
+package rrindex
+
+import (
+	"bytes"
+	"testing"
+
+	"pitex/internal/faultinject"
+	"pitex/internal/fixture"
+	"pitex/internal/graph"
+)
+
+// Fuzz targets for the serialized-index loaders. The contract under
+// test: on arbitrary bytes the readers must return an error — never
+// panic, and never size an allocation from an unvalidated header field
+// (storage only grows as payload actually arrives). Seeds cover all
+// three format versions (v1 seed layout, v2 arena, v3 sharded), both
+// kinds, and systematically corrupted variants of each.
+
+// fuzzSeeds serializes the fixture structures in every on-disk format
+// and returns them with corrupt/truncated variants appended.
+func fuzzSeeds(f *testing.F) [][]byte {
+	f.Helper()
+	g := fixture.Graph()
+	opts := buildOpts()
+	opts.MaxIndexSamples = 800
+
+	var blobs [][]byte
+	add := func(err error, buf *bytes.Buffer) {
+		if err != nil {
+			f.Fatalf("building fuzz seed: %v", err)
+		}
+		blobs = append(blobs, append([]byte(nil), buf.Bytes()...))
+	}
+
+	var buf bytes.Buffer
+	idx, err := Build(g, opts)
+	if err == nil {
+		err = WriteIndex(&buf, idx)
+	}
+	add(err, &buf)
+
+	buf.Reset()
+	add(writeIndexV1(&buf, refBuild(g, opts)), &buf)
+
+	buf.Reset()
+	si, err := BuildSharded(g, opts, 3)
+	if err == nil {
+		err = WriteSharded(&buf, si)
+	}
+	add(err, &buf)
+
+	buf.Reset()
+	dm, err := BuildDelayMat(g, opts)
+	if err == nil {
+		err = WriteDelayMat(&buf, dm)
+	}
+	add(err, &buf)
+
+	buf.Reset()
+	sdm, err := BuildShardedDelayMat(g, opts, 3)
+	if err == nil {
+		err = WriteShardedDelayMat(&buf, sdm)
+	}
+	add(err, &buf)
+
+	for _, b := range blobs[:5] {
+		blobs = append(blobs,
+			faultinject.CorruptBytes(b), // bit flips every 17 bytes, magic included
+			b[:len(b)/2],                // truncated mid-payload
+			b[:21],                      // header cut inside the counts
+		)
+	}
+	blobs = append(blobs, nil, []byte("PITEXIDX"))
+	return blobs
+}
+
+// checkIndex walks every accessor a loaded index serves so latent
+// corruption that slipped past the reader surfaces as a crash here.
+func checkIndex(t *testing.T, idx *Index, g *graph.Graph) {
+	if idx.Theta() < 0 || idx.NumGraphs() < 0 || idx.MemoryFootprint() < 0 {
+		t.Fatalf("accepted index has negative shape: θ=%d graphs=%d", idx.Theta(), idx.NumGraphs())
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		if n := idx.NumContaining(graph.VertexID(u)); n < 0 {
+			t.Fatalf("negative postings count for %d", u)
+		}
+	}
+}
+
+// FuzzReadIndex feeds arbitrary bytes to both single-index readers
+// (RR-Graph index and DelayMat), including each other's files — the
+// kind field must keep them apart.
+func FuzzReadIndex(f *testing.F) {
+	for _, b := range fuzzSeeds(f) {
+		f.Add(b)
+	}
+	g := fixture.Graph()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if idx, err := ReadIndex(bytes.NewReader(data), g); err == nil {
+			checkIndex(t, idx, g)
+		}
+		if dm, err := ReadDelayMat(bytes.NewReader(data), g); err == nil {
+			if dm.Theta() < 0 {
+				t.Fatal("accepted DelayMat has negative θ")
+			}
+			for u := 0; u < g.NumVertices(); u++ {
+				if dm.Count(graph.VertexID(u)) < 0 {
+					t.Fatalf("negative count for %d", u)
+				}
+			}
+		}
+	})
+}
+
+// FuzzReadSharded: the v3 sharded loader must reject malformed shard
+// layouts (implausible counts, θ sums that disagree with the header)
+// without panicking, and anything it accepts must serve estimates.
+func FuzzReadSharded(f *testing.F) {
+	for _, b := range fuzzSeeds(f) {
+		f.Add(b)
+	}
+	g := fixture.Graph()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		si, err := ReadSharded(bytes.NewReader(data), g)
+		if err != nil {
+			return
+		}
+		if si.NumShards() < 1 || si.Theta() < 0 {
+			t.Fatalf("accepted sharded index has shards=%d θ=%d", si.NumShards(), si.Theta())
+		}
+		for _, st := range si.ShardStats() {
+			if st.Theta < 0 || st.Users < 0 {
+				t.Fatalf("shard stat out of range: %+v", st)
+			}
+		}
+		for s := range si.shards {
+			checkIndex(t, si.shards[s], g)
+		}
+	})
+}
+
+// FuzzReadShardedDelayMat covers the remaining loader: v1 files load as
+// one shard, v3 files reconstruct the layout, everything else errors.
+func FuzzReadShardedDelayMat(f *testing.F) {
+	for _, b := range fuzzSeeds(f) {
+		f.Add(b)
+	}
+	g := fixture.Graph()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sdm, err := ReadShardedDelayMat(bytes.NewReader(data), g)
+		if err != nil {
+			return
+		}
+		if sdm.NumShards() < 1 || sdm.Theta() < 0 {
+			t.Fatalf("accepted sharded DelayMat has shards=%d θ=%d", sdm.NumShards(), sdm.Theta())
+		}
+		var total int64
+		for _, sh := range sdm.shards {
+			total += sh.Theta()
+		}
+		if total != sdm.Theta() {
+			t.Fatalf("shard θ sum %d != total %d", total, sdm.Theta())
+		}
+	})
+}

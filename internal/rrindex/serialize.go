@@ -260,7 +260,9 @@ func readHeader(lr *leReader) (version, kind uint32, numVertices, theta uint64, 
 	if lr.err != nil {
 		return 0, 0, 0, 0, fmt.Errorf("rrindex: header: %w", lr.err)
 	}
-	if numVertices == 0 || numVertices > maxSaneVertices || theta == 0 {
+	// θ lives in int64 fields in memory; a u64 with the top bit set would
+	// silently go negative on the cast and poison every estimate scale.
+	if numVertices == 0 || numVertices > maxSaneVertices || theta == 0 || theta > math.MaxInt64 {
 		return 0, 0, 0, 0, fmt.Errorf("rrindex: implausible header (V=%d θ=%d)", numVertices, theta)
 	}
 	return version, kind, numVertices, theta, nil

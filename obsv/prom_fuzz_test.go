@@ -1,0 +1,45 @@
+package obsv
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseText exercises the Prometheus text-format parser against
+// arbitrary input: it must never panic, and anything it accepts must be
+// internally consistent — declared families with valid names, every
+// sample attributed to a declared family, histograms validated.
+func FuzzParseText(f *testing.F) {
+	// Well-formed exposition covering the family types and the sample
+	// grammar (labels, escapes, timestamps, scientific notation).
+	f.Add("# HELP m A counter.\n# TYPE m counter\nm{a=\"x\"} 1 1700000000\nm 2.5e3\n")
+	f.Add("# TYPE g gauge\ng 0\n")
+	f.Add("# TYPE h histogram\nh_bucket{le=\"0.1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 0.5\nh_count 2\n")
+	f.Add("# TYPE s summary\ns{quantile=\"0.5\"} 1\ns_sum 1\ns_count 1\n")
+	f.Add("# TYPE esc counter\nesc{path=\"a\\\\b\\\"c\\nd\"} 1\n")
+	// Near-misses the parser must reject without panicking.
+	f.Add("# TYPE m counter\n# TYPE m counter\nm 1\n")
+	f.Add("# TYPE h histogram\nh_bucket 1\nh_sum 1\nh_count 1\n")
+	f.Add("m 1\n")
+	f.Add("# TYPE 9bad counter\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		fams, err := ParseText(input)
+		if err != nil {
+			return
+		}
+		for name, fam := range fams {
+			if fam == nil {
+				t.Fatalf("accepted input has nil family %q", name)
+			}
+			if fam.Name != name || !validMetricName(fam.Name) {
+				t.Fatalf("accepted family has inconsistent or invalid name %q/%q", name, fam.Name)
+			}
+			for _, s := range fam.Samples {
+				if !strings.HasPrefix(s.Name, fam.Name) {
+					t.Fatalf("sample %q filed under family %q", s.Name, fam.Name)
+				}
+			}
+		}
+	})
+}

@@ -183,6 +183,7 @@ type remoteAdapter struct {
 	en     *Engine
 	remote RemoteEstimator
 
+	//pitexlint:allow ctxflow -- query-scoped: begin() stores the caller's ctx, finish() clears it; never outlives a query
 	ctx       context.Context
 	err       error
 	missing   map[int]bool
